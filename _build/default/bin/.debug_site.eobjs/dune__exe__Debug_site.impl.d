@@ -1,0 +1,1 @@
+bin/debug_site.ml: Array Format List Sites String Sys Tabseg Tabseg_eval Tabseg_extract Tabseg_sitegen Tabseg_template Tabseg_token

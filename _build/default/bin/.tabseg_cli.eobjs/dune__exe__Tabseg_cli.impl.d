@@ -1,0 +1,1 @@
+bin/tabseg_cli.ml: Arg Cmd Cmdliner Filename Format List Metrics Printf Scorer Sites String Sys Tabseg Tabseg_eval Tabseg_navigator Tabseg_sitegen Tabseg_token Term

@@ -1,0 +1,1 @@
+bin/tabseg_cli.mli:

@@ -1,0 +1,53 @@
+(* Developer tool: dump the pipeline internals for one synthetic site page.
+   Usage: debug_site SITE PAGE [csp|prob] *)
+
+open Tabseg_sitegen
+
+let () =
+  let site_name = Sys.argv.(1) in
+  let page_index = int_of_string Sys.argv.(2) in
+  let method_ =
+    if Array.length Sys.argv > 3 && Sys.argv.(3) = "prob" then
+      Tabseg.Api.Probabilistic
+    else Tabseg.Api.Csp
+  in
+  let generated = Sites.generate (Sites.find site_name) in
+  let page = List.nth generated.Sites.pages page_index in
+  let list_pages, detail_pages =
+    Sites.segmentation_input generated ~page_index
+  in
+  let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+  let prepared = Tabseg.Pipeline.prepare input in
+  Format.printf "== template size: %d@." prepared.Tabseg.Pipeline.template_size;
+  let pages_tokens = List.map Tabseg_token.Tokenizer.tokenize list_pages in
+  let template = Tabseg_template.Template.induce pages_tokens in
+  Format.printf "== template: %a@." Tabseg_template.Template.pp template;
+  Format.printf "== table slot: %a@." Tabseg_template.Slot.pp
+    prepared.Tabseg.Pipeline.table_slot;
+  Format.printf "== notes: %s@."
+    (String.concat ","
+       (List.map
+          (fun n -> String.make 1 (Tabseg.Segmentation.note_letter n))
+          prepared.Tabseg.Pipeline.notes));
+  Format.printf "== observation:@.%a@." Tabseg_extract.Observation.pp
+    prepared.Tabseg.Pipeline.observation;
+  Format.printf "== extras: %s@."
+    (String.concat " ; "
+       (List.map
+          (fun (e : Tabseg_extract.Extract.t) -> e.Tabseg_extract.Extract.text)
+          prepared.Tabseg.Pipeline.observation.Tabseg_extract.Observation
+            .extras));
+  let result = Tabseg.Api.segment ~method_ input in
+  Format.printf "== segmentation:@.%a@." Tabseg.Segmentation.pp
+    result.Tabseg.Api.segmentation;
+  Format.printf "== truth:@.";
+  List.iteri
+    (fun i row ->
+      Format.printf "r%d: %s@." (i + 1) (String.concat " | " row))
+    page.Sites.truth;
+  let counts =
+    Tabseg_eval.Scorer.score ~truth:page.Sites.truth
+      result.Tabseg.Api.segmentation
+  in
+  Format.printf "== score: %a %a@." Tabseg_eval.Metrics.pp counts
+    Tabseg_eval.Metrics.pp_prf counts

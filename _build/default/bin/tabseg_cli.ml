@@ -1,0 +1,269 @@
+(* tabseg — command-line interface.
+
+   Subcommands:
+     sites                        list the twelve synthetic sites
+     generate -s SITE -o DIR      write a site's pages (and truth) to disk
+     segment  -l PAGE... -d DETAIL... [-m csp|prob]
+                                  segment raw HTML files
+     eval     [-s SITE] [-m ...]  run and score synthetic sites *)
+
+open Cmdliner
+open Tabseg_sitegen
+open Tabseg_eval
+
+let method_conv =
+  let parse = function
+    | "csp" -> Ok Tabseg.Api.Csp
+    | "prob" | "probabilistic" -> Ok Tabseg.Api.Probabilistic
+    | other -> Error (`Msg (Printf.sprintf "unknown method %S" other))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (String.lowercase_ascii (Tabseg.Api.method_name m))
+  in
+  Arg.conv (parse, print)
+
+let method_arg =
+  let doc = "Segmentation method: $(b,csp) or $(b,prob)." in
+  Arg.(value & opt method_conv Tabseg.Api.Csp & info [ "m"; "method" ] ~doc)
+
+(* ------------------------------ sites ------------------------------ *)
+
+let sites_cmd =
+  let run () =
+    let print_site tag site =
+      Printf.printf "%-22s %-13s %s records/page, seed %d%s\n"
+        site.Sites.name site.Sites.domain
+        (String.concat "+"
+           (List.map string_of_int site.Sites.records_per_page))
+        site.Sites.seed tag
+    in
+    List.iter (print_site "") Sites.all;
+    List.iter (print_site "  (demo)") Sites.demo_sites
+  in
+  Cmd.v
+    (Cmd.info "sites" ~doc:"List the twelve synthetic evaluation sites")
+    Term.(const run $ const ())
+
+(* ----------------------------- generate ---------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let generate_cmd =
+  let site_arg =
+    let doc = "Site name (see $(b,tabseg sites))." in
+    Arg.(required & opt (some string) None & info [ "s"; "site" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Output directory (created if missing)." in
+    Arg.(value & opt string "." & info [ "o"; "out" ] ~doc)
+  in
+  let run site_name out =
+    match Sites.find site_name with
+    | exception Not_found ->
+      Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
+      exit 1
+    | site ->
+      if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+      let generated = Sites.generate site in
+      List.iteri
+        (fun p page ->
+          write_file
+            (Filename.concat out (Printf.sprintf "list_%d.html" p))
+            page.Sites.list_html;
+          List.iteri
+            (fun i detail ->
+              write_file
+                (Filename.concat out (Printf.sprintf "detail_%d_%d.html" p i))
+                detail)
+            page.Sites.detail_htmls;
+          let truth =
+            String.concat "\n"
+              (List.map (String.concat "\t") page.Sites.truth)
+          in
+          write_file
+            (Filename.concat out (Printf.sprintf "truth_%d.tsv" p))
+            truth)
+        generated.Sites.pages;
+      Printf.printf "wrote %s to %s\n" site.Sites.name out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write a synthetic site's pages to disk")
+    Term.(const run $ site_arg $ out_arg)
+
+(* ----------------------------- segment ----------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let segment_cmd =
+  let lists_arg =
+    let doc =
+      "List-page HTML file; pass at least one, the first is segmented."
+    in
+    Arg.(non_empty & opt_all file [] & info [ "l"; "list" ] ~doc)
+  in
+  let details_arg =
+    let doc = "Detail-page HTML file, in record (link) order." in
+    Arg.(non_empty & opt_all file [] & info [ "d"; "detail" ] ~doc)
+  in
+  let run method_ lists details =
+    let input =
+      {
+        Tabseg.Pipeline.list_pages = List.map read_file lists;
+        detail_pages = List.map read_file details;
+      }
+    in
+    let result = Tabseg.Api.segment ~method_ input in
+    Format.printf "%a@." Tabseg.Segmentation.pp result.Tabseg.Api.segmentation
+  in
+  Cmd.v
+    (Cmd.info "segment"
+       ~doc:"Segment records in a list page given its detail pages")
+    Term.(const run $ method_arg $ lists_arg $ details_arg)
+
+(* ------------------------------- eval ------------------------------ *)
+
+let eval_cmd =
+  let site_arg =
+    let doc = "Restrict to one site (default: all twelve)." in
+    Arg.(value & opt (some string) None & info [ "s"; "site" ] ~doc)
+  in
+  let run method_ site_name =
+    let sites =
+      match site_name with
+      | None -> Sites.all
+      | Some name -> (
+        match Sites.find name with
+        | site -> [ site ]
+        | exception Not_found ->
+          Printf.eprintf "unknown site %S; try `tabseg sites`\n" name;
+          exit 1)
+    in
+    let all_counts = ref [] in
+    List.iter
+      (fun site ->
+        let generated = Sites.generate site in
+        List.iteri
+          (fun page_index page ->
+            let list_pages, detail_pages =
+              Sites.segmentation_input generated ~page_index
+            in
+            let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+            let result = Tabseg.Api.segment ~method_ input in
+            let counts =
+              Scorer.score ~truth:page.Sites.truth
+                result.Tabseg.Api.segmentation
+            in
+            all_counts := counts :: !all_counts;
+            Format.printf "%-22s page %d  %a  %a  notes: %s@."
+              site.Sites.name (page_index + 1) Metrics.pp counts
+              Metrics.pp_prf counts
+              (String.concat ","
+                 (List.map
+                    (fun n ->
+                      String.make 1 (Tabseg.Segmentation.note_letter n))
+                    result.Tabseg.Api.segmentation.Tabseg.Segmentation.notes)))
+          generated.Sites.pages)
+      sites;
+    let totals = Metrics.total !all_counts in
+    Format.printf "%-22s         %a  %a@." "TOTAL" Metrics.pp totals
+      Metrics.pp_prf totals
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Segment and score the synthetic sites")
+    Term.(const run $ method_arg $ site_arg)
+
+(* ---------------------------- reconstruct -------------------------- *)
+
+let reconstruct_cmd =
+  let lists_arg =
+    let doc = "List-page HTML file (first = the page to segment)." in
+    Arg.(non_empty & opt_all file [] & info [ "l"; "list" ] ~doc)
+  in
+  let details_arg =
+    let doc = "Detail-page HTML file, in record order." in
+    Arg.(non_empty & opt_all file [] & info [ "d"; "detail" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write CSV here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc)
+  in
+  let run method_ lists details out =
+    let detail_htmls = List.map read_file details in
+    let input =
+      {
+        Tabseg.Pipeline.list_pages = List.map read_file lists;
+        detail_pages = detail_htmls;
+      }
+    in
+    let result = Tabseg.Api.segment ~method_ input in
+    let table =
+      Tabseg.Relational.reconstruct
+        ~details:(List.map Tabseg_token.Tokenizer.tokenize detail_htmls)
+        ~segmentation:result.Tabseg.Api.segmentation
+    in
+    let csv = Tabseg.Relational.to_csv table in
+    match out with
+    | None -> print_string csv
+    | Some path ->
+      write_file path csv;
+      Printf.printf "wrote %d rows to %s\n" (List.length table.Tabseg.Relational.rows) path
+  in
+  Cmd.v
+    (Cmd.info "reconstruct"
+       ~doc:"Segment a list page and reconstruct the relation behind the \
+             site as CSV")
+    Term.(const run $ method_arg $ lists_arg $ details_arg $ out_arg)
+
+(* ------------------------------- auto ------------------------------ *)
+
+let auto_cmd =
+  let site_arg =
+    let doc = "Site to simulate and navigate (see $(b,tabseg sites))." in
+    Arg.(required & opt (some string) None & info [ "s"; "site" ] ~doc)
+  in
+  let run method_ site_name =
+    match Tabseg_sitegen.Sites.find site_name with
+    | exception Not_found ->
+      Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
+      exit 1
+    | site ->
+      let generated = Tabseg_sitegen.Sites.generate site in
+      let graph = Tabseg_navigator.Simulate.graph_of_site generated in
+      let report = Tabseg_navigator.Auto.run ~method_ graph in
+      Format.printf
+        "crawled %d pages: %d list, %d detail, %d other@."
+        report.Tabseg_navigator.Auto.pages_fetched
+        report.Tabseg_navigator.Auto.lists_found
+        report.Tabseg_navigator.Auto.details_found
+        report.Tabseg_navigator.Auto.others_found;
+      List.iter
+        (fun result ->
+          Format.printf "@.%s:@.%a@."
+            result.Tabseg_navigator.Auto.list_url
+            Tabseg.Segmentation.pp
+            result.Tabseg_navigator.Auto.segmentation)
+        report.Tabseg_navigator.Auto.results
+  in
+  Cmd.v
+    (Cmd.info "auto"
+       ~doc:"Navigate a simulated site from its entry page and segment \
+             every list page found")
+    Term.(const run $ method_arg $ site_arg)
+
+let () =
+  let doc = "automatic segmentation of records in Web tables" in
+  let info = Cmd.info "tabseg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sites_cmd; generate_cmd; segment_cmd; eval_cmd; auto_cmd;
+            reconstruct_cmd ]))

@@ -1,0 +1,25 @@
+open Tabseg_sitegen
+open Tabseg_eval
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let rand = Random.State.make [| seed |] in
+  let domain = if Random.State.bool rand then "property tax" else "corrections" in
+  let site = {
+    Sites.name = Printf.sprintf "Random-%d" (Random.State.int rand 1_000_000);
+    domain; layout = Render.Grid;
+    records_per_page = [ 4 + Random.State.int rand 14; 4 + Random.State.int rand 14 ];
+    seed = Random.State.int rand 1_000_000; quirks = [] }
+  in
+  Printf.printf "domain=%s counts=%s seed=%d\n" domain
+    (String.concat "," (List.map string_of_int site.Sites.records_per_page)) site.Sites.seed;
+  let generated = Sites.generate site in
+  let page = List.hd generated.Sites.pages in
+  let list_pages, detail_pages = Sites.segmentation_input generated ~page_index:0 in
+  let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+  let result = Tabseg.Api.segment ~method_:Tabseg.Api.Csp input in
+  let seg = result.Tabseg.Api.segmentation in
+  let counts = Scorer.score ~truth:page.Sites.truth seg in
+  Format.printf "score %a notes [%s]@." Metrics.pp counts
+    (String.concat "," (List.map (fun n -> String.make 1 (Tabseg.Segmentation.note_letter n)) seg.Tabseg.Segmentation.notes));
+  Format.printf "%a@." Tabseg.Segmentation.pp seg;
+  List.iteri (fun i row -> Format.printf "T%d: %s@." (i+1) (String.concat " | " row)) page.Sites.truth

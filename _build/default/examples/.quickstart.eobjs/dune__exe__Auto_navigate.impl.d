@@ -1,0 +1,1 @@
+examples/auto_navigate.ml: Auto Format List Simulate String Tabseg Tabseg_eval Tabseg_navigator Tabseg_sitegen Tabseg_token Webgraph

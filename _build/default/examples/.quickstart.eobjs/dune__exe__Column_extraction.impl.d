@@ -1,0 +1,1 @@
+examples/column_extraction.ml: Extract Format Hashtbl List Printf Sites String Tabseg Tabseg_extract Tabseg_sitegen Tabseg_token

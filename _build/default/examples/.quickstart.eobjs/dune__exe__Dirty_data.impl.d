@@ -1,0 +1,1 @@
+examples/dirty_data.ml: Format List Metrics Scorer Sites String Tabseg Tabseg_eval Tabseg_sitegen

@@ -1,0 +1,1 @@
+examples/dirty_data.mli:

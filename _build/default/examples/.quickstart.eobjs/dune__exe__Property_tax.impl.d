@@ -1,0 +1,1 @@
+examples/property_tax.ml: Format List Metrics Scorer Sites String Tabseg Tabseg_eval Tabseg_sitegen

@@ -1,0 +1,1 @@
+examples/property_tax.mli:

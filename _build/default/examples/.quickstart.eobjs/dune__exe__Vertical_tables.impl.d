@@ -1,0 +1,1 @@
+examples/vertical_tables.ml: Format List Metrics Scorer Sites String Tabseg Tabseg_eval Tabseg_sitegen

@@ -1,0 +1,1 @@
+examples/vertical_tables.mli:

@@ -1,0 +1,1 @@
+examples/wrapper_bootstrap.ml: Format List Metrics Scorer Sites String Tabseg Tabseg_eval Tabseg_sitegen Tabseg_wrapper

@@ -1,0 +1,1 @@
+lib/baseline/roadrunner_lite.ml: Hashtbl List Option Pattern Tabseg_pattern Tabseg_token Tag_heuristic Tokenizer

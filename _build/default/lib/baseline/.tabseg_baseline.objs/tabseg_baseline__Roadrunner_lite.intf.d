@@ -1,0 +1,1 @@
+lib/baseline/roadrunner_lite.mli: Tabseg_pattern

@@ -1,0 +1,1 @@
+lib/baseline/tag_heuristic.ml: Dom Extract List Option Printer String Tabseg Tabseg_extract Tabseg_html Tabseg_token

@@ -1,0 +1,1 @@
+lib/baseline/tag_heuristic.mli: Tabseg

@@ -1,0 +1,68 @@
+open Tabseg_token
+open Tabseg_pattern
+
+type item = Tabseg_pattern.Pattern.item =
+  | Tag of string
+  | Field
+  | Optional of item list
+
+type outcome =
+  | Wrapper of { pattern : item list; rows_matched : int }
+  | Failure of string
+
+let row_markers = [ "<tr>"; "<li>"; "<div>"; "<p>" ]
+
+let pick_marker atoms =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Pattern.Atag key when List.mem key row_markers ->
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      | Pattern.Atag _ | Pattern.Atext _ -> ())
+    atoms;
+  Hashtbl.fold
+    (fun key count best ->
+      match best with
+      | Some (_, best_count) when best_count >= count -> best
+      | _ when count >= 3 -> Some (key, count)
+      | _ -> best)
+    counts None
+
+let contains_header chunk = List.mem (Pattern.Atag "<th>") chunk
+
+let pattern_to_string = Pattern.to_string
+
+let induce html =
+  let atoms = Pattern.atoms_of_tokens (Tokenizer.tokenize html) in
+  let marker =
+    (* Prefer the text-weighted DOM choice; fall back to raw counts. *)
+    match Tag_heuristic.best_row_tag html with
+    | Some tag -> Some ("<" ^ tag ^ ">")
+    | None -> Option.map fst (pick_marker atoms)
+  in
+  match marker with
+  | None -> Failure "no repeated row marker found"
+  | Some marker -> (
+    let chunks =
+      Pattern.chunks ~marker atoms
+      |> List.filter (fun c -> not (contains_header c))
+    in
+    match chunks with
+    | [] | [ _ ] -> Failure "fewer than two data rows"
+    | first :: rest -> (
+      try
+        let pattern, matched =
+          List.fold_left
+            (fun (pattern, matched) chunk ->
+              match Pattern.fold pattern chunk with
+              | Some folded -> (folded, matched + 1)
+              | None ->
+                raise
+                  (Pattern.Disjunction
+                     "chunks do not share a union-free structure"))
+            (Pattern.generalize first, 1)
+            rest
+        in
+        Wrapper { pattern; rows_matched = matched }
+      with Pattern.Disjunction reason -> Failure reason))

@@ -1,0 +1,31 @@
+(** A simplified RoadRunner-style union-free grammar inducer (Crescenzi,
+    Mecca & Merialdo, VLDB 2001), built to reproduce the paper's
+    Section 6.3 comparison.
+
+    The inducer picks the most frequent start tag as a row marker, splits
+    the page's row region into chunks, and folds the chunks into a single
+    union-free row pattern: exact tags, [Field] slots for text runs, and
+    [Optional] sub-patterns discovered when one chunk carries a tag-bounded
+    region the other lacks. That covers missing attributes.
+
+    What it {e cannot} express is a disjunction: two alternative tag
+    structures in the same slot (the Superpages gray
+    "street address not available" versus a plain address). On such input
+    the fold fails — which is the paper's point: union-free grammars cannot
+    describe sites with alternative formatting, while the content-based
+    methods handle them. *)
+
+type item = Tabseg_pattern.Pattern.item =
+  | Tag of string  (** an exact tag key, e.g. "<td>" *)
+  | Field  (** a run of one or more text tokens *)
+  | Optional of item list
+
+type outcome =
+  | Wrapper of { pattern : item list; rows_matched : int }
+  | Failure of string
+      (** human-readable reason, e.g. "disjunction required at ..." *)
+
+val induce : string -> outcome
+(** Induce a row wrapper from a raw list page. *)
+
+val pattern_to_string : item list -> string

@@ -1,0 +1,86 @@
+open Tabseg_html
+open Tabseg_extract
+
+let row_tag_candidates = [ "tr"; "li"; "div"; "p" ]
+
+(* Count the children of [node] having tag [tag]. *)
+let children_with_tag tag node =
+  Dom.children node
+  |> List.filter (fun child -> Dom.tag child = Some tag)
+
+let all_elements forest = Dom.find_all (fun _ -> true) forest
+
+(* Wrap the body in a synthetic root so that top-level siblings (the Blocks
+   and Freeform layouts) have a common parent too. *)
+let best_container forest =
+  let candidates =
+    List.concat_map
+      (fun container ->
+        List.filter_map
+          (fun tag ->
+            match children_with_tag tag container with
+            | rows when List.length rows >= 3 -> Some (tag, rows)
+            | _ -> None)
+          row_tag_candidates)
+      (Dom.Element ("synthetic-root", [], forest) :: all_elements forest)
+  in
+  let weight (_, rows) =
+    let text =
+      List.fold_left
+        (fun acc row -> acc + String.length (Dom.text_content row))
+        0 rows
+    in
+    (* Text first: a handful of data-rich rows beats many thin chrome
+       paragraphs. *)
+    (text, List.length rows)
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best candidate ->
+           if weight candidate > weight best then candidate else best)
+         first rest)
+
+let best_row_tag html =
+  Option.map fst (best_container (Dom.parse html))
+
+let is_header_row row =
+  match Dom.children row with
+  | [] -> false
+  | kids -> List.for_all (fun kid -> Dom.tag kid = Some "th") kids
+
+let words_of_row row =
+  Tabseg_token.Tokenizer.tokenize (Printer.node_to_string row)
+  |> Extract.of_tokens
+
+let segment html =
+  let forest = Dom.parse html in
+  match best_container forest with
+  | None ->
+    Tabseg.Segmentation.assemble ~notes:[] ~assigned:[] ~unassigned:[]
+      ~extras:[]
+  | Some (_tag, rows) ->
+    let rows = List.filter (fun row -> not (is_header_row row)) rows in
+    let assigned =
+      List.concat
+        (List.mapi
+           (fun number row ->
+             List.map
+               (fun extract -> (extract, number, None))
+               (words_of_row row))
+           rows)
+    in
+    (* Extracts from different rows were tokenized independently, so their
+       start indices clash; renumber them by row so assembly keeps order. *)
+    let assigned =
+      List.mapi
+        (fun i (extract, number, column) ->
+          ( { extract with Extract.start_index = i; stop_index = i + 1;
+              id = i },
+            number, column ))
+        assigned
+    in
+    Tabseg.Segmentation.assemble ~notes:[] ~assigned ~unassigned:[]
+      ~extras:[]

@@ -1,0 +1,19 @@
+(** The naive layout-based baseline the paper argues against (Section 1):
+    segment records by repeated HTML structure alone, ignoring detail pages
+    entirely.
+
+    The heuristic parses the page, looks for the container element with the
+    most same-tag children drawn from typical row tags ([tr], [li], [div],
+    [p]), drops all-header rows, and declares each remaining child a
+    record. It needs no detail pages — and exactly as the paper observes,
+    it lives or dies by the site's tag discipline. *)
+
+val segment : string -> Tabseg.Segmentation.t
+(** Segment a raw list page. Records are numbered in document order. *)
+
+val row_tag_candidates : string list
+(** The tags considered as row markers. *)
+
+val best_row_tag : string -> string option
+(** The row-marker tag the heuristic would choose for a page, if any —
+    also used by {!Roadrunner_lite} to pick its chunking marker. *)

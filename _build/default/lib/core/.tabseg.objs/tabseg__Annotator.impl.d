@@ -1,0 +1,1 @@
+lib/core/annotator.ml: Array Extract Format Hashtbl List Observation Option Segmentation String Tabseg_extract Tabseg_token Token Token_type

@@ -1,0 +1,1 @@
+lib/core/annotator.mli: Format Observation Segmentation Tabseg_extract Tabseg_token

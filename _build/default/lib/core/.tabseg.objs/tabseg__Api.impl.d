@@ -1,0 +1,1 @@
+lib/core/api.ml: Csp_segmenter List Pipeline Prob_segmenter Segmentation Vertical

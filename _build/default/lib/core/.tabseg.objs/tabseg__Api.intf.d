@@ -1,0 +1,1 @@
+lib/core/api.mli: Csp_segmenter Pipeline Prob_segmenter Segmentation

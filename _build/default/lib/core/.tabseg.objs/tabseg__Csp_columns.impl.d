@@ -1,0 +1,1 @@
+lib/core/csp_columns.ml: Array Extract List Pb Segmentation Tabseg_csp Tabseg_extract Wsat_oip

@@ -1,0 +1,1 @@
+lib/core/csp_columns.mli: Segmentation Tabseg_csp Wsat_oip

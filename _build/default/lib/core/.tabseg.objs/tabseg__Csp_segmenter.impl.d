@@ -1,0 +1,1 @@
+lib/core/csp_segmenter.ml: Array Exact Hashtbl List Observation Option Pb Pipeline Presolve Segmentation Tabseg_csp Tabseg_extract Wsat_oip

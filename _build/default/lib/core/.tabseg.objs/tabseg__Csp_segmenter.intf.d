@@ -1,0 +1,1 @@
+lib/core/csp_segmenter.mli: Observation Pb Pipeline Segmentation Tabseg_csp Tabseg_extract Wsat_oip

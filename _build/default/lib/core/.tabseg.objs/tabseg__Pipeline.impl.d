@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Extract List Logs Observation Segmentation Slot Tabseg_extract Tabseg_template Tabseg_token Template Token Tokenizer

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Observation Segmentation Slot Tabseg_extract Tabseg_template Tabseg_token Token

@@ -1,0 +1,1 @@
+lib/core/prob_segmenter.ml: Array Dist Extract Fhmm List Logspace Observation Pipeline Segmentation Tabseg_extract Tabseg_hmm

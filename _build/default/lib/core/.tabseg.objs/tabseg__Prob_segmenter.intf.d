@@ -1,0 +1,1 @@
+lib/core/prob_segmenter.mli: Observation Pipeline Segmentation Tabseg_extract

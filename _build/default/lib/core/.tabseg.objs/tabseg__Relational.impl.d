@@ -1,0 +1,1 @@
+lib/core/relational.ml: Array Buffer Format List Option Segmentation String Tabseg_token Token

@@ -1,0 +1,1 @@
+lib/core/relational.mli: Format Segmentation Tabseg_token Token

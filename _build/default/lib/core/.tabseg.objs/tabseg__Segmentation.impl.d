@@ -1,0 +1,1 @@
+lib/core/segmentation.ml: Extract Format Hashtbl List Printf String Tabseg_extract

@@ -1,0 +1,1 @@
+lib/core/segmentation.mli: Extract Format Tabseg_extract

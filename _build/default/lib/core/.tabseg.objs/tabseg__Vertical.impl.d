@@ -1,0 +1,1 @@
+lib/core/vertical.ml: Array Dom List Printer Tabseg_extract Tabseg_html

@@ -1,0 +1,1 @@
+lib/core/vertical.mli: Tabseg_extract

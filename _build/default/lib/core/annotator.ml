@@ -1,0 +1,118 @@
+open Tabseg_extract
+open Tabseg_token
+
+type labeling = {
+  labels : (int * string) list;
+  support : (int * int) list;
+}
+
+(* The run of word tokens immediately before token index [position],
+   skipping tags and separator punctuation (the ":" after a label). *)
+let label_before tokens position =
+  let n = Array.length tokens in
+  if position <= 0 || position > n then []
+  else begin
+    (* Skip backwards over tags and separators. *)
+    let rec skip i =
+      if i < 0 then i
+      else
+        let token = tokens.(i) in
+        if Token.is_tag token || Token.is_separator token then skip (i - 1)
+        else i
+    in
+    (* Then collect the contiguous word run. *)
+    let rec collect acc i remaining =
+      if i < 0 || remaining = 0 then acc
+      else
+        let token = tokens.(i) in
+        if Token.is_word token && not (Token.is_separator token) then
+          collect (token.Token.text :: acc) (i - 1) (remaining - 1)
+        else acc
+    in
+    collect [] (skip (position - 1)) 4
+  end
+
+let plausible_label words =
+  match words with
+  | [] -> false
+  | _ ->
+    let text = String.concat " " words in
+    String.length text <= 40
+    && List.exists
+         (fun word ->
+           Token_type.mem Token_type.Alphabetic
+             (Token_type.classify_word word))
+         words
+
+(* Strip a trailing colon-like remainder ("Name:" tokenizes to two words,
+   but be robust to variants such as "Name -"). *)
+let cleanse words =
+  List.filter
+    (fun word ->
+      not
+        (Token_type.mem Token_type.Punctuation
+           (Token_type.classify_word word)))
+    words
+
+let annotate ~observation ~details ~segmentation =
+  let details = Array.of_list details in
+  (* extract id -> column, from the segmentation. *)
+  let column_of = Hashtbl.create 64 in
+  List.iter
+    (fun (record : Segmentation.record) ->
+      List.iter
+        (fun (extract_id, column) ->
+          Hashtbl.replace column_of extract_id column)
+        record.Segmentation.columns)
+    segmentation.Segmentation.records;
+  (* Vote: (column, label text) -> count. *)
+  let votes = Hashtbl.create 64 in
+  Array.iter
+    (fun entry ->
+      match
+        Hashtbl.find_opt column_of entry.Observation.extract.Extract.id
+      with
+      | None -> ()
+      | Some column ->
+        List.iter
+          (fun (page, position) ->
+            if page >= 0 && page < Array.length details then begin
+              let words = cleanse (label_before details.(page) position) in
+              if plausible_label words then begin
+                let key = (column, String.concat " " words) in
+                Hashtbl.replace votes key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt votes key))
+              end
+            end)
+          entry.Observation.positions)
+    observation.Observation.entries;
+  (* Elect per column. *)
+  let best = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (column, label) count ->
+      match Hashtbl.find_opt best column with
+      | Some (_, best_count) when best_count >= count -> ()
+      | _ -> Hashtbl.replace best column (label, count))
+    votes;
+  let elected =
+    Hashtbl.fold (fun column (label, count) acc -> (column, label, count) :: acc)
+      best []
+    |> List.sort compare
+  in
+  {
+    labels = List.map (fun (c, l, _) -> (c, l)) elected;
+    support = List.map (fun (c, _, n) -> (c, n)) elected;
+  }
+
+let label_of labeling column = List.assoc_opt column labeling.labels
+
+let pp ppf labeling =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (column, label) ->
+      let votes =
+        Option.value ~default:0 (List.assoc_opt column labeling.support)
+      in
+      Format.fprintf ppf "L%d -> %S (%d votes)@," (column + 1) label votes)
+    labeling.labels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Semantic column labels (paper Section 3.4).
+
+    The probabilistic segmenter produces anonymous column labels
+    [L_1 .. L_k]. The paper notes that "to provide them with more
+    semantically meaningful labels, we can use other automatic extraction
+    techniques" (citing RoadRunner's annotation work, which harvests the
+    label text that detail pages print next to each value). This module
+    implements that idea: for every (extract, detail page) observation it
+    collects the words immediately preceding the value on the detail page
+    — detail templates render attributes as ["Name:"], ["Phone:"] and so
+    on — and elects each column's most frequent label candidate. *)
+
+open Tabseg_extract
+
+type labeling = {
+  labels : (int * string) list;
+      (** (column, elected label), columns with no candidate omitted *)
+  support : (int * int) list;
+      (** (column, number of votes behind the elected label) *)
+}
+
+val annotate :
+  observation:Observation.t ->
+  details:Tabseg_token.Token.t array list ->
+  segmentation:Segmentation.t ->
+  labeling
+(** Elect a label for every column used in [segmentation] (which must come
+    from the probabilistic segmenter — the CSP method produces no columns).
+    A label candidate is the run of word tokens immediately before an
+    observed occurrence of the extract on a detail page, cleansed of
+    trailing punctuation; empty and purely numeric candidates are
+    discarded. *)
+
+val label_of : labeling -> int -> string option
+
+val pp : Format.formatter -> labeling -> unit

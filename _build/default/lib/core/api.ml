@@ -1,0 +1,46 @@
+type method_ =
+  | Csp
+  | Probabilistic
+
+type result = {
+  segmentation : Segmentation.t;
+  prepared : Pipeline.prepared;
+  diagnostics : Prob_segmenter.diagnostics option;
+}
+
+let segment ?pipeline_config ?csp_config ?prob_config
+    ?(transpose_vertical = false) ~method_ input =
+  let prepared = Pipeline.prepare ?config:pipeline_config input in
+  let _input, prepared =
+    (* Vertical-layout extension (paper Section 3.2): if the observation
+       table shows the column-major signature, transpose every table and
+       redo the front half — the standard horizontal machinery then
+       applies. *)
+    if
+      transpose_vertical
+      && Vertical.looks_vertical prepared.Pipeline.observation
+    then begin
+      let input =
+        {
+          input with
+          Pipeline.list_pages =
+            List.map Vertical.transpose_tables input.Pipeline.list_pages;
+        }
+      in
+      (input, Pipeline.prepare ?config:pipeline_config input)
+    end
+    else (input, prepared)
+  in
+  match method_ with
+  | Csp ->
+    let segmentation = Csp_segmenter.segment ?config:csp_config prepared in
+    { segmentation; prepared; diagnostics = None }
+  | Probabilistic ->
+    let segmentation, diagnostics =
+      Prob_segmenter.segment ?config:prob_config prepared
+    in
+    { segmentation; prepared; diagnostics = Some diagnostics }
+
+let method_name = function
+  | Csp -> "CSP"
+  | Probabilistic -> "Probabilistic"

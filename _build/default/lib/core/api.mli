@@ -1,0 +1,37 @@
+(** One-call entry points: from raw HTML pages to a record segmentation.
+
+    {[
+      let input =
+        { Tabseg.Pipeline.list_pages = [ page1; page2 ];
+          detail_pages = details }
+      in
+      let result = Tabseg.Api.segment ~method_:Tabseg.Api.Csp input in
+      List.iter print_record result.segmentation.records
+    ]} *)
+
+type method_ =
+  | Csp  (** the constraint-satisfaction approach (Section 4) *)
+  | Probabilistic  (** the factored-HMM approach (Section 5) *)
+
+type result = {
+  segmentation : Segmentation.t;
+  prepared : Pipeline.prepared;
+      (** the intermediate pipeline state: table slot, observation table *)
+  diagnostics : Prob_segmenter.diagnostics option;
+      (** EM diagnostics; [None] for the CSP method *)
+}
+
+val segment :
+  ?pipeline_config:Pipeline.config ->
+  ?csp_config:Csp_segmenter.config ->
+  ?prob_config:Prob_segmenter.config ->
+  ?transpose_vertical:bool ->
+  method_:method_ ->
+  Pipeline.input ->
+  result
+(** Run the full pipeline and the chosen segmentation method. With
+    [~transpose_vertical:true] (default false), a vertically laid-out
+    table (paper Section 3.2) is detected via {!Vertical.looks_vertical}
+    and transposed before segmentation. *)
+
+val method_name : method_ -> string

@@ -1,0 +1,98 @@
+open Tabseg_extract
+open Tabseg_csp
+
+type config = {
+  wsat : Wsat_oip.params;
+  similarity_weight : int;
+}
+
+let default_config =
+  { wsat = Wsat_oip.default_params; similarity_weight = 1 }
+
+(* First-token type mask: the "starts with the same token type"
+   similarity signal from the paper. *)
+let signature (e : Extract.t) = e.Extract.first_types
+
+let assign_columns ?(config = default_config) (segmentation : Segmentation.t) =
+  let records = segmentation.Segmentation.records in
+  let lengths =
+    List.map
+      (fun (r : Segmentation.record) -> List.length r.Segmentation.extracts)
+      records
+  in
+  let k = List.fold_left max 1 lengths |> min 16 in
+  if records = [] then segmentation
+  else begin
+    (* One variable per (extract occurrence, column). *)
+    let items =
+      List.concat_map
+        (fun (r : Segmentation.record) ->
+          List.map
+            (fun e -> (r.Segmentation.number, e))
+            r.Segmentation.extracts)
+        records
+    in
+    let items = Array.of_list items in
+    let n = Array.length items in
+    let var i c = (i * k) + c in
+    let constraints = ref [] in
+    let add c = constraints := c :: !constraints in
+    (* Exactly one column per extract. *)
+    for i = 0 to n - 1 do
+      add (Pb.Hard (Pb.exactly_one (List.init k (var i))))
+    done;
+    (* Strictly increasing columns within a record (consecutive pairs
+       suffice). *)
+    for i = 0 to n - 2 do
+      let record_i, _ = items.(i) and record_j, _ = items.(i + 1) in
+      if record_i = record_j then
+        for c = 0 to k - 1 do
+          for c' = 0 to c do
+            add (Pb.Hard (Pb.at_most_one [ var i c; var (i + 1) c' ]))
+          done
+        done
+    done;
+    (* Similarity: extracts of neighboring records with different type
+       signatures are discouraged from sharing a column. *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let record_i, extract_i = items.(i) in
+        let record_j, extract_j = items.(j) in
+        if
+          record_j = record_i + 1
+          && signature extract_i <> signature extract_j
+        then
+          for c = 0 to k - 1 do
+            add
+              (Pb.Soft
+                 (Pb.at_most_one [ var i c; var j c ],
+                  config.similarity_weight))
+          done
+      done
+    done;
+    let problem = Pb.make ~num_vars:(n * k) (List.rev !constraints) in
+    let result = Wsat_oip.solve ~params:config.wsat problem in
+    let column_of = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for c = 0 to k - 1 do
+        if result.Wsat_oip.assignment.(var i c) then column_of.(i) <- c
+      done
+    done;
+    (* Rebuild records with their column assignments. *)
+    let cursor = ref 0 in
+    let records =
+      List.map
+        (fun (r : Segmentation.record) ->
+          let columns =
+            List.map
+              (fun (e : Extract.t) ->
+                let column = column_of.(!cursor) in
+                incr cursor;
+                (e.Extract.id, column))
+              r.Segmentation.extracts
+          in
+          { r with Segmentation.columns })
+        records
+    in
+    { segmentation with Segmentation.records }
+  end

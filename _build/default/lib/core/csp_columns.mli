@@ -1,0 +1,35 @@
+(** Column assignment for the CSP method — the paper's Section 6.3
+    future-work idea, realized:
+
+    "It may also be possible to obtain the attribute assignment in the CSP
+    approach, by using the observation that different values of the same
+    attribute should be similar in content, e.g., start with the same
+    token type. We may be able to express this observation as a set of
+    constraints."
+
+    Given a record segmentation (from {!Csp_segmenter}, whose records carry
+    no columns), this module assigns every constrained extract a column
+    [0 .. k-1] by solving a second pseudo-boolean problem:
+
+    - {e hard}: each extract takes exactly one column; within a record,
+      columns strictly increase in stream order (the horizontal-layout
+      invariant);
+    - {e soft}: two extracts from different records whose first tokens have
+      different syntactic types are discouraged from sharing a column —
+      the similarity observation, as constraints.
+
+    Solved with the same WSAT(OIP) engine as the segmentation itself. *)
+
+open Tabseg_csp
+
+type config = {
+  wsat : Wsat_oip.params;
+  similarity_weight : int;  (** penalty for a type-mismatched column pair *)
+}
+
+val default_config : config
+
+val assign_columns : ?config:config -> Segmentation.t -> Segmentation.t
+(** Return the segmentation with every record's [columns] field filled:
+    one (extract id, column) pair per extract of the record, in stream
+    order. Records keep their extracts and order. *)

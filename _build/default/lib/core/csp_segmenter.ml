@@ -1,0 +1,234 @@
+open Tabseg_extract
+open Tabseg_csp
+
+type mode = Strict | Relaxed
+
+type relaxed_objective = Paper | Coverage
+
+type config = {
+  monotone : bool;
+  relaxed_objective : relaxed_objective;
+  wsat : Wsat_oip.params;
+  exact_node_limit : int;
+}
+
+let default_config =
+  { monotone = true; relaxed_objective = Paper;
+    wsat = Wsat_oip.default_params; exact_node_limit = 500_000 }
+
+let coverage_config = { default_config with relaxed_objective = Coverage }
+
+type encoded = {
+  problem : Pb.problem;
+  variables : (int * int) array;
+}
+
+let encode ?(config = default_config) mode observation =
+  let entries = observation.Observation.entries in
+  let n = Array.length entries in
+  (* Allocate one variable per (entry, candidate record). *)
+  let variable_of = Hashtbl.create 64 in
+  let variables = ref [] in
+  let num_vars = ref 0 in
+  Array.iteri
+    (fun i entry ->
+      List.iter
+        (fun j ->
+          Hashtbl.replace variable_of (i, j) !num_vars;
+          variables := (i, j) :: !variables;
+          incr num_vars)
+        entry.Observation.pages)
+    entries;
+  let variables = Array.of_list (List.rev !variables) in
+  let var i j = Hashtbl.find variable_of (i, j) in
+  let constraints = ref [] in
+  let add c = constraints := c :: !constraints in
+  let seen_pairs = Hashtbl.create 256 in
+  let add_pair_le v1 v2 =
+    let key = (min v1 v2, max v1 v2) in
+    if not (Hashtbl.mem seen_pairs key) then begin
+      Hashtbl.replace seen_pairs key ();
+      add (Pb.Hard (Pb.at_most_one [ v1; v2 ]))
+    end
+  in
+  (* Uniqueness: every extract belongs to exactly (at most) one record. *)
+  Array.iteri
+    (fun i entry ->
+      let vars = List.map (var i) entry.Observation.pages in
+      match mode with
+      | Strict -> add (Pb.Hard (Pb.exactly_one vars))
+      | Relaxed -> (
+        add (Pb.Hard (Pb.at_most_one vars));
+        match config.relaxed_objective with
+        | Paper -> ()
+        | Coverage -> add (Pb.Soft (Pb.exactly_one vars, 1))))
+    entries;
+  (* Consecutiveness: candidates of record j separated by an entry that
+     cannot belong to j may not both be assigned to j. *)
+  for j = 0 to observation.Observation.num_details - 1 do
+    let candidates = ref [] in
+    Array.iteri
+      (fun i entry ->
+        if List.mem j entry.Observation.pages then candidates := i :: !candidates)
+      entries;
+    let candidates = List.rev !candidates in
+    (* Split candidates into blocks of stream-consecutive entries. *)
+    let blocks =
+      List.fold_left
+        (fun blocks i ->
+          match blocks with
+          | (last :: _ as block) :: rest when i = last + 1 ->
+            (i :: block) :: rest
+          | _ -> [ i ] :: blocks)
+        [] candidates
+      |> List.rev_map List.rev
+      |> List.rev
+    in
+    let rec cross = function
+      | [] -> ()
+      | block :: rest ->
+        List.iter
+          (fun i ->
+            List.iter
+              (fun other_block ->
+                List.iter (fun k -> add_pair_le (var i j) (var k j)) other_block)
+              rest)
+          block;
+        cross rest
+    in
+    cross blocks
+  done;
+  (* Position: extracts observed at the same positions on a detail page
+     compete for that record — the page offers only as many slots as it
+     has occurrences. Extracts are grouped by their full occurrence-
+     position list on the page (a value printed twice on the detail page,
+     such as the repeated day in "12/12/1990", offers two slots), and at
+     most |positions| of a group may take the record. Combined with the
+     strict uniqueness equalities this yields the pigeonhole
+     unsatisfiabilities of the paper's Section 6.3 failure reports. *)
+  let groups = Hashtbl.create 64 in
+  Array.iteri
+    (fun i entry ->
+      let per_page = Hashtbl.create 4 in
+      List.iter
+        (fun (page, position) ->
+          Hashtbl.replace per_page page
+            (position
+            :: Option.value ~default:[] (Hashtbl.find_opt per_page page)))
+        entry.Observation.positions;
+      Hashtbl.iter
+        (fun page positions ->
+          let key = (page, List.sort compare positions) in
+          Hashtbl.replace groups key
+            (i :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+        per_page)
+    entries;
+  Hashtbl.iter
+    (fun (page, positions) members ->
+      let slots = List.length positions in
+      match members with
+      | [] | [ _ ] -> ()
+      | members when List.length members > slots ->
+        let terms = List.map (fun i -> (var i page, 1)) members in
+        add (Pb.Hard (Pb.linear terms Pb.Le slots))
+      | _ -> ())
+    groups;
+  (* Monotonicity: an earlier extract may not sit in a later record than a
+     later extract. *)
+  if config.monotone then
+    for i = 0 to n - 1 do
+      for k = i + 1 to n - 1 do
+        List.iter
+          (fun j ->
+            List.iter
+              (fun j' -> if j > j' then add_pair_le (var i j) (var k j'))
+              entries.(k).Observation.pages)
+          entries.(i).Observation.pages
+      done
+    done;
+  let problem = Pb.make ~num_vars:!num_vars (List.rev !constraints) in
+  { problem; variables }
+
+(* Decode a solver assignment into per-entry record choices. *)
+let decode encoded assignment =
+  let choices = Hashtbl.create 64 in
+  Array.iteri
+    (fun v (i, j) ->
+      if assignment.(v) then
+        match Hashtbl.find_opt choices i with
+        | Some existing when existing <= j -> ()
+        | _ -> Hashtbl.replace choices i j)
+    encoded.variables;
+  choices
+
+let assemble_from_choices observation notes choices extras =
+  let assigned = ref [] and unassigned = ref [] in
+  Array.iteri
+    (fun i entry ->
+      match Hashtbl.find_opt choices i with
+      | Some j ->
+        assigned := (entry.Observation.extract, j, None) :: !assigned
+      | None -> unassigned := entry.Observation.extract :: !unassigned)
+    observation.Observation.entries;
+  Segmentation.assemble ~notes ~assigned:(List.rev !assigned)
+    ~unassigned:(List.rev !unassigned) ~extras
+
+let segment_observation config observation notes extras =
+  if Array.length observation.Observation.entries = 0 then
+    Segmentation.assemble ~notes ~assigned:[] ~unassigned:[] ~extras
+  else begin
+    let strict = encode ~config Strict observation in
+    let relax_and_solve () =
+      let notes =
+        notes @ [ Segmentation.No_solution; Segmentation.Relaxed_constraints ]
+      in
+      let relaxed = encode ~config Relaxed observation in
+      let params =
+        match config.relaxed_objective with
+        | Coverage -> config.wsat
+        | Paper ->
+          (* Emulate the paper's observed behaviour: WSAT(OIP) "was able
+             to find solutions for the relaxed constraint problem, but
+             the solution corresponded to a partial assignment". With no
+             objective the walk stops at the first feasible point near
+             its sparse random start — consistent, but partial and
+             arbitrary. *)
+          { config.wsat with Wsat_oip.init_density = 0.10 }
+      in
+      let result = Wsat_oip.solve ~params relaxed.problem in
+      assemble_from_choices observation notes
+        (decode relaxed result.Wsat_oip.assignment)
+        extras
+    in
+    (* Unit propagation first: the common inconsistency certificates (a
+       planted value collision forcing two variables into an at-most-one
+       constraint) surface here instantly, skipping a futile local
+       search. *)
+    if Presolve.is_unsat strict.problem then relax_and_solve ()
+    else begin
+      let result = Wsat_oip.solve ~params:config.wsat strict.problem in
+      if result.Wsat_oip.feasible then
+        assemble_from_choices observation notes
+          (decode strict result.Wsat_oip.assignment)
+          extras
+      else
+        match
+          Exact.solve ~node_limit:config.exact_node_limit strict.problem
+        with
+        | Exact.Sat assignment ->
+          (* The local search was unlucky; the complete solver found a
+             model. *)
+          assemble_from_choices observation notes (decode strict assignment)
+            extras
+        | Exact.Unsat | Exact.Unknown -> relax_and_solve ()
+    end
+  end
+
+let segment ?(config = default_config) (prepared : Pipeline.prepared) =
+  segment_observation config prepared.Pipeline.observation
+    prepared.Pipeline.notes
+    prepared.Pipeline.observation.Observation.extras
+
+let solve_observation ?(config = default_config) observation =
+  segment_observation config observation []
+    observation.Observation.extras

@@ -1,0 +1,76 @@
+open Tabseg_token
+open Tabseg_template
+open Tabseg_extract
+
+type input = {
+  list_pages : string list;
+  detail_pages : string list;
+}
+
+type config = {
+  min_template_tokens : int;
+  min_slot_cover : float;
+}
+
+let default_config = { min_template_tokens = 10; min_slot_cover = 0.8 }
+
+type prepared = {
+  page : Token.t array;
+  table_slot : Slot.t;
+  observation : Observation.t;
+  notes : Segmentation.note list;
+  template_size : int;
+}
+
+let log = Logs.Src.create "tabseg.pipeline" ~doc:"Segmentation front half"
+
+module Log = (val Logs.src_log log)
+
+(* Locate the table slot; None when the induced template is unusable
+   (paper notes a/b). *)
+let locate_table config pages page =
+  if List.length pages < 2 then (None, 0)
+  else begin
+    let template = Template.induce pages in
+    let template_size = Template.size template in
+    if template_size < config.min_template_tokens then (None, template_size)
+    else begin
+      let slots = Template.slots template page in
+      let total_words =
+        List.fold_left (fun acc slot -> acc + Slot.word_count slot) 0 slots
+      in
+      match Slot.table_slot slots with
+      | None -> (None, template_size)
+      | Some slot ->
+        let cover =
+          if total_words = 0 then 0.
+          else float_of_int (Slot.word_count slot) /. float_of_int total_words
+        in
+        if cover < config.min_slot_cover then (None, template_size)
+        else (Some slot, template_size)
+    end
+  end
+
+let prepare ?(config = default_config) input =
+  (match input.list_pages with
+  | [] -> invalid_arg "Pipeline.prepare: no list pages"
+  | _ -> ());
+  let pages = List.map Tokenizer.tokenize input.list_pages in
+  let page = List.hd pages in
+  let others = List.tl pages in
+  let details = List.map Tokenizer.tokenize input.detail_pages in
+  let located, template_size = locate_table config pages page in
+  let table_slot, notes =
+    match located with
+    | Some slot -> (slot, [])
+    | None ->
+      ( Slot.whole_page page,
+        [ Segmentation.Template_problem; Segmentation.Entire_page_used ] )
+  in
+  Log.debug (fun m ->
+      m "template %d tokens, table slot %a" template_size Slot.pp table_slot);
+  let extracts = Extract.of_slot table_slot in
+  let observation =
+    Observation.build ~other_list_pages:others ~extracts ~details ()
+  in
+  { page; table_slot; observation; notes; template_size }

@@ -1,0 +1,44 @@
+(** The shared front half of both segmentation methods (paper Sections
+    3.1–3.2): tokenize the pages, induce the page template, locate the table
+    slot (falling back to the entire page when the template is poor), cut
+    the slot into extracts and build the observation table against the
+    detail pages. *)
+
+open Tabseg_token
+open Tabseg_template
+open Tabseg_extract
+
+type input = {
+  list_pages : string list;
+      (** raw HTML of the site's list pages; the {e first} one is the page
+          to segment, the rest only support template induction and the
+          all-list-pages filter. *)
+  detail_pages : string list;
+      (** raw HTML of the detail pages linked from the first list page, in
+          link (= record) order *)
+}
+
+type config = {
+  min_template_tokens : int;
+      (** below this template size the template is deemed a failure
+          (default 10) *)
+  min_slot_cover : float;
+      (** the table slot must hold at least this fraction of all slot words,
+          else the template is deemed a failure (default 0.8 — a lower
+          value lets a template token that leaked into the data region
+          silently truncate the table) *)
+}
+
+val default_config : config
+
+type prepared = {
+  page : Token.t array;  (** token stream of the list page to segment *)
+  table_slot : Slot.t;
+  observation : Observation.t;
+  notes : Segmentation.note list;
+      (** [Template_problem] and/or [Entire_page_used], when applicable *)
+  template_size : int;  (** tokens in the induced template; 0 if none *)
+}
+
+val prepare : ?config:config -> input -> prepared
+(** Run the front half. @raise Invalid_argument if [list_pages] is empty. *)

@@ -1,0 +1,474 @@
+open Tabseg_extract
+open Tabseg_hmm
+
+type variant = Base | Period
+
+type decoder = Map_decoding | Posterior_decoding
+
+type config = {
+  variant : variant;
+  decoder : decoder;
+  em_iterations : int;
+  tolerance : float;
+  max_columns : int;
+  gap_penalty : float;
+  restart_penalty : float;
+  smoothing : float;
+}
+
+let default_config =
+  {
+    variant = Period;
+    decoder = Map_decoding;
+    em_iterations = 10;
+    tolerance = 1e-3;
+    max_columns = 12;
+    gap_penalty = log 0.1;
+    restart_penalty = -25.;
+    smoothing = 0.1;
+  }
+
+let base_config = { default_config with variant = Base }
+
+type diagnostics = {
+  iterations : int;
+  log_likelihood : float;
+  columns_bound : int;
+  period_distribution : float array option;
+  emission_profiles : (int * float array) list;
+}
+
+(* Shared problem data extracted from the observation table. *)
+type data = {
+  n : int;  (* number of constrained extracts *)
+  num_records : int;
+  candidates : int array array;  (* D_i as arrays *)
+  type_masks : int array;  (* T_i *)
+  k : int;  (* column bound *)
+}
+
+let make_data config observation =
+  let entries = observation.Observation.entries in
+  let n = Array.length entries in
+  let candidates =
+    Array.map (fun e -> Array.of_list e.Observation.pages) entries
+  in
+  let type_masks =
+    Array.map (fun e -> e.Observation.extract.Extract.types) entries
+  in
+  let num_records = observation.Observation.num_details in
+  (* Bound on columns: the largest number of extracts observed on one
+     detail page (paper Section 3.4). *)
+  let per_page = Array.make (max 1 num_records) 0 in
+  Array.iter
+    (fun e ->
+      List.iter
+        (fun j -> per_page.(j) <- per_page.(j) + 1)
+        e.Observation.pages)
+    entries;
+  let k =
+    Array.fold_left max 1 per_page |> min config.max_columns |> min (max 1 n)
+  in
+  { n; num_records; candidates; type_masks; k }
+
+(* ------------------------------------------------------------------ *)
+(* Base variant: states encode (record, column label).                 *)
+(* ------------------------------------------------------------------ *)
+
+module Base_model = struct
+  type t = {
+    trans : Dist.categorical array;  (* row c' -> distribution over c *)
+    emission : Dist.bernoulli_vector array;  (* per column *)
+  }
+
+  let encode data r c = (r * data.k) + c
+  let decode data state = (state / data.k, state mod data.k)
+
+  (* Row c' may go to column 0 (record start) or any c > c' (within
+     record). *)
+  let allowed_targets k c' =
+    0 :: List.filter (fun c -> c > c') (List.init k (fun c -> c))
+
+  let initial data =
+    let k = data.k in
+    let trans =
+      Array.init k (fun c' ->
+          let weights = Array.make k 0. in
+          List.iter
+            (fun c ->
+              weights.(c) <-
+                (if c = 0 then 0.3
+                 else 0.7 *. (0.5 ** float_of_int (c - c' - 1))))
+            (allowed_targets k c');
+          Dist.of_weights weights)
+    in
+    let emission =
+      Array.init k (fun _ -> Dist.bernoulli_uniform ~bits:8 ~p:0.125)
+    in
+    { trans; emission }
+
+  let lattice config data model =
+    let states_at i =
+      let rs = data.candidates.(i) in
+      if i = 0 then Array.map (fun r -> encode data r 0) rs
+      else
+        Array.concat
+          (Array.to_list
+             (Array.map
+                (fun r -> Array.init data.k (fun c -> encode data r c))
+                rs))
+    in
+    let init state =
+      let r, _ = decode data state in
+      config.gap_penalty *. float_of_int r
+    in
+    let trans _i prev cur =
+      let r', c' = decode data prev in
+      let r, c = decode data cur in
+      if r = r' && c > c' then Dist.log_prob model.trans.(c') c
+      else if c = 0 then
+        if r > r' then
+          Dist.log_prob model.trans.(c') 0
+          +. (config.gap_penalty *. float_of_int (r - r' - 1))
+        else config.restart_penalty +. Dist.log_prob model.trans.(c') 0
+      else Logspace.zero
+    in
+    let emit i state =
+      let _, c = decode data state in
+      Dist.bernoulli_log_prob model.emission.(c) data.type_masks.(i)
+    in
+    { Fhmm.length = data.n; states = states_at; init; trans; emit }
+
+  let m_step config data (posteriors : Fhmm.posteriors) lattice_states =
+    let k = data.k in
+    let trans_counts = Array.make_matrix k k 0. in
+    let emission_on = Array.make_matrix k 8 0. in
+    let emission_total = Array.make k 0. in
+    Array.iteri
+      (fun i gamma_row ->
+        let states = lattice_states i in
+        Array.iteri
+          (fun s p ->
+            let _, c = decode data states.(s) in
+            emission_total.(c) <- emission_total.(c) +. p;
+            for bit = 0 to 7 do
+              if data.type_masks.(i) land (1 lsl bit) <> 0 then
+                emission_on.(c).(bit) <- emission_on.(c).(bit) +. p
+            done)
+          gamma_row)
+      posteriors.Fhmm.gamma;
+    Array.iteri
+      (fun i cells ->
+        if i >= 1 then
+          let prev_states = lattice_states (i - 1) in
+          let cur_states = lattice_states i in
+          List.iter
+            (fun (p_idx, s_idx, p) ->
+              let _, c' = decode data prev_states.(p_idx) in
+              let r_prev, _ = decode data prev_states.(p_idx) in
+              let r_cur, c = decode data cur_states.(s_idx) in
+              let target = if r_cur = r_prev && c > c' then c else 0 in
+              trans_counts.(c').(target) <- trans_counts.(c').(target) +. p)
+            cells)
+      posteriors.Fhmm.xi;
+    let trans =
+      Array.init k (fun c' ->
+          let weights = Array.make k 0. in
+          List.iter
+            (fun c -> weights.(c) <- trans_counts.(c').(c) +. config.smoothing)
+            (allowed_targets k c');
+          Dist.of_weights weights)
+    in
+    let emission =
+      Array.init k (fun c ->
+          Dist.bernoulli_estimate ~alpha:config.smoothing
+            ~on_counts:emission_on.(c) ~total:emission_total.(c) ())
+    in
+    { trans; emission }
+
+  let decode_path data path =
+    Array.map (fun state -> decode data state) path
+end
+
+(* ------------------------------------------------------------------ *)
+(* Period variant: states encode (record, position m, record length ℓ). *)
+(* ------------------------------------------------------------------ *)
+
+module Period_model = struct
+  type t = {
+    period : Dist.categorical;  (* over ℓ-1 in 0..k-1 *)
+    emission : Dist.bernoulli_vector array;  (* indexed (ℓ-1)*k + m *)
+  }
+
+  let encode data r m l = (((r * data.k) + m) * (data.k + 1)) + l
+
+  let decode data state =
+    let l = state mod (data.k + 1) in
+    let rest = state / (data.k + 1) in
+    (rest / data.k, rest mod data.k, l)
+
+  let emission_index data m l = (((l - 1) * data.k) + m)
+
+  let initial data =
+    {
+      period = Dist.uniform data.k;
+      emission =
+        Array.init (data.k * data.k) (fun _ ->
+            Dist.bernoulli_uniform ~bits:8 ~p:0.125);
+    }
+
+  let lattice config data model =
+    let k = data.k in
+    let states_at i =
+      let rs = data.candidates.(i) in
+      let per_record r =
+        if i = 0 then Array.init k (fun l -> encode data r 0 (l + 1))
+        else begin
+          let states = ref [] in
+          for l = 1 to k do
+            for m = 0 to l - 1 do
+              states := encode data r m l :: !states
+            done
+          done;
+          Array.of_list !states
+        end
+      in
+      Array.concat (Array.to_list (Array.map per_record rs))
+    in
+    let init state =
+      let r, _, l = decode data state in
+      (config.gap_penalty *. float_of_int r)
+      +. Dist.log_prob model.period (l - 1)
+    in
+    let trans _i prev cur =
+      let r', m', l' = decode data prev in
+      let r, m, l = decode data cur in
+      if r = r' && l = l' && m = m' + 1 && m < l then Logspace.one
+      else if m = 0 && m' = l' - 1 then
+        (* The previous record is complete; a new one starts. *)
+        let start = Dist.log_prob model.period (l - 1) in
+        if r > r' then
+          start +. (config.gap_penalty *. float_of_int (r - r' - 1))
+        else config.restart_penalty +. start
+      else Logspace.zero
+    in
+    let emit i state =
+      let _, m, l = decode data state in
+      Dist.bernoulli_log_prob
+        model.emission.(emission_index data m l)
+        data.type_masks.(i)
+    in
+    { Fhmm.length = data.n; states = states_at; init; trans; emit }
+
+  let m_step config data (posteriors : Fhmm.posteriors) lattice_states =
+    let k = data.k in
+    let period_counts = Array.make k 0. in
+    let cells = k * k in
+    let emission_on = Array.make_matrix cells 8 0. in
+    let emission_total = Array.make cells 0. in
+    Array.iteri
+      (fun i gamma_row ->
+        let states = lattice_states i in
+        Array.iteri
+          (fun s p ->
+            let _, m, l = decode data states.(s) in
+            let cell = emission_index data m l in
+            emission_total.(cell) <- emission_total.(cell) +. p;
+            for bit = 0 to 7 do
+              if data.type_masks.(i) land (1 lsl bit) <> 0 then
+                emission_on.(cell).(bit) <- emission_on.(cell).(bit) +. p
+            done;
+            (* Record starts contribute to the period distribution. *)
+            if i = 0 && m = 0 then
+              period_counts.(l - 1) <- period_counts.(l - 1) +. p)
+          gamma_row)
+      posteriors.Fhmm.gamma;
+    Array.iteri
+      (fun i cell_list ->
+        if i >= 1 then
+          let cur_states = lattice_states i in
+          List.iter
+            (fun (_p_idx, s_idx, p) ->
+              let _, m, l = decode data cur_states.(s_idx) in
+              if m = 0 then
+                period_counts.(l - 1) <- period_counts.(l - 1) +. p)
+            cell_list)
+      posteriors.Fhmm.xi;
+    {
+      period =
+        Dist.estimate ~alpha:config.smoothing ~counts:period_counts ();
+      emission =
+        Array.init cells (fun cell ->
+            Dist.bernoulli_estimate ~alpha:config.smoothing
+              ~on_counts:emission_on.(cell) ~total:emission_total.(cell) ());
+    }
+
+  let decode_path data path =
+    Array.map
+      (fun state ->
+        let r, m, _ = decode data state in
+        (r, m))
+      path
+end
+
+(* ------------------------------------------------------------------ *)
+(* EM driver and decoding.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A learned-parameter summary for inspection (the contents of the
+   paper's Figure 2/3 boxes after EM): the period distribution (Period
+   variant only) and per-column Bernoulli type profiles. *)
+type summary = {
+  period_distribution : float array option;
+  emission_profiles : (int * float array) list;
+}
+
+let profile_of_bernoulli bv =
+  Array.init 8 (fun bit -> Dist.bernoulli_prob_on bv bit)
+
+let run_em config data =
+  let run lattice_of m_step initial decode_path summarize =
+    let model = ref initial in
+    let iterations = ref 0 in
+    let log_likelihood = ref Logspace.zero in
+    (try
+       let previous = ref neg_infinity in
+       for _ = 1 to config.em_iterations do
+         let lattice = lattice_of !model in
+         match Fhmm.forward_backward lattice with
+         | None -> raise Exit
+         | Some posteriors ->
+           incr iterations;
+           log_likelihood := posteriors.Fhmm.log_likelihood;
+           model := m_step posteriors lattice.Fhmm.states;
+           if
+             !log_likelihood -. !previous < config.tolerance
+             && !previous > neg_infinity
+           then raise Exit;
+           previous := !log_likelihood
+       done
+     with Exit -> ());
+    let lattice = lattice_of !model in
+    let path =
+      match config.decoder with
+      | Map_decoding -> Fhmm.viterbi lattice
+      | Posterior_decoding -> (
+        (* Per-position argmax of the state posteriors: maximizes expected
+           per-extract accuracy at the cost of global path consistency. *)
+        match Fhmm.forward_backward lattice with
+        | None -> None
+        | Some posteriors ->
+          Some
+            (Array.init data.n (fun i ->
+                 let states = lattice.Fhmm.states i in
+                 let best = ref 0 in
+                 Array.iteri
+                   (fun s p ->
+                     if p > posteriors.Fhmm.gamma.(i).(!best) then best := s)
+                   posteriors.Fhmm.gamma.(i);
+                 states.(!best))))
+    in
+    match path with
+    | None -> None
+    | Some path ->
+      Some (decode_path path, !iterations, !log_likelihood, summarize !model)
+  in
+  match config.variant with
+  | Base ->
+    run
+      (fun model -> Base_model.lattice config data model)
+      (fun posteriors states -> Base_model.m_step config data posteriors states)
+      (Base_model.initial data)
+      (Base_model.decode_path data)
+      (fun (model : Base_model.t) ->
+        {
+          period_distribution = None;
+          emission_profiles =
+            Array.to_list
+              (Array.mapi
+                 (fun c bv -> (c, profile_of_bernoulli bv))
+                 model.Base_model.emission);
+        })
+  | Period ->
+    run
+      (fun model -> Period_model.lattice config data model)
+      (fun posteriors states ->
+        Period_model.m_step config data posteriors states)
+      (Period_model.initial data)
+      (Period_model.decode_path data)
+      (fun (model : Period_model.t) ->
+        {
+          period_distribution =
+            Some
+              (Array.init data.k (fun l ->
+                   Dist.prob model.Period_model.period l));
+          emission_profiles =
+            (* Summarize the dominant record length's positions. *)
+            (let best_length =
+               let best = ref 0 in
+               for l = 1 to data.k do
+                 if
+                   Dist.prob model.Period_model.period (l - 1)
+                   > Dist.prob model.Period_model.period !best
+                 then best := l - 1
+               done;
+               !best + 1
+             in
+             List.init best_length (fun m ->
+                 ( m,
+                   profile_of_bernoulli
+                     model.Period_model.emission.(Period_model.emission_index
+                                                    data m best_length) )));
+        })
+
+let segment_observation config observation notes extras =
+  let entries = observation.Observation.entries in
+  let n = Array.length entries in
+  if n = 0 then
+    ( Segmentation.assemble ~notes ~assigned:[] ~unassigned:[] ~extras,
+      { iterations = 0; log_likelihood = 0.; columns_bound = 0;
+        period_distribution = None; emission_profiles = [] } )
+  else if observation.Observation.num_details <= 1 then begin
+    (* A single detail page: everything belongs to the one record. *)
+    let assigned =
+      Array.to_list entries
+      |> List.mapi (fun i e -> (e.Observation.extract, 0, Some i))
+    in
+    ( Segmentation.assemble ~notes ~assigned ~unassigned:[] ~extras,
+      { iterations = 0; log_likelihood = 0.; columns_bound = 1;
+        period_distribution = None; emission_profiles = [] } )
+  end
+  else begin
+    let data = make_data config observation in
+    match run_em config data with
+    | None ->
+      (* No feasible path even with escape transitions; give up gracefully
+         by leaving everything unassigned. *)
+      let unassigned =
+        Array.to_list (Array.map (fun e -> e.Observation.extract) entries)
+      in
+      ( Segmentation.assemble ~notes ~assigned:[] ~unassigned ~extras,
+        { iterations = 0; log_likelihood = neg_infinity;
+          columns_bound = data.k; period_distribution = None;
+          emission_profiles = [] } )
+    | Some (path, iterations, log_likelihood, summary) ->
+      let assigned =
+        Array.to_list
+          (Array.mapi
+             (fun i (r, c) -> (entries.(i).Observation.extract, r, Some c))
+             path)
+      in
+      ( Segmentation.assemble ~notes ~assigned ~unassigned:[] ~extras,
+        { iterations; log_likelihood; columns_bound = data.k;
+          period_distribution = summary.period_distribution;
+          emission_profiles = summary.emission_profiles } )
+  end
+
+let segment ?(config = default_config) (prepared : Pipeline.prepared) =
+  segment_observation config prepared.Pipeline.observation
+    prepared.Pipeline.notes
+    prepared.Pipeline.observation.Observation.extras
+
+let solve_observation ?(config = default_config) observation =
+  segment_observation config observation []
+    observation.Observation.extras

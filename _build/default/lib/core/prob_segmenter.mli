@@ -1,0 +1,77 @@
+(** The probabilistic approach to record segmentation (paper Section 5).
+
+    A factored hidden Markov model over the extract sequence: hidden record
+    numbers [R_i] (constrained to the detail sets [D_i] — the bootstrap),
+    hidden column variables [C_i], record-start flags [S_i] tied
+    deterministically to the first column, and observed 8-bit token-type
+    vectors [T_i]. Parameters are learned with EM (no labeled data) and the
+    segmentation is the MAP assignment (Viterbi). Unlike the CSP method,
+    this method also yields a column for every extract.
+
+    Two variants, matching the paper's Figures 2 and 3:
+    - [Base]: columns are labels [L_1..L_k]; strictly increasing within a
+      record (missing columns allowed); column-transition matrix
+      [P(C_i | C_{i-1})] and per-column emissions [P(T_i | C_i)] are
+      learned.
+    - [Period]: the hierarchical model with the record-period distribution
+      [π]. Each record draws its field count [ℓ ~ P(π)]; within the record
+      the position advances deterministically and emissions are conditioned
+      on (position, ℓ) — capturing "City is the 2nd field when the record
+      has 3 fields" correlations (Section 5.2.2). *)
+
+open Tabseg_extract
+
+type variant = Base | Period
+
+type decoder =
+  | Map_decoding
+      (** Viterbi: the jointly most probable state path (the paper's MAP
+          segmentation, Section 5.1) *)
+  | Posterior_decoding
+      (** per-extract argmax of the state posteriors: maximizes expected
+          per-extract accuracy but may break global path consistency —
+          provided as a decode-strategy ablation *)
+
+type config = {
+  variant : variant;
+  decoder : decoder;  (** default [Map_decoding] *)
+  em_iterations : int;  (** maximum EM sweeps (default 10) *)
+  tolerance : float;  (** stop when the log-likelihood gain drops below *)
+  max_columns : int;  (** cap on the column bound [k] (default 12) *)
+  gap_penalty : float;
+      (** log-probability per skipped record number (detail pages with no
+          extracts on the list page) *)
+  restart_penalty : float;
+      (** log-probability of a non-monotone record jump — the escape hatch
+          that lets the model "tolerate inconsistencies" (Section 6.3)
+          where the CSP becomes unsatisfiable *)
+  smoothing : float;  (** add-alpha smoothing in the M-step *)
+}
+
+val default_config : config
+(** [Period] variant, 10 iterations, tolerance 1e-3, max 12 columns,
+    gap penalty log 0.1, restart penalty -25, smoothing 0.1. *)
+
+val base_config : config
+(** {!default_config} with the [Base] variant. *)
+
+type diagnostics = {
+  iterations : int;  (** EM sweeps actually run *)
+  log_likelihood : float;  (** final data log-likelihood *)
+  columns_bound : int;  (** the bound [k] used *)
+  period_distribution : float array option;
+      (** the learned record-period distribution [P(pi)] — [Period]
+          variant only (the contents of Figure 3's pi node after EM) *)
+  emission_profiles : (int * float array) list;
+      (** per column (or per position of the dominant record length in the
+          [Period] variant): the learned probability of each of the 8
+          token-type bits — the [P(T|C)] tables of Figures 2/3 *)
+}
+
+val segment :
+  ?config:config -> Pipeline.prepared -> Segmentation.t * diagnostics
+
+val solve_observation :
+  ?config:config -> Observation.t -> Segmentation.t * diagnostics
+(** Like {!segment} but directly from an observation table (no pipeline
+    notes). *)

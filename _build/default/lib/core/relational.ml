@@ -1,0 +1,147 @@
+open Tabseg_token
+
+type table = {
+  columns : string list;
+  rows : (int * string option list) list;
+}
+
+let detail_attributes tokens =
+  let n = Array.length tokens in
+  let is_colon i =
+    i < n
+    && Token.is_word tokens.(i)
+    && tokens.(i).Token.text = ":"
+  in
+  (* Word run ending at index [stop] (exclusive), bounded by a tag. *)
+  let label_ending_at stop =
+    let rec back acc i =
+      if i < 0 then acc
+      else
+        let token = tokens.(i) in
+        if Token.is_word token && not (Token.is_separator token) then
+          back (token.Token.text :: acc) (i - 1)
+        else acc
+    in
+    back [] (stop - 1)
+  in
+  (* Value: skip the tags that close the label cell, then take the word run
+     (including word-level separators such as the slashes inside a date)
+     until the next tag. *)
+  let value_starting_at start =
+    let rec skip_tags i =
+      if i < n && Token.is_tag tokens.(i) then skip_tags (i + 1) else i
+    in
+    let rec forward acc i =
+      if i >= n then (List.rev acc, i)
+      else
+        let token = tokens.(i) in
+        if Token.is_word token then
+          forward (token.Token.text :: acc) (i + 1)
+        else (List.rev acc, i)
+    in
+    forward [] (skip_tags start)
+  in
+  let pairs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_colon !i then begin
+      let label = label_ending_at !i in
+      let value, continue = value_starting_at (!i + 1) in
+      if label <> [] && value <> [] then
+        pairs :=
+          (String.concat " " label, String.concat " " value) :: !pairs;
+      i := max continue (!i + 1)
+    end
+    else incr i
+  done;
+  List.rev !pairs
+
+let reconstruct ~details ~segmentation =
+  let details = Array.of_list details in
+  let per_record =
+    List.map
+      (fun (record : Segmentation.record) ->
+        let number = record.Segmentation.number in
+        let attributes =
+          if number >= 0 && number < Array.length details then
+            detail_attributes details.(number)
+          else []
+        in
+        (number, attributes))
+      segmentation.Segmentation.records
+  in
+  (* Column order: first appearance across records. *)
+  let columns = ref [] in
+  List.iter
+    (fun (_, attributes) ->
+      List.iter
+        (fun (label, _) ->
+          if not (List.mem label !columns) then columns := label :: !columns)
+        attributes)
+    per_record;
+  let columns = List.rev !columns in
+  let rows =
+    List.map
+      (fun (number, attributes) ->
+        ( number,
+          List.map (fun column -> List.assoc_opt column attributes) columns ))
+      per_record
+  in
+  (* Drop columns whose value never varies across rows: those come from the
+     detail-page template (e.g. the page title), not from the database. *)
+  let keep =
+    List.mapi
+      (fun index _ ->
+        match rows with
+        | [] | [ _ ] -> true
+        | (_, first) :: rest ->
+          let reference = List.nth first index in
+          List.exists (fun (_, values) -> List.nth values index <> reference)
+            rest)
+      columns
+  in
+  let filter_indexed values =
+    List.filteri (fun index _ -> List.nth keep index) values
+  in
+  {
+    columns = filter_indexed columns;
+    rows = List.map (fun (number, values) -> (number, filter_indexed values)) rows;
+  }
+
+let csv_cell value =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') value
+  in
+  if needs_quoting then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' value)
+    ^ "\""
+  else value
+
+let to_csv table =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (String.concat "," ("record" :: List.map csv_cell table.columns));
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun (number, values) ->
+      let cells =
+        string_of_int (number + 1)
+        :: List.map
+             (fun value -> csv_cell (Option.value ~default:"" value))
+             values
+      in
+      Buffer.add_string buffer (String.concat "," cells);
+      Buffer.add_char buffer '\n')
+    table.rows;
+  Buffer.contents buffer
+
+let pp ppf table =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " table.columns);
+  List.iter
+    (fun (number, values) ->
+      Format.fprintf ppf "r%-3d %s@," (number + 1)
+        (String.concat " | "
+           (List.map (Option.value ~default:"NULL") values)))
+    table.rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Reconstructing the relation behind the Web site.
+
+    The paper argues that the probabilistic method's expressiveness, "when
+    combined with a system that automatically extracts column labels from
+    tables, [can] reconstruct the relational database behind the Web site"
+    (Section 6.3), and that list and detail pages are two views of the
+    record that automatic techniques can combine into a more complete one
+    (Section 3). This module does both:
+
+    - parse every detail page into (label, value) attribute pairs — a
+      label is an extract separated from the following value extract by a
+      colon separator, the near-universal detail-page convention;
+    - join them with the record segmentation of the list page, so every
+      segmented record gains the attributes only shown on its detail page;
+    - pivot the result into a relation: one column per attribute label (in
+      first-appearance order), one row per record. *)
+
+open Tabseg_token
+
+type table = {
+  columns : string list;  (** attribute labels, first-appearance order *)
+  rows : (int * string option list) list;
+      (** (record number, one value per column) — [None] for a missing
+          attribute, reproducing the nulls of the underlying database *)
+}
+
+val detail_attributes : Token.t array -> (string * string) list
+(** The (label, value) pairs of one detail page, in page order. *)
+
+val reconstruct :
+  details:Token.t array list -> segmentation:Segmentation.t -> table
+(** Build the relation for the records of a segmentation. Records are
+    joined to detail pages by record number. Records whose detail page
+    yields no pairs contribute a row of nulls. *)
+
+val to_csv : table -> string
+(** RFC-4180-style CSV with a header row; embedded quotes doubled. *)
+
+val pp : Format.formatter -> table -> unit

@@ -1,0 +1,154 @@
+open Tabseg_extract
+
+type note =
+  | Template_problem
+  | Entire_page_used
+  | No_solution
+  | Relaxed_constraints
+
+let note_letter = function
+  | Template_problem -> 'a'
+  | Entire_page_used -> 'b'
+  | No_solution -> 'c'
+  | Relaxed_constraints -> 'd'
+
+let pp_note ppf note =
+  let description =
+    match note with
+    | Template_problem -> "page template problem"
+    | Entire_page_used -> "entire page used"
+    | No_solution -> "no solution found"
+    | Relaxed_constraints -> "relax constraints"
+  in
+  Format.fprintf ppf "%c. %s" (note_letter note) description
+
+type record = {
+  number : int;
+  extracts : Extract.t list;
+  columns : (int * int) list;
+}
+
+type t = {
+  records : record list;
+  notes : note list;
+  unassigned : Extract.t list;
+}
+
+let by_start (a : Extract.t) (b : Extract.t) =
+  compare a.Extract.start_index b.Extract.start_index
+
+let assemble ~notes ~assigned ~unassigned ~extras =
+  (* Attach each extra to the record of the closest assigned extract that
+     precedes it in the token stream. *)
+  let assigned_sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> by_start a b) assigned
+  in
+  let record_of_extra (extra : Extract.t) =
+    let rec scan best = function
+      | [] -> best
+      | ((candidate : Extract.t), record, _) :: rest ->
+        if candidate.Extract.start_index < extra.Extract.start_index then
+          scan (Some record) rest
+        else best
+    in
+    scan None assigned_sorted
+  in
+  let groups : (int, Extract.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let columns : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let group record =
+    match Hashtbl.find_opt groups record with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.replace groups record cell;
+      cell
+  in
+  List.iter
+    (fun (extract, record, column) ->
+      let cell = group record in
+      cell := extract :: !cell;
+      match column with
+      | None -> ()
+      | Some c ->
+        let cell =
+          match Hashtbl.find_opt columns record with
+          | Some cell -> cell
+          | None ->
+            let cell = ref [] in
+            Hashtbl.replace columns record cell;
+            cell
+        in
+        cell := (extract.Extract.id, c) :: !cell)
+    assigned;
+  List.iter
+    (fun extra ->
+      match record_of_extra extra with
+      | None -> ()
+      | Some record ->
+        let cell = group record in
+        cell := extra :: !cell)
+    extras;
+  let records =
+    Hashtbl.fold (fun number cell acc -> (number, !cell) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (number, extracts) ->
+           {
+             number;
+             extracts = List.sort by_start extracts;
+             columns =
+               (match Hashtbl.find_opt columns number with
+               | Some cell -> List.sort compare !cell
+               | None -> []);
+           })
+  in
+  { records; notes; unassigned = List.sort by_start unassigned }
+
+let record_texts t =
+  List.map
+    (fun record ->
+      List.map (fun (e : Extract.t) -> e.Extract.text) record.extracts)
+    t.records
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun record ->
+      Format.fprintf ppf "r%d: %s@," (record.number + 1)
+        (String.concat " | "
+           (List.map (fun (e : Extract.t) -> e.Extract.text) record.extracts)))
+    t.records;
+  if t.unassigned <> [] then
+    Format.fprintf ppf "unassigned: %s@,"
+      (String.concat " | "
+         (List.map (fun (e : Extract.t) -> e.Extract.text) t.unassigned));
+  if t.notes <> [] then
+    Format.fprintf ppf "notes: %s@,"
+      (String.concat ", "
+         (List.map (fun n -> String.make 1 (note_letter n)) t.notes));
+  Format.fprintf ppf "@]"
+
+let pp_assignment_table ppf t =
+  let all =
+    List.concat_map (fun record -> record.extracts) t.records
+    |> List.sort by_start
+  in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%8s" "";
+  List.iter
+    (fun (e : Extract.t) -> Format.fprintf ppf " E%-3d" (e.Extract.id + 1))
+    all;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun record ->
+      Format.fprintf ppf "%8s" (Printf.sprintf "r%d" (record.number + 1));
+      List.iter
+        (fun (e : Extract.t) ->
+          let members =
+            List.map (fun (m : Extract.t) -> m.Extract.id) record.extracts
+          in
+          Format.fprintf ppf " %-4s"
+            (if List.mem e.Extract.id members then "1" else ""))
+        all;
+      Format.fprintf ppf "@,")
+    t.records;
+  Format.fprintf ppf "@]"

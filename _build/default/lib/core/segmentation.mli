@@ -1,0 +1,49 @@
+(** Segmentation results: the assignment of extracts to records, plus the
+    diagnostic notes of the paper's Table 4. *)
+
+open Tabseg_extract
+
+type note =
+  | Template_problem  (** note "a": no good page template was found *)
+  | Entire_page_used  (** note "b": the whole page served as the table slot *)
+  | No_solution  (** note "c": the strict constraint problem was unsatisfiable *)
+  | Relaxed_constraints  (** note "d": equalities were relaxed to inequalities *)
+
+val note_letter : note -> char
+val pp_note : Format.formatter -> note -> unit
+
+type record = {
+  number : int;  (** 0-based record index = detail-page index *)
+  extracts : Extract.t list;  (** in stream order, attached extras included *)
+  columns : (int * int) list;
+      (** (extract id, column label) for constrained extracts; empty for the
+          CSP method, which does not produce columns *)
+}
+
+type t = {
+  records : record list;  (** ascending by [number]; empty records omitted *)
+  notes : note list;
+  unassigned : Extract.t list;
+      (** constrained extracts left without a record (partial solutions
+          from relaxed constraint problems) *)
+}
+
+val assemble :
+  notes:note list ->
+  assigned:(Extract.t * int * int option) list ->
+  unassigned:Extract.t list ->
+  extras:Extract.t list ->
+  t
+(** Build a segmentation from per-extract decisions. [assigned] lists
+    (extract, record, column). Extras are attached to the record of the
+    nearest assigned extract that precedes them in the stream (Section 6.2);
+    extras before the first assigned extract are dropped. *)
+
+val record_texts : t -> string list list
+(** The records as lists of extract texts, in order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_assignment_table : Format.formatter -> t -> unit
+(** Render in the style of the paper's Table 2: one row per record, columns
+    are extracts in stream order, cells mark membership. *)

@@ -1,0 +1,69 @@
+open Tabseg_html
+
+(* Transpose one table element's grid of cells. *)
+let transpose_table node =
+  match node with
+  | Dom.Element ("table", attributes, children) ->
+    let rows =
+      List.filter (fun child -> Dom.tag child = Some "tr") children
+    in
+    let other = List.filter (fun child -> Dom.tag child <> Some "tr") children in
+    let grid =
+      List.map
+        (fun row ->
+          List.filter
+            (fun cell -> Dom.tag cell = Some "td" || Dom.tag cell = Some "th")
+            (Dom.children row))
+        rows
+    in
+    if grid = [] then node
+    else begin
+      let width = List.fold_left (fun acc row -> max acc (List.length row)) 0 grid in
+      let cell_at row i =
+        match List.nth_opt row i with
+        | Some cell -> cell
+        | None -> Dom.Element ("td", [], [])
+      in
+      let transposed =
+        List.init width (fun i ->
+            Dom.Element ("tr", [], List.map (fun row -> cell_at row i) grid))
+      in
+      Dom.Element ("table", attributes, other @ transposed)
+    end
+  | _ -> node
+
+let rec rewrite node =
+  match node with
+  | Dom.Element ("table", _, _) -> transpose_table node
+  | Dom.Element (name, attributes, children) ->
+    Dom.Element (name, attributes, List.map rewrite children)
+  | Dom.Text _ | Dom.Comment _ -> node
+
+let transpose_tables html =
+  Printer.to_string (List.map rewrite (Dom.parse html))
+
+(* Signature of the two layouts over the record numbers of consecutive
+   single-candidate extracts: a horizontal table yields plateaus (several
+   extracts of record j, then j+1, ...) — mostly 0-steps, no backward
+   jumps; a vertical table read row-major walks the records once per field
+   (1,2,..,K, 1,2,..,K, ...) — mostly +1 steps with a backward jump at
+   every field boundary. *)
+let looks_vertical observation =
+  let singles =
+    Array.to_list observation.Tabseg_extract.Observation.entries
+    |> List.filter_map (fun entry ->
+           match entry.Tabseg_extract.Observation.pages with
+           | [ page ] -> Some page
+           | _ -> None)
+  in
+  let rec count (backward, ascending, steps) = function
+    | a :: (b :: _ as rest) ->
+      count
+        ( (if b < a then backward + 1 else backward),
+          (if b = a + 1 then ascending + 1 else ascending),
+          steps + 1 )
+        rest
+    | [ _ ] | [] -> (backward, ascending, steps)
+  in
+  let backward, ascending, steps = count (0, 0, 0) singles in
+  steps >= 4 && backward >= 2 && 2 * ascending >= steps

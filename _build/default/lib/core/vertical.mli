@@ -1,0 +1,26 @@
+(** Vertically laid out tables (paper Section 3.2).
+
+    "The methods presented below are appropriate for tables that are laid
+    out horizontally ... A table can also be laid out vertically, with
+    records appearing in different columns; fortunately, few Web sites lay
+    out their data in this way."
+
+    This extension removes the limitation for the common case of a real
+    [table] element: {!looks_vertical} detects the column-major signature
+    in the observation table (record numbers of single-candidate extracts
+    interleave instead of forming monotone runs), and {!transpose_tables}
+    rewrites the page so every table's rows become columns — after which
+    the standard horizontal pipeline applies. *)
+
+val transpose_tables : string -> string
+(** Rewrite an HTML page, transposing the cell grid of every [table]
+    element whose rows all hold plain cells. Ragged tables are padded with
+    empty cells; pages without tables come back (structurally) unchanged.
+    Only the table contents are rewritten; surrounding markup is
+    re-serialized from the parsed DOM. *)
+
+val looks_vertical : Tabseg_extract.Observation.t -> bool
+(** True when the observation table has the column-major signature: among
+    consecutive single-candidate extracts, record numbers step backwards at
+    least as often as they stay or advance — under a horizontal layout
+    backward steps are rare, under a vertical one they dominate. *)

@@ -1,0 +1,1 @@
+lib/csp/opb.ml: Array Buffer List Option Pb Printf String

@@ -1,0 +1,1 @@
+lib/csp/opb.mli: Pb

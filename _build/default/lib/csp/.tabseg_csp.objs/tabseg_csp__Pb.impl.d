@@ -1,0 +1,1 @@
+lib/csp/pb.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/csp/pb.mli: Format

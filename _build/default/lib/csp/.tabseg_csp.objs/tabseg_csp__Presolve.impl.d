@@ -1,0 +1,1 @@
+lib/csp/presolve.ml: Array Format List Pb Printf

@@ -1,0 +1,1 @@
+lib/csp/presolve.mli: Pb

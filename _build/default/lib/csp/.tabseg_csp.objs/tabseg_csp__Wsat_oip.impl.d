@@ -1,0 +1,1 @@
+lib/csp/wsat_oip.ml: Array List Pb Random

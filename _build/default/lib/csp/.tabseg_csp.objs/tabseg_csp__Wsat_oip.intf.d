@@ -1,0 +1,1 @@
+lib/csp/wsat_oip.mli: Pb

@@ -1,0 +1,123 @@
+type outcome =
+  | Sat of bool array
+  | Unsat
+  | Unknown
+
+exception Budget_exhausted
+exception Found of bool array
+
+type search = {
+  rows : Pb.linear array;
+  var_rows : (int * int) array array;
+  assignment : bool array;
+  lhs : int array;  (* contribution of assigned variables *)
+  pos_rest : int array;  (* positive coefficients still unassigned *)
+  neg_rest : int array;  (* negative coefficients still unassigned *)
+  mutable nodes : int;
+  node_limit : int;
+}
+
+let hard_rows (problem : Pb.problem) =
+  Array.to_list problem.Pb.constraints
+  |> List.filter_map (function
+       | Pb.Hard l -> Some l
+       | Pb.Soft _ -> None)
+  |> Array.of_list
+
+let make_search (problem : Pb.problem) node_limit =
+  let rows = hard_rows problem in
+  let num_vars = problem.Pb.num_vars in
+  let var_rows = Array.make num_vars [] in
+  let pos_rest = Array.make (Array.length rows) 0 in
+  let neg_rest = Array.make (Array.length rows) 0 in
+  Array.iteri
+    (fun r (row : Pb.linear) ->
+      Array.iter
+        (fun (v, coeff) ->
+          var_rows.(v) <- (r, coeff) :: var_rows.(v);
+          if coeff > 0 then pos_rest.(r) <- pos_rest.(r) + coeff
+          else neg_rest.(r) <- neg_rest.(r) + coeff)
+        row.Pb.terms)
+    rows;
+  {
+    rows;
+    var_rows = Array.map Array.of_list var_rows;
+    assignment = Array.make num_vars false;
+    lhs = Array.make (Array.length rows) 0;
+    pos_rest;
+    neg_rest;
+    nodes = 0;
+    node_limit;
+  }
+
+let row_feasible search r =
+  let row = search.rows.(r) in
+  let lo = search.lhs.(r) + search.neg_rest.(r) in
+  let hi = search.lhs.(r) + search.pos_rest.(r) in
+  match row.Pb.relation with
+  | Pb.Le -> lo <= row.Pb.bound
+  | Pb.Ge -> hi >= row.Pb.bound
+  | Pb.Eq -> lo <= row.Pb.bound && hi >= row.Pb.bound
+
+(* Assign [v := value]; return false (after undoing nothing — caller undoes)
+   if some touched row becomes infeasible. *)
+let assign search v value =
+  search.assignment.(v) <- value;
+  let ok = ref true in
+  Array.iter
+    (fun (r, coeff) ->
+      if value then search.lhs.(r) <- search.lhs.(r) + coeff;
+      if coeff > 0 then search.pos_rest.(r) <- search.pos_rest.(r) - coeff
+      else search.neg_rest.(r) <- search.neg_rest.(r) - coeff;
+      if not (row_feasible search r) then ok := false)
+    search.var_rows.(v);
+  !ok
+
+let unassign search v value =
+  Array.iter
+    (fun (r, coeff) ->
+      if value then search.lhs.(r) <- search.lhs.(r) - coeff;
+      if coeff > 0 then search.pos_rest.(r) <- search.pos_rest.(r) + coeff
+      else search.neg_rest.(r) <- search.neg_rest.(r) + coeff)
+    search.var_rows.(v);
+  search.assignment.(v) <- false
+
+let search_all problem node_limit on_solution =
+  let search = make_search problem node_limit in
+  let num_vars = problem.Pb.num_vars in
+  let initially_feasible =
+    let ok = ref true in
+    Array.iteri (fun r _ -> if not (row_feasible search r) then ok := false)
+      search.rows;
+    !ok
+  in
+  let rec explore v =
+    search.nodes <- search.nodes + 1;
+    if search.nodes > search.node_limit then raise Budget_exhausted;
+    if v >= num_vars then on_solution (Array.copy search.assignment)
+    else
+      List.iter
+        (fun value ->
+          let ok = assign search v value in
+          if ok then explore (v + 1);
+          unassign search v value)
+        [ false; true ]
+  in
+  if initially_feasible then explore 0
+
+let solve ?(node_limit = 2_000_000) problem =
+  match search_all problem node_limit (fun a -> raise (Found a)) with
+  | () -> Unsat
+  | exception Found a -> Sat a
+  | exception Budget_exhausted -> Unknown
+
+exception Capped
+
+let count_solutions ?(node_limit = 2_000_000) ?(cap = 1000) problem =
+  let count = ref 0 in
+  (try
+     search_all problem node_limit (fun _ ->
+         incr count;
+         if !count >= cap then raise Capped)
+   with Budget_exhausted | Capped -> ());
+  !count

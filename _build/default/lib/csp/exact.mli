@@ -1,0 +1,20 @@
+(** A complete backtracking solver for the hard constraints of a
+    pseudo-boolean problem.
+
+    Exponential in the worst case, so it takes a node budget; within the
+    budget it yields a definite answer. It serves two roles: a test oracle
+    for {!Wsat_oip}, and the certificate behind the paper's "no solution
+    found" notes (note "c" in Table 4) — local-search failure alone cannot
+    distinguish UNSAT from bad luck. Soft constraints are ignored. *)
+
+type outcome =
+  | Sat of bool array  (** a feasible assignment *)
+  | Unsat  (** exhaustive search found no feasible assignment *)
+  | Unknown  (** node budget exhausted *)
+
+val solve : ?node_limit:int -> Pb.problem -> outcome
+(** Default node limit: 2_000_000. *)
+
+val count_solutions : ?node_limit:int -> ?cap:int -> Pb.problem -> int
+(** Number of feasible assignments, stopping at [cap] (default 1000) or the
+    node limit. Intended for small test instances. *)

@@ -1,0 +1,19 @@
+(** OPB serialization for pseudo-boolean problems — the standard text
+    format of the pseudo-boolean solver competitions, so problems built by
+    the segmenter can be inspected, archived, or handed to an external
+    solver (the role WSAT(OIP) input files played for the paper's
+    authors).
+
+    Hard constraints serialize as OPB constraints
+    ([+1 x1 +1 x2 >= 1 ;] — variables are 1-based); soft constraints,
+    which plain OPB cannot express, round-trip through structured comment
+    lines ([* soft 3: +1 x1 = 1 ;]). *)
+
+val to_string : Pb.problem -> string
+(** Serialize, header comment included. [=] constraints emit a single [=]
+    line (the common extension accepted by most tools). *)
+
+val of_string : string -> (Pb.problem, string) result
+(** Parse a problem previously produced by {!to_string} (plus ordinary
+    OPB files without objectives). Unknown comment lines are skipped.
+    Errors carry a line-prefixed message. *)

@@ -1,0 +1,103 @@
+type outcome =
+  | Fixed of (int * bool) list
+  | Conflict of string
+
+type state = {
+  value : int array;  (* -1 unknown, 0 false, 1 true *)
+  trail : (int * bool) list ref;
+}
+
+(* For one constraint under the current partial assignment: the fixed
+   contribution and the positive/negative potential of the unknowns. *)
+let bounds state (linear : Pb.linear) =
+  let fixed = ref 0 and positive = ref 0 and negative = ref 0 in
+  let unknowns = ref [] in
+  Array.iter
+    (fun (v, coeff) ->
+      match state.value.(v) with
+      | 1 -> fixed := !fixed + coeff
+      | 0 -> ()
+      | _ ->
+        unknowns := (v, coeff) :: !unknowns;
+        if coeff > 0 then positive := !positive + coeff
+        else negative := !negative + coeff)
+    linear.Pb.terms;
+  (!fixed, !positive, !negative, !unknowns)
+
+exception Found_conflict of string
+
+let assign state v value =
+  match state.value.(v) with
+  | -1 ->
+    state.value.(v) <- (if value then 1 else 0);
+    state.trail := (v, value) :: !(state.trail);
+    true
+  | current when (current = 1) = value -> false
+  | _ ->
+    raise
+      (Found_conflict
+         (Printf.sprintf "variable x%d forced both ways" (v + 1)))
+
+(* Propagate one constraint; true if any variable was newly fixed. *)
+let propagate state (linear : Pb.linear) =
+  let fixed, positive, negative, unknowns = bounds state linear in
+  let lo = fixed + negative and hi = fixed + positive in
+  let describe () = Format.asprintf "%a" Pb.pp_linear linear in
+  let changed = ref false in
+  let force v value = if assign state v value then changed := true in
+  (match linear.Pb.relation with
+  | Pb.Le ->
+    if lo > linear.Pb.bound then raise (Found_conflict (describe ()));
+    (* A positive unknown whose addition would break the bound must be 0;
+       a negative unknown whose absence would break it must be 1. *)
+    List.iter
+      (fun (v, coeff) ->
+        if coeff > 0 && lo + coeff > linear.Pb.bound then force v false
+        else if coeff < 0 && lo - coeff > linear.Pb.bound then force v true)
+      unknowns
+  | Pb.Ge ->
+    if hi < linear.Pb.bound then raise (Found_conflict (describe ()));
+    List.iter
+      (fun (v, coeff) ->
+        if coeff > 0 && hi - coeff < linear.Pb.bound then force v true
+        else if coeff < 0 && hi + coeff < linear.Pb.bound then force v false)
+      unknowns
+  | Pb.Eq ->
+    if lo > linear.Pb.bound || hi < linear.Pb.bound then
+      raise (Found_conflict (describe ()));
+    List.iter
+      (fun (v, coeff) ->
+        if coeff > 0 then begin
+          if lo + coeff > linear.Pb.bound then force v false
+          else if hi - coeff < linear.Pb.bound then force v true
+        end
+        else begin
+          if lo - coeff > linear.Pb.bound then force v true
+          else if hi + coeff < linear.Pb.bound then force v false
+        end)
+      unknowns);
+  !changed
+
+let run (problem : Pb.problem) =
+  let state =
+    { value = Array.make (max 1 problem.Pb.num_vars) (-1); trail = ref [] }
+  in
+  let hard =
+    Array.to_list problem.Pb.constraints
+    |> List.filter_map (function Pb.Hard l -> Some l | Pb.Soft _ -> None)
+  in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun linear -> if propagate state linear then changed := true)
+        hard
+    done;
+    Fixed (List.rev !(state.trail))
+  with Found_conflict message -> Conflict message
+
+let is_unsat problem =
+  match run problem with
+  | Conflict _ -> true
+  | Fixed _ -> false

@@ -1,0 +1,263 @@
+type params = {
+  max_flips : int;
+  max_tries : int;
+  noise : float;
+  tabu : int;
+  hard_weight : int;
+  init_density : float;
+  seed : int;
+}
+
+let default_params =
+  { max_flips = 20_000; max_tries = 4; noise = 0.1; tabu = 3;
+    hard_weight = 1000; init_density = 0.5; seed = 42 }
+
+type result = {
+  assignment : bool array;
+  feasible : bool;
+  hard_violations : int;
+  soft_cost : int;
+  flips_used : int;
+  tries_used : int;
+}
+
+(* Per-constraint static data extracted from the problem. *)
+type row = {
+  terms : (int * int) array;
+  relation : Pb.relation;
+  bound : int;
+  weight : int;  (* penalty per unit of violation *)
+  hard : bool;
+}
+
+type state = {
+  rows : row array;
+  var_rows : (int * int) array array;  (* var -> (row index, coeff) *)
+  assignment : bool array;
+  lhs : int array;  (* current Σ coeff·x per row *)
+  (* Violated-row set with O(1) add/remove: *)
+  violated : int array;  (* dense array of violated row indices *)
+  mutable violated_count : int;
+  violated_position : int array;  (* row -> index in [violated], or -1 *)
+  mutable score : int;  (* total weighted violation, hard and soft *)
+  mutable hard_violation_units : int;  (* Σ violation over hard rows *)
+  last_flip : int array;  (* var -> flip number of last flip *)
+}
+
+let row_violation row lhs =
+  match row.relation with
+  | Pb.Le -> max 0 (lhs - row.bound)
+  | Pb.Ge -> max 0 (row.bound - lhs)
+  | Pb.Eq -> abs (lhs - row.bound)
+
+let make_rows (problem : Pb.problem) hard_weight =
+  Array.map
+    (fun constraint_ ->
+      match constraint_ with
+      | Pb.Hard { Pb.terms; relation; bound } ->
+        { terms; relation; bound; weight = hard_weight; hard = true }
+      | Pb.Soft ({ Pb.terms; relation; bound }, weight) ->
+        { terms; relation; bound; weight; hard = false })
+    problem.Pb.constraints
+
+let make_var_rows num_vars rows =
+  let buckets = Array.make num_vars [] in
+  Array.iteri
+    (fun r row ->
+      Array.iter
+        (fun (v, coeff) -> buckets.(v) <- (r, coeff) :: buckets.(v))
+        row.terms)
+    rows;
+  Array.map Array.of_list buckets
+
+let init_state problem params rng =
+  let rows = make_rows problem params.hard_weight in
+  let num_vars = problem.Pb.num_vars in
+  let state =
+    {
+      rows;
+      var_rows = make_var_rows num_vars rows;
+      assignment =
+        Array.init num_vars (fun _ ->
+            Random.State.float rng 1.0 < params.init_density);
+      lhs = Array.make (Array.length rows) 0;
+      violated = Array.make (max 1 (Array.length rows)) 0;
+      violated_count = 0;
+      violated_position = Array.make (max 1 (Array.length rows)) (-1);
+      score = 0;
+      hard_violation_units = 0;
+      last_flip = Array.make (max 1 num_vars) min_int;
+    }
+  in
+  Array.iteri
+    (fun r row ->
+      let lhs =
+        Array.fold_left
+          (fun acc (v, coeff) ->
+            if state.assignment.(v) then acc + coeff else acc)
+          0 row.terms
+      in
+      state.lhs.(r) <- lhs;
+      let violation = row_violation row lhs in
+      if violation > 0 then begin
+        state.violated.(state.violated_count) <- r;
+        state.violated_position.(r) <- state.violated_count;
+        state.violated_count <- state.violated_count + 1;
+        state.score <- state.score + (row.weight * violation);
+        if row.hard then
+          state.hard_violation_units <- state.hard_violation_units + violation
+      end)
+    rows;
+  state
+
+(* Apply the lhs delta of one row after a flip, keeping the violated set,
+   score and hard-violation counter in sync. *)
+let update_row state r delta =
+  let row = state.rows.(r) in
+  let old_violation = row_violation row state.lhs.(r) in
+  state.lhs.(r) <- state.lhs.(r) + delta;
+  let new_violation = row_violation row state.lhs.(r) in
+  if old_violation = new_violation then ()
+  else begin
+    state.score <- state.score + (row.weight * (new_violation - old_violation));
+    if row.hard then
+      state.hard_violation_units <-
+        state.hard_violation_units + new_violation - old_violation;
+    if old_violation = 0 then begin
+      state.violated.(state.violated_count) <- r;
+      state.violated_position.(r) <- state.violated_count;
+      state.violated_count <- state.violated_count + 1
+    end
+    else if new_violation = 0 then begin
+      let position = state.violated_position.(r) in
+      let last = state.violated_count - 1 in
+      let moved = state.violated.(last) in
+      state.violated.(position) <- moved;
+      state.violated_position.(moved) <- position;
+      state.violated_position.(r) <- -1;
+      state.violated_count <- last
+    end
+  end
+
+let flip state v =
+  let now = state.assignment.(v) in
+  state.assignment.(v) <- not now;
+  Array.iter
+    (fun (r, coeff) ->
+      let delta = if now then -coeff else coeff in
+      update_row state r delta)
+    state.var_rows.(v)
+
+(* Score change if [v] were flipped (without committing). *)
+let flip_delta state v =
+  let now = state.assignment.(v) in
+  Array.fold_left
+    (fun acc (r, coeff) ->
+      let row = state.rows.(r) in
+      let delta = if now then -coeff else coeff in
+      let old_violation = row_violation row state.lhs.(r) in
+      let new_violation = row_violation row (state.lhs.(r) + delta) in
+      acc + (row.weight * (new_violation - old_violation)))
+    0 state.var_rows.(v)
+
+(* Pick a violated row, preferring hard ones. *)
+let pick_violated state rng =
+  if state.violated_count = 0 then None
+  else begin
+    let hard = ref [] and soft = ref [] in
+    for i = 0 to state.violated_count - 1 do
+      let r = state.violated.(i) in
+      if state.rows.(r).hard then hard := r :: !hard else soft := r :: !soft
+    done;
+    let pool = if !hard <> [] then !hard else !soft in
+    let n = List.length pool in
+    Some (List.nth pool (Random.State.int rng n))
+  end
+
+let choose_variable state params rng flip_number best_score row =
+  let vars = Array.map fst state.rows.(row).terms in
+  if Array.length vars = 0 then None
+  else if Random.State.float rng 1.0 < params.noise then
+    Some vars.(Random.State.int rng (Array.length vars))
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun v ->
+        let delta = flip_delta state v in
+        let tabu =
+          params.tabu > 0 && flip_number - state.last_flip.(v) <= params.tabu
+        in
+        (* Aspiration: a tabu move is allowed if it beats the best score
+           seen so far. *)
+        let allowed = (not tabu) || state.score + delta < best_score in
+        if allowed then
+          match !best with
+          | Some (_, best_delta) when best_delta <= delta -> ()
+          | _ -> best := Some (v, delta))
+      vars;
+    match !best with
+    | Some (v, _) -> Some v
+    | None -> Some vars.(Random.State.int rng (Array.length vars))
+  end
+
+let solve ?(params = default_params) (problem : Pb.problem) =
+  let rng = Random.State.make [| params.seed |] in
+  let best_assignment = ref (Array.make (max 1 problem.Pb.num_vars) false) in
+  let best_feasible = ref false in
+  let best_score = ref max_int in
+  let best_hard = ref max_int in
+  let total_flips = ref 0 in
+  let tries_used = ref 0 in
+  let record state =
+    let feasible = state.hard_violation_units = 0 in
+    let better =
+      if feasible && not !best_feasible then true
+      else if feasible = !best_feasible then
+        state.score < !best_score
+        || (state.score = !best_score
+            && state.hard_violation_units < !best_hard)
+      else false
+    in
+    if better then begin
+      best_assignment := Array.copy state.assignment;
+      best_feasible := feasible;
+      best_score := state.score;
+      best_hard := state.hard_violation_units
+    end
+  in
+  (try
+     for _try = 1 to params.max_tries do
+       incr tries_used;
+       let state = init_state problem params rng in
+       record state;
+       let flip_number = ref 0 in
+       let continue = ref true in
+       while !continue && !flip_number < params.max_flips do
+         match pick_violated state rng with
+         | None ->
+           (* Every constraint satisfied: global optimum. *)
+           record state;
+           raise Exit
+         | Some row ->
+           (match
+              choose_variable state params rng !flip_number !best_score row
+            with
+           | None -> continue := false
+           | Some v ->
+             flip state v;
+             state.last_flip.(v) <- !flip_number;
+             incr flip_number;
+             incr total_flips;
+             record state)
+       done
+     done
+   with Exit -> ());
+  let assignment = !best_assignment in
+  {
+    assignment;
+    feasible = Pb.feasible problem assignment;
+    hard_violations = Pb.hard_violations problem assignment;
+    soft_cost = Pb.soft_cost problem assignment;
+    flips_used = !total_flips;
+    tries_used = !tries_used;
+  }

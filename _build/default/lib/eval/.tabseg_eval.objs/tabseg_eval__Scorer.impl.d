@@ -1,0 +1,1 @@
+lib/eval/scorer.ml: Array Extract Hashtbl List Metrics Tabseg Tabseg_extract Tabseg_token

@@ -1,0 +1,1 @@
+lib/eval/scorer.mli: Metrics Tabseg

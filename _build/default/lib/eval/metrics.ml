@@ -1,0 +1,31 @@
+type counts = { cor : int; incor : int; fn : int; fp : int }
+
+let zero = { cor = 0; incor = 0; fn = 0; fp = 0 }
+
+let add a b =
+  {
+    cor = a.cor + b.cor;
+    incor = a.incor + b.incor;
+    fn = a.fn + b.fn;
+    fp = a.fp + b.fp;
+  }
+
+let total = List.fold_left add zero
+
+let ratio numerator denominator =
+  if denominator = 0 then 0.
+  else float_of_int numerator /. float_of_int denominator
+
+let precision { cor; incor; fp; _ } = ratio cor (cor + incor + fp)
+let recall { cor; fn; _ } = ratio cor (cor + fn)
+
+let f_measure counts =
+  let p = precision counts and r = recall counts in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)
+
+let pp ppf { cor; incor; fn; fp } =
+  Format.fprintf ppf "%d/%d/%d/%d" cor incor fn fp
+
+let pp_prf ppf counts =
+  Format.fprintf ppf "P=%.2f R=%.2f F=%.2f" (precision counts)
+    (recall counts) (f_measure counts)

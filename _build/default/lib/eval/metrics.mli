@@ -1,0 +1,27 @@
+(** The paper's evaluation measures (Section 6.2):
+
+    - [cor]: correctly segmented records
+    - [incor]: incorrectly segmented records
+    - [fn]: unsegmented records (false negatives)
+    - [fp]: non-records reported as records (false positives)
+
+    with [P = Cor/(Cor+InCor+FP)], [R = Cor/(Cor+FN)] and
+    [F = 2PR/(P+R)]. *)
+
+type counts = { cor : int; incor : int; fn : int; fp : int }
+
+val zero : counts
+val add : counts -> counts -> counts
+val total : counts list -> counts
+
+val precision : counts -> float
+(** 0 when the denominator is 0. *)
+
+val recall : counts -> float
+val f_measure : counts -> float
+
+val pp : Format.formatter -> counts -> unit
+(** "Cor/InC/FN/FP" style. *)
+
+val pp_prf : Format.formatter -> counts -> unit
+(** "P=0.85 R=0.84 F=0.84" style. *)

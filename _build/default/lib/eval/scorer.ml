@@ -1,0 +1,49 @@
+open Tabseg_extract
+
+let cell_words cell =
+  (* Tokenize a ground-truth cell exactly like the page tokenizer would:
+     wrap it in a tag so it forms one text run. *)
+  Tabseg_token.Tokenizer.tokenize cell
+  |> Tabseg_token.Tokenizer.words
+  |> List.filter (fun t -> not (Tabseg_token.Token.is_separator t))
+  |> List.map (fun (t : Tabseg_token.Token.t) -> t.Tabseg_token.Token.text)
+
+let row_words cells = List.concat_map cell_words cells
+
+let prediction_words (record : Tabseg.Segmentation.record) =
+  record.Tabseg.Segmentation.extracts
+  |> List.concat_map (fun (e : Extract.t) -> e.Extract.words)
+
+let score ~truth segmentation =
+  let truth_rows = Array.of_list (List.map row_words truth) in
+  let vocabulary = Hashtbl.create 256 in
+  Array.iter
+    (fun words -> List.iter (fun w -> Hashtbl.replace vocabulary w ()) words)
+    truth_rows;
+  let num_truth = Array.length truth_rows in
+  let claimed = Array.make num_truth false in
+  let counts = ref Metrics.zero in
+  let bump f = counts := f !counts in
+  List.iter
+    (fun (record : Tabseg.Segmentation.record) ->
+      let number = record.Tabseg.Segmentation.number in
+      let raw = prediction_words record in
+      let projected = List.filter (Hashtbl.mem vocabulary) raw in
+      if number < 0 || number >= num_truth then
+        bump (fun c -> { c with Metrics.fp = c.Metrics.fp + 1 })
+      else begin
+        claimed.(number) <- true;
+        if projected = [] then
+          (* Only junk: a non-record claimed as a record. *)
+          bump (fun c -> { c with Metrics.fp = c.Metrics.fp + 1 })
+        else if projected = truth_rows.(number) then
+          bump (fun c -> { c with Metrics.cor = c.Metrics.cor + 1 })
+        else bump (fun c -> { c with Metrics.incor = c.Metrics.incor + 1 })
+      end)
+    segmentation.Tabseg.Segmentation.records;
+  Array.iter
+    (fun was_claimed ->
+      if not was_claimed then
+        bump (fun c -> { c with Metrics.fn = c.Metrics.fn + 1 }))
+    claimed;
+  !counts

@@ -1,0 +1,23 @@
+(** Automatic scoring of a segmentation against generator ground truth,
+    mechanizing the paper's manual record check (Section 6.2).
+
+    Ground truth is the per-row list of cell texts; record numbers are
+    detail-page indices on both sides, so prediction [j] is compared to
+    truth row [j]:
+
+    - the prediction's word sequence is first {e projected} onto the
+      ground-truth vocabulary (presentation junk such as link labels and
+      entry enumerators — which the paper's human judges also ignored — is
+      removed);
+    - a projected prediction identical to its truth row is {b Cor}rect;
+    - a non-empty projection that differs is {b InCor}rect;
+    - a prediction whose projection is empty claims a record made of
+      non-record strings: a {b FP};
+    - truth rows with no prediction at all are {b FN} (unsegmented). *)
+
+val score :
+  truth:string list list -> Tabseg.Segmentation.t -> Metrics.counts
+
+val row_words : string list -> string list
+(** Tokenize one truth row's cells into the word sequence the tokenizer
+    would produce (exposed for tests). *)

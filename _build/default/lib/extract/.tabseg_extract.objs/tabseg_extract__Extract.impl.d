@@ -1,0 +1,1 @@
+lib/extract/extract.ml: Array Format List String Tabseg_template Tabseg_token Token

@@ -1,0 +1,1 @@
+lib/extract/extract.mli: Format Tabseg_template Tabseg_token Token

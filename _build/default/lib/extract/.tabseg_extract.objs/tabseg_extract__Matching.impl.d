@@ -1,0 +1,1 @@
+lib/extract/matching.ml: Array Hashtbl List Option String Tabseg_token Token

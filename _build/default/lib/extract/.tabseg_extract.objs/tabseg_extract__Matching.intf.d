@@ -1,0 +1,1 @@
+lib/extract/matching.mli: Tabseg_token Token

@@ -1,0 +1,1 @@
+lib/extract/observation.ml: Array Extract Format Hashtbl List Matching Printf String

@@ -1,0 +1,1 @@
+lib/extract/observation.mli: Extract Format Tabseg_token Token

@@ -1,0 +1,26 @@
+(** Matching list-page extracts against detail pages.
+
+    Per the paper (Section 3.2, footnote 1), the string matcher ignores
+    intervening separators on the detail page: "FirstName LastName" on the
+    list page matches "FirstName <br> LastName" on a detail page. Matching
+    is case-sensitive (the paper reports that a case mismatch between list
+    and detail values defeats it — Minnesota Corrections). *)
+
+open Tabseg_token
+
+type detail_index
+(** Preprocessed detail page ready for repeated queries. *)
+
+val index_detail : Token.t array -> detail_index
+(** Build the searchable view of a detail page: its non-separator word
+    tokens, with their original token indices. *)
+
+val occurrences : detail_index -> string list -> int list
+(** [occurrences idx words] are the original token indices at which the word
+    sequence [words] occurs contiguously in the detail page's
+    separator-free word stream (in increasing order; possibly empty). *)
+
+val contains : detail_index -> string list -> bool
+
+val word_count : detail_index -> int
+(** Number of searchable words on the detail page. *)

@@ -1,0 +1,89 @@
+type entry = {
+  extract : Extract.t;
+  pages : int list;
+  positions : (int * int) list;
+}
+
+type t = {
+  entries : entry array;
+  extras : Extract.t list;
+  num_details : int;
+}
+
+let build ?(other_list_pages = []) ~extracts ~details () =
+  let num_details = List.length details in
+  let detail_indices = List.map Matching.index_detail details in
+  let list_indices = List.map Matching.index_detail other_list_pages in
+  let observe (extract : Extract.t) =
+    let observations =
+      List.mapi
+        (fun page index ->
+          List.map (fun pos -> (page, pos))
+            (Matching.occurrences index extract.Extract.words))
+        detail_indices
+      |> List.concat
+    in
+    let pages =
+      List.sort_uniq compare (List.map fst observations)
+    in
+    (extract, pages, observations)
+  in
+  let on_all_other_lists (extract : Extract.t) =
+    list_indices <> []
+    && List.for_all
+         (fun index -> Matching.contains index extract.Extract.words)
+         list_indices
+  in
+  let entries = ref [] and extras = ref [] in
+  List.iter
+    (fun extract ->
+      let extract, pages, positions = observe extract in
+      let uninformative =
+        pages = []
+        || List.length pages = num_details
+        || on_all_other_lists extract
+      in
+      if uninformative then extras := extract :: !extras
+      else entries := { extract; pages; positions } :: !entries)
+    extracts;
+  {
+    entries = Array.of_list (List.rev !entries);
+    extras = List.rev !extras;
+    num_details;
+  }
+
+let candidate_count t =
+  Array.fold_left
+    (fun acc entry -> acc + List.length entry.pages)
+    0 t.entries
+
+let pages_covered t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun entry -> List.iter (fun page -> Hashtbl.replace seen page ()) entry.pages)
+    t.entries;
+  Hashtbl.length seen
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun entry ->
+      Format.fprintf ppf "E%-3d %-28s D = {%s}@,"
+        (entry.extract.Extract.id + 1)
+        (Printf.sprintf "%S" entry.extract.Extract.text)
+        (String.concat ","
+           (List.map (fun page -> Printf.sprintf "r%d" (page + 1)) entry.pages)))
+    t.entries;
+  Format.fprintf ppf "@]"
+
+let pp_positions ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun entry ->
+      List.iter
+        (fun (page, position) ->
+          Format.fprintf ppf "E%-3d pos_%d^%d@," (entry.extract.Extract.id + 1)
+            (page + 1) position)
+        entry.positions)
+    t.entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/hmm/dist.ml: Array Format Logspace

@@ -1,0 +1,1 @@
+lib/hmm/fhmm.mli:

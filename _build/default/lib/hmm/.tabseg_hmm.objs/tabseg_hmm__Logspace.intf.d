@@ -1,0 +1,1 @@
+lib/hmm/logspace.mli:

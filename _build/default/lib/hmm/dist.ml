@@ -1,0 +1,64 @@
+type categorical = { probs : float array; logs : float array }
+
+let of_weights weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.of_weights: non-positive total";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Dist.of_weights: negative weight")
+    weights;
+  let probs = Array.map (fun w -> w /. total) weights in
+  { probs; logs = Array.map Logspace.of_prob probs }
+
+let uniform n =
+  if n <= 0 then invalid_arg "Dist.uniform: non-positive size";
+  of_weights (Array.make n 1.)
+
+let size d = Array.length d.probs
+let prob d i = d.probs.(i)
+let log_prob d i = d.logs.(i)
+
+let estimate ?(alpha = 0.1) ~counts () =
+  of_weights (Array.map (fun c -> c +. alpha) counts)
+
+let entropy d =
+  Array.fold_left
+    (fun acc p -> if p > 0. then acc -. (p *. log p) else acc)
+    0. d.probs
+
+type bernoulli_vector = { on : float array }
+
+let bernoulli_uniform ~bits ~p =
+  if bits <= 0 then invalid_arg "Dist.bernoulli_uniform: non-positive bits";
+  if p <= 0. || p >= 1. then
+    invalid_arg "Dist.bernoulli_uniform: p outside (0,1)";
+  { on = Array.make bits p }
+
+let bernoulli_log_prob bv mask =
+  let total = ref 0. in
+  Array.iteri
+    (fun bit p ->
+      let observed = mask land (1 lsl bit) <> 0 in
+      total := !total +. log (if observed then p else 1. -. p))
+    bv.on;
+  !total
+
+let bernoulli_estimate ?(alpha = 0.1) ~on_counts ~total () =
+  let denominator = total +. (2. *. alpha) in
+  {
+    on =
+      Array.map
+        (fun c ->
+          let p = (c +. alpha) /. denominator in
+          (* Guard against drift outside (0,1) from noisy expected counts. *)
+          min (1. -. 1e-9) (max 1e-9 p))
+        on_counts;
+  }
+
+let bernoulli_prob_on bv bit = bv.on.(bit)
+
+let pp_categorical ppf d =
+  Format.fprintf ppf "@[<h>[%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf p -> Format.fprintf ppf "%.3f" p))
+    (Array.to_list d.probs)

@@ -1,0 +1,42 @@
+(** Smoothed discrete distributions, the parameter containers of the
+    probabilistic model: categorical distributions (column transitions,
+    record period) and Bernoulli vectors (token-type emissions). *)
+
+type categorical
+(** A distribution over [0 .. size-1]. *)
+
+val uniform : int -> categorical
+val of_weights : float array -> categorical
+(** Normalizes; weights must be non-negative with a positive sum. *)
+
+val size : categorical -> int
+val prob : categorical -> int -> float
+val log_prob : categorical -> int -> float
+
+val estimate : ?alpha:float -> counts:float array -> unit -> categorical
+(** Maximum a posteriori estimate from expected counts with add-[alpha]
+    (Laplace) smoothing; [alpha] defaults to 0.1. *)
+
+val entropy : categorical -> float
+
+type bernoulli_vector
+(** Independent per-bit probabilities over a fixed number of bits — models
+    [P(T_i | C_i)] where [T_i] is the 8-bit token-type vector. *)
+
+val bernoulli_uniform : bits:int -> p:float -> bernoulli_vector
+(** Every bit on with probability [p] (the paper initializes with 1/8). *)
+
+val bernoulli_log_prob : bernoulli_vector -> int -> float
+(** [bernoulli_log_prob bv mask] is the log probability of observing exactly
+    the bit pattern [mask]. *)
+
+val bernoulli_estimate :
+  ?alpha:float -> on_counts:float array -> total:float -> unit ->
+  bernoulli_vector
+(** Per-bit MAP estimate from expected on-counts out of [total]
+    observations, with add-[alpha] smoothing (default 0.1). *)
+
+val bernoulli_prob_on : bernoulli_vector -> int -> float
+(** Probability that bit [b] is on. *)
+
+val pp_categorical : Format.formatter -> categorical -> unit

@@ -1,0 +1,168 @@
+type lattice = {
+  length : int;
+  states : int -> int array;
+  init : int -> float;
+  trans : int -> int -> int -> float;
+  emit : int -> int -> float;
+}
+
+let state_table lattice =
+  Array.init lattice.length (fun i -> lattice.states i)
+
+let viterbi lattice =
+  if lattice.length = 0 then Some [||]
+  else begin
+    let states = state_table lattice in
+    let score = Array.map (fun sa -> Array.make (Array.length sa) Logspace.zero) states in
+    let back = Array.map (fun sa -> Array.make (Array.length sa) (-1)) states in
+    Array.iteri
+      (fun s state ->
+        score.(0).(s) <- Logspace.mul (lattice.init state) (lattice.emit 0 state))
+      states.(0);
+    for i = 1 to lattice.length - 1 do
+      Array.iteri
+        (fun s state ->
+          let emit = lattice.emit i state in
+          if not (Logspace.is_zero emit) then
+            Array.iteri
+              (fun p prev_state ->
+                let prev_score = score.(i - 1).(p) in
+                if not (Logspace.is_zero prev_score) then begin
+                  let candidate =
+                    Logspace.mul prev_score
+                      (Logspace.mul (lattice.trans i prev_state state) emit)
+                  in
+                  if candidate > score.(i).(s) then begin
+                    score.(i).(s) <- candidate;
+                    back.(i).(s) <- p
+                  end
+                end)
+              states.(i - 1))
+        states.(i)
+    done;
+    let last = lattice.length - 1 in
+    let best = ref (-1) and best_score = ref Logspace.zero in
+    Array.iteri
+      (fun s _ ->
+        if score.(last).(s) > !best_score then begin
+          best := s;
+          best_score := score.(last).(s)
+        end)
+      states.(last);
+    if !best < 0 then None
+    else begin
+      let path = Array.make lattice.length 0 in
+      let cursor = ref !best in
+      for i = last downto 0 do
+        path.(i) <- states.(i).(!cursor);
+        if i > 0 then cursor := back.(i).(!cursor)
+      done;
+      if Array.exists (fun _ -> false) path then None else Some path
+    end
+  end
+
+type posteriors = {
+  log_likelihood : float;
+  gamma : float array array;
+  xi : (int * int * float) list array;
+}
+
+let forward_backward lattice =
+  if lattice.length = 0 then
+    Some { log_likelihood = 0.; gamma = [||]; xi = [||] }
+  else begin
+    let states = state_table lattice in
+    let alpha = Array.map (fun sa -> Array.make (Array.length sa) Logspace.zero) states in
+    let beta = Array.map (fun sa -> Array.make (Array.length sa) Logspace.zero) states in
+    Array.iteri
+      (fun s state ->
+        alpha.(0).(s) <- Logspace.mul (lattice.init state) (lattice.emit 0 state))
+      states.(0);
+    for i = 1 to lattice.length - 1 do
+      Array.iteri
+        (fun s state ->
+          let emit = lattice.emit i state in
+          if not (Logspace.is_zero emit) then begin
+            let incoming =
+              Array.mapi
+                (fun p prev_state ->
+                  Logspace.mul alpha.(i - 1).(p)
+                    (lattice.trans i prev_state state))
+                states.(i - 1)
+            in
+            alpha.(i).(s) <- Logspace.mul (Logspace.sum incoming) emit
+          end)
+        states.(i)
+    done;
+    let last = lattice.length - 1 in
+    let log_likelihood = Logspace.sum alpha.(last) in
+    if Logspace.is_zero log_likelihood then None
+    else begin
+      Array.iteri (fun s _ -> beta.(last).(s) <- Logspace.one) states.(last);
+      for i = last - 1 downto 0 do
+        Array.iteri
+          (fun s state ->
+            let outgoing =
+              Array.mapi
+                (fun q next_state ->
+                  Logspace.mul
+                    (lattice.trans (i + 1) state next_state)
+                    (Logspace.mul (lattice.emit (i + 1) next_state)
+                       beta.(i + 1).(q)))
+                states.(i + 1)
+            in
+            beta.(i).(s) <- Logspace.sum outgoing)
+          states.(i)
+      done;
+      let gamma =
+        Array.init lattice.length (fun i ->
+            Array.init
+              (Array.length states.(i))
+              (fun s ->
+                Logspace.to_prob
+                  (Logspace.mul alpha.(i).(s) beta.(i).(s)
+                  -. log_likelihood)))
+      in
+      let xi = Array.make lattice.length [] in
+      for i = 1 to last do
+        let cells = ref [] in
+        Array.iteri
+          (fun s state ->
+            let emit = lattice.emit i state in
+            if not (Logspace.is_zero emit) then
+              Array.iteri
+                (fun p prev_state ->
+                  let value =
+                    Logspace.mul alpha.(i - 1).(p)
+                      (Logspace.mul (lattice.trans i prev_state state)
+                         (Logspace.mul emit beta.(i).(s)))
+                    -. log_likelihood
+                  in
+                  let probability = Logspace.to_prob value in
+                  if probability > 1e-12 then
+                    cells := (p, s, probability) :: !cells)
+                states.(i - 1))
+          states.(i);
+        xi.(i) <- !cells
+      done;
+      Some { log_likelihood; gamma; xi }
+    end
+  end
+
+let path_log_prob lattice path =
+  if Array.length path <> lattice.length then
+    invalid_arg "Fhmm.path_log_prob: length mismatch";
+  if lattice.length = 0 then Logspace.one
+  else begin
+    let total =
+      ref (Logspace.mul (lattice.init path.(0)) (lattice.emit 0 path.(0)))
+    in
+    for i = 1 to lattice.length - 1 do
+      total :=
+        Logspace.mul !total
+          (Logspace.mul
+             (lattice.trans i path.(i - 1) path.(i))
+             (lattice.emit i path.(i)))
+    done;
+    !total
+  end

@@ -1,0 +1,33 @@
+let zero = neg_infinity
+let one = 0.
+
+let of_prob p =
+  if p < 0. then invalid_arg "Logspace.of_prob: negative probability"
+  else if p = 0. then zero
+  else log p
+
+let to_prob l = exp l
+
+let is_zero l = l = neg_infinity
+
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else if a >= b then a +. log1p (exp (b -. a))
+  else b +. log1p (exp (a -. b))
+
+let sum values =
+  let maximum = Array.fold_left max zero values in
+  if is_zero maximum then zero
+  else
+    let total =
+      Array.fold_left (fun acc v -> acc +. exp (v -. maximum)) 0. values
+    in
+    maximum +. log total
+
+let mul a b = if is_zero a || is_zero b then zero else a +. b
+
+let normalize values =
+  let total = sum values in
+  if not (is_zero total) then
+    Array.iteri (fun i v -> values.(i) <- v -. total) values

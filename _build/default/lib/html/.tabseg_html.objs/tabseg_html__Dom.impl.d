@@ -1,0 +1,1 @@
+lib/html/dom.ml: Entity Lexer List Option String

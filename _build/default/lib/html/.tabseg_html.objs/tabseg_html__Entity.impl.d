@@ -1,0 +1,1 @@
+lib/html/entity.ml: Buffer Char Hashtbl List Option String

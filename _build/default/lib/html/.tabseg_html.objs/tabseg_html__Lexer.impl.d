@@ -1,0 +1,1 @@
+lib/html/lexer.ml: Buffer Entity Format List String

@@ -1,0 +1,138 @@
+type node =
+  | Element of string * Lexer.attribute list * node list
+  | Text of string
+  | Comment of string
+
+let void_elements =
+  [ "br"; "hr"; "img"; "input"; "meta"; "link"; "area"; "base"; "col";
+    "embed"; "source"; "wbr" ]
+
+let is_void name = List.mem name void_elements
+
+(* Elements closed implicitly when a sibling of the same group opens. *)
+let sibling_groups =
+  [ ("li", [ "li" ]);
+    ("tr", [ "tr" ]);
+    ("td", [ "td"; "th"; "tr" ]);
+    ("th", [ "td"; "th"; "tr" ]);
+    ("option", [ "option" ]);
+    ("p", [ "p" ]);
+    ("dt", [ "dt"; "dd" ]);
+    ("dd", [ "dt"; "dd" ]) ]
+
+(* [closes opener open_tag]: does seeing <opener> implicitly close an open
+   <open_tag>? *)
+let closes opener open_tag =
+  match List.assoc_opt open_tag sibling_groups with
+  | None -> false
+  | Some closers -> List.mem opener closers
+
+type frame = { tag : string; attributes : Lexer.attribute list;
+               mutable acc : node list }
+
+let parse html =
+  let events = Lexer.lex html in
+  (* Stack of open elements; a sentinel frame collects top-level nodes. *)
+  let root = { tag = ""; attributes = []; acc = [] } in
+  let stack = ref [ root ] in
+  let push_node node =
+    match !stack with
+    | top :: _ -> top.acc <- node :: top.acc
+    | [] -> assert false
+  in
+  let close_top () =
+    match !stack with
+    | top :: rest when rest <> [] ->
+      stack := rest;
+      push_node (Element (top.tag, top.attributes, List.rev top.acc))
+    | _ -> ()
+  in
+  let rec close_until name =
+    match !stack with
+    | top :: rest when rest <> [] ->
+      if top.tag = name then close_top ()
+      else if List.exists (fun f -> f.tag = name) rest then begin
+        close_top ();
+        close_until name
+      end
+      (* Stray end tag: ignore. *)
+    | _ -> ()
+  in
+  let handle = function
+    | Lexer.Text t ->
+      let decoded = Entity.decode t in
+      if decoded <> "" then push_node (Text decoded)
+    | Lexer.Comment c -> push_node (Comment c)
+    | Lexer.Doctype _ -> ()
+    | Lexer.End_tag name -> close_until name
+    | Lexer.Start_tag { name; attributes; self_closing } ->
+      (* Store attribute values entity-decoded: the printer re-encodes on
+         output, so parse/print round-trips normalize instead of
+         double-escaping. *)
+      let attributes =
+        List.map
+          (fun ({ Lexer.name; value } : Lexer.attribute) ->
+            { Lexer.name; value = Option.map Entity.decode value })
+          attributes
+      in
+      let rec implicit_close () =
+        match !stack with
+        | top :: rest when rest <> [] && closes name top.tag ->
+          close_top ();
+          implicit_close ()
+        | _ -> ()
+      in
+      implicit_close ();
+      if is_void name || self_closing then
+        push_node (Element (name, attributes, []))
+      else stack := { tag = name; attributes; acc = [] } :: !stack
+  in
+  List.iter handle events;
+  while List.length !stack > 1 do
+    close_top ()
+  done;
+  List.rev root.acc
+
+let rec text_content node =
+  match node with
+  | Text t -> t
+  | Comment _ -> ""
+  | Element (_, _, kids) ->
+    kids
+    |> List.map text_content
+    |> List.filter (fun s -> s <> "")
+    |> String.concat " "
+
+let find_all pred forest =
+  let rec walk acc node =
+    match node with
+    | Text _ | Comment _ -> acc
+    | Element (name, _, kids) ->
+      let acc = if pred name then node :: acc else acc in
+      List.fold_left walk acc kids
+  in
+  List.rev (List.fold_left walk [] forest)
+
+let attribute node name =
+  match node with
+  | Element (_, attributes, _) ->
+    (* Values are stored decoded (see [parse]); plain lookup, no second
+       entity pass. *)
+    let wanted = String.lowercase_ascii name in
+    let rec find = function
+      | [] -> None
+      | ({ Lexer.name = n; value } : Lexer.attribute) :: rest ->
+        if String.lowercase_ascii n = wanted then
+          match value with Some v -> Some v | None -> find rest
+        else find rest
+    in
+    find attributes
+  | Text _ | Comment _ -> None
+
+let children = function
+  | Element (_, _, kids) -> kids
+  | Text _ | Comment _ -> []
+
+let tag = function
+  | Element (name, _, _) -> Some name
+  | Text _ | Comment _ -> None

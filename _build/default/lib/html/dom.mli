@@ -1,0 +1,38 @@
+(** A minimal Document Object Model built from {!Lexer} events.
+
+    Used by the synthetic site renderer and the DOM-based baseline; the
+    segmentation algorithms themselves work on token streams, per the paper. *)
+
+type node =
+  | Element of string * Lexer.attribute list * node list
+  | Text of string  (** entity-decoded text *)
+  | Comment of string
+
+val parse : string -> node list
+(** [parse html] builds a forest from the document. Recovery rules: void
+    elements ([br], [hr], [img], [input], [meta], [link], [area], [base],
+    [col], [embed], [source], [wbr]) never take children; [li], [tr], [td],
+    [th], [option], [p], [dt], [dd] are implicitly closed by a sibling
+    opener; stray end tags are dropped; unclosed elements are closed at end
+    of input. *)
+
+val text_content : node -> string
+(** Concatenated text of the subtree, with single spaces where element
+    boundaries separate words. *)
+
+val find_all : (string -> bool) -> node list -> node list
+(** [find_all pred forest] is all elements (in document order) whose
+    lowercase tag name satisfies [pred]. *)
+
+val attribute : node -> string -> string option
+(** [attribute node name] is the attribute value if [node] is an element
+    carrying it. *)
+
+val children : node -> node list
+(** Children of an element; [[]] for text and comments. *)
+
+val tag : node -> string option
+(** Tag name if [node] is an element. *)
+
+val is_void : string -> bool
+(** [is_void name] is true for HTML void elements ([br], [img], ...). *)

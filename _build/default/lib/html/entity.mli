@@ -1,0 +1,19 @@
+(** HTML character entities.
+
+    The paper's tokenizer converts HTML escape sequences to ASCII text before
+    token typing (Section 3.1); this module provides that conversion. *)
+
+val decode : string -> string
+(** [decode s] replaces every well-formed entity reference in [s] — named
+    ([&amp;], [&nbsp;], ...), decimal ([&#65;]) and hexadecimal ([&#x41;]) —
+    with its character. Unknown or malformed references are left verbatim.
+    Non-ASCII code points decode to UTF-8. *)
+
+val encode : string -> string
+(** [encode s] escapes the five characters that are unsafe in HTML text and
+    attribute values: ampersand, angle brackets, double and single quote. *)
+
+val lookup_named : string -> string option
+(** [lookup_named name] is the expansion of the named entity [name] (without
+    the ampersand and semicolon), if known; e.g. the expansion of [amp] is
+    the ampersand character. *)

@@ -1,0 +1,217 @@
+type attribute = { name : string; value : string option }
+
+type event =
+  | Start_tag of { name : string; attributes : attribute list;
+                   self_closing : bool }
+  | End_tag of string
+  | Text of string
+  | Comment of string
+  | Doctype of string
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012'
+
+let is_tag_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9') || c = '-' || c = ':'
+
+let lowercase = String.lowercase_ascii
+
+(* Scan attributes between index [i] and the closing '>' at index [stop]. *)
+let parse_attributes s i stop =
+  let rec skip_space j = if j < stop && is_space s.[j] then skip_space (j + 1) else j in
+  let rec loop acc j =
+    let j = skip_space j in
+    if j >= stop then (List.rev acc, false)
+    else if s.[j] = '/' && j = stop - 1 then (List.rev acc, true)
+    else begin
+      (* attribute name: up to '=', space or end *)
+      let name_end =
+        let rec scan k =
+          if k < stop && not (is_space s.[k]) && s.[k] <> '=' && s.[k] <> '/'
+          then scan (k + 1)
+          else k
+        in
+        scan j
+      in
+      if name_end = j then loop acc (j + 1)
+      else
+        let name = lowercase (String.sub s j (name_end - j)) in
+        let k = skip_space name_end in
+        if k < stop && s.[k] = '=' then begin
+          let k = skip_space (k + 1) in
+          if k < stop && (s.[k] = '"' || s.[k] = '\'') then begin
+            let quote = s.[k] in
+            let value_end =
+              let rec scan m = if m < stop && s.[m] <> quote then scan (m + 1) else m in
+              scan (k + 1)
+            in
+            let value = String.sub s (k + 1) (value_end - k - 1) in
+            loop ({ name; value = Some value } :: acc)
+              (if value_end < stop then value_end + 1 else value_end)
+          end
+          else begin
+            let value_end =
+              let rec scan m =
+                if m < stop && not (is_space s.[m]) then scan (m + 1) else m
+              in
+              scan k
+            in
+            let value = String.sub s k (value_end - k) in
+            loop ({ name; value = Some value } :: acc) value_end
+          end
+        end
+        else loop ({ name; value = None } :: acc) k
+    end
+  in
+  loop [] i
+
+let attribute_value attributes name =
+  let name = lowercase name in
+  let rec find = function
+    | [] -> None
+    | { name = n; value } :: rest ->
+      if lowercase n = name then
+        match value with
+        | Some v -> Some (Entity.decode v)
+        | None -> find rest
+      else find rest
+  in
+  find attributes
+
+(* Find the matching end tag </name> for a raw-text element starting at [i];
+   return (content_end, next_index_after_close). *)
+let find_raw_end s i name =
+  let n = String.length s in
+  let needle = "</" ^ name in
+  let needle_len = String.length needle in
+  let rec search j =
+    if j + needle_len > n then (n, n)
+    else if
+      lowercase (String.sub s j needle_len) = needle
+      && (j + needle_len >= n
+          || is_space s.[j + needle_len]
+          || s.[j + needle_len] = '>')
+    then
+      let close =
+        match String.index_from_opt s (j + needle_len) '>' with
+        | Some k -> k + 1
+        | None -> n
+      in
+      (j, close)
+    else search (j + 1)
+  in
+  search i
+
+let lex s =
+  let n = String.length s in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let text_buffer = Buffer.create 256 in
+  let flush_text () =
+    if Buffer.length text_buffer > 0 then begin
+      emit (Text (Buffer.contents text_buffer));
+      Buffer.clear text_buffer
+    end
+  in
+  let rec loop i =
+    if i >= n then flush_text ()
+    else if s.[i] <> '<' then begin
+      Buffer.add_char text_buffer s.[i];
+      loop (i + 1)
+    end
+    else if i + 3 < n && String.sub s i 4 = "<!--" then begin
+      flush_text ();
+      let stop =
+        let rec search j =
+          if j + 2 >= n then n
+          else if s.[j] = '-' && s.[j + 1] = '-' && s.[j + 2] = '>' then j
+          else search (j + 1)
+        in
+        search (i + 4)
+      in
+      emit (Comment (String.sub s (i + 4) (min stop n - (i + 4))));
+      loop (min n (stop + 3))
+    end
+    else if i + 1 < n && s.[i + 1] = '!' then begin
+      flush_text ();
+      let stop =
+        match String.index_from_opt s i '>' with Some k -> k | None -> n
+      in
+      emit (Doctype (String.sub s (i + 2) (stop - i - 2)));
+      loop (min n (stop + 1))
+    end
+    else if i + 1 < n && s.[i + 1] = '/' then begin
+      (* end tag *)
+      let name_start = i + 2 in
+      let name_end =
+        let rec scan k =
+          if k < n && is_tag_name_char s.[k] then scan (k + 1) else k
+        in
+        scan name_start
+      in
+      if name_end = name_start then begin
+        Buffer.add_char text_buffer '<';
+        loop (i + 1)
+      end
+      else begin
+        flush_text ();
+        let stop =
+          match String.index_from_opt s name_end '>' with
+          | Some k -> k
+          | None -> n
+        in
+        emit (End_tag (lowercase (String.sub s name_start (name_end - name_start))));
+        loop (min n (stop + 1))
+      end
+    end
+    else if i + 1 < n && is_tag_name_char s.[i + 1] then begin
+      let name_start = i + 1 in
+      let name_end =
+        let rec scan k =
+          if k < n && is_tag_name_char s.[k] then scan (k + 1) else k
+        in
+        scan name_start
+      in
+      let stop =
+        match String.index_from_opt s name_end '>' with
+        | Some k -> k
+        | None -> n
+      in
+      flush_text ();
+      let name = lowercase (String.sub s name_start (name_end - name_start)) in
+      let attributes, self_closing = parse_attributes s name_end stop in
+      emit (Start_tag { name; attributes; self_closing });
+      let next = min n (stop + 1) in
+      if (name = "script" || name = "style") && not self_closing then begin
+        let content_end, after = find_raw_end s next name in
+        if content_end > next then
+          emit (Text (String.sub s next (content_end - next)));
+        emit (End_tag name);
+        loop after
+      end
+      else loop next
+    end
+    else begin
+      (* lone '<' that starts nothing recognizable: literal text *)
+      Buffer.add_char text_buffer '<';
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  List.rev !events
+
+let pp_event ppf = function
+  | Start_tag { name; attributes; self_closing } ->
+    let pp_attr ppf { name; value } =
+      match value with
+      | None -> Format.fprintf ppf " %s" name
+      | Some v -> Format.fprintf ppf " %s=%S" name v
+    in
+    Format.fprintf ppf "<%s%a%s>" name
+      (Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_attr)
+      attributes
+      (if self_closing then "/" else "")
+  | End_tag name -> Format.fprintf ppf "</%s>" name
+  | Text t -> Format.fprintf ppf "Text %S" t
+  | Comment c -> Format.fprintf ppf "<!--%s-->" c
+  | Doctype d -> Format.fprintf ppf "<!%s>" d

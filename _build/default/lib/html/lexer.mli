@@ -1,0 +1,28 @@
+(** A forgiving HTML lexer.
+
+    Splits a document into a flat stream of events: tags (with parsed
+    attributes), text runs, comments and doctypes. Real-world list pages are
+    rarely well formed, so the lexer never fails: anything it cannot make
+    sense of is emitted as text. *)
+
+type attribute = { name : string; value : string option }
+
+type event =
+  | Start_tag of { name : string; attributes : attribute list;
+                   self_closing : bool }
+      (** [<name attr=...>]; [name] is lowercased. *)
+  | End_tag of string  (** [</name>]; lowercased. *)
+  | Text of string  (** raw text run, entities not yet decoded *)
+  | Comment of string  (** contents of [<!-- ... -->] *)
+  | Doctype of string  (** contents of [<!DOCTYPE ...>] *)
+
+val lex : string -> event list
+(** [lex html] tokenizes the document. The contents of [<script>] and
+    [<style>] elements are emitted as a single raw [Text] event (no tag
+    recognition inside). *)
+
+val attribute_value : attribute list -> string -> string option
+(** [attribute_value attrs name] is the (entity-decoded) value of the first
+    attribute called [name] (case-insensitive), if present and valued. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,38 @@
+let render_attribute buffer ({ name; value } : Lexer.attribute) =
+  Buffer.add_char buffer ' ';
+  Buffer.add_string buffer name;
+  match value with
+  | None -> ()
+  | Some v ->
+    Buffer.add_string buffer "=\"";
+    Buffer.add_string buffer (Entity.encode v);
+    Buffer.add_char buffer '"'
+
+let rec render buffer node =
+  match node with
+  | Dom.Text t -> Buffer.add_string buffer (Entity.encode t)
+  | Dom.Comment c ->
+    Buffer.add_string buffer "<!--";
+    Buffer.add_string buffer c;
+    Buffer.add_string buffer "-->"
+  | Dom.Element (name, attributes, kids) ->
+    Buffer.add_char buffer '<';
+    Buffer.add_string buffer name;
+    List.iter (render_attribute buffer) attributes;
+    Buffer.add_char buffer '>';
+    if not (Dom.is_void name) then begin
+      List.iter (render buffer) kids;
+      Buffer.add_string buffer "</";
+      Buffer.add_string buffer name;
+      Buffer.add_char buffer '>'
+    end
+
+let node_to_string node =
+  let buffer = Buffer.create 256 in
+  render buffer node;
+  Buffer.contents buffer
+
+let to_string forest =
+  let buffer = Buffer.create 1024 in
+  List.iter (render buffer) forest;
+  Buffer.contents buffer

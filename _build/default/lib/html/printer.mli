@@ -1,0 +1,8 @@
+(** Serialize {!Dom} trees back to HTML. *)
+
+val node_to_string : Dom.node -> string
+(** Render one node. Text is entity-encoded; void elements are rendered
+    without an end tag. *)
+
+val to_string : Dom.node list -> string
+(** Render a forest. *)

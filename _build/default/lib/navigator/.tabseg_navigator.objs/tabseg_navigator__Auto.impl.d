@@ -1,0 +1,1 @@
+lib/navigator/auto.ml: Classifier Crawler Hashtbl List Tabseg

@@ -1,0 +1,1 @@
+lib/navigator/auto.mli: Crawler Tabseg Webgraph

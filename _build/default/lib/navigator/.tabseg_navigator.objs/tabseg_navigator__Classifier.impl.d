@@ -1,0 +1,1 @@
+lib/navigator/classifier.ml: Array Crawler Hashtbl List Option Tabseg_token Token Tokenizer

@@ -1,0 +1,1 @@
+lib/navigator/crawler.ml: Dom Hashtbl List Queue String Tabseg_html Webgraph

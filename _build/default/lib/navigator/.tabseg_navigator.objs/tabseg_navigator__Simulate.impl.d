@@ -1,0 +1,1 @@
+lib/navigator/simulate.ml: List Printf Sites String Tabseg_sitegen Webgraph

@@ -1,0 +1,1 @@
+lib/navigator/simulate.mli: Tabseg_sitegen Webgraph

@@ -1,0 +1,1 @@
+lib/navigator/webgraph.ml: Hashtbl List Printf

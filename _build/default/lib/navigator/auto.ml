@@ -1,0 +1,79 @@
+type result = {
+  list_url : string;
+  segmentation : Tabseg.Segmentation.t;
+  detail_urls : string list;
+}
+
+type report = {
+  pages_fetched : int;
+  lists_found : int;
+  details_found : int;
+  others_found : int;
+  results : result list;
+}
+
+let detail_links_in_order ~detail_urls html =
+  let known = Hashtbl.create 32 in
+  List.iter (fun url -> Hashtbl.replace known url ()) detail_urls;
+  List.filter (Hashtbl.mem known) (Crawler.links html)
+
+let run ?crawl_config ?(method_ = Tabseg.Api.Probabilistic) graph =
+  let fetched = Crawler.crawl ?config:crawl_config graph in
+  let pages =
+    List.map
+      (fun (page : Crawler.page) ->
+        { Classifier.url = page.Crawler.url; html = page.Crawler.html })
+      fetched
+  in
+  let roles = Classifier.identify pages in
+  let detail_urls =
+    List.map (fun (p : Classifier.page) -> p.Classifier.url)
+      roles.Classifier.detail_pages
+  in
+  let detail_html_of = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Classifier.page) ->
+      Hashtbl.replace detail_html_of p.Classifier.url p.Classifier.html)
+    roles.Classifier.detail_pages;
+  let list_htmls =
+    List.map (fun (p : Classifier.page) -> p.Classifier.html)
+      roles.Classifier.list_pages
+  in
+  let results =
+    List.filter_map
+      (fun (list_page : Classifier.page) ->
+        let ordered =
+          detail_links_in_order ~detail_urls list_page.Classifier.html
+        in
+        match ordered with
+        | [] -> None
+        | _ ->
+          let others =
+            List.filter
+              (fun html -> html <> list_page.Classifier.html)
+              list_htmls
+          in
+          let input =
+            {
+              Tabseg.Pipeline.list_pages =
+                list_page.Classifier.html :: others;
+              detail_pages =
+                List.map (Hashtbl.find detail_html_of) ordered;
+            }
+          in
+          let outcome = Tabseg.Api.segment ~method_ input in
+          Some
+            {
+              list_url = list_page.Classifier.url;
+              segmentation = outcome.Tabseg.Api.segmentation;
+              detail_urls = ordered;
+            })
+      roles.Classifier.list_pages
+  in
+  {
+    pages_fetched = List.length fetched;
+    lists_found = List.length roles.Classifier.list_pages;
+    details_found = List.length roles.Classifier.detail_pages;
+    others_found = List.length roles.Classifier.other_pages;
+    results;
+  }

@@ -1,0 +1,37 @@
+(** The end-to-end vision (paper Section 3): point the system at a site's
+    entry page and get structured records out.
+
+    [run] crawls the site, classifies the fetched pages into list, detail
+    and other pages ({!Classifier}), recovers each list page's detail pages
+    {e in record order} (the order of the row links on the list page —
+    the paper's "follow links in the table" heuristic, restricted to links
+    that lead into the detail cluster), and segments every list page. *)
+
+type result = {
+  list_url : string;
+  segmentation : Tabseg.Segmentation.t;
+  detail_urls : string list;  (** in record order *)
+}
+
+type report = {
+  pages_fetched : int;
+  lists_found : int;
+  details_found : int;
+  others_found : int;
+  results : result list;
+}
+
+val detail_links_in_order :
+  detail_urls:string list -> string -> string list
+(** [detail_links_in_order ~detail_urls html] is the subsequence of
+    [html]'s links that lead to known detail pages, deduplicated, in
+    document (= record) order. *)
+
+val run :
+  ?crawl_config:Crawler.config ->
+  ?method_:Tabseg.Api.method_ ->
+  Webgraph.t ->
+  report
+(** Crawl, classify and segment. List pages whose row links cannot be
+    resolved to detail pages are skipped. Default method: probabilistic
+    (the paper's more tolerant engine). *)

@@ -1,0 +1,117 @@
+open Tabseg_token
+
+type page = { url : string; html : string }
+
+(* Tag-frequency profile of a page. *)
+let profile html =
+  let counts = Hashtbl.create 32 in
+  Array.iter
+    (fun token ->
+      if Token.is_tag token then begin
+        let key = Token.template_key token in
+        Hashtbl.replace counts key
+          (1. +. Option.value ~default:0. (Hashtbl.find_opt counts key))
+      end)
+    (Tokenizer.tokenize html);
+  counts
+
+let cosine a b =
+  let dot = ref 0. in
+  Hashtbl.iter
+    (fun key value ->
+      match Hashtbl.find_opt b key with
+      | Some other -> dot := !dot +. (value *. other)
+      | None -> ())
+    a;
+  let norm table =
+    sqrt (Hashtbl.fold (fun _ v acc -> acc +. (v *. v)) table 0.)
+  in
+  let denominator = norm a *. norm b in
+  if denominator = 0. then 0. else !dot /. denominator
+
+let similarity html_a html_b = cosine (profile html_a) (profile html_b)
+
+let cluster ?(threshold = 0.9) pages =
+  let buckets : (page list ref * (string, float) Hashtbl.t) list ref =
+    ref []
+  in
+  List.iter
+    (fun page ->
+      let page_profile = profile page.html in
+      let rec place = function
+        | [] ->
+          buckets := !buckets @ [ (ref [ page ], page_profile) ]
+        | (members, representative) :: rest ->
+          if cosine representative page_profile >= threshold then
+            members := page :: !members
+          else place rest
+      in
+      place !buckets)
+    pages;
+  List.map (fun (members, _) -> List.rev !members) !buckets
+
+type roles = {
+  list_pages : page list;
+  detail_pages : page list;
+  other_pages : page list;
+}
+
+let identify ?threshold pages =
+  let clusters = cluster ?threshold pages in
+  let cluster_of_url = Hashtbl.create 64 in
+  List.iteri
+    (fun index members ->
+      List.iter
+        (fun page -> Hashtbl.replace cluster_of_url page.url index)
+        members)
+    clusters;
+  let clusters = Array.of_list clusters in
+  let n = Array.length clusters in
+  (* Cross-cluster link fan-out. *)
+  let fan_out = Array.make_matrix n n 0 in
+  Array.iteri
+    (fun source members ->
+      List.iter
+        (fun page ->
+          List.iter
+            (fun href ->
+              match Hashtbl.find_opt cluster_of_url href with
+              | Some target when target <> source ->
+                fan_out.(source).(target) <- fan_out.(source).(target) + 1
+              | Some _ | None -> ())
+            (Crawler.links page.html))
+        members)
+    clusters;
+  let best = ref None in
+  for source = 0 to n - 1 do
+    for target = 0 to n - 1 do
+      if source <> target then
+        match !best with
+        | Some (_, _, count) when count >= fan_out.(source).(target) -> ()
+        | _ when fan_out.(source).(target) > 0 ->
+          best := Some (source, target, fan_out.(source).(target))
+        | _ -> ()
+    done
+  done;
+  match !best with
+  | None -> { list_pages = []; detail_pages = []; other_pages = pages }
+  | Some (_, detail_cluster, _) ->
+    (* Every cluster with substantial fan-out into the detail cluster is a
+       list cluster — list pages with differing chrome (the paper's
+       template-problem sites) may have split across clusters. *)
+    let role index =
+      if index = detail_cluster then `Detail
+      else if fan_out.(index).(detail_cluster) >= 3 then `List
+      else `Other
+    in
+    let select wanted =
+      Array.to_list clusters
+      |> List.mapi (fun index members -> (role index, members))
+      |> List.filter (fun (r, _) -> r = wanted)
+      |> List.concat_map snd
+    in
+    {
+      list_pages = select `List;
+      detail_pages = select `Detail;
+      other_pages = select `Other;
+    }

@@ -1,0 +1,34 @@
+(** Page classification by template similarity.
+
+    The paper (Section 6.1): "one can download all the pages that are
+    linked on the list pages, and then use a classification algorithm to
+    find a subset that contains the detail pages only. The detail pages,
+    generated from the same template, will look similar to one another and
+    different from advertisement pages."
+
+    Pages are clustered by the cosine similarity of their HTML-tag
+    frequency profiles (pages from one template share tag structure even
+    when their data differs), then clusters are assigned roles using the
+    site's link structure: the {e list} cluster is the one whose pages fan
+    out to the largest foreign cluster — its rows link to one detail page
+    each — and that target cluster is the {e detail} cluster. *)
+
+type page = { url : string; html : string }
+
+val similarity : string -> string -> float
+(** Cosine similarity of two pages' tag-frequency profiles, in [0, 1]. *)
+
+val cluster : ?threshold:float -> page list -> page list list
+(** Greedy threshold clustering (default threshold 0.9): each page joins
+    the first cluster whose first member it resembles, else founds a new
+    cluster. Order-preserving. *)
+
+type roles = {
+  list_pages : page list;
+  detail_pages : page list;
+  other_pages : page list;
+}
+
+val identify : ?threshold:float -> page list -> roles
+(** Cluster and assign roles. If no cluster pair has any cross links, all
+    pages land in [other_pages]. *)

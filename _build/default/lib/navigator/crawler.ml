@@ -1,0 +1,68 @@
+open Tabseg_html
+
+type page = { url : string; html : string; depth : int }
+
+type config = {
+  max_pages : int;
+  max_depth : int;
+}
+
+let default_config = { max_pages = 500; max_depth = 5 }
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let crawlable href =
+  href <> ""
+  && (not (has_prefix "http://" href))
+  && (not (has_prefix "https://" href))
+  && (not (has_prefix "mailto:" href))
+  && (not (has_prefix "javascript:" href))
+  && not (has_prefix "#" href)
+
+let strip_fragment href =
+  match String.index_opt href '#' with
+  | Some i -> String.sub href 0 i
+  | None -> href
+
+let links html =
+  let anchors = Dom.find_all (( = ) "a") (Dom.parse html) in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun anchor ->
+      match Dom.attribute anchor "href" with
+      | Some href when crawlable href ->
+        let href = strip_fragment href in
+        if href = "" || Hashtbl.mem seen href then None
+        else begin
+          Hashtbl.replace seen href ();
+          Some href
+        end
+      | Some _ | None -> None)
+    anchors
+
+let crawl ?(config = default_config) graph =
+  let visited = Hashtbl.create 64 in
+  let results = ref [] in
+  let queue = Queue.create () in
+  Queue.add (Webgraph.entry graph, 0) queue;
+  Hashtbl.replace visited (Webgraph.entry graph) ();
+  let fetched = ref 0 in
+  while (not (Queue.is_empty queue)) && !fetched < config.max_pages do
+    let url, depth = Queue.pop queue in
+    match Webgraph.fetch graph url with
+    | None -> ()
+    | Some html ->
+      incr fetched;
+      results := { url; html; depth } :: !results;
+      if depth < config.max_depth then
+        List.iter
+          (fun target ->
+            if not (Hashtbl.mem visited target) then begin
+              Hashtbl.replace visited target ();
+              Queue.add (target, depth + 1) queue
+            end)
+          (links html)
+  done;
+  List.rev !results

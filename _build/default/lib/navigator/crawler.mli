@@ -1,0 +1,21 @@
+(** Breadth-first site crawler. Follows same-site [a href] links from the
+    entry page, skipping external URLs, fragments and duplicates. *)
+
+type page = { url : string; html : string; depth : int }
+
+type config = {
+  max_pages : int;  (** stop after this many fetched pages (default 500) *)
+  max_depth : int;  (** do not follow links deeper than this (default 5) *)
+}
+
+val default_config : config
+
+val links : string -> string list
+(** The crawlable link targets of a page, in document order, deduplicated:
+    [href] values that are site-relative (no scheme, no leading slash
+    required), with fragments stripped; [mailto:], [javascript:] and
+    absolute [http(s)] URLs are skipped. *)
+
+val crawl : ?config:config -> Webgraph.t -> page list
+(** BFS from the graph's entry. The entry page has depth 0. Pages are
+    returned in fetch order. *)

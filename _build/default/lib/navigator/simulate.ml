@@ -1,0 +1,88 @@
+open Tabseg_sitegen
+
+let splice_before_body_end html fragment =
+  let marker = "</body>" in
+  let rec find i =
+    if i + String.length marker > String.length html then None
+    else if String.sub html i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    String.sub html 0 i ^ fragment
+    ^ String.sub html i (String.length html - i)
+  | None -> html ^ fragment
+
+let graph_of_site (generated : Sites.generated) =
+  let site = generated.Sites.site in
+  let num_pages = List.length generated.Sites.pages in
+  let list_url p = Printf.sprintf "list_%d.html" p in
+  let entry =
+    let links =
+      String.concat "\n"
+        (List.init num_pages (fun p ->
+             Printf.sprintf
+               {|<p><a href="%s">Results page %d</a></p>|} (list_url p)
+               (p + 1)))
+    in
+    Printf.sprintf
+      {|<html><head><title>%s Search</title></head><body>
+<h1>Welcome to %s</h1>
+<form action="search"><input name="q"></form>
+%s
+<p><a href="about.html">About Us</a></p>
+<p><a href="ads.html">Advertise With Us</a></p>
+</body></html>|}
+      site.Sites.name site.Sites.name links
+  in
+  let about =
+    Printf.sprintf
+      {|<html><head><title>About %s</title></head><body><h1>About Us</h1>
+<p>Founded in 1999, %s serves millions of users.</p>
+<p><a href="entry.html">Home</a></p></body></html>|}
+      site.Sites.name site.Sites.name
+  in
+  let ads =
+    {|<html><head><title>Advertise</title></head><body><h1>Advertise With Us</h1>
+<p>Reach a growing audience of researchers.</p>
+<p><a href="entry.html">Home</a></p></body></html>|}
+  in
+  let list_pages =
+    List.mapi
+      (fun p page ->
+        let extra_links =
+          let next =
+            if p + 1 < num_pages then
+              Printf.sprintf {|<p><a href="%s">Next</a></p>|}
+                (list_url (p + 1))
+            else ""
+          in
+          next
+          ^ {|<p><a href="ads.html">Sponsored links</a></p>|}
+        in
+        (list_url p, splice_before_body_end page.Sites.list_html extra_links))
+      generated.Sites.pages
+  in
+  let detail_pages =
+    List.concat
+      (List.mapi
+         (fun p page ->
+           List.mapi
+             (fun i html -> (Printf.sprintf "detail_%d_%d.html" p i, html))
+             page.Sites.detail_htmls)
+         generated.Sites.pages)
+  in
+  Webgraph.make ~entry:"entry.html"
+    ~pages:
+      ((("entry.html", entry) :: list_pages)
+      @ detail_pages
+      @ [ ("about.html", about); ("ads.html", ads) ])
+
+let truth_for (generated : Sites.generated) url =
+  let rec find p = function
+    | [] -> None
+    | (page : Sites.page) :: rest ->
+      if url = Printf.sprintf "list_%d.html" p then Some page.Sites.truth
+      else find (p + 1) rest
+  in
+  find 0 generated.Sites.pages

@@ -1,0 +1,15 @@
+(** Wire a synthetic site ({!Tabseg_sitegen.Sites}) into a crawlable
+    {!Webgraph}: an entry page linking to the result pages, "Next" links
+    chaining consecutive list pages, and a couple of advertisement/about
+    pages reachable from everywhere — the extraneous links the paper warns
+    about ("there are often other links from the list page that point to
+    advertisements and other extraneous data", Section 6.1). *)
+
+val graph_of_site : Tabseg_sitegen.Sites.generated -> Webgraph.t
+(** URLs follow the site generator's own link scheme:
+    [entry.html], [list_<p>.html], [detail_<p>_<i>.html], plus
+    [about.html] and [ads.html]. *)
+
+val truth_for : Tabseg_sitegen.Sites.generated -> string ->
+  string list list option
+(** Ground truth rows for a list-page URL of this site, if it is one. *)

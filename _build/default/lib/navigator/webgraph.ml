@@ -1,0 +1,31 @@
+type t = {
+  entry : string;
+  pages : (string, string) Hashtbl.t;
+  order : string list;
+  mutable fetches : int;
+}
+
+let make ~entry ~pages =
+  let table = Hashtbl.create (List.length pages) in
+  List.iter
+    (fun (url, html) ->
+      if Hashtbl.mem table url then
+        invalid_arg (Printf.sprintf "Webgraph.make: duplicate URL %S" url);
+      Hashtbl.replace table url html)
+    pages;
+  if not (Hashtbl.mem table entry) then
+    invalid_arg (Printf.sprintf "Webgraph.make: entry %S not among pages" entry);
+  { entry; pages = table; order = List.map fst pages; fetches = 0 }
+
+let entry t = t.entry
+
+let fetch t url =
+  match Hashtbl.find_opt t.pages url with
+  | Some html ->
+    t.fetches <- t.fetches + 1;
+    Some html
+  | None -> None
+
+let fetch_count t = t.fetches
+let urls t = t.order
+let size t = List.length t.order

@@ -1,0 +1,31 @@
+(** A simulated Web site: a set of pages addressed by URL, with an entry
+    point — the substrate for the paper's Section 3 vision ("the user
+    provides a pointer to the top-level page and the system automatically
+    navigates the site, retrieving all pages, classifying them as list and
+    detail pages, and extracting structured data").
+
+    A real HTTP client is out of scope for a sealed reproduction; the graph
+    behaves like one (fetches are counted, unknown URLs 404). *)
+
+type t
+
+val make : entry:string -> pages:(string * string) list -> t
+(** [make ~entry ~pages] builds a site from (url, html) bindings.
+    @raise Invalid_argument if [entry] is not among the page URLs or a URL
+    is bound twice. *)
+
+val entry : t -> string
+(** The entry URL. *)
+
+val fetch : t -> string -> string option
+(** Retrieve a page by URL; [None] for unknown URLs. Each successful fetch
+    is counted. *)
+
+val fetch_count : t -> int
+(** Total successful fetches so far — lets tests assert the crawler's
+    politeness. *)
+
+val urls : t -> string list
+(** All URLs, in binding order. *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array List Option String Tabseg_token Token

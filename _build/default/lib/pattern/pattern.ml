@@ -1,0 +1,195 @@
+open Tabseg_token
+
+type atom =
+  | Atag of string
+  | Atext of string list
+
+type item =
+  | Tag of string
+  | Field
+  | Optional of item list
+
+exception Disjunction of string
+
+let atoms_of_token_list tokens =
+  let rec build acc = function
+    | [] ->
+      List.rev_map
+        (function
+          | Atext words -> Atext (List.rev words)
+          | atom -> atom)
+        acc
+    | (token : Token.t) :: rest ->
+      if Token.is_word token then
+        match acc with
+        | Atext words :: tail ->
+          build (Atext (token.Token.text :: words) :: tail) rest
+        | _ -> build (Atext [ token.Token.text ] :: acc) rest
+      else build (Atag (Token.template_key token) :: acc) rest
+  in
+  build [] tokens
+
+let atoms_of_tokens tokens = atoms_of_token_list (Array.to_list tokens)
+
+let generalize = List.map (function Atag key -> Tag key | Atext _ -> Field)
+
+let atom_matches item atom =
+  match (item, atom) with
+  | Tag a, Atag b -> a = b
+  | Field, Atext _ -> true
+  | _ -> false
+
+(* --------------------------- folding ------------------------------ *)
+
+(* [just_wrapped] forbids resolving two mismatches in a row by wrapping
+   opposite sides — that would be an alternative (a disjunction). *)
+let rec align ~just_wrapped pattern chunk =
+  match (pattern, chunk) with
+  | [], [] -> Some []
+  | Tag a :: ps, Atag b :: cs when a = b ->
+    Option.map (fun rest -> Tag a :: rest) (align ~just_wrapped:false ps cs)
+  | Field :: ps, Atext _ :: cs ->
+    Option.map (fun rest -> Field :: rest) (align ~just_wrapped:false ps cs)
+  | Optional body :: ps, _ -> (
+    match align_optional body chunk with
+    | Some remaining_chunk -> (
+      match align ~just_wrapped:false ps remaining_chunk with
+      | Some rest -> Some (Optional body :: rest)
+      | None ->
+        Option.map
+          (fun rest -> Optional body :: rest)
+          (align ~just_wrapped ps chunk))
+    | None ->
+      Option.map
+        (fun rest -> Optional body :: rest)
+        (align ~just_wrapped ps chunk))
+  | _ ->
+    if just_wrapped then
+      raise
+        (Disjunction
+           "two alternative structures in the same slot: a union-free \
+            grammar would need a disjunction")
+    else wrap ~pattern ~chunk
+
+(* Match a (non-nested) optional body against a chunk prefix; return the
+   rest of the chunk on success. *)
+and align_optional body chunk =
+  match (body, chunk) with
+  | [], rest -> Some rest
+  | item :: body_rest, atom :: chunk_rest when atom_matches item atom ->
+    align_optional body_rest chunk_rest
+  | _ -> None
+
+and is_tag_item = function Tag _ -> true | Field | Optional _ -> false
+and is_tag_atom = function Atag _ -> true | Atext _ -> false
+
+(* Resolve a mismatch by hypothesizing an optional region on one side.
+   As in RoadRunner, re-anchoring happens on tags only: a text slot can
+   match anything, so it cannot serve as a landmark. *)
+and wrap ~pattern ~chunk =
+  (* Case 1: the pattern carries a region this chunk lacks. *)
+  let case1 =
+    match chunk with
+    | [] -> (
+      match pattern with
+      | [] -> None
+      | _ -> Some [ Optional pattern ])
+    | atom :: _ when is_tag_atom atom ->
+      let rec split prefix = function
+        | [] -> None
+        | item :: rest when atom_matches item atom && prefix <> [] -> (
+          match align ~just_wrapped:true (item :: rest) chunk with
+          | Some aligned -> Some (Optional (List.rev prefix) :: aligned)
+          | None | (exception Disjunction _) -> None)
+        | item :: rest -> split (item :: prefix) rest
+      in
+      split [] pattern
+    | _ :: _ -> None
+  in
+  match case1 with
+  | Some _ as result -> result
+  | None -> (
+    (* Case 2: the chunk carries a region the pattern lacks. *)
+    match pattern with
+    | [] -> (
+      match chunk with
+      | [] -> Some []
+      | _ -> Some [ Optional (generalize chunk) ])
+    | item :: _ when is_tag_item item ->
+      let rec split prefix = function
+        | [] -> None
+        | atom :: rest when atom_matches item atom && prefix <> [] -> (
+          match align ~just_wrapped:true pattern (atom :: rest) with
+          | Some aligned ->
+            Some (Optional (generalize (List.rev prefix)) :: aligned)
+          | None | (exception Disjunction _) -> None)
+        | atom :: rest -> split (atom :: prefix) rest
+      in
+      split [] chunk
+    | _ :: _ -> None)
+
+let fold pattern chunk = align ~just_wrapped:false pattern chunk
+
+(* --------------------------- matching ----------------------------- *)
+
+(* Backtracking matcher; [emit] collects captured field text in reverse. *)
+let rec match_walk pattern chunk captured =
+  match (pattern, chunk) with
+  | [], [] -> Some captured
+  | Tag a :: ps, Atag b :: cs when a = b -> match_walk ps cs captured
+  | Field :: ps, Atext words :: cs ->
+    match_walk ps cs (String.concat " " words :: captured)
+  | Optional body :: ps, _ -> (
+    (* Try consuming the optional, then try skipping it. *)
+    match match_walk (body @ ps) chunk captured with
+    | Some _ as result -> result
+    | None -> match_walk ps chunk captured)
+  | _ -> None
+
+let capture pattern chunk =
+  Option.map List.rev (match_walk pattern chunk [])
+
+let matches pattern chunk = capture pattern chunk <> None
+
+(* --------------------------- chunking ----------------------------- *)
+
+let chunks ~marker atoms =
+  let rec split current chunks in_region = function
+    | [] ->
+      List.rev (if current = [] then chunks else List.rev current :: chunks)
+    | Atag key :: rest when key = marker ->
+      let chunks =
+        if in_region && current <> [] then List.rev current :: chunks
+        else chunks
+      in
+      split [ Atag key ] chunks true rest
+    | atom :: rest ->
+      if in_region then split (atom :: current) chunks true rest
+      else split current chunks false rest
+  in
+  let all = split [] [] false atoms in
+  let end_tag = "</" ^ String.sub marker 1 (String.length marker - 1) in
+  let trim chunk =
+    let rec up_to_last acc pending = function
+      | [] -> List.rev acc
+      | Atag key :: rest when key = end_tag ->
+        up_to_last (Atag key :: (pending @ acc)) [] rest
+      | atom :: rest -> up_to_last acc (atom :: pending) rest
+    in
+    match up_to_last [] [] chunk with
+    | [] -> chunk
+    | trimmed -> trimmed
+  in
+  match List.rev all with
+  | [] -> []
+  | last :: earlier -> List.rev (trim last :: earlier)
+
+(* --------------------------- rendering ---------------------------- *)
+
+let to_string pattern =
+  let rec render = function
+    | Tag key -> key
+    | Field -> "#FIELD"
+    | Optional body -> "(" ^ String.concat " " (List.map render body) ^ ")?"
+  in
+  String.concat " " (List.map render pattern)

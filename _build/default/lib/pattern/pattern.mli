@@ -1,0 +1,58 @@
+(** Union-free row patterns over token streams: exact tags, text fields and
+    optional regions.
+
+    This is the shared machinery behind two consumers: the RoadRunner-style
+    unsupervised grammar inducer ({!Tabseg_baseline.Roadrunner_lite}) and
+    the wrapper bootstrapper ({!Tabseg_wrapper}), which folds the row spans
+    found by an unsupervised segmentation into a reusable extraction
+    pattern. Folding is deliberately union-free: resolving two mismatches
+    in a row by wrapping opposite sides would require a disjunction, which
+    the pattern language cannot express — the fold raises {!Disjunction}
+    instead (the paper's Section 6.3 argument). *)
+
+open Tabseg_token
+
+type atom =
+  | Atag of string  (** a tag, by its template key, e.g. ["<td>"] *)
+  | Atext of string list  (** a maximal run of word tokens *)
+
+type item =
+  | Tag of string
+  | Field  (** matches one text run; its words are captured by {!capture} *)
+  | Optional of item list
+
+exception Disjunction of string
+
+val atoms_of_tokens : Token.t array -> atom list
+(** Compress a token stream: tags keep their keys, consecutive words
+    collapse into one {!Atext}. *)
+
+val atoms_of_token_list : Token.t list -> atom list
+
+val generalize : atom list -> item list
+(** Text runs become {!Field}s. *)
+
+val fold : item list -> atom list -> item list option
+(** Fold one more example into a pattern, hypothesizing tag-anchored
+    optional regions on either side for single mismatches. [None] if no
+    union-free reconciliation exists at some local choice;
+    @raise Disjunction when reconciliation would need two alternative
+    structures in the same slot. *)
+
+val matches : item list -> atom list -> bool
+(** Does the pattern accept the atom sequence (with backtracking over
+    optionals)? *)
+
+val capture : item list -> atom list -> string list option
+(** Match and return the text of every consumed [Field] in order (skipped
+    optional fields contribute nothing). [None] when the pattern does not
+    accept the sequence. *)
+
+val chunks : marker:string -> atom list -> atom list list
+(** Split the region between the first and last occurrence of the marker
+    tag into per-occurrence chunks, each starting with the marker. The
+    final chunk is trimmed just after the last matching end tag so page
+    footers do not leak into the last row. *)
+
+val to_string : item list -> string
+(** Render like ["<tr> #FIELD (<td> #FIELD </td>)?"]. *)

@@ -1,0 +1,1 @@
+lib/sitegen/data.ml: Array Char Hashtbl List Printf Prng

@@ -1,0 +1,1 @@
+lib/sitegen/data.mli: Prng

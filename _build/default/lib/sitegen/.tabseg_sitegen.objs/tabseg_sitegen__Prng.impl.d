@@ -1,0 +1,1 @@
+lib/sitegen/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/sitegen/render.ml: Buffer List Option Printf Tabseg_html

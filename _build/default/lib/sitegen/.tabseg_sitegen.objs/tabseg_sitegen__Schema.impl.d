@@ -1,0 +1,1 @@
+lib/sitegen/schema.ml: Data List Prng String

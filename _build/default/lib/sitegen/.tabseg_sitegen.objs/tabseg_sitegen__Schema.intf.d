@@ -1,0 +1,1 @@
+lib/sitegen/schema.mli: Data Prng

@@ -1,0 +1,1 @@
+lib/sitegen/sites.ml: Data List Printf Prng Render Schema String

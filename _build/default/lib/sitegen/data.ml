@@ -1,0 +1,156 @@
+let first_names =
+  [| "John"; "Mary"; "Robert"; "Patricia"; "James"; "Linda"; "Michael";
+     "Barbara"; "William"; "Elizabeth"; "David"; "Jennifer"; "Richard";
+     "Maria"; "Charles"; "Susan"; "Joseph"; "Margaret"; "Thomas"; "Dorothy";
+     "George"; "Lisa"; "Kenneth"; "Nancy"; "Steven"; "Karen"; "Edward";
+     "Betty"; "Brian"; "Helen"; "Ronald"; "Sandra"; "Anthony"; "Donna";
+     "Kevin"; "Carol"; "Jason"; "Ruth"; "Matthew"; "Sharon" |]
+
+let last_names =
+  [| "Smith"; "Johnson"; "Williams"; "Jones"; "Brown"; "Davis"; "Miller";
+     "Wilson"; "Moore"; "Taylor"; "Anderson"; "Thomas"; "Jackson"; "White";
+     "Harris"; "Martin"; "Thompson"; "Garcia"; "Martinez"; "Robinson";
+     "Clark"; "Rodriguez"; "Lewis"; "Lee"; "Walker"; "Hall"; "Allen";
+     "Young"; "Hernandez"; "King"; "Wright"; "Lopez"; "Hill"; "Scott";
+     "Green"; "Adams"; "Baker"; "Gonzalez"; "Nelson"; "Carter" |]
+
+let street_names =
+  [| "Washington"; "Main"; "Oak"; "Maple"; "Cedar"; "Elm"; "Walnut"; "Lake";
+     "Hill"; "Park"; "Pine"; "River"; "Spring"; "Ridge"; "Church"; "Market";
+     "Union"; "Chestnut"; "Franklin"; "Highland" |]
+
+let street_suffixes = [| "St"; "Ave"; "Rd"; "Blvd"; "Ln"; "Dr"; "Ct" |]
+
+let cities =
+  [| "New Holland"; "Findlay"; "Washington Court House"; "Columbus";
+     "Dayton"; "Springfield"; "Lancaster"; "Marion"; "Chillicothe";
+     "Zanesville"; "Ashtabula"; "Sandusky"; "Mansfield"; "Newark";
+     "Portsmouth"; "Steubenville" |]
+
+let states = [| "OH"; "PA"; "MI"; "MN"; "FL"; "ON"; "BC" |]
+
+let area_codes = [| "740"; "419"; "614"; "330"; "937"; "216"; "513" |]
+
+let facilities =
+  [| "Riverside Correctional Facility"; "Oak Park Correctional Facility";
+     "Lakeland Correctional Facility"; "Northgate Correctional Facility";
+     "Southern State Correctional Facility" |]
+
+let offenses =
+  [| "Burglary"; "Robbery"; "Forgery"; "Arson"; "Larceny"; "Assault";
+     "Fraud"; "Vandalism"; "Trespassing"; "Embezzlement" |]
+
+let statuses = [| "Incarcerated"; "Parole"; "Probation"; "Released" |]
+
+let title_adjectives =
+  [| "Silent"; "Hidden"; "Golden"; "Broken"; "Ancient"; "Distant";
+     "Forgotten"; "Burning"; "Crimson"; "Endless"; "Hollow"; "Restless" |]
+
+let title_nouns =
+  [| "River"; "Garden"; "Empire"; "Voyage"; "Harbor"; "Mountain"; "Letter";
+     "Mirror"; "Orchard"; "Citadel"; "Horizon"; "Lantern" |]
+
+let publishers =
+  [| "Meridian Press"; "Bluestone Books"; "Harborlight Publishing";
+     "Cartwheel House"; "Foxglove Editions" |]
+
+type pools = {
+  pool_cities : string array;
+  pool_surnames : string array;
+  pool_state : string;
+  pool_area_code : string;
+  pool_facilities : string array;
+}
+
+let sample_distinct rand source count =
+  let n = Array.length source in
+  let count = min count n in
+  let chosen = Hashtbl.create count in
+  let rec draw acc remaining =
+    if remaining = 0 then acc
+    else begin
+      let index = Prng.int rand n in
+      if Hashtbl.mem chosen index then draw acc remaining
+      else begin
+        Hashtbl.replace chosen index ();
+        draw (source.(index) :: acc) (remaining - 1)
+      end
+    end
+  in
+  Array.of_list (draw [] count)
+
+let make_pools rand =
+  {
+    pool_cities = sample_distinct rand cities 3;
+    pool_surnames = sample_distinct rand last_names 6;
+    pool_state = Prng.pick_array rand states;
+    pool_area_code = Prng.pick_array rand area_codes;
+    pool_facilities = sample_distinct rand facilities 3;
+  }
+
+let person_name rand pools =
+  let first = Prng.pick_array rand first_names in
+  let last = Prng.pick_array rand pools.pool_surnames in
+  if Prng.chance rand 0.15 then
+    let initial = Char.chr (Char.code 'A' + Prng.int rand 26) in
+    Printf.sprintf "%s %c. %s" first initial last
+  else Printf.sprintf "%s %s" first last
+
+let street_address rand _pools =
+  let number = 1 + Prng.int rand 9_999 in
+  let suffix = if Prng.chance rand 0.08 then "R" else "" in
+  Printf.sprintf "%d%s %s %s" number suffix
+    (Prng.pick_array rand street_names)
+    (Prng.pick_array rand street_suffixes)
+
+let city rand pools = Prng.pick_array rand pools.pool_cities
+let state pools = pools.pool_state
+
+let city_state rand pools =
+  Printf.sprintf "%s, %s" (city rand pools) (state pools)
+
+let phone rand pools =
+  Printf.sprintf "(%s) %03d-%04d" pools.pool_area_code
+    (100 + Prng.int rand 900)
+    (Prng.int rand 10_000)
+
+let rec digits_grouped value =
+  if value < 1000 then string_of_int value
+  else digits_grouped (value / 1000) ^ Printf.sprintf ",%03d" (value mod 1000)
+
+let money rand ~min ~max =
+  let value = min + Prng.int rand (max - min + 1) in
+  "$" ^ digits_grouped value
+
+let parcel_id rand =
+  Printf.sprintf "%02d-%04d-%04d" (Prng.int rand 100) (Prng.int rand 10_000)
+    (Prng.int rand 10_000)
+
+let owner_name = person_name
+
+let inmate_id rand = Printf.sprintf "A%06d" (Prng.int rand 1_000_000)
+
+let facility rand pools = Prng.pick_array rand pools.pool_facilities
+let offense rand = Prng.pick_array rand offenses
+let status rand = Prng.pick_array rand statuses
+
+let date rand =
+  Printf.sprintf "%02d/%02d/%4d" (1 + Prng.int rand 12) (1 + Prng.int rand 28)
+    (1988 + Prng.int rand 16)
+
+let book_title rand unique =
+  Printf.sprintf "The %s %s Vol %d"
+    (Prng.pick_array rand title_adjectives)
+    (Prng.pick_array rand title_nouns)
+    (unique + 1)
+
+let author rand pools = person_name rand pools
+
+let authors rand pools count = List.init count (fun _ -> author rand pools)
+
+let publisher rand = Prng.pick_array rand publishers
+
+let year rand = string_of_int (1975 + Prng.int rand 29)
+
+let price rand =
+  Printf.sprintf "$%d.%02d" (5 + Prng.int rand 60) (Prng.int rand 100)

@@ -1,0 +1,54 @@
+(** Value generators for the four information domains of the paper's
+    evaluation (white pages, property tax, corrections, book sellers).
+
+    Generators draw from fixed pools through a {!Prng} stream, so a given
+    seed always produces the same site. Several generators deliberately
+    reuse values across records (shared surnames, a small per-site city
+    pool, duplicate phone numbers) because those collisions are what make
+    the segmentation problem non-trivial — they are the source of
+    multi-page [D_i] sets (paper Table 1). *)
+
+type pools
+(** Per-site value pools (narrowed from the global pools so that values
+    repeat across the site's records). *)
+
+val make_pools : Prng.t -> pools
+
+val person_name : Prng.t -> pools -> string
+(** "John Smith"; occasionally with a middle initial. *)
+
+val street_address : Prng.t -> pools -> string
+val city : Prng.t -> pools -> string
+(** "New Holland" — drawn from a small per-site pool, so repeats are
+    common. *)
+
+val state : pools -> string
+val city_state : Prng.t -> pools -> string
+(** "Findlay, OH". *)
+
+val phone : Prng.t -> pools -> string
+(** "(740) 335-5555" with the site's area code. *)
+
+val money : Prng.t -> min:int -> max:int -> string
+(** "$128,400". *)
+
+val parcel_id : Prng.t -> string
+(** "23-0419-0072". *)
+
+val owner_name : Prng.t -> pools -> string
+val inmate_id : Prng.t -> string
+val facility : Prng.t -> pools -> string
+val offense : Prng.t -> string
+val status : Prng.t -> string
+val date : Prng.t -> string
+(** "06/17/2002". *)
+
+val book_title : Prng.t -> int -> string
+(** A distinctive multi-word title; the integer makes it unique. *)
+
+val author : Prng.t -> pools -> string
+val authors : Prng.t -> pools -> int -> string list
+val publisher : Prng.t -> string
+val year : Prng.t -> string
+val price : Prng.t -> string
+(** "$24.95". *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.mul (Int64.of_int (seed + 1)) 0x2545F4914F6CDD1DL }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  raw mod bound
+
+let chance t p = float_of_int (int t 1_000_000) /. 1_000_000. < p
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let pick_array t items =
+  if Array.length items = 0 then invalid_arg "Prng.pick_array: empty array";
+  items.(int t (Array.length items))
+
+let shuffle t items =
+  let tagged = List.map (fun item -> (next t, item)) items in
+  List.map snd (List.sort compare tagged)
+
+let split t = { state = next t }

@@ -1,0 +1,27 @@
+(** A small deterministic PRNG (splitmix64) so that every synthetic site is
+    reproducible from its seed, independent of OCaml's global [Random]
+    state. *)
+
+type t
+
+val create : int -> t
+
+val next : t -> int64
+(** The raw 64-bit stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val chance : t -> float -> bool
+(** True with the given probability. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** An independent stream derived from [t]'s current state. *)

@@ -1,0 +1,195 @@
+type layout =
+  | Grid
+  | Numbered_grid
+  | Freeform
+  | Blocks
+  | Numbered_blocks
+  | Vertical_grid
+
+type cell = { text : string; gray : bool }
+
+type row = {
+  cells : cell list;
+  link : string option;
+  link_text : string;
+  enumerator : string option;
+}
+
+type chrome = {
+  site_title : string;
+  summary : string;
+  promos : string list;
+  footer : string list;
+}
+
+let escape = Tabseg_html.Entity.encode
+
+let cell_html { text; gray } =
+  if gray then Printf.sprintf {|<font color="gray">%s</font>|} (escape text)
+  else escape text
+
+let link_html row =
+  match row.link with
+  | None -> ""
+  | Some href ->
+    Printf.sprintf {|<a href="%s">%s</a>|} (escape href) (escape row.link_text)
+
+let grid_row ~numbered row =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer "<tr>";
+  (if numbered then
+     let enumerator = Option.value ~default:"" row.enumerator in
+     Buffer.add_string buffer
+       (Printf.sprintf "<td>%s</td>" (escape enumerator)));
+  List.iter
+    (fun cell ->
+      Buffer.add_string buffer (Printf.sprintf "<td>%s</td>" (cell_html cell)))
+    row.cells;
+  (match row.link with
+  | None -> ()
+  | Some _ ->
+    Buffer.add_string buffer (Printf.sprintf "<td>%s</td>" (link_html row)));
+  Buffer.add_string buffer "</tr>\n";
+  Buffer.contents buffer
+
+let freeform_row row =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer {|<div class="result">|};
+  (match row.cells with
+  | [] -> ()
+  | lead :: rest ->
+    Buffer.add_string buffer (Printf.sprintf "<b>%s</b>" (cell_html lead));
+    let count = List.length rest in
+    List.iteri
+      (fun i cell ->
+        let separator = if i = count - 1 && count > 1 then " ~ " else "<br>" in
+        Buffer.add_string buffer separator;
+        Buffer.add_string buffer (cell_html cell))
+      rest);
+  Buffer.add_string buffer " ";
+  Buffer.add_string buffer (link_html row);
+  Buffer.add_string buffer "</div>\n<hr>\n";
+  Buffer.contents buffer
+
+let blocks_row ~numbered row =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer "<p>";
+  (if numbered then
+     let enumerator = Option.value ~default:"" row.enumerator in
+     Buffer.add_string buffer (escape enumerator ^ " "));
+  (match row.cells with
+  | [] -> ()
+  | [ only ] -> Buffer.add_string buffer (Printf.sprintf "<b>%s</b>" (cell_html only))
+  | lead :: second :: rest ->
+    Buffer.add_string buffer
+      (Printf.sprintf "<b>%s</b> | %s" (cell_html lead) (cell_html second));
+    List.iter
+      (fun cell ->
+        Buffer.add_string buffer " | ";
+        Buffer.add_string buffer (cell_html cell))
+      rest);
+  Buffer.add_string buffer " ";
+  Buffer.add_string buffer (link_html row);
+  Buffer.add_string buffer "</p>\n";
+  Buffer.contents buffer
+
+let header chrome =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "<html><head><title>%s</title></head><body>\n<h1>%s Results</h1>\n"
+       (escape chrome.site_title) (escape chrome.site_title));
+  Buffer.add_string buffer
+    (Printf.sprintf "<p>%s</p>\n" (escape chrome.summary));
+  List.iter
+    (fun promo ->
+      Buffer.add_string buffer (Printf.sprintf "<p>%s</p>\n" (escape promo)))
+    chrome.promos;
+  Buffer.contents buffer
+
+let footer chrome =
+  let buffer = Buffer.create 128 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buffer (Printf.sprintf "<p>%s</p>\n" (escape line)))
+    chrome.footer;
+  Buffer.add_string buffer "</body></html>\n";
+  Buffer.contents buffer
+
+let render_list layout ~columns chrome rows =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer (header chrome);
+  (match layout with
+  | Grid | Numbered_grid ->
+    let numbered = layout = Numbered_grid in
+    Buffer.add_string buffer "<table border=\"1\">\n<tr>";
+    if numbered then Buffer.add_string buffer "<th></th>";
+    List.iter
+      (fun label ->
+        Buffer.add_string buffer (Printf.sprintf "<th>%s</th>" (escape label)))
+      columns;
+    Buffer.add_string buffer "<th></th></tr>\n";
+    List.iter
+      (fun row -> Buffer.add_string buffer (grid_row ~numbered row))
+      rows;
+    Buffer.add_string buffer "</table>\n"
+  | Freeform ->
+    List.iter (fun row -> Buffer.add_string buffer (freeform_row row)) rows
+  | Blocks | Numbered_blocks ->
+    let numbered = layout = Numbered_blocks in
+    List.iter
+      (fun row -> Buffer.add_string buffer (blocks_row ~numbered row))
+      rows
+  | Vertical_grid ->
+    (* Records are columns: field row f holds record j's f-th cell. *)
+    let max_fields =
+      List.fold_left (fun acc row -> max acc (List.length row.cells)) 0 rows
+    in
+    Buffer.add_string buffer "<table border=\"1\">\n";
+    for field = 0 to max_fields - 1 do
+      Buffer.add_string buffer "<tr>";
+      List.iter
+        (fun row ->
+          let cell =
+            match List.nth_opt row.cells field with
+            | Some cell -> cell_html cell
+            | None -> ""
+          in
+          Buffer.add_string buffer (Printf.sprintf "<td>%s</td>" cell))
+        rows;
+      Buffer.add_string buffer "</tr>\n"
+    done;
+    Buffer.add_string buffer "<tr>";
+    List.iter
+      (fun row ->
+        Buffer.add_string buffer
+          (Printf.sprintf "<td>%s</td>" (link_html row)))
+      rows;
+    Buffer.add_string buffer "</tr>\n</table>\n");
+  Buffer.add_string buffer (footer chrome);
+  Buffer.contents buffer
+
+let render_detail ~chrome ~labels ~values ~extra =
+  if List.length labels <> List.length values then
+    invalid_arg "Render.render_detail: labels/values length mismatch";
+  let buffer = Buffer.create 2048 in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "<html><head><title>%s : Details</title></head><body>\n<h2>%s Listing Detail</h2>\n"
+       (escape chrome.site_title) (escape chrome.site_title));
+  Buffer.add_string buffer "<table>\n";
+  List.iter2
+    (fun label value ->
+      Buffer.add_string buffer
+        (Printf.sprintf "<tr><td><i>%s:</i></td><td>%s</td></tr>\n"
+           (escape label) (escape value)))
+    labels values;
+  Buffer.add_string buffer "</table>\n";
+  List.iter
+    (fun line ->
+      Buffer.add_string buffer (Printf.sprintf "<p>%s</p>\n" (escape line)))
+    extra;
+  Buffer.add_string buffer (footer chrome);
+  Buffer.contents buffer
+
+let row_truth row = List.map (fun cell -> cell.text) row.cells

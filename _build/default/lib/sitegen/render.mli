@@ -1,0 +1,58 @@
+(** HTML rendering of synthetic list and detail pages.
+
+    Layouts mirror the presentation variety the paper describes
+    (Section 6.1): grid-like tables with header rows, free-form blocks with
+    mixed separators, numbered entries, and disjunctive formatting for
+    missing values (the Superpages "street address not available" case that
+    defeats union-free grammars, Section 6.3). *)
+
+type layout =
+  | Grid  (** bordered table, one record per [tr], header row of labels *)
+  | Numbered_grid  (** grid with a leading enumerator cell "1.", "2.", ... *)
+  | Freeform
+      (** one [div] block per record: bold lead value, [br]-separated
+          values, a tilde before the last one *)
+  | Blocks  (** [p] blocks with dash and pipe separators *)
+  | Numbered_blocks  (** blocks with a leading enumerator *)
+  | Vertical_grid
+      (** records laid out as table {e columns} — the rare vertical layout
+          of paper Section 3.2, used by the vertical-table extension demo *)
+
+type cell = {
+  text : string;  (** the visible value *)
+  gray : bool;
+      (** render with the alternate (gray font) formatting — disjunctive
+          layout *)
+}
+
+type row = {
+  cells : cell list;
+  link : string option;  (** href of the detail link, if any *)
+  link_text : string;  (** e.g. "More Info" *)
+  enumerator : string option;  (** "1." etc, numbered layouts only *)
+}
+
+type chrome = {
+  site_title : string;
+  summary : string;  (** e.g. "Displaying 1-10 of 214 records." *)
+  promos : string list;  (** header boilerplate paragraphs *)
+  footer : string list;
+}
+
+val render_list : layout -> columns:string list -> chrome -> row list -> string
+(** Render a full list page. [columns] are the header labels (used by grid
+    layouts only). *)
+
+val render_detail :
+  chrome:chrome ->
+  labels:string list ->
+  values:string list ->
+  extra:string list ->
+  string
+(** Render a detail page: labelled attribute table plus [extra] free
+    paragraphs (maps, ads, contamination). [labels] and [values] must have
+    equal length. *)
+
+val row_truth : row -> string list
+(** The ground-truth content of a row: the cell texts, in order (enumerator
+    and link text are presentation, not record content). *)

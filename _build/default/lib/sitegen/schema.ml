@@ -1,0 +1,56 @@
+type record = (string * string) list
+
+let domains = [ "white pages"; "property tax"; "corrections"; "books" ]
+
+let labels = function
+  | "white pages" -> [ "Name"; "Address"; "City"; "Phone" ]
+  | "property tax" -> [ "Parcel"; "Owner"; "Address"; "Value"; "Tax" ]
+  | "corrections" -> [ "Name"; "ID"; "Facility"; "Status"; "Admitted" ]
+  | "books" -> [ "Title"; "Author"; "Publisher"; "Year"; "Price" ]
+  | domain -> invalid_arg ("Schema.labels: " ^ domain)
+
+let white_pages_record rand pools =
+  [ ("Name", Data.person_name rand pools);
+    ("Address", Data.street_address rand pools);
+    ("City", Data.city_state rand pools);
+    ("Phone", Data.phone rand pools) ]
+
+let property_record rand pools =
+  [ ("Parcel", Data.parcel_id rand);
+    ("Owner", Data.owner_name rand pools);
+    ("Address", Data.street_address rand pools);
+    ("Value", Data.money rand ~min:20_000 ~max:900_000);
+    ("Tax", Data.money rand ~min:300 ~max:20_000) ]
+
+let corrections_record rand pools =
+  [ ("Name", Data.person_name rand pools);
+    ("ID", Data.inmate_id rand);
+    ("Facility", Data.facility rand pools);
+    ("Status", Data.status rand);
+    ("Admitted", Data.date rand) ]
+
+let books_record rand pools index =
+  let authors = Data.authors rand pools (1 + Prng.int rand 3) in
+  [ ("Title", Data.book_title rand index);
+    ("Author", String.concat ", " authors);
+    ("Publisher", Data.publisher rand);
+    ("Year", Data.year rand);
+    ("Price", Data.price rand) ]
+
+let record ~domain ~index rand pools =
+  match domain with
+  | "white pages" -> white_pages_record rand pools
+  | "property tax" -> property_record rand pools
+  | "corrections" -> corrections_record rand pools
+  | "books" -> books_record rand pools index
+  | domain -> invalid_arg ("Schema.record: " ^ domain)
+
+let missing_field_chance = 0.12
+
+let drop_random_field rand fields =
+  match fields with
+  | [] | [ _ ] | [ _; _ ] -> fields
+  | _ when not (Prng.chance rand missing_field_chance) -> fields
+  | first :: rest ->
+    let victim = Prng.int rand (List.length rest) in
+    first :: List.filteri (fun i _ -> i <> victim) rest

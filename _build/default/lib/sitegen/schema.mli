@@ -1,0 +1,26 @@
+(** Record schemas for the four information domains of the paper's
+    evaluation (Section 6.1): white pages, property tax, corrections and
+    book sellers. A record is an ordered (label, value) association list;
+    the same record backs both its list-page row and its detail page. *)
+
+type record = (string * string) list
+
+val domains : string list
+(** The four recognized domain names. *)
+
+val labels : string -> string list
+(** Field labels of a domain, in presentation order.
+    @raise Invalid_argument on an unknown domain. *)
+
+val record : domain:string -> index:int -> Prng.t -> Data.pools -> record
+(** Generate one record. [index] makes inherently unique values (book
+    titles) distinct across a page.
+    @raise Invalid_argument on an unknown domain. *)
+
+val drop_random_field : Prng.t -> record -> record
+(** With the standard missing-field probability, drop one non-leading
+    field — "missing fields in a record [are] a common occurrence in Web
+    data" (paper Section 5.2.2). Records with fewer than three fields are
+    returned unchanged. *)
+
+val missing_field_chance : float

@@ -1,0 +1,447 @@
+type quirk =
+  | Numbered_entries
+  | Abbreviated_authors
+  | Case_mismatch
+  | Value_drift
+  | Missing_detail_attribute
+  | History_contamination
+  | Contaminated_promos
+  | Varying_boilerplate
+  | Disjunctive_missing_address
+
+type site = {
+  name : string;
+  domain : string;
+  layout : Render.layout;
+  records_per_page : int list;
+  seed : int;
+  quirks : quirk list;
+}
+
+type page = {
+  list_html : string;
+  detail_htmls : string list;
+  truth : string list list;
+}
+
+type generated = {
+  site : site;
+  pages : page list;
+}
+
+let all =
+  [
+    { name = "AmazonBooks"; domain = "books"; layout = Render.Numbered_blocks;
+      records_per_page = [ 10; 10 ]; seed = 101;
+      quirks =
+        [ Numbered_entries; Abbreviated_authors; History_contamination;
+          Contaminated_promos ] };
+    { name = "BNBooks"; domain = "books"; layout = Render.Numbered_grid;
+      records_per_page = [ 10; 10 ]; seed = 102;
+      quirks = [ Numbered_entries; Contaminated_promos ] };
+    { name = "AlleghenyCounty"; domain = "property tax";
+      layout = Render.Grid; records_per_page = [ 20; 20 ]; seed = 103;
+      quirks = [] };
+    { name = "ButlerCounty"; domain = "property tax"; layout = Render.Grid;
+      records_per_page = [ 15; 12 ]; seed = 104; quirks = [] };
+    { name = "LeeCounty"; domain = "property tax"; layout = Render.Grid;
+      records_per_page = [ 16; 5 ]; seed = 105; quirks = [] };
+    { name = "MichiganCorrections"; domain = "corrections";
+      layout = Render.Grid; records_per_page = [ 7; 16 ]; seed = 106;
+      quirks = [ Value_drift ] };
+    { name = "MinnesotaCorrections"; domain = "corrections";
+      layout = Render.Numbered_grid; records_per_page = [ 11; 19 ];
+      seed = 107; quirks = [ Numbered_entries; Case_mismatch ] };
+    { name = "OhioCorrections"; domain = "corrections";
+      layout = Render.Grid; records_per_page = [ 10; 10 ]; seed = 108;
+      quirks = [] };
+    { name = "Canada411"; domain = "white pages"; layout = Render.Blocks;
+      records_per_page = [ 25; 5 ]; seed = 109;
+      quirks = [ Missing_detail_attribute ] };
+    { name = "SprintCanada"; domain = "white pages"; layout = Render.Blocks;
+      records_per_page = [ 20; 20 ]; seed = 110; quirks = [] };
+    { name = "YahooPeople"; domain = "white pages"; layout = Render.Freeform;
+      records_per_page = [ 10; 10 ]; seed = 111;
+      quirks = [ Varying_boilerplate; Contaminated_promos ] };
+    { name = "SuperPages"; domain = "white pages"; layout = Render.Freeform;
+      records_per_page = [ 3; 15 ]; seed = 112;
+      quirks = [ Varying_boilerplate; Disjunctive_missing_address ] };
+  ]
+
+(* Demonstration sites outside the paper's twelve — used by the
+   extension experiments and examples, not by Table 4. *)
+let demo_sites =
+  [
+    { name = "VerticalPages"; domain = "white pages";
+      layout = Render.Vertical_grid; records_per_page = [ 6; 4 ];
+      seed = 201; quirks = [] };
+  ]
+
+let find name =
+  let wanted = String.lowercase_ascii name in
+  List.find
+    (fun site -> String.lowercase_ascii site.name = wanted)
+    (all @ demo_sites)
+
+let has site quirk = List.mem quirk site.quirks
+
+(* ------------------------- record generation ------------------------ *)
+
+let twin_chance = 0.12
+
+let generate_records site rand pools page_index count =
+  let records = ref [] in
+  for index = 0 to count - 1 do
+    let record =
+      Schema.record ~domain:site.domain
+        ~index:((page_index * 100) + index)
+        rand pools
+    in
+    let record =
+      (* Twin records: same person, same phone, different address — the
+         paper's John Smith example. *)
+      match !records with
+      | previous :: _
+        when site.domain = "white pages" && Prng.chance rand twin_chance ->
+        List.map
+          (fun (label, value) ->
+            match List.assoc_opt label previous with
+            | Some shared when label = "Name" || label = "Phone" ->
+              (label, shared)
+            | _ -> (label, value))
+          record
+      | _ -> record
+    in
+    let record =
+      if has site Disjunctive_missing_address then
+        (* The second row always lacks its address (as in the paper's
+           Figure 1 screenshot); others miss theirs at random. *)
+        if index = 1 || Prng.chance rand 0.3 then
+          List.map
+            (fun (label, value) ->
+              if label = "Address" then
+                (label, "street address not available")
+              else (label, value))
+            record
+        else record
+      else Schema.drop_random_field rand record
+    in
+    records := record :: !records
+  done;
+  List.rev !records
+
+(* --------------------------- quirk hooks --------------------------- *)
+
+let abbreviate_authors value =
+  match String.index_opt value ',' with
+  | None -> value
+  | Some comma -> String.sub value 0 comma ^ ", et al"
+
+(* The list-page view of a record's fields. *)
+let list_view site rand page_index record =
+  List.map
+    (fun (label, value) ->
+      let value =
+        if label = "Author" && has site Abbreviated_authors then
+          abbreviate_authors value
+        else value
+      in
+      ignore rand;
+      let value =
+        if
+          label = "Status" && value = "Parole" && has site Value_drift
+          && page_index = 1
+        then value (* list keeps "Parole"; the detail will drift *)
+        else value
+      in
+      (label, value))
+    record
+
+(* The record whose detail page renders the name in uppercase (the
+   Minnesota case-mismatch; see generate_page). *)
+let case_mismatch_record = 2
+
+(* The detail-page view of a record's fields. *)
+let detail_view site page_index ~record_index ~missing_city_record record =
+  record
+  |> List.filter_map (fun (label, value) ->
+         if
+           label = "Name" && has site Case_mismatch
+           && record_index = case_mismatch_record
+         then Some (label, String.uppercase_ascii value)
+         else
+         if
+           label = "City" && has site Missing_detail_attribute
+           && page_index = 1
+           && record_index = missing_city_record
+         then None
+         else if
+           label = "Address" && value = "street address not available"
+         then None
+         else if
+           label = "Status" && value = "Parole" && has site Value_drift
+           && page_index = 1
+         then Some (label, "Parolee")
+         else Some (label, value))
+
+let detail_extras site pools page_records ~record_index =
+  let domain_extra =
+    match site.domain with
+    | "white pages" -> [ "View Map"; "Send Flowers" ]
+    | "property tax" -> [ "View Assessment History" ]
+    | "corrections" -> [ "Offender Search Home" ]
+    | "books" -> [ "Add To Cart" ]
+    | _ -> []
+  in
+  let contamination =
+    if has site History_contamination then
+      let titles =
+        List.filteri
+          (fun i _ ->
+            i < record_index && i >= record_index - 3)
+          page_records
+        |> List.filter_map (fun record -> List.assoc_opt "Title" record)
+      in
+      if titles = [] then []
+      else "Recently viewed items" :: titles
+    else []
+  in
+  ignore pools;
+  domain_extra @ contamination
+
+let promos site page_index page_records =
+  let base =
+    if has site Varying_boilerplate then
+      if page_index = 0 then
+        [ "Try the premium people finder today";
+          "Win a trip to the islands" ]
+      else [ "Upgrade now for unlimited lookups" ]
+    else [ "Try our premium search today" ]
+  in
+  let contaminated =
+    if
+      has site Contaminated_promos
+      && (page_index = 0 || site.domain = "books")
+    then begin
+      let lead_value n prefix =
+        match List.nth_opt page_records n with
+        | Some ((_, value) :: _) -> [ prefix ^ ": " ^ value ]
+        | Some [] | None -> []
+      in
+      let field_value n label prefix =
+        match List.nth_opt page_records n with
+        | Some record ->
+          (match List.assoc_opt label record with
+          | Some value -> [ prefix ^ ": " ^ value ]
+          | None -> [])
+        | None -> []
+      in
+      lead_value 4 "Featured"
+      @ lead_value 1 "Sponsored"
+      @ lead_value 7 "Top match"
+      @ field_value 2 "Publisher" "New releases from"
+      @ field_value 3 "City" "Serving"
+    end
+    else []
+  in
+  base @ contaminated
+
+let list_chrome site page_index page_records count =
+  let title =
+    if has site Varying_boilerplate then
+      if page_index = 0 then site.name ^ " Search" else site.name ^ " Directory"
+    else site.name
+  in
+  let summary =
+    if has site Varying_boilerplate then
+      if page_index = 0 then Printf.sprintf "Showing %d matches" count
+      else Printf.sprintf "Found %d listings for you" count
+    else Printf.sprintf "Displaying 1-%d of %d records." count (count * 7)
+  in
+  let footer =
+    if has site Varying_boilerplate then
+      if page_index = 0 then [ "Copyright 2004 " ^ site.name ]
+      else [ "All rights reserved - " ^ site.name ]
+    else [ "Copyright 2004 " ^ site.name; "Terms of Use" ]
+  in
+  {
+    Render.site_title = title;
+    summary;
+    promos = promos site page_index page_records;
+    footer;
+  }
+
+let detail_chrome site =
+  {
+    Render.site_title = site.name;
+    summary = "";
+    promos = [];
+    footer = [ "Copyright 2004 " ^ site.name ];
+  }
+
+let link_text site =
+  match site.domain with
+  | "books" -> "See details"
+  | "property tax" -> "View Record"
+  | _ -> "More Info"
+
+(* ------------------------------ pages ------------------------------ *)
+
+let generate_page site rand pools page_index count =
+  let records = generate_records site rand pools page_index count in
+  (* Canada411: on the short page every record shares one town, and one
+     record's detail page omits it. *)
+  let records =
+    if has site Missing_detail_attribute && page_index = 1 then begin
+      (* A town that occurs nowhere else on the site, so the all-list-pages
+         filter cannot remove it. *)
+      let shared_city = "Port Renfrew, BC" in
+      List.map
+        (fun record ->
+          List.map
+            (fun (label, value) ->
+              if label = "City" then (label, shared_city) else (label, value))
+            record)
+        records
+    end
+    else records
+  in
+  (* Minnesota: two records share a name, and the earlier one's detail page
+     renders it in uppercase (see detail_view). Both list extracts of the
+     name then match only the later record's detail page, at one position —
+     the strict constraint problem becomes unsatisfiable, while the
+     probabilistic method merely misfiles one of the two names. *)
+  let records =
+    if has site Case_mismatch && List.length records > 6 then
+      List.mapi
+        (fun i record ->
+          if i = 6 then
+            match List.nth_opt records case_mismatch_record with
+            | Some donor ->
+              List.map
+                (fun (label, value) ->
+                  match List.assoc_opt label donor with
+                  | Some shared when label = "Name" -> (label, shared)
+                  | _ -> (label, value))
+                record
+            | None -> record
+          else record)
+        records
+    else records
+  in
+  (* Michigan: page 2 must carry at least two records with the drifting
+     status (so the planted collision makes the CSP unsatisfiable), and
+     page 1 must carry none (otherwise the all-list-pages filter would
+     remove the colliding extract before it can do damage). *)
+  let records =
+    if has site Value_drift then
+      List.mapi
+        (fun i record ->
+          let rewrite value =
+            if page_index = 1 && (i = 1 || i = 3) then "Parole"
+            else if value = "Parole" && not (page_index = 1 && (i = 1 || i = 3))
+            then "Probation"
+            else value
+          in
+          List.map
+            (fun (label, value) ->
+              if label = "Status" then (label, rewrite value)
+              else (label, value))
+            record)
+        records
+    else records
+  in
+  let views = List.map (list_view site rand page_index) records in
+  let missing_city_record = 1 in
+  let rows =
+    List.mapi
+      (fun i view ->
+        let cells =
+          List.map
+            (fun (label, value) ->
+              let gray =
+                label = "Address" && has site Disjunctive_missing_address
+                && value = "street address not available"
+              in
+              { Render.text = value; gray })
+            view
+        in
+        {
+          Render.cells;
+          link = Some (Printf.sprintf "detail_%d_%d.html" page_index i);
+          link_text = link_text site;
+          enumerator =
+            (match site.layout with
+            | Render.Numbered_grid | Render.Numbered_blocks ->
+              Some (Printf.sprintf "%d." (i + 1))
+            | Render.Grid | Render.Freeform | Render.Blocks
+            | Render.Vertical_grid ->
+              None);
+        })
+      views
+  in
+  let chrome = list_chrome site page_index views count in
+  let list_html =
+    Render.render_list site.layout ~columns:(Schema.labels site.domain) chrome
+      rows
+  in
+  let detail_htmls =
+    List.mapi
+      (fun i record ->
+        let fields =
+          detail_view site page_index ~record_index:i ~missing_city_record
+            record
+        in
+        Render.render_detail ~chrome:(detail_chrome site)
+          ~labels:(List.map fst fields)
+          ~values:(List.map snd fields)
+          ~extra:(detail_extras site pools records ~record_index:i))
+      records
+  in
+  (* Michigan: plant the drifting list value on one unrelated detail page. *)
+  let detail_htmls =
+    if has site Value_drift && page_index = 1 then
+      List.mapi
+        (fun i html ->
+          if i = List.length detail_htmls - 1 then begin
+            (* Splice an unrelated mention before the footer. *)
+            let marker = "<p>Copyright" in
+            let split_at =
+              let rec find from =
+                if from + String.length marker > String.length html then
+                  String.length html
+                else if String.sub html from (String.length marker) = marker
+                then from
+                else find (from + 1)
+              in
+              find 0
+            in
+            String.sub html 0 split_at
+            ^ "<p>Parole board meets monthly</p>\n"
+            ^ String.sub html split_at (String.length html - split_at)
+          end
+          else html)
+        detail_htmls
+    else detail_htmls
+  in
+  let truth = List.map Render.row_truth rows in
+  { list_html; detail_htmls; truth }
+
+let generate site =
+  let rand = Prng.create site.seed in
+  let pools = Data.make_pools rand in
+  let pages =
+    List.mapi
+      (fun page_index count ->
+        generate_page site (Prng.split rand) pools page_index count)
+      site.records_per_page
+  in
+  { site; pages }
+
+let segmentation_input generated ~page_index =
+  let target = List.nth generated.pages page_index in
+  let others =
+    List.filteri (fun i _ -> i <> page_index) generated.pages
+    |> List.map (fun page -> page.list_html)
+  in
+  (target.list_html :: others, target.detail_htmls)

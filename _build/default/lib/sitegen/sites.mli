@@ -1,0 +1,72 @@
+(** The twelve synthetic Web sites of the evaluation.
+
+    Each site mirrors one of the paper's Table 4 sources: same information
+    domain, same per-page record counts, and — crucially — the same data
+    pathology that made the original succeed or fail (numbered entries,
+    "et al" author abbreviation, case mismatch, list/detail value drift
+    with a planted collision, an attribute missing from one detail page,
+    browsing-history contamination, contaminated header promos, per-page
+    boilerplate variation, and disjunctive formatting of missing
+    addresses). See DESIGN.md for the mapping. *)
+
+type quirk =
+  | Numbered_entries  (** entry enumerators defeat the page template *)
+  | Abbreviated_authors  (** list shows "First Last, et al"; detail full *)
+  | Case_mismatch  (** some list values are uppercased, details are not *)
+  | Value_drift
+      (** status reads "Parole" on the list but "Parolee" on details, and
+          "Parole" is planted on one unrelated detail page (Michigan) *)
+  | Missing_detail_attribute
+      (** one record's city is absent from its own detail page while
+          present on every other (Canada411) *)
+  | History_contamination
+      (** detail pages echo the titles of previously viewed records
+          (Amazon) *)
+  | Contaminated_promos
+      (** list-page header promos quote strings that also occur on detail
+          pages (Yahoo page 1, book sites) *)
+  | Varying_boilerplate
+      (** the two list pages share almost no chrome, starving the template
+          (Yahoo, Superpages) *)
+  | Disjunctive_missing_address
+      (** missing street addresses render as a gray "street address not
+          available" — the union-free-grammar killer (Superpages) *)
+
+type site = {
+  name : string;  (** e.g. "Superpages" *)
+  domain : string;  (** "white pages", "property tax", ... *)
+  layout : Render.layout;
+  records_per_page : int list;  (** paper's per-list-page record counts *)
+  seed : int;
+  quirks : quirk list;
+}
+
+type page = {
+  list_html : string;
+  detail_htmls : string list;  (** in record order *)
+  truth : string list list;  (** per record: its cell texts, in order *)
+}
+
+type generated = {
+  site : site;
+  pages : page list;
+}
+
+val all : site list
+(** The twelve sites, in the paper's Table 4 order. *)
+
+val demo_sites : site list
+(** Demonstration sites outside the paper's evaluation (currently the
+    vertical-layout demo); {!find} resolves them too. *)
+
+val find : string -> site
+(** Look up a site by (case-insensitive) name. @raise Not_found. *)
+
+val generate : site -> generated
+(** Deterministic: same site (and seed) always yields the same pages. *)
+
+val segmentation_input :
+  generated -> page_index:int -> string list * string list
+(** [(list_pages, details)] for segmenting the given page: the target list
+    page first, the site's other list pages after it, and the target page's
+    detail pages. *)

@@ -1,0 +1,1 @@
+lib/template/lcs.ml: Array List

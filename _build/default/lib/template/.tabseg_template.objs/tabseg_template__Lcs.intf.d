@@ -1,0 +1,1 @@
+lib/template/lcs.mli:

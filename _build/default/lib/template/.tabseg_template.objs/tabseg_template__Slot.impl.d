@@ -1,0 +1,1 @@
+lib/template/slot.ml: Array Format List Option Tabseg_token Token

@@ -1,0 +1,1 @@
+lib/template/slot.mli: Format Tabseg_token Token

@@ -1,0 +1,1 @@
+lib/template/template.ml: Array Format Hashtbl Lcs List Option Slot String Tabseg_token Token

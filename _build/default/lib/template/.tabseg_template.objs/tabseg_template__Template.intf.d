@@ -1,0 +1,1 @@
+lib/template/template.mli: Format Slot Tabseg_token Token

@@ -1,0 +1,30 @@
+let table ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  (* dp.(i).(j) = LCS length of a[i..] and b[j..] *)
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      dp.(i).(j) <-
+        (if equal a.(i) b.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  dp
+
+let pairs ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  let dp = table ~equal a b in
+  let rec walk acc i j =
+    if i >= n || j >= m then List.rev acc
+    else if equal a.(i) b.(j) then walk ((i, j) :: acc) (i + 1) (j + 1)
+    else if dp.(i + 1).(j) >= dp.(i).(j + 1) then walk acc (i + 1) j
+    else walk acc i (j + 1)
+  in
+  walk [] 0 0
+
+let of_arrays ~equal a b =
+  List.map (fun (i, _) -> a.(i)) (pairs ~equal a b)
+
+let length ~equal a b =
+  let dp = table ~equal a b in
+  dp.(0).(0)

@@ -1,0 +1,15 @@
+(** Longest common subsequence over arrays, with caller-supplied equality.
+
+    Used by page-template induction (aligning unique-token sequences across
+    list pages) and by the RoadRunner-style baseline. *)
+
+val pairs :
+  equal:('a -> 'a -> bool) -> 'a array -> 'a array -> (int * int) list
+(** [pairs ~equal a b] is an LCS of [a] and [b] as index pairs
+    [(i, j)] with [a.(i)] equal to [b.(j)], strictly increasing in both
+    components. Classic O(n·m) dynamic program. *)
+
+val of_arrays : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> 'a list
+(** The LCS elements themselves (taken from the first array). *)
+
+val length : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> int

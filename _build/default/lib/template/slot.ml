@@ -1,0 +1,37 @@
+open Tabseg_token
+
+type t = { page : Token.t array; start : int; stop : int }
+
+let make page ~start ~stop =
+  assert (0 <= start && start <= stop && stop <= Array.length page);
+  { page; start; stop }
+
+let whole_page page = { page; start = 0; stop = Array.length page }
+
+let tokens { page; start; stop } =
+  Array.to_list (Array.sub page start (stop - start))
+
+let word_count slot =
+  let count = ref 0 in
+  for i = slot.start to slot.stop - 1 do
+    if Token.is_word slot.page.(i) then incr count
+  done;
+  !count
+
+let length { start; stop; _ } = stop - start
+
+let table_slot slots =
+  let best =
+    List.fold_left
+      (fun best slot ->
+        let words = word_count slot in
+        match best with
+        | Some (_, best_words) when best_words >= words -> best
+        | _ -> if words > 0 then Some (slot, words) else best)
+      None slots
+  in
+  Option.map fst best
+
+let pp ppf slot =
+  Format.fprintf ppf "@[<h>slot[%d,%d) %d words@]" slot.start slot.stop
+    (word_count slot)

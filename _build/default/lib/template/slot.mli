@@ -1,0 +1,31 @@
+(** Slots: the regions of a page not covered by the page template
+    (paper Section 3.1). The slot containing the most text tokens is taken
+    to hold the results table. *)
+
+open Tabseg_token
+
+type t = {
+  page : Token.t array;  (** the full page token stream *)
+  start : int;  (** first token index of the slot, inclusive *)
+  stop : int;  (** one past the last token index, exclusive *)
+}
+
+val make : Token.t array -> start:int -> stop:int -> t
+
+val whole_page : Token.t array -> t
+(** The degenerate slot covering the entire page (used as fallback when no
+    good template is found — paper note "b"). *)
+
+val tokens : t -> Token.t list
+
+val word_count : t -> int
+(** Number of visible (non-tag) tokens in the slot. *)
+
+val length : t -> int
+
+val table_slot : t list -> t option
+(** The slot with the largest {!word_count}, the paper's heuristic for
+    locating the results table. [None] on the empty list or when every slot
+    is empty of words. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+open Tabseg_token
+
+type t = { template_keys : string array }
+
+let key_positions page =
+  let positions = Hashtbl.create 256 in
+  Array.iteri
+    (fun i token ->
+      let key = Token.template_key token in
+      Hashtbl.replace positions key
+        (i :: Option.value ~default:[] (Hashtbl.find_opt positions key)))
+    page;
+  positions
+
+let neighbor_keys page i =
+  let key j =
+    if j < 0 then "^page-start^"
+    else if j >= Array.length page then "^page-end^"
+    else Token.template_key page.(j)
+  in
+  (key (i - 1), key (i + 1))
+
+(* Tokens eligible for the page template must (1) occur exactly once on
+   every page, (2) in the same immediate context (previous and next token
+   key), and (3) — computed as a fixpoint — have every adjacent *word*
+   neighbor be eligible too (tag neighbors are exempt). Rules 2 and 3
+   reject data values that happen to occur once per page (a "Betty Lee" on
+   both pages keeps "Betty" unique, but its neighbor "Lee" repeats and is
+   ineligible, which disqualifies "Betty" as well), while keeping genuine
+   per-row structure such as entry enumerators, whose neighbors are the
+   same row tags on every page, and chrome sentences, whose neighbors are
+   eligible chrome words. *)
+let unique_everywhere pages =
+  match pages with
+  | [] -> fun _ -> false
+  | _ ->
+    let all_positions = List.map (fun p -> (p, key_positions p)) pages in
+    let base_eligible key =
+      let contexts =
+        List.map
+          (fun (page, positions) ->
+            match Hashtbl.find_opt positions key with
+            | Some [ i ] -> Some (neighbor_keys page i)
+            | Some _ | None -> None)
+          all_positions
+      in
+      match contexts with
+      | Some first :: rest ->
+        List.for_all (fun context -> context = Some first) rest
+      | _ -> false
+    in
+    (* Collect the candidate set once, then erode it at word boundaries. *)
+    let candidates = Hashtbl.create 256 in
+    List.iter
+      (fun (page, _) ->
+        Array.iter
+          (fun token ->
+            let key = Token.template_key token in
+            if (not (Hashtbl.mem candidates key)) && base_eligible key then
+              Hashtbl.replace candidates key ())
+          page)
+      all_positions;
+    let is_tag_key key = String.length key > 0 && key.[0] = '<' in
+    let boundary_key key =
+      key = "^page-start^" || key = "^page-end^"
+    in
+    let neighbor_ok key =
+      is_tag_key key || boundary_key key || Hashtbl.mem candidates key
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (page, positions) ->
+          Hashtbl.iter
+            (fun key () ->
+              match Hashtbl.find_opt positions key with
+              | Some [ i ] ->
+                let previous, next = neighbor_keys page i in
+                if not (neighbor_ok previous && neighbor_ok next) then begin
+                  Hashtbl.remove candidates key;
+                  changed := true
+                end
+              | Some _ | None -> ())
+            (Hashtbl.copy candidates))
+        all_positions
+    done;
+    fun key -> Hashtbl.mem candidates key
+
+let filtered_sequence eligible page =
+  Array.of_list
+    (Array.to_list page
+    |> List.filter_map (fun token ->
+           let key = Token.template_key token in
+           if eligible key then Some key else None))
+
+let induce pages =
+  match pages with
+  | [] -> { template_keys = [||] }
+  | first :: rest ->
+    let eligible = unique_everywhere pages in
+    let initial = filtered_sequence eligible first in
+    let template_keys =
+      List.fold_left
+        (fun acc page ->
+          let candidate = filtered_sequence eligible page in
+          Array.of_list (Lcs.of_arrays ~equal:String.equal acc candidate))
+        initial rest
+    in
+    { template_keys }
+
+let keys t = Array.to_list t.template_keys
+let size t = Array.length t.template_keys
+
+let match_positions t page =
+  (* Each template key occurs at most a handful of times; find its unique
+     occurrence and check monotonicity. *)
+  let occurrences = Hashtbl.create 256 in
+  Array.iteri
+    (fun i token ->
+      let key = Token.template_key token in
+      Hashtbl.replace occurrences key
+        (i :: Option.value ~default:[] (Hashtbl.find_opt occurrences key)))
+    page;
+  let n = Array.length t.template_keys in
+  let positions = Array.make n (-1) in
+  let ok = ref true in
+  let previous = ref (-1) in
+  for i = 0 to n - 1 do
+    if !ok then
+      match Hashtbl.find_opt occurrences t.template_keys.(i) with
+      | Some [ position ] when position > !previous ->
+        positions.(i) <- position;
+        previous := position
+      | Some _ | None -> ok := false
+  done;
+  if !ok then Some positions else None
+
+let slots t page =
+  match match_positions t page with
+  | None -> [ Slot.whole_page page ]
+  | Some positions ->
+    let n = Array.length page in
+    let boundaries =
+      (-1 :: Array.to_list positions) @ [ n ]
+    in
+    let rec gaps acc = function
+      | left :: (right :: _ as rest) ->
+        let start = left + 1 and stop = right in
+        let acc =
+          if stop > start then Slot.make page ~start ~stop :: acc else acc
+        in
+        gaps acc rest
+      | [ _ ] | [] -> List.rev acc
+    in
+    gaps [] boundaries
+
+let covers_words t page =
+  let template = Hashtbl.create 256 in
+  Array.iter (fun key -> Hashtbl.replace template key ()) t.template_keys;
+  Array.to_list page
+  |> List.filter (fun token ->
+         Token.is_word token
+         && Hashtbl.mem template (Token.template_key token))
+  |> List.length
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>template(%d):@ %a@]"
+    (Array.length t.template_keys)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+       Format.pp_print_string)
+    (Array.to_list t.template_keys)

@@ -1,0 +1,1 @@
+lib/token/token.ml: Format List String Token_type

@@ -1,0 +1,1 @@
+lib/token/tokenizer.ml: Array Buffer Char List String Tabseg_html Token

@@ -1,0 +1,47 @@
+(** The paper's eight (non-mutually-exclusive) syntactic token types
+    (Section 3.1): three basic types — HTML, punctuation, alphanumeric —
+    where alphanumeric refines into numeric or alphabetic, and alphabetic
+    refines into capitalized, lowercased or allcaps. *)
+
+type t =
+  | Html
+  | Punctuation
+  | Alphanumeric
+  | Numeric
+  | Alphabetic
+  | Capitalized
+  | Lowercased
+  | Allcaps
+
+val all : t list
+(** The eight types, in a fixed order matching {!to_bit}. *)
+
+val count : int
+(** [count = 8]. *)
+
+val to_bit : t -> int
+(** Bit index (0..7) of the type in a type-set bitmask. *)
+
+val of_bit : int -> t
+(** Inverse of {!to_bit}. @raise Invalid_argument outside 0..7. *)
+
+val mem : t -> int -> bool
+(** [mem ty mask] tests membership of [ty] in the bitmask [mask]. *)
+
+val add : t -> int -> int
+(** [add ty mask] adds [ty] to the bitmask. *)
+
+val to_list : int -> t list
+(** Types present in a bitmask, in {!all} order. *)
+
+val classify_word : string -> int
+(** Bitmask of types for a visible (non-tag) token, per the paper's rules:
+    any letter or digit makes it alphanumeric; digits and no letters make it
+    also numeric; letters and no digits make it also alphabetic, further
+    refined by case; a token of punctuation characters only is punctuation. *)
+
+val html_mask : int
+(** The bitmask carried by every HTML tag token. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,94 @@
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012'
+
+let is_special_punctuation c =
+  (* A separator character: printable, not alphanumeric, not whitespace and
+     not in the benign set [.,()-]. *)
+  let benign = [ '.'; ','; '('; ')'; '-' ] in
+  let alnum =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  in
+  (not alnum) && (not (is_space c)) && not (List.mem c benign)
+  && Char.code c < 128
+
+(* UTF-8 non-breaking space (the expansion of [&nbsp;]) acts as ordinary
+   whitespace for tokenization, as it does visually. *)
+let normalize_spaces text =
+  if not (String.contains text '\xc2') then text
+  else begin
+    let buffer = Buffer.create (String.length text) in
+    let n = String.length text in
+    let rec loop i =
+      if i >= n then ()
+      else if i + 1 < n && text.[i] = '\xc2' && text.[i + 1] = '\xa0' then begin
+        Buffer.add_char buffer ' ';
+        loop (i + 2)
+      end
+      else begin
+        Buffer.add_char buffer text.[i];
+        loop (i + 1)
+      end
+    in
+    loop 0;
+    Buffer.contents buffer
+  end
+
+(* Split a text run into word chunks: whitespace separates; each special
+   punctuation character becomes its own chunk. *)
+let split_text text =
+  let text = normalize_spaces text in
+  let chunks = ref [] in
+  let buffer = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buffer > 0 then begin
+      chunks := Buffer.contents buffer :: !chunks;
+      Buffer.clear buffer
+    end
+  in
+  String.iter
+    (fun c ->
+      if is_space c then flush ()
+      else if is_special_punctuation c then begin
+        flush ();
+        chunks := String.make 1 c :: !chunks
+      end
+      else Buffer.add_char buffer c)
+    text;
+  flush ();
+  List.rev !chunks
+
+let tokenize html =
+  let events = Tabseg_html.Lexer.lex html in
+  let tokens = ref [] in
+  let next_index = ref 0 in
+  let emit make =
+    tokens := make ~index:!next_index :: !tokens;
+    incr next_index
+  in
+  let in_invisible = ref 0 in
+  let handle = function
+    | Tabseg_html.Lexer.Comment _ | Tabseg_html.Lexer.Doctype _ -> ()
+    | Tabseg_html.Lexer.Start_tag { name; self_closing; _ } ->
+      emit (fun ~index -> Token.start_tag ~index name);
+      if (name = "script" || name = "style") && not self_closing then
+        incr in_invisible
+    | Tabseg_html.Lexer.End_tag name ->
+      emit (fun ~index -> Token.end_tag ~index name);
+      if (name = "script" || name = "style") && !in_invisible > 0 then
+        decr in_invisible
+    | Tabseg_html.Lexer.Text text ->
+      if !in_invisible = 0 then
+        let decoded = Tabseg_html.Entity.decode text in
+        List.iter
+          (fun chunk -> emit (fun ~index -> Token.word ~index chunk))
+          (split_text decoded)
+  in
+  List.iter handle events;
+  Array.of_list (List.rev !tokens)
+
+let words stream =
+  Array.to_list stream |> List.filter Token.is_word
+
+let visible_text stream =
+  words stream
+  |> List.map (fun (t : Token.t) -> t.text)
+  |> String.concat " "

@@ -1,0 +1,1 @@
+lib/wrapper/row_wrapper.ml: Array Extract Format Hashtbl List Option Pattern String Tabseg Tabseg_extract Tabseg_pattern Tabseg_token Token Tokenizer

@@ -1,0 +1,1 @@
+lib/wrapper/row_wrapper.mli: Format Tabseg Tabseg_pattern Tabseg_token Token

@@ -1,0 +1,228 @@
+open Tabseg_token
+open Tabseg_extract
+open Tabseg_pattern
+
+type t = {
+  marker : string;
+  pattern : Pattern.item list;
+  rows_folded : int;
+}
+
+let row_tag_keys = [ "<tr>"; "<li>"; "<div>"; "<p>" ]
+
+(* The row-opening tag before [index]: prefer a known row tag within the
+   last few tokens (so [<tr><td>value] anchors at the row, not the cell),
+   else the nearest start tag. *)
+let preceding_start_tag page index =
+  let horizon = 8 in
+  let rec back i best =
+    if i < 0 || index - i > horizon then best
+    else
+      let best =
+        match page.(i).Token.kind with
+        | Token.Start_tag _ ->
+          let key = Token.template_key page.(i) in
+          if List.mem key row_tag_keys then Some (key, i)
+          else if best = None then Some (key, i)
+          else best
+        | Token.End_tag _ | Token.Word -> best
+      in
+      match best with
+      | Some (key, _) when List.mem key row_tag_keys -> best
+      | _ -> back (i - 1) best
+  in
+  back (index - 1) None
+
+let record_bounds (record : Tabseg.Segmentation.record) =
+  match record.Tabseg.Segmentation.extracts with
+  | [] -> None
+  | extracts ->
+    let first = List.hd extracts in
+    let last = List.nth extracts (List.length extracts - 1) in
+    Some (first.Extract.start_index, last.Extract.stop_index)
+
+let modal_marker page records =
+  let votes = Hashtbl.create 8 in
+  List.iter
+    (fun record ->
+      match record_bounds record with
+      | None -> ()
+      | Some (start, _) -> (
+        match preceding_start_tag page start with
+        | Some (key, _) ->
+          Hashtbl.replace votes key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt votes key))
+        | None -> ()))
+    records;
+  Hashtbl.fold
+    (fun key count best ->
+      match best with
+      | Some (_, best_count) when best_count >= count -> best
+      | _ -> Some (key, count))
+    votes None
+  |> Option.map fst
+
+(* Scan back from [index] to the nearest token whose key is [marker]. *)
+let row_start page marker index =
+  let rec back i =
+    if i < 0 then None
+    else if
+      Token.is_tag page.(i) && Token.template_key page.(i) = marker
+    then Some i
+    else back (i - 1)
+  in
+  back index
+
+let induce ~page ~(segmentation : Tabseg.Segmentation.t) =
+  let records =
+    List.filter
+      (fun (r : Tabseg.Segmentation.record) -> r.Tabseg.Segmentation.extracts <> [])
+      segmentation.Tabseg.Segmentation.records
+  in
+  if List.length records < 2 then None
+  else
+    match modal_marker page records with
+    | None -> None
+    | Some marker -> (
+      let starts =
+        List.filter_map
+          (fun record ->
+            match record_bounds record with
+            | None -> None
+            | Some (start, stop) ->
+              Option.map
+                (fun row -> (row, stop))
+                (row_start page marker start))
+          records
+      in
+      (* Row span = [row start, next row start) — and for the last record,
+         up to the end tag closing its marker after its last extract. *)
+      let end_tag = "</" ^ String.sub marker 1 (String.length marker - 1) in
+      let rec spans = function
+        | (start, _) :: ((next_start, _) :: _ as rest) ->
+          (start, next_start) :: spans rest
+        | [ (start, last_stop) ] ->
+          let rec forward i =
+            if i >= Array.length page then i
+            else if
+              Token.is_tag page.(i) && Token.template_key page.(i) = end_tag
+            then i + 1
+            else forward (i + 1)
+          in
+          [ (start, forward last_stop) ]
+        | [] -> []
+      in
+      let chunks =
+        List.map
+          (fun (start, stop) ->
+            Pattern.atoms_of_token_list
+              (Array.to_list (Array.sub page start (stop - start))))
+          (spans starts)
+      in
+      match chunks with
+      | [] | [ _ ] -> None
+      | first :: rest -> (
+        try
+          let pattern, folded =
+            List.fold_left
+              (fun (pattern, folded) chunk ->
+                match Pattern.fold pattern chunk with
+                | Some next -> (next, folded + 1)
+                | None -> raise (Pattern.Disjunction "no union-free fold"))
+              (Pattern.generalize first, 1)
+              rest
+          in
+          Some { marker; pattern; rows_folded = folded }
+        with Pattern.Disjunction _ -> None))
+
+(* The multiset of tags required by the non-optional part of a pattern. *)
+let required_tags pattern =
+  List.filter_map
+    (function Pattern.Tag key -> Some key | Pattern.Field | Pattern.Optional _ -> None)
+    pattern
+
+let chunk_tags chunk =
+  List.filter_map
+    (function Pattern.Atag key -> Some key | Pattern.Atext _ -> None)
+    chunk
+
+(* Does the chunk carry at least two thirds of the pattern's required
+   tags? Distinguishes a row variant (a missing field drops a couple of
+   cell tags) from unrelated chrome sharing the row marker (a promo
+   paragraph has almost none of a record row's structure). *)
+let near_miss pattern chunk =
+  let required = required_tags pattern in
+  if required = [] then false
+  else begin
+    let available = Hashtbl.create 16 in
+    List.iter
+      (fun key ->
+        Hashtbl.replace available key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt available key)))
+      (chunk_tags chunk);
+    let covered =
+      List.fold_left
+        (fun covered key ->
+          match Hashtbl.find_opt available key with
+          | Some n when n > 0 ->
+            Hashtbl.replace available key (n - 1);
+            covered + 1
+          | Some _ | None -> covered)
+        0 required
+    in
+    3 * covered >= 2 * List.length required
+  end
+
+let apply wrapper html =
+  let atoms = Pattern.atoms_of_tokens (Tokenizer.tokenize html) in
+  Pattern.chunks ~marker:wrapper.marker atoms
+  |> List.filter_map (fun chunk ->
+         if List.mem (Pattern.Atag "<th>") chunk then None
+         else
+           match Pattern.capture wrapper.pattern chunk with
+           | Some fields -> Some fields
+           | None when near_miss wrapper.pattern chunk ->
+             (* A row variant the training page never showed (e.g. a field
+                missing only on this page): degrade gracefully to the
+                chunk's raw text runs so the row is not lost. *)
+             Some
+               (List.filter_map
+                  (function
+                    | Pattern.Atext words -> Some (String.concat " " words)
+                    | Pattern.Atag _ -> None)
+                  chunk)
+           | None -> None)
+
+let to_segmentation rows =
+  let next_id = ref 0 in
+  let assigned =
+    List.concat
+      (List.mapi
+         (fun number fields ->
+           List.map
+             (fun field ->
+               let id = !next_id in
+               incr next_id;
+               let words =
+                 String.split_on_char ' ' field
+                 |> List.filter (fun w -> w <> "")
+               in
+               ( {
+                   Extract.id;
+                   words;
+                   text = field;
+                   start_index = id * 10;
+                   stop_index = (id * 10) + max 1 (List.length words);
+                   types = 0;
+                   first_types = 0;
+                 },
+                 number, None ))
+             fields)
+         rows)
+  in
+  Tabseg.Segmentation.assemble ~notes:[] ~assigned ~unassigned:[] ~extras:[]
+
+let pp ppf wrapper =
+  Format.fprintf ppf "@[<v>marker: %s (%d rows folded)@,pattern: %s@]"
+    wrapper.marker wrapper.rows_folded
+    (Pattern.to_string wrapper.pattern)

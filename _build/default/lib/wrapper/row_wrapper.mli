@@ -1,0 +1,42 @@
+(** Wrapper bootstrapping: turn one unsupervised segmentation into a
+    reusable extraction wrapper.
+
+    The paper positions its methods inside the wrapper research program
+    (Section 1): wrapper construction normally needs user-labeled examples;
+    the detail-page methods remove the user. This module closes the loop —
+    the table template of Section 3.1 is induced {e from} a segmentation:
+
+    - locate each segmented record's row span on the list page (anchored
+      at the modal row-marker tag preceding each record's first extract);
+    - fold the spans into a union-free row pattern ({!Tabseg_pattern});
+    - the resulting wrapper extracts records from {e new} pages of the
+      same site without needing any detail pages at all.
+
+    This realizes "adding domain-specific data collection techniques
+    should improve the final segmentation results" (Section 6.3) in its
+    strongest form: one segmented page makes every further page free. *)
+
+open Tabseg_token
+
+type t = {
+  marker : string;  (** row marker tag key, e.g. ["<tr>"] *)
+  pattern : Tabseg_pattern.Pattern.item list;
+  rows_folded : int;  (** how many example rows built the pattern *)
+}
+
+val induce :
+  page:Token.t array -> segmentation:Tabseg.Segmentation.t -> t option
+(** Build a wrapper from a segmented list page. [None] when fewer than two
+    records carry extracts, no common row marker exists, or the rows do
+    not share a union-free structure. *)
+
+val apply : t -> string -> string list list
+(** Extract records from a raw list page: one entry per row chunk the
+    pattern accepts, each the list of captured field texts. Chunks that do
+    not match (headers, chrome) are skipped. *)
+
+val to_segmentation : string list list -> Tabseg.Segmentation.t
+(** View extracted rows as a {!Tabseg.Segmentation} (records numbered in
+    order) so they can be scored with {!Tabseg_eval.Scorer}. *)
+
+val pp : Format.formatter -> t -> unit

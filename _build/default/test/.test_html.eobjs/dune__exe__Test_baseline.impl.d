@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest List Roadrunner_lite String Tabseg Tabseg_baseline Tabseg_sitegen Tag_heuristic

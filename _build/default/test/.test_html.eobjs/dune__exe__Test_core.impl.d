@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Extract Fun List Observation Printf String Tabseg Tabseg_csp Tabseg_extract Tabseg_template Tabseg_token

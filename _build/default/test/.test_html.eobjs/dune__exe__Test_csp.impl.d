@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Array Exact Fun List Opb Pb Presolve QCheck QCheck_alcotest Random Result String Tabseg_csp Wsat_oip

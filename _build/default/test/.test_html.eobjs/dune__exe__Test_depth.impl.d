@@ -1,0 +1,1 @@
+test/test_depth.ml: Alcotest Array Exact Format List Pb Printf String Tabseg Tabseg_csp Tabseg_extract Tabseg_sitegen Wsat_oip

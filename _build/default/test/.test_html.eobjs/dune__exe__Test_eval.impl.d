@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Extract Float List Metrics QCheck QCheck_alcotest Scorer Tabseg Tabseg_eval Tabseg_extract

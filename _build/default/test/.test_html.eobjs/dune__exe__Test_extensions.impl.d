@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Extract Hashtbl List Option Printf String Tabseg Tabseg_eval Tabseg_extract Tabseg_sitegen Tabseg_token Tokenizer

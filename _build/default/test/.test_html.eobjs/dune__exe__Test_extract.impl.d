@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Extract List Matching Observation Option Printf QCheck QCheck_alcotest Random String Tabseg_extract Tabseg_token Token_type Tokenizer

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Char List QCheck QCheck_alcotest Random String Tabseg Tabseg_html Tabseg_token

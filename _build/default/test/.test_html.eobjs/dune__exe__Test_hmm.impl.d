@@ -1,0 +1,1 @@
+test/test_hmm.ml: Alcotest Array Dist Fhmm Float Gen List Logspace QCheck QCheck_alcotest Tabseg_hmm

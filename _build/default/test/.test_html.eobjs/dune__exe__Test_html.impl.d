@@ -1,0 +1,1 @@
+test/test_html.ml: Alcotest Dom Entity Format Lexer List Printer Tabseg_html

@@ -1,0 +1,1 @@
+test/test_navigator.ml: Alcotest Auto Classifier Crawler List Printf Simulate String Tabseg_eval Tabseg_navigator Tabseg_sitegen Webgraph

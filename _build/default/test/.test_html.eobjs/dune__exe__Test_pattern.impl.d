@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Option Printf QCheck QCheck_alcotest Random String Tabseg_pattern Tabseg_token Tokenizer

@@ -1,0 +1,1 @@
+test/test_sitegen.ml: Alcotest Data List Printf Prng QCheck QCheck_alcotest Render Sites String Tabseg_sitegen Tabseg_token

@@ -1,0 +1,1 @@
+test/test_sites_e2e.ml: Alcotest List Metrics Scorer Sites Tabseg Tabseg_eval Tabseg_sitegen

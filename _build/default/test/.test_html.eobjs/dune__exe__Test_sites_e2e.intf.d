@@ -1,0 +1,1 @@
+test/test_sites_e2e.mli:

@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Array Gen Lcs List QCheck QCheck_alcotest Slot String Tabseg_template Tabseg_token Template Token Tokenizer

@@ -1,0 +1,1 @@
+test/test_token.ml: Alcotest Array Gen List QCheck QCheck_alcotest Seq String Tabseg_token Token Token_type Tokenizer

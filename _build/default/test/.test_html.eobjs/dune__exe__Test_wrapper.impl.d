@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest List Metrics Printf QCheck QCheck_alcotest Random Render Scorer Sites Tabseg Tabseg_eval Tabseg_extract Tabseg_sitegen Tabseg_token Tabseg_wrapper

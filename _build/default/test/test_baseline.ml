@@ -1,0 +1,174 @@
+open Tabseg_baseline
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --------------------------- Tag heuristic ------------------------- *)
+
+let grid_page =
+  "<html><body><h1>Results</h1><table><tr><th>Name</th><th>City</th></tr>\
+   <tr><td>Alice</td><td>Akron</td></tr>\
+   <tr><td>Bob</td><td>Berea</td></tr>\
+   <tr><td>Carol</td><td>Celina</td></tr></table></body></html>"
+
+let record_texts segmentation =
+  Tabseg.Segmentation.record_texts segmentation
+
+let test_tag_heuristic_grid () =
+  let segmentation = Tag_heuristic.segment grid_page in
+  Alcotest.(check (list (list string)))
+    "rows found"
+    [ [ "Alice"; "Akron" ]; [ "Bob"; "Berea" ]; [ "Carol"; "Celina" ] ]
+    (record_texts segmentation)
+
+let test_tag_heuristic_skips_header () =
+  let segmentation = Tag_heuristic.segment grid_page in
+  check_bool "no header row" true
+    (not
+       (List.exists
+          (fun row -> List.mem "Name" row)
+          (record_texts segmentation)))
+
+let test_tag_heuristic_needs_repetition () =
+  let page = "<html><body><p>just one paragraph</p></body></html>" in
+  check_int "nothing segmented" 0
+    (List.length (Tag_heuristic.segment page).Tabseg.Segmentation.records)
+
+let test_tag_heuristic_confused_by_mixed_blocks () =
+  (* Promo paragraphs are indistinguishable from record paragraphs: the
+     numbering shifts — the brittleness the paper ascribes to layout-only
+     methods. *)
+  let page =
+    "<html><body><p>Welcome to our site</p><p>Alice | Akron</p>\
+     <p>Bob | Berea</p><p>Carol | Celina</p></body></html>"
+  in
+  let rows = record_texts (Tag_heuristic.segment page) in
+  let mentions needle text =
+    let nl = String.length needle in
+    let rec scan i =
+      i + nl <= String.length text
+      && (String.sub text i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  check_bool "promo counted as a record" true
+    (List.exists (List.exists (mentions "Welcome")) rows)
+
+(* -------------------------- RoadRunner-lite ------------------------ *)
+
+let regular_rows =
+  "<html><body><table>\
+   <tr><td>Alice</td><td>12 Elm St</td><td>Akron</td></tr>\
+   <tr><td>Bob</td><td>9 Oak Rd</td><td>Berea</td></tr>\
+   <tr><td>Carol</td><td>31 Pine Ave</td><td>Celina</td></tr>\
+   </table></body></html>"
+
+let test_roadrunner_regular () =
+  match Roadrunner_lite.induce regular_rows with
+  | Roadrunner_lite.Wrapper { rows_matched; pattern } ->
+    check_int "all rows folded" 3 rows_matched;
+    check_bool "pattern has fields" true
+      (List.exists (fun i -> i = Roadrunner_lite.Field) pattern)
+  | Roadrunner_lite.Failure reason -> Alcotest.failf "unexpected: %s" reason
+
+let missing_field_rows =
+  "<html><body><table>\
+   <tr><td>Alice</td><td>12 Elm St</td><td>Akron</td></tr>\
+   <tr><td>Bob</td><td>Berea</td></tr>\
+   <tr><td>Carol</td><td>31 Pine Ave</td><td>Celina</td></tr>\
+   </table></body></html>"
+
+let test_roadrunner_optional_field () =
+  (* A wholly missing cell is expressible as an optional — union-free. *)
+  match Roadrunner_lite.induce missing_field_rows with
+  | Roadrunner_lite.Wrapper { rows_matched; pattern } ->
+    check_int "all rows folded" 3 rows_matched;
+    check_bool "optional introduced" true
+      (List.exists
+         (function Roadrunner_lite.Optional _ -> true | _ -> false)
+         pattern)
+  | Roadrunner_lite.Failure reason -> Alcotest.failf "unexpected: %s" reason
+
+let disjunctive_rows =
+  (* The Superpages pattern: the same slot is <b>addr</b> in one row and
+     <font>gray text</font> in another — two alternative structures. *)
+  "<html><body>\
+   <div><b>Alice</b><br><i>12 Elm St</i><br>Akron</div>\
+   <div><b>Bob</b><br><font color=\"gray\">street address not \
+   available</font><br>Berea</div>\
+   <div><b>Carol</b><br><i>31 Pine Ave</i><br>Celina</div>\
+   </body></html>"
+
+let test_roadrunner_disjunction_fails () =
+  match Roadrunner_lite.induce disjunctive_rows with
+  | Roadrunner_lite.Failure _ -> ()
+  | Roadrunner_lite.Wrapper { pattern; _ } ->
+    Alcotest.failf "union-free wrapper should not exist, got %s"
+      (Roadrunner_lite.pattern_to_string pattern)
+
+let test_roadrunner_superpages_site () =
+  (* End to end on the synthetic SuperPages site (Section 6.3 claim). *)
+  let generated =
+    Tabseg_sitegen.Sites.generate (Tabseg_sitegen.Sites.find "SuperPages")
+  in
+  let page2 = List.nth generated.Tabseg_sitegen.Sites.pages 1 in
+  match Roadrunner_lite.induce page2.Tabseg_sitegen.Sites.list_html with
+  | Roadrunner_lite.Failure _ -> ()
+  | Roadrunner_lite.Wrapper _ ->
+    Alcotest.fail "RoadRunner-lite should fail on the disjunctive site"
+
+let test_roadrunner_clean_site () =
+  let generated =
+    Tabseg_sitegen.Sites.generate
+      (Tabseg_sitegen.Sites.find "AlleghenyCounty")
+  in
+  let page = List.hd generated.Tabseg_sitegen.Sites.pages in
+  match Roadrunner_lite.induce page.Tabseg_sitegen.Sites.list_html with
+  | Roadrunner_lite.Wrapper { rows_matched; _ } ->
+    check_bool "most rows folded" true (rows_matched >= 15)
+  | Roadrunner_lite.Failure reason ->
+    Alcotest.failf "expected wrapper on the clean grid site: %s" reason
+
+let test_roadrunner_too_few_rows () =
+  let page = "<html><body><p>one</p></body></html>" in
+  match Roadrunner_lite.induce page with
+  | Roadrunner_lite.Failure _ -> ()
+  | Roadrunner_lite.Wrapper _ -> Alcotest.fail "expected failure"
+
+let test_pattern_to_string () =
+  let pattern =
+    [ Roadrunner_lite.Tag "<tr>"; Roadrunner_lite.Field;
+      Roadrunner_lite.Optional [ Roadrunner_lite.Tag "<td>" ] ]
+  in
+  Alcotest.(check string)
+    "rendering" "<tr> #FIELD (<td>)?"
+    (Roadrunner_lite.pattern_to_string pattern)
+
+let () =
+  Alcotest.run "tabseg_baseline"
+    [
+      ( "tag_heuristic",
+        [
+          Alcotest.test_case "grid" `Quick test_tag_heuristic_grid;
+          Alcotest.test_case "skips header" `Quick
+            test_tag_heuristic_skips_header;
+          Alcotest.test_case "needs repetition" `Quick
+            test_tag_heuristic_needs_repetition;
+          Alcotest.test_case "confused by mixed blocks" `Quick
+            test_tag_heuristic_confused_by_mixed_blocks;
+        ] );
+      ( "roadrunner_lite",
+        [
+          Alcotest.test_case "regular rows" `Quick test_roadrunner_regular;
+          Alcotest.test_case "optional field" `Quick
+            test_roadrunner_optional_field;
+          Alcotest.test_case "disjunction fails" `Quick
+            test_roadrunner_disjunction_fails;
+          Alcotest.test_case "superpages site fails" `Quick
+            test_roadrunner_superpages_site;
+          Alcotest.test_case "clean site succeeds" `Quick
+            test_roadrunner_clean_site;
+          Alcotest.test_case "too few rows" `Quick test_roadrunner_too_few_rows;
+          Alcotest.test_case "pattern rendering" `Quick test_pattern_to_string;
+        ] );
+    ]

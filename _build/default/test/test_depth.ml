@@ -1,0 +1,235 @@
+(* Depth tests: exercise the configuration knobs, boundary conditions and
+   less-traveled paths of the solver, pipeline and schema layers. *)
+
+open Tabseg_csp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --------------------------- WSAT knobs --------------------------- *)
+
+let hard_chain n =
+  (* A chain of implications: x0=1, x_i + x_{i+1} <= 1, x_{n-1} wanted. *)
+  Pb.make ~num_vars:n
+    (Pb.Hard (Pb.exactly_one [ 0 ])
+    :: List.init (n - 1) (fun i -> Pb.Hard (Pb.at_most_one [ i; i + 1 ])))
+
+let test_wsat_no_tabu () =
+  let params = { Wsat_oip.default_params with tabu = 0; max_flips = 5_000 } in
+  let result = Wsat_oip.solve ~params (hard_chain 8) in
+  check_bool "solves without tabu" true result.Wsat_oip.feasible
+
+let test_wsat_pure_noise () =
+  (* noise = 1.0 is a pure random walk; the problem is tiny enough. *)
+  let params =
+    { Wsat_oip.default_params with noise = 1.0; max_flips = 20_000 }
+  in
+  let result =
+    Wsat_oip.solve ~params
+      (Pb.make ~num_vars:2
+         [ Pb.Hard (Pb.exactly_one [ 0; 1 ]) ])
+  in
+  check_bool "random walk still lands" true result.Wsat_oip.feasible
+
+let test_wsat_zero_density () =
+  (* All-false start satisfies a pure at-most-one system instantly. *)
+  let params = { Wsat_oip.default_params with init_density = 0.0 } in
+  let result =
+    Wsat_oip.solve ~params
+      (Pb.make ~num_vars:6
+         (List.init 3 (fun g -> Pb.Hard (Pb.at_most_one [ 2 * g; (2 * g) + 1 ]))))
+  in
+  check_bool "feasible" true result.Wsat_oip.feasible;
+  check_int "no flips needed" 0 result.Wsat_oip.flips_used
+
+let test_wsat_full_density () =
+  let params = { Wsat_oip.default_params with init_density = 1.0 } in
+  let result =
+    Wsat_oip.solve ~params
+      (Pb.make ~num_vars:4 [ Pb.Hard (Pb.exactly_one [ 0; 1; 2; 3 ]) ])
+  in
+  check_bool "repairs an over-full start" true result.Wsat_oip.feasible
+
+let test_wsat_weighted_soft_preference () =
+  (* Two incompatible wishes with different weights: keep the heavier. *)
+  let problem =
+    Pb.make ~num_vars:2
+      [ Pb.Hard (Pb.at_most_one [ 0; 1 ]);
+        Pb.Soft (Pb.exactly_one [ 0 ], 10);
+        Pb.Soft (Pb.exactly_one [ 1 ], 1) ]
+  in
+  let result = Wsat_oip.solve problem in
+  check_bool "heavier wish satisfied" true result.Wsat_oip.assignment.(0);
+  check_int "cost is the light wish" 1 result.Wsat_oip.soft_cost
+
+let test_exact_budget_unknown () =
+  (* A free problem with many variables exhausts a tiny node budget. *)
+  let problem = Pb.make ~num_vars:40 [] in
+  check_bool "budget exhausted" true
+    (Exact.solve ~node_limit:10 problem = Exact.Unknown)
+
+let test_exact_ge_with_negatives () =
+  (* -x0 + x1 >= 0 has 3 models: 00, 01, 11. *)
+  let problem =
+    Pb.make ~num_vars:2 [ Pb.Hard (Pb.linear [ (0, -1); (1, 1) ] Pb.Ge 0) ]
+  in
+  check_int "three models" 3 (Exact.count_solutions problem)
+
+(* --------------------------- Pipeline ----------------------------- *)
+
+let simple_site rows1 rows2 =
+  let page rows =
+    "<html><body><h1>Site Results</h1><table>"
+    ^ String.concat ""
+        (List.map
+           (fun (a, b) ->
+             Printf.sprintf "<tr><td>%s</td><td>%s</td></tr>" a b)
+           rows)
+    ^ "</table><p>Copyright 2004</p></body></html>"
+  in
+  let detail (a, b) =
+    Printf.sprintf "<html><body><p>%s<br>%s</p></body></html>" a b
+  in
+  {
+    Tabseg.Pipeline.list_pages = [ page rows1; page rows2 ];
+    detail_pages = List.map detail rows1;
+  }
+
+let rows1 = [ ("Alice", "Akron"); ("Bob", "Berea"); ("Carl", "Celina") ]
+let rows2 = [ ("Dave", "Delphos"); ("Erin", "Elyria") ]
+
+let test_pipeline_min_template_tokens () =
+  (* An absurdly high threshold forces the whole-page fallback. *)
+  let config =
+    { Tabseg.Pipeline.default_config with
+      Tabseg.Pipeline.min_template_tokens = 10_000 }
+  in
+  let prepared = Tabseg.Pipeline.prepare ~config (simple_site rows1 rows2) in
+  check_bool "fallback notes" true
+    (List.mem Tabseg.Segmentation.Entire_page_used
+       prepared.Tabseg.Pipeline.notes)
+
+let test_pipeline_slot_cover_threshold () =
+  (* Impossible coverage requirement: same fallback. *)
+  let config =
+    { Tabseg.Pipeline.default_config with
+      Tabseg.Pipeline.min_slot_cover = 1.1 }
+  in
+  let prepared = Tabseg.Pipeline.prepare ~config (simple_site rows1 rows2) in
+  check_bool "fallback notes" true
+    (List.mem Tabseg.Segmentation.Template_problem
+       prepared.Tabseg.Pipeline.notes)
+
+let test_pipeline_no_details () =
+  let input = { (simple_site rows1 rows2) with Tabseg.Pipeline.detail_pages = [] } in
+  let prepared = Tabseg.Pipeline.prepare input in
+  check_int "no entries without details" 0
+    (Array.length
+       prepared.Tabseg.Pipeline.observation.Tabseg_extract.Observation.entries)
+
+let test_pipeline_rejects_empty () =
+  Alcotest.check_raises "no list pages"
+    (Invalid_argument "Pipeline.prepare: no list pages") (fun () ->
+      ignore
+        (Tabseg.Pipeline.prepare
+           { Tabseg.Pipeline.list_pages = []; detail_pages = [] }))
+
+let test_api_segments_simple_site () =
+  List.iter
+    (fun method_ ->
+      let result = Tabseg.Api.segment ~method_ (simple_site rows1 rows2) in
+      Alcotest.(check (list (list string)))
+        (Tabseg.Api.method_name method_)
+        [ [ "Alice"; "Akron" ]; [ "Bob"; "Berea" ]; [ "Carl"; "Celina" ] ]
+        (Tabseg.Segmentation.record_texts result.Tabseg.Api.segmentation))
+    [ Tabseg.Api.Csp; Tabseg.Api.Probabilistic ]
+
+(* ----------------------------- Schema ----------------------------- *)
+
+let test_schema_domains () =
+  let rand = Tabseg_sitegen.Prng.create 3 in
+  let pools = Tabseg_sitegen.Data.make_pools rand in
+  List.iter
+    (fun domain ->
+      let record =
+        Tabseg_sitegen.Schema.record ~domain ~index:0 rand pools
+      in
+      Alcotest.(check (list string))
+        (domain ^ " labels match record")
+        (Tabseg_sitegen.Schema.labels domain)
+        (List.map fst record);
+      List.iter
+        (fun (_, value) ->
+          check_bool (domain ^ " non-empty values") true
+            (String.length value > 0))
+        record)
+    Tabseg_sitegen.Schema.domains
+
+let test_schema_unknown_domain () =
+  Alcotest.check_raises "unknown domain"
+    (Invalid_argument "Schema.labels: astrology") (fun () ->
+      ignore (Tabseg_sitegen.Schema.labels "astrology"))
+
+let test_schema_drop_keeps_lead () =
+  let rand = Tabseg_sitegen.Prng.create 5 in
+  let record = [ ("A", "1"); ("B", "2"); ("C", "3"); ("D", "4") ] in
+  for _ = 1 to 200 do
+    let dropped = Tabseg_sitegen.Schema.drop_random_field rand record in
+    check_bool "lead field never dropped" true
+      (List.mem_assoc "A" dropped);
+    check_bool "at most one dropped" true (List.length dropped >= 3)
+  done
+
+(* --------------------------- Segmentation pp ---------------------- *)
+
+let test_pp_functions_smoke () =
+  let result =
+    Tabseg.Api.segment ~method_:Tabseg.Api.Csp (simple_site rows1 rows2)
+  in
+  let text =
+    Format.asprintf "%a" Tabseg.Segmentation.pp result.Tabseg.Api.segmentation
+  in
+  check_bool "pp mentions a record" true (String.length text > 10);
+  let table =
+    Format.asprintf "%a" Tabseg.Segmentation.pp_assignment_table
+      result.Tabseg.Api.segmentation
+  in
+  check_bool "assignment table rendered" true (String.length table > 10)
+
+let () =
+  Alcotest.run "tabseg_depth"
+    [
+      ( "wsat_knobs",
+        [
+          Alcotest.test_case "no tabu" `Quick test_wsat_no_tabu;
+          Alcotest.test_case "pure noise" `Quick test_wsat_pure_noise;
+          Alcotest.test_case "zero density" `Quick test_wsat_zero_density;
+          Alcotest.test_case "full density" `Quick test_wsat_full_density;
+          Alcotest.test_case "weighted soft" `Quick
+            test_wsat_weighted_soft_preference;
+          Alcotest.test_case "exact budget" `Quick test_exact_budget_unknown;
+          Alcotest.test_case "exact negatives" `Quick
+            test_exact_ge_with_negatives;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "min template tokens" `Quick
+            test_pipeline_min_template_tokens;
+          Alcotest.test_case "slot cover threshold" `Quick
+            test_pipeline_slot_cover_threshold;
+          Alcotest.test_case "no details" `Quick test_pipeline_no_details;
+          Alcotest.test_case "rejects empty input" `Quick
+            test_pipeline_rejects_empty;
+          Alcotest.test_case "API on a simple site" `Quick
+            test_api_segments_simple_site;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "four domains" `Quick test_schema_domains;
+          Alcotest.test_case "unknown domain" `Quick test_schema_unknown_domain;
+          Alcotest.test_case "drop keeps lead" `Quick
+            test_schema_drop_keeps_lead;
+        ] );
+      ( "printers",
+        [ Alcotest.test_case "pp smoke" `Quick test_pp_functions_smoke ] );
+    ]

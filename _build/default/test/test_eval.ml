@@ -1,0 +1,167 @@
+open Tabseg_eval
+open Tabseg_extract
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ----------------------------- Metrics ---------------------------- *)
+
+let counts cor incor fn fp = { Metrics.cor; incor; fn; fp }
+
+let test_metrics_formulas () =
+  let c = counts 8 1 1 1 in
+  check_float "precision" 0.8 (Metrics.precision c);
+  check_float "recall" (8. /. 9.) (Metrics.recall c);
+  let p = 0.8 and r = 8. /. 9. in
+  check_float "f" (2. *. p *. r /. (p +. r)) (Metrics.f_measure c)
+
+let test_metrics_zero_denominators () =
+  check_float "precision of zero" 0. (Metrics.precision Metrics.zero);
+  check_float "recall of zero" 0. (Metrics.recall Metrics.zero);
+  check_float "f of zero" 0. (Metrics.f_measure Metrics.zero)
+
+let test_metrics_add () =
+  let total = Metrics.total [ counts 1 2 3 4; counts 10 20 30 40 ] in
+  check_int "cor" 11 total.Metrics.cor;
+  check_int "incor" 22 total.Metrics.incor;
+  check_int "fn" 33 total.Metrics.fn;
+  check_int "fp" 44 total.Metrics.fp
+
+let test_metrics_paper_totals () =
+  (* The paper's CSP totals: P=0.85, R=0.84 — reconstructable from any
+     counts with those ratios; check the formulas reproduce the F value. *)
+  let p = 0.85 and r = 0.84 in
+  let f = 2. *. p *. r /. (p +. r) in
+  check_bool "paper F 0.84" true (Float.abs (f -. 0.84) < 0.005)
+
+let prop_f_between_p_and_r =
+  QCheck.Test.make ~name:"F lies between min and max of P and R" ~count:200
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (cor, incor, fn, fp) ->
+      let c = counts cor incor fn fp in
+      let p = Metrics.precision c and r = Metrics.recall c in
+      let f = Metrics.f_measure c in
+      f >= Float.min p r -. 1e-9 && f <= Float.max p r +. 1e-9)
+
+(* ----------------------------- Scorer ----------------------------- *)
+
+let extract id start text =
+  let words = Tabseg_eval.Scorer.row_words [ text ] in
+  {
+    Extract.id;
+    words;
+    text;
+    start_index = start;
+    stop_index = start + List.length words;
+    types = 0;
+    first_types = 0;
+  }
+
+let segmentation_of records =
+  let assigned =
+    List.concat
+      (List.mapi
+         (fun number texts ->
+           List.mapi
+             (fun i text ->
+               (extract ((number * 100) + i) ((number * 100) + i) text,
+                number, None))
+             texts)
+         records)
+  in
+  Tabseg.Segmentation.assemble ~notes:[] ~assigned ~unassigned:[] ~extras:[]
+
+let truth =
+  [ [ "Alice Adams"; "12 Elm St"; "(555) 123-4567" ];
+    [ "Bob Brown"; "9 Oak Rd"; "(555) 987-6543" ] ]
+
+let test_scorer_all_correct () =
+  let c = Scorer.score ~truth (segmentation_of truth) in
+  check_int "cor" 2 c.Metrics.cor;
+  check_int "incor" 0 c.Metrics.incor;
+  check_int "fn" 0 c.Metrics.fn;
+  check_int "fp" 0 c.Metrics.fp
+
+let test_scorer_presentation_junk_ignored () =
+  (* Link labels and enumerators are not in the truth vocabulary and are
+     projected away before comparison. *)
+  let with_junk =
+    [ [ "Alice Adams"; "12 Elm St"; "(555) 123-4567"; "More Info" ];
+      [ "Bob Brown"; "9 Oak Rd"; "(555) 987-6543"; "More Info" ] ]
+  in
+  let c = Scorer.score ~truth (segmentation_of with_junk) in
+  check_int "still correct" 2 c.Metrics.cor
+
+let test_scorer_misplaced_value () =
+  (* Bob's phone ended up in Alice's record: both rows wrong. *)
+  let wrong =
+    [ [ "Alice Adams"; "12 Elm St"; "(555) 123-4567"; "(555) 987-6543" ];
+      [ "Bob Brown"; "9 Oak Rd" ] ]
+  in
+  let c = Scorer.score ~truth (segmentation_of wrong) in
+  check_int "cor" 0 c.Metrics.cor;
+  check_int "incor" 2 c.Metrics.incor
+
+let test_scorer_unsegmented_fn () =
+  let partial = [ [ "Alice Adams"; "12 Elm St"; "(555) 123-4567" ] ] in
+  let c = Scorer.score ~truth (segmentation_of partial) in
+  check_int "cor" 1 c.Metrics.cor;
+  check_int "fn" 1 c.Metrics.fn
+
+let test_scorer_junk_only_record_fp () =
+  let junk = [ [ "Alice Adams"; "12 Elm St"; "(555) 123-4567" ];
+               [ "Click Here Now" ] ] in
+  let c = Scorer.score ~truth (segmentation_of junk) in
+  check_int "fp" 1 c.Metrics.fp;
+  check_int "cor" 1 c.Metrics.cor
+
+let test_scorer_order_within_record_matters () =
+  let scrambled =
+    [ [ "12 Elm St"; "Alice Adams"; "(555) 123-4567" ];
+      [ "Bob Brown"; "9 Oak Rd"; "(555) 987-6543" ] ]
+  in
+  let c = Scorer.score ~truth (segmentation_of scrambled) in
+  check_int "scrambled row incorrect" 1 c.Metrics.incor;
+  check_int "other row correct" 1 c.Metrics.cor
+
+let test_scorer_empty_segmentation () =
+  let c = Scorer.score ~truth (segmentation_of []) in
+  check_int "all fn" 2 c.Metrics.fn;
+  check_int "nothing else" 0 (c.Metrics.cor + c.Metrics.incor + c.Metrics.fp)
+
+let test_row_words_tokenization () =
+  Alcotest.(check (list string))
+    "split like the tokenizer"
+    [ "Findlay,"; "OH"; "(740)"; "335-5555" ]
+    (Scorer.row_words [ "Findlay, OH"; "(740) 335-5555" ])
+
+let () =
+  Alcotest.run "tabseg_eval"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "formulas" `Quick test_metrics_formulas;
+          Alcotest.test_case "zero denominators" `Quick
+            test_metrics_zero_denominators;
+          Alcotest.test_case "add" `Quick test_metrics_add;
+          Alcotest.test_case "paper totals" `Quick test_metrics_paper_totals;
+          QCheck_alcotest.to_alcotest prop_f_between_p_and_r;
+        ] );
+      ( "scorer",
+        [
+          Alcotest.test_case "all correct" `Quick test_scorer_all_correct;
+          Alcotest.test_case "presentation junk ignored" `Quick
+            test_scorer_presentation_junk_ignored;
+          Alcotest.test_case "misplaced value" `Quick
+            test_scorer_misplaced_value;
+          Alcotest.test_case "unsegmented FN" `Quick test_scorer_unsegmented_fn;
+          Alcotest.test_case "junk-only record FP" `Quick
+            test_scorer_junk_only_record_fp;
+          Alcotest.test_case "order matters" `Quick
+            test_scorer_order_within_record_matters;
+          Alcotest.test_case "empty segmentation" `Quick
+            test_scorer_empty_segmentation;
+          Alcotest.test_case "row words" `Quick test_row_words_tokenization;
+        ] );
+    ]

@@ -1,0 +1,405 @@
+(* Tests for the extension modules: semantic column labels (Annotator,
+   paper Section 3.4), relational reconstruction (Relational, Section 6.3)
+   and CSP column assignment (Csp_columns, Section 6.3 future work). *)
+
+open Tabseg_extract
+open Tabseg_token
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small site fixture: three records with labelled detail pages. *)
+let list_page_1 =
+  {|<html><body><h1>Results</h1><table>
+<tr><td>Alice Adams</td><td>12 Elm St</td><td>(555) 123-0001</td><td><a href="d1">More</a></td></tr>
+<tr><td>Bob Brown</td><td>9 Oak Rd</td><td>(555) 123-0002</td><td><a href="d2">More</a></td></tr>
+<tr><td>Carol Clark</td><td>31 Pine Ave</td><td>(555) 123-0003</td><td><a href="d3">More</a></td></tr>
+</table><p>Copyright 2004</p></body></html>|}
+
+let list_page_2 =
+  {|<html><body><h1>Results</h1><table>
+<tr><td>Dan Dean</td><td>4 Fir Ln</td><td>(555) 123-0004</td><td><a href="d4">More</a></td></tr>
+<tr><td>Eve Evans</td><td>6 Ash Ct</td><td>(555) 123-0005</td><td><a href="d5">More</a></td></tr>
+</table><p>Copyright 2004</p></body></html>|}
+
+let detail name address phone =
+  Printf.sprintf
+    {|<html><body><h2>Listing</h2><table>
+<tr><td><i>Name:</i></td><td>%s</td></tr>
+<tr><td><i>Address:</i></td><td>%s</td></tr>
+<tr><td><i>Phone:</i></td><td>%s</td></tr>
+</table><p>Member since: 03/04/2001</p></body></html>|}
+    name address phone
+
+let input =
+  {
+    Tabseg.Pipeline.list_pages = [ list_page_1; list_page_2 ];
+    detail_pages =
+      [
+        detail "Alice Adams" "12 Elm St" "(555) 123-0001";
+        detail "Bob Brown" "9 Oak Rd" "(555) 123-0002";
+        detail "Carol Clark" "31 Pine Ave" "(555) 123-0003";
+      ];
+  }
+
+(* ---------------------------- Annotator ---------------------------- *)
+
+let test_annotator_elects_labels () =
+  let prepared = Tabseg.Pipeline.prepare input in
+  let segmentation, _ = Tabseg.Prob_segmenter.segment prepared in
+  let details =
+    List.map Tokenizer.tokenize input.Tabseg.Pipeline.detail_pages
+  in
+  let labeling =
+    Tabseg.Annotator.annotate
+      ~observation:prepared.Tabseg.Pipeline.observation ~details
+      ~segmentation
+  in
+  let elected = List.map snd labeling.Tabseg.Annotator.labels in
+  check_bool "Name label found" true (List.mem "Name" elected);
+  check_bool "Phone label found" true (List.mem "Phone" elected);
+  check_bool "Address label found" true (List.mem "Address" elected)
+
+let test_annotator_votes_positive () =
+  let prepared = Tabseg.Pipeline.prepare input in
+  let segmentation, _ = Tabseg.Prob_segmenter.segment prepared in
+  let details =
+    List.map Tokenizer.tokenize input.Tabseg.Pipeline.detail_pages
+  in
+  let labeling =
+    Tabseg.Annotator.annotate
+      ~observation:prepared.Tabseg.Pipeline.observation ~details
+      ~segmentation
+  in
+  List.iter
+    (fun (_, votes) -> check_bool "positive support" true (votes > 0))
+    labeling.Tabseg.Annotator.support
+
+let test_annotator_empty_segmentation () =
+  let prepared = Tabseg.Pipeline.prepare input in
+  let empty =
+    Tabseg.Segmentation.assemble ~notes:[] ~assigned:[] ~unassigned:[]
+      ~extras:[]
+  in
+  let details =
+    List.map Tokenizer.tokenize input.Tabseg.Pipeline.detail_pages
+  in
+  let labeling =
+    Tabseg.Annotator.annotate
+      ~observation:prepared.Tabseg.Pipeline.observation ~details
+      ~segmentation:empty
+  in
+  check_int "no labels" 0 (List.length labeling.Tabseg.Annotator.labels)
+
+(* ---------------------------- Relational --------------------------- *)
+
+let test_detail_attributes () =
+  let tokens =
+    Tokenizer.tokenize (detail "Alice Adams" "12 Elm St" "(555) 123-0001")
+  in
+  let pairs = Tabseg.Relational.detail_attributes tokens in
+  check_bool "Name pair" true
+    (List.assoc_opt "Name" pairs = Some "Alice Adams");
+  check_bool "Address pair" true
+    (List.assoc_opt "Address" pairs = Some "12 Elm St");
+  (* The date after "Member since:" keeps its slashed parts. *)
+  check_bool "date value complete" true
+    (List.assoc_opt "Member since" pairs = Some "03 / 04 / 2001")
+
+let test_reconstruct_table () =
+  let prepared = Tabseg.Pipeline.prepare input in
+  let segmentation = Tabseg.Csp_segmenter.segment prepared in
+  let details =
+    List.map Tokenizer.tokenize input.Tabseg.Pipeline.detail_pages
+  in
+  let table = Tabseg.Relational.reconstruct ~details ~segmentation in
+  check_int "three rows" 3 (List.length table.Tabseg.Relational.rows);
+  check_bool "Name column" true
+    (List.mem "Name" table.Tabseg.Relational.columns);
+  (* The constant "Member since" column? It varies per record here? No —
+     the fixture repeats the same date, so it must have been dropped. *)
+  check_bool "constant column dropped" true
+    (not (List.mem "Member since" table.Tabseg.Relational.columns))
+
+let test_reconstruct_nulls () =
+  (* A record whose detail page lacks a field yields NULL. *)
+  let short_detail =
+    {|<html><body><table><tr><td><i>Name:</i></td><td>Bob Brown</td></tr></table></body></html>|}
+  in
+  let details =
+    [ Tokenizer.tokenize (detail "Alice Adams" "12 Elm St" "(555) 123-0001");
+      Tokenizer.tokenize short_detail ]
+  in
+  let e text id =
+    {
+      Extract.id; words = String.split_on_char ' ' text; text;
+      start_index = id * 10; stop_index = (id * 10) + 1; types = 0;
+      first_types = 0;
+    }
+  in
+  let segmentation =
+    Tabseg.Segmentation.assemble ~notes:[]
+      ~assigned:[ (e "Alice Adams" 0, 0, None); (e "Bob Brown" 1, 1, None) ]
+      ~unassigned:[] ~extras:[]
+  in
+  let table = Tabseg.Relational.reconstruct ~details ~segmentation in
+  match table.Tabseg.Relational.rows with
+  | [ (_, row_a); (_, row_b) ] ->
+    check_bool "Alice has address" true (List.exists (( <> ) None) row_a);
+    let address_index =
+      let rec find i = function
+        | [] -> -1
+        | "Address" :: _ -> i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 table.Tabseg.Relational.columns
+    in
+    check_bool "Bob's address is NULL" true
+      (address_index >= 0 && List.nth row_b address_index = None)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_csv_escaping () =
+  let table =
+    {
+      Tabseg.Relational.columns = [ "Notes" ];
+      rows = [ (0, [ Some {|said "hi", left|} ]) ];
+    }
+  in
+  let csv = Tabseg.Relational.to_csv table in
+  check_bool "quoted and doubled" true
+    (csv = "record,Notes\n1,\"said \"\"hi\"\", left\"\n")
+
+(* --------------------------- Csp_columns --------------------------- *)
+
+let test_csp_columns_strictly_increasing () =
+  let prepared = Tabseg.Pipeline.prepare input in
+  let segmentation = Tabseg.Csp_segmenter.segment prepared in
+  check_bool "CSP produced no columns" true
+    (List.for_all
+       (fun (r : Tabseg.Segmentation.record) -> r.Tabseg.Segmentation.columns = [])
+       segmentation.Tabseg.Segmentation.records);
+  let with_columns = Tabseg.Csp_columns.assign_columns segmentation in
+  List.iter
+    (fun (r : Tabseg.Segmentation.record) ->
+      check_int "one column per extract"
+        (List.length r.Tabseg.Segmentation.extracts)
+        (List.length r.Tabseg.Segmentation.columns);
+      let columns = List.map snd r.Tabseg.Segmentation.columns in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | [ _ ] | [] -> true
+      in
+      check_bool "strictly increasing" true (increasing columns))
+    with_columns.Tabseg.Segmentation.records
+
+let test_csp_columns_type_consistent () =
+  (* With identical row shapes the similarity objective should align
+     same-typed values into the same columns across records. *)
+  let prepared = Tabseg.Pipeline.prepare input in
+  let segmentation = Tabseg.Csp_segmenter.segment prepared in
+  let with_columns = Tabseg.Csp_columns.assign_columns segmentation in
+  (* Collect (column -> first_types signatures) across records. *)
+  let signatures = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Tabseg.Segmentation.record) ->
+      List.iter2
+        (fun (e : Extract.t) (_, column) ->
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt signatures column)
+          in
+          Hashtbl.replace signatures column
+            (e.Extract.first_types :: existing))
+        r.Tabseg.Segmentation.extracts r.Tabseg.Segmentation.columns)
+    with_columns.Tabseg.Segmentation.records;
+  (* Every column hosting 3 values (one per record) must be type-pure. *)
+  Hashtbl.iter
+    (fun _column masks ->
+      if List.length masks = 3 then
+        check_bool "column type-pure" true
+          (List.for_all (( = ) (List.hd masks)) masks))
+    signatures
+
+(* ----------------------------- Vertical ---------------------------- *)
+
+(* A vertically laid-out site: each record is a COLUMN of the table. *)
+let vertical_list_1 =
+  {|<html><body><h1>Directory Results</h1><table>
+<tr><td>Alice Adams</td><td>Bob Brown</td><td>Carol Clark</td></tr>
+<tr><td>12 Elm St</td><td>9 Oak Rd</td><td>31 Pine Ave</td></tr>
+<tr><td>(555) 123-0001</td><td>(555) 123-0002</td><td>(555) 123-0003</td></tr>
+</table><p>Copyright 2004</p></body></html>|}
+
+let vertical_list_2 =
+  {|<html><body><h1>Directory Results</h1><table>
+<tr><td>Dan Dean</td><td>Eve Evans</td></tr>
+<tr><td>4 Fir Ln</td><td>6 Ash Ct</td></tr>
+<tr><td>(555) 123-0004</td><td>(555) 123-0005</td></tr>
+</table><p>Copyright 2004</p></body></html>|}
+
+let vertical_input =
+  {
+    Tabseg.Pipeline.list_pages = [ vertical_list_1; vertical_list_2 ];
+    detail_pages =
+      [
+        detail "Alice Adams" "12 Elm St" "(555) 123-0001";
+        detail "Bob Brown" "9 Oak Rd" "(555) 123-0002";
+        detail "Carol Clark" "31 Pine Ave" "(555) 123-0003";
+      ];
+  }
+
+let test_transpose_grid () =
+  let transposed = Tabseg.Vertical.transpose_tables vertical_list_1 in
+  (* After transposition the first row reads record 1 across. *)
+  let words =
+    Tokenizer.visible_text (Tokenizer.tokenize transposed)
+  in
+  let position needle =
+    let rec find i =
+      if i + String.length needle > String.length words then max_int
+      else if String.sub words i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  check_bool "record 1 contiguous" true
+    (position "Alice Adams" < position "12 Elm St"
+    && position "12 Elm St" < position "(555) 123-0001"
+    && position "(555) 123-0001" < position "Bob Brown")
+
+let test_transpose_idempotent_shape () =
+  (* Transposing twice restores the original cell order. *)
+  let twice =
+    Tabseg.Vertical.transpose_tables
+      (Tabseg.Vertical.transpose_tables vertical_list_1)
+  in
+  Alcotest.(check string)
+    "same visible text"
+    (Tokenizer.visible_text (Tokenizer.tokenize vertical_list_1))
+    (Tokenizer.visible_text (Tokenizer.tokenize twice))
+
+let test_transpose_no_table () =
+  let html = "<html><body><p>no tables here</p></body></html>" in
+  Alcotest.(check string)
+    "text preserved" "no tables here"
+    (Tokenizer.visible_text
+       (Tokenizer.tokenize (Tabseg.Vertical.transpose_tables html)))
+
+let test_looks_vertical () =
+  let prepared = Tabseg.Pipeline.prepare vertical_input in
+  check_bool "vertical detected" true
+    (Tabseg.Vertical.looks_vertical prepared.Tabseg.Pipeline.observation);
+  let horizontal = Tabseg.Pipeline.prepare input in
+  check_bool "horizontal not flagged" false
+    (Tabseg.Vertical.looks_vertical horizontal.Tabseg.Pipeline.observation)
+
+let test_vertical_demo_site () =
+  (* The generated vertical demo site, handled end to end through the API's
+     auto-transposition. *)
+  let generated =
+    Tabseg_sitegen.Sites.generate (Tabseg_sitegen.Sites.find "VerticalPages")
+  in
+  let page = List.hd generated.Tabseg_sitegen.Sites.pages in
+  let list_pages, detail_pages =
+    Tabseg_sitegen.Sites.segmentation_input generated ~page_index:0
+  in
+  let seg_input = { Tabseg.Pipeline.list_pages; detail_pages } in
+  (* Without transposition the vertical layout is detected... *)
+  let prepared = Tabseg.Pipeline.prepare seg_input in
+  check_bool "vertical signature detected" true
+    (Tabseg.Vertical.looks_vertical prepared.Tabseg.Pipeline.observation);
+  (* ...and with auto-transposition both methods segment it well. *)
+  List.iter
+    (fun method_ ->
+      let result =
+        Tabseg.Api.segment ~transpose_vertical:true ~method_ seg_input
+      in
+      let counts =
+        Tabseg_eval.Scorer.score ~truth:page.Tabseg_sitegen.Sites.truth
+          result.Tabseg.Api.segmentation
+      in
+      check_bool
+        (Tabseg.Api.method_name method_ ^ " most records correct")
+        true
+        (counts.Tabseg_eval.Metrics.cor
+        >= List.length page.Tabseg_sitegen.Sites.truth - 1))
+    [ Tabseg.Api.Csp; Tabseg.Api.Probabilistic ]
+
+let test_posterior_decoding_agrees_on_clean_data () =
+  let prepared = Tabseg.Pipeline.prepare input in
+  let map_seg, _ = Tabseg.Prob_segmenter.segment prepared in
+  let posterior_seg, _ =
+    Tabseg.Prob_segmenter.segment
+      ~config:
+        { Tabseg.Prob_segmenter.default_config with
+          Tabseg.Prob_segmenter.decoder =
+            Tabseg.Prob_segmenter.Posterior_decoding }
+      prepared
+  in
+  Alcotest.(check (list (list string)))
+    "MAP and posterior decoding agree on unambiguous data"
+    (Tabseg.Segmentation.record_texts map_seg)
+    (Tabseg.Segmentation.record_texts posterior_seg)
+
+let test_vertical_end_to_end () =
+  (* Detect, transpose, re-run: records come out right. *)
+  let transposed_input =
+    {
+      vertical_input with
+      Tabseg.Pipeline.list_pages =
+        List.map Tabseg.Vertical.transpose_tables
+          vertical_input.Tabseg.Pipeline.list_pages;
+    }
+  in
+  let result = Tabseg.Api.segment ~method_:Tabseg.Api.Csp transposed_input in
+  Alcotest.(check (list (list string)))
+    "records recovered from vertical layout"
+    [
+      [ "Alice Adams"; "12 Elm St"; "(555) 123-0001" ];
+      [ "Bob Brown"; "9 Oak Rd"; "(555) 123-0002" ];
+      [ "Carol Clark"; "31 Pine Ave"; "(555) 123-0003" ];
+    ]
+    (Tabseg.Segmentation.record_texts result.Tabseg.Api.segmentation)
+
+let () =
+  Alcotest.run "tabseg_extensions"
+    [
+      ( "annotator",
+        [
+          Alcotest.test_case "elects labels" `Quick
+            test_annotator_elects_labels;
+          Alcotest.test_case "positive votes" `Quick
+            test_annotator_votes_positive;
+          Alcotest.test_case "empty segmentation" `Quick
+            test_annotator_empty_segmentation;
+        ] );
+      ( "relational",
+        [
+          Alcotest.test_case "detail attributes" `Quick test_detail_attributes;
+          Alcotest.test_case "reconstruct" `Quick test_reconstruct_table;
+          Alcotest.test_case "nulls" `Quick test_reconstruct_nulls;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+        ] );
+      ( "csp_columns",
+        [
+          Alcotest.test_case "strictly increasing" `Quick
+            test_csp_columns_strictly_increasing;
+          Alcotest.test_case "type consistent" `Quick
+            test_csp_columns_type_consistent;
+        ] );
+      ( "vertical",
+        [
+          Alcotest.test_case "transpose grid" `Quick test_transpose_grid;
+          Alcotest.test_case "double transpose" `Quick
+            test_transpose_idempotent_shape;
+          Alcotest.test_case "no table" `Quick test_transpose_no_table;
+          Alcotest.test_case "detector" `Quick test_looks_vertical;
+          Alcotest.test_case "end to end" `Quick test_vertical_end_to_end;
+          Alcotest.test_case "demo site via API" `Quick
+            test_vertical_demo_site;
+        ] );
+      ( "decoding",
+        [
+          Alcotest.test_case "posterior agrees with MAP on clean data" `Quick
+            test_posterior_decoding_agrees_on_clean_data;
+        ] );
+    ]

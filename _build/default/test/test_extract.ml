@@ -1,0 +1,250 @@
+open Tabseg_token
+open Tabseg_extract
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_strings = Alcotest.(check (list string))
+
+let tokens html = Tokenizer.tokenize html
+
+let extract_texts extracts =
+  List.map (fun (e : Extract.t) -> e.Extract.text) extracts
+
+(* ----------------------------- Extract ---------------------------- *)
+
+let test_extracts_split_by_tags () =
+  let extracts = Extract.of_tokens (tokens "<td>John Smith</td><td>Ohio</td>") in
+  check_strings "two extracts" [ "John Smith"; "Ohio" ]
+    (extract_texts extracts)
+
+let test_extracts_split_by_special_punct () =
+  let extracts = Extract.of_tokens (tokens "<p>New Holland ~ (740) 335-5555</p>") in
+  check_strings "tilde splits" [ "New Holland"; "(740) 335-5555" ]
+    (extract_texts extracts)
+
+let test_extracts_keep_benign_punct () =
+  let extracts = Extract.of_tokens (tokens "<p>Findlay, OH</p>") in
+  check_strings "comma kept inside" [ "Findlay, OH" ] (extract_texts extracts)
+
+let test_extract_ids_sequential () =
+  let extracts = Extract.of_tokens (tokens "<p>a</p><p>b</p><p>c</p>") in
+  Alcotest.(check (list int)) "ids" [ 0; 1; 2 ]
+    (List.map (fun (e : Extract.t) -> e.Extract.id) extracts)
+
+let test_extract_indices () =
+  let extracts = Extract.of_tokens (tokens "<p>one two</p>") in
+  match extracts with
+  | [ e ] ->
+    check_int "start" 1 e.Extract.start_index;
+    check_int "stop" 3 e.Extract.stop_index
+  | _ -> Alcotest.fail "expected one extract"
+
+let test_extract_types_union () =
+  let extracts = Extract.of_tokens (tokens "<p>John 42</p>") in
+  match extracts with
+  | [ e ] ->
+    check_bool "union has alpha" true
+      (Token_type.mem Token_type.Alphabetic e.Extract.types);
+    check_bool "union has numeric" true
+      (Token_type.mem Token_type.Numeric e.Extract.types);
+    check_bool "first word alpha only" false
+      (Token_type.mem Token_type.Numeric e.Extract.first_types)
+  | _ -> Alcotest.fail "expected one extract"
+
+let test_empty_page () =
+  check_int "no extracts" 0 (List.length (Extract.of_tokens (tokens "")))
+
+(* ----------------------------- Matching --------------------------- *)
+
+let index html = Matching.index_detail (tokens html)
+
+let test_match_simple () =
+  let idx = index "<p>John Smith lives here</p>" in
+  check_bool "found" true (Matching.contains idx [ "John"; "Smith" ]);
+  check_bool "not found" false (Matching.contains idx [ "Jane"; "Smith" ])
+
+let test_match_ignores_separators () =
+  (* Paper footnote 1: "FirstName LastName" matches
+     "FirstName <br> LastName". *)
+  let idx = index "<p>John<br>Smith</p>" in
+  check_bool "tag-separated match" true
+    (Matching.contains idx [ "John"; "Smith" ]);
+  let idx = index "<p>John ~ Smith</p>" in
+  check_bool "punctuation-separated match" true
+    (Matching.contains idx [ "John"; "Smith" ])
+
+let test_match_case_sensitive () =
+  let idx = index "<p>JOHN SMITH</p>" in
+  check_bool "case mismatch fails" false
+    (Matching.contains idx [ "John"; "Smith" ])
+
+let test_match_positions () =
+  let idx = index "<p>a b a b</p>" in
+  check_int "two occurrences" 2 (List.length (Matching.occurrences idx [ "a"; "b" ]));
+  let positions = Matching.occurrences idx [ "a"; "b" ] in
+  check_bool "ascending" true (List.sort compare positions = positions)
+
+let test_match_empty_needle () =
+  let idx = index "<p>a</p>" in
+  check_int "empty needle" 0 (List.length (Matching.occurrences idx []))
+
+let test_match_partial_overlap () =
+  let idx = index "<p>John Smithson</p>" in
+  check_bool "no partial word match" false
+    (Matching.contains idx [ "John"; "Smith" ])
+
+(* ---------------------------- Observation ------------------------- *)
+
+let build ?other extracts details =
+  let extracts = Extract.of_tokens (tokens extracts) in
+  let details = List.map tokens details in
+  let other_list_pages = Option.map (List.map tokens) other in
+  Observation.build ?other_list_pages ~extracts ~details ()
+
+let entry_texts (observation : Observation.t) =
+  Array.to_list observation.Observation.entries
+  |> List.map (fun e -> e.Observation.extract.Extract.text)
+
+let test_observation_d_sets () =
+  (* A third detail page keeps Alice off the everywhere-filter. *)
+  let observation =
+    build "<td>Alice</td><td>Bob</td>"
+      [ "<p>Alice</p>"; "<p>Bob and Alice</p>"; "<p>Carol</p>" ]
+  in
+  match Array.to_list observation.Observation.entries with
+  | [ alice; bob ] ->
+    Alcotest.(check (list int)) "Alice on both" [ 0; 1 ] alice.Observation.pages;
+    Alcotest.(check (list int)) "Bob on second" [ 1 ] bob.Observation.pages
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_observation_filters_everywhere () =
+  (* "Common" appears on every detail page: uninformative, dropped. *)
+  let observation =
+    build "<td>Common</td><td>Rare</td>"
+      [ "<p>Common</p>"; "<p>Common Rare</p>" ]
+  in
+  check_strings "only Rare kept" [ "Rare" ] (entry_texts observation);
+  check_strings "Common in extras" [ "Common" ]
+    (List.map (fun (e : Extract.t) -> e.Extract.text)
+       observation.Observation.extras)
+
+let test_observation_filters_all_list_pages () =
+  let observation =
+    build
+      ~other:[ "<p>Shared otherstuff</p>" ]
+      "<td>Shared</td><td>Unique</td>"
+      [ "<p>Shared</p>"; "<p>Unique</p>" ]
+  in
+  check_strings "Shared filtered via other list page" [ "Unique" ]
+    (entry_texts observation)
+
+let test_observation_unmatched_to_extras () =
+  let observation = build "<td>Ghost</td>" [ "<p>nothing</p>" ] in
+  check_int "no entries" 0 (Array.length observation.Observation.entries);
+  check_int "one extra" 1 (List.length observation.Observation.extras)
+
+let test_observation_positions_recorded () =
+  let observation =
+    build "<td>Alice</td>" [ "<p>intro</p><p>Alice</p>"; "<p>other</p>" ]
+  in
+  match Array.to_list observation.Observation.entries with
+  | [ entry ] ->
+    check_int "one observation" 1 (List.length entry.Observation.positions);
+    let page, position = List.hd entry.Observation.positions in
+    check_int "page 0" 0 page;
+    check_bool "position past intro" true (position > 0)
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_candidate_count_and_coverage () =
+  let observation =
+    build "<td>Alice</td><td>Bob</td>"
+      [ "<p>Alice</p>"; "<p>Bob and Alice</p>"; "<p>empty</p>" ]
+  in
+  check_int "candidates" 3 (Observation.candidate_count observation);
+  check_int "pages covered" 2 (Observation.pages_covered observation)
+
+(* Property: every entry's pages are sorted, distinct and within range;
+   positions agree with pages. *)
+let prop_observation_invariants =
+  QCheck.Test.make ~name:"observation invariants hold on random tables"
+    ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let values = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |] in
+      let random_cells n =
+        List.init n (fun _ ->
+            Printf.sprintf "<td>%s</td>"
+              values.(Random.State.int rand (Array.length values)))
+        |> String.concat ""
+      in
+      let list_page = random_cells (2 + Random.State.int rand 6) in
+      let details =
+        List.init (1 + Random.State.int rand 4) (fun _ ->
+            Printf.sprintf "<p>%s</p>"
+              (String.concat " "
+                 (List.init (1 + Random.State.int rand 4) (fun _ ->
+                      values.(Random.State.int rand (Array.length values))))))
+      in
+      let observation =
+        Observation.build
+          ~extracts:(Extract.of_tokens (tokens list_page))
+          ~details:(List.map tokens details)
+          ()
+      in
+      Array.for_all
+        (fun entry ->
+          let pages = entry.Observation.pages in
+          pages <> []
+          && List.sort_uniq compare pages = pages
+          && List.for_all
+               (fun p -> p >= 0 && p < observation.Observation.num_details)
+               pages
+          && List.for_all
+               (fun (p, _) -> List.mem p pages)
+               entry.Observation.positions)
+        observation.Observation.entries)
+
+let () =
+  Alcotest.run "tabseg_extract"
+    [
+      ( "extract",
+        [
+          Alcotest.test_case "split by tags" `Quick test_extracts_split_by_tags;
+          Alcotest.test_case "split by special punctuation" `Quick
+            test_extracts_split_by_special_punct;
+          Alcotest.test_case "benign punctuation kept" `Quick
+            test_extracts_keep_benign_punct;
+          Alcotest.test_case "ids sequential" `Quick test_extract_ids_sequential;
+          Alcotest.test_case "indices" `Quick test_extract_indices;
+          Alcotest.test_case "types union" `Quick test_extract_types_union;
+          Alcotest.test_case "empty page" `Quick test_empty_page;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "simple" `Quick test_match_simple;
+          Alcotest.test_case "ignores separators" `Quick
+            test_match_ignores_separators;
+          Alcotest.test_case "case sensitive" `Quick test_match_case_sensitive;
+          Alcotest.test_case "positions" `Quick test_match_positions;
+          Alcotest.test_case "empty needle" `Quick test_match_empty_needle;
+          Alcotest.test_case "no partial word match" `Quick
+            test_match_partial_overlap;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "D sets" `Quick test_observation_d_sets;
+          Alcotest.test_case "filters everywhere-values" `Quick
+            test_observation_filters_everywhere;
+          Alcotest.test_case "filters all-list-pages values" `Quick
+            test_observation_filters_all_list_pages;
+          Alcotest.test_case "unmatched to extras" `Quick
+            test_observation_unmatched_to_extras;
+          Alcotest.test_case "positions recorded" `Quick
+            test_observation_positions_recorded;
+          Alcotest.test_case "candidate count and coverage" `Quick
+            test_candidate_count_and_coverage;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_observation_invariants ] );
+    ]

@@ -1,0 +1,93 @@
+(* Fuzz hardening: the front half of the pipeline consumes arbitrary Web
+   pages, so no input — however malformed — may crash it. These properties
+   drive random byte strings and random tag soup through the HTML lexer,
+   DOM parser, printer, tokenizer and the full pipeline. *)
+
+let random_bytes rand n =
+  String.init n (fun _ -> Char.chr (Random.State.int rand 256))
+
+(* Tag soup: random fragments that look vaguely like HTML. *)
+let random_soup rand =
+  let fragments =
+    [| "<"; ">"; "</"; "/>"; "<td"; "</td>"; "<table>"; "<a href=\"";
+       "\""; "'"; "&amp;"; "&"; "&#"; "&#x"; ";"; "<!--"; "-->"; "<!";
+       "<script>"; "</script>"; "word"; "John Smith"; "123"; "~"; " ";
+       "\n"; "="; "<p class=x"; "<>"; "<br/>"; "(740)"; "e&t" |]
+  in
+  String.concat ""
+    (List.init
+       (Random.State.int rand 60)
+       (fun _ -> fragments.(Random.State.int rand (Array.length fragments))))
+
+let total_survives name f =
+  QCheck.Test.make ~name ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let input =
+        if seed mod 2 = 0 then random_soup rand
+        else random_bytes rand (Random.State.int rand 300)
+      in
+      match f input with
+      | _ -> true
+      | exception (Invalid_argument _ | Failure _ | Not_found) -> false)
+
+let prop_lexer = total_survives "lexer never raises" Tabseg_html.Lexer.lex
+
+let prop_dom =
+  total_survives "DOM parser never raises" Tabseg_html.Dom.parse
+
+let prop_printer_roundtrip =
+  total_survives "print (parse x) never raises" (fun s ->
+      Tabseg_html.Printer.to_string (Tabseg_html.Dom.parse s))
+
+let prop_entity =
+  total_survives "entity decode never raises" Tabseg_html.Entity.decode
+
+let prop_tokenizer =
+  total_survives "tokenizer never raises" Tabseg_token.Tokenizer.tokenize
+
+let prop_pipeline =
+  QCheck.Test.make ~name:"full pipeline never raises on tag soup" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed + 5 |] in
+      let page () = random_soup rand in
+      let input =
+        {
+          Tabseg.Pipeline.list_pages = [ page (); page () ];
+          detail_pages = [ page (); page () ];
+        }
+      in
+      match Tabseg.Api.segment ~method_:Tabseg.Api.Csp input with
+      | _ -> true)
+
+(* Determinism under re-parse: parse/print/parse is a fixpoint on the DOM
+   (after one normalization pass). *)
+let prop_print_parse_fixpoint =
+  QCheck.Test.make ~name:"print/parse reaches a fixpoint" ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed + 9 |] in
+      let soup = random_soup rand in
+      let once = Tabseg_html.Printer.to_string (Tabseg_html.Dom.parse soup) in
+      let twice = Tabseg_html.Printer.to_string (Tabseg_html.Dom.parse once) in
+      let thrice =
+        Tabseg_html.Printer.to_string (Tabseg_html.Dom.parse twice)
+      in
+      twice = thrice)
+
+let () =
+  Alcotest.run "tabseg_fuzz"
+    [
+      ( "totality",
+        [
+          QCheck_alcotest.to_alcotest prop_lexer;
+          QCheck_alcotest.to_alcotest prop_dom;
+          QCheck_alcotest.to_alcotest prop_printer_roundtrip;
+          QCheck_alcotest.to_alcotest prop_entity;
+          QCheck_alcotest.to_alcotest prop_tokenizer;
+          QCheck_alcotest.to_alcotest prop_pipeline;
+          QCheck_alcotest.to_alcotest prop_print_parse_fixpoint;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+open Tabseg_hmm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------------------- Logspace ---------------------------- *)
+
+let test_logspace_add () =
+  check_float "log(0.3+0.2)" (log 0.5)
+    (Logspace.add (log 0.3) (log 0.2));
+  check_float "zero + x = x" (log 0.7) (Logspace.add Logspace.zero (log 0.7));
+  check_bool "zero + zero = zero" true
+    (Logspace.is_zero (Logspace.add Logspace.zero Logspace.zero))
+
+let test_logspace_sum () =
+  let values = [| log 0.1; log 0.2; log 0.3 |] in
+  check_float "sum" (log 0.6) (Logspace.sum values);
+  check_bool "empty sum is zero" true (Logspace.is_zero (Logspace.sum [||]))
+
+let test_logspace_mul () =
+  check_float "product" (log 0.06) (Logspace.mul (log 0.2) (log 0.3));
+  check_bool "absorbing zero" true
+    (Logspace.is_zero (Logspace.mul Logspace.zero (log 0.5)))
+
+let test_logspace_normalize () =
+  let values = [| log 2.0; log 6.0 |] in
+  Logspace.normalize values;
+  check_float "first" (log 0.25) values.(0);
+  check_float "second" (log 0.75) values.(1)
+
+let test_logspace_of_prob () =
+  check_bool "of_prob 0" true (Logspace.is_zero (Logspace.of_prob 0.));
+  check_float "of_prob 1" 0. (Logspace.of_prob 1.);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Logspace.of_prob: negative probability") (fun () ->
+      ignore (Logspace.of_prob (-0.1)))
+
+let prop_logsumexp_stable =
+  QCheck.Test.make ~name:"log-sum-exp matches naive sum on safe range"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 8) (float_bound_exclusive 1.0))
+    (fun probabilities ->
+      let probabilities = List.map (fun p -> p +. 1e-6) probabilities in
+      let naive = log (List.fold_left ( +. ) 0. probabilities) in
+      let stable =
+        Logspace.sum (Array.of_list (List.map log probabilities))
+      in
+      Float.abs (naive -. stable) < 1e-9)
+
+(* ------------------------------ Dist ------------------------------ *)
+
+let test_dist_uniform () =
+  let d = Dist.uniform 4 in
+  check_float "prob" 0.25 (Dist.prob d 0);
+  check_float "log prob" (log 0.25) (Dist.log_prob d 3)
+
+let test_dist_estimate () =
+  let d = Dist.estimate ~alpha:0.0001 ~counts:[| 1.; 3. |] () in
+  check_bool "close to 0.25/0.75" true
+    (Float.abs (Dist.prob d 0 -. 0.25) < 0.001
+    && Float.abs (Dist.prob d 1 -. 0.75) < 0.001)
+
+let test_dist_smoothing_avoids_zero () =
+  let d = Dist.estimate ~alpha:0.5 ~counts:[| 0.; 10. |] () in
+  check_bool "zero count smoothed" true (Dist.prob d 0 > 0.)
+
+let test_dist_rejects_bad_weights () =
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Dist.of_weights: non-positive total") (fun () ->
+      ignore (Dist.of_weights [| 0.; 0. |]))
+
+let test_dist_entropy () =
+  check_float "uniform entropy" (log 2.) (Dist.entropy (Dist.uniform 2));
+  check_float "deterministic entropy" 0.
+    (Dist.entropy (Dist.of_weights [| 1.; 0. |]))
+
+let test_bernoulli () =
+  let bv = Dist.bernoulli_uniform ~bits:8 ~p:0.125 in
+  (* Probability of the all-zero mask: (7/8)^8. *)
+  check_float "all-zero mask" (8. *. log (7. /. 8.))
+    (Dist.bernoulli_log_prob bv 0);
+  (* One bit set: (1/8)(7/8)^7. *)
+  check_float "one bit" (log (1. /. 8.) +. (7. *. log (7. /. 8.)))
+    (Dist.bernoulli_log_prob bv 1)
+
+let test_bernoulli_estimate () =
+  let bv =
+    Dist.bernoulli_estimate ~alpha:0.0001 ~on_counts:[| 8.; 0.; 4.; 0.; 0.; 0.; 0.; 0. |]
+      ~total:8. ()
+  in
+  check_bool "bit0 ~1" true (Dist.bernoulli_prob_on bv 0 > 0.99);
+  check_bool "bit2 ~0.5" true
+    (Float.abs (Dist.bernoulli_prob_on bv 2 -. 0.5) < 0.01);
+  check_bool "bit1 ~0" true (Dist.bernoulli_prob_on bv 1 < 0.01)
+
+(* ------------------------------ Fhmm ------------------------------ *)
+
+(* A tiny two-state weather HMM with known Viterbi answer. States:
+   0 = rainy, 1 = sunny. *)
+let weather_lattice observations =
+  let trans =
+    [| [| 0.7; 0.3 |]; [| 0.4; 0.6 |] |]
+  in
+  (* Emissions: observation 0 (walk), 1 (shop), 2 (clean). *)
+  let emit_table = [| [| 0.1; 0.4; 0.5 |]; [| 0.6; 0.3; 0.1 |] |] in
+  {
+    Fhmm.length = Array.length observations;
+    states = (fun _ -> [| 0; 1 |]);
+    init = (fun s -> log (if s = 0 then 0.6 else 0.4));
+    trans = (fun _ prev cur -> log trans.(prev).(cur));
+    emit = (fun i s -> log emit_table.(s).(observations.(i)));
+  }
+
+let test_viterbi_weather () =
+  (* Classic example: observations walk, shop, clean -> sunny, rainy,
+     rainy. *)
+  match Fhmm.viterbi (weather_lattice [| 0; 1; 2 |]) with
+  | Some path ->
+    Alcotest.(check (array int)) "path" [| 1; 0; 0 |] path
+  | None -> Alcotest.fail "expected a path"
+
+let test_forward_backward_normalized () =
+  match Fhmm.forward_backward (weather_lattice [| 0; 1; 2; 0; 2 |]) with
+  | None -> Alcotest.fail "expected posteriors"
+  | Some posteriors ->
+    Array.iter
+      (fun gamma_row ->
+        let total = Array.fold_left ( +. ) 0. gamma_row in
+        check_bool "gamma sums to 1" true (Float.abs (total -. 1.) < 1e-9))
+      posteriors.Fhmm.gamma;
+    Array.iteri
+      (fun i cells ->
+        if i >= 1 then begin
+          let total = List.fold_left (fun acc (_, _, p) -> acc +. p) 0. cells in
+          check_bool "xi sums to 1" true (Float.abs (total -. 1.) < 1e-9)
+        end)
+      posteriors.Fhmm.xi
+
+let test_forward_backward_likelihood_brute_force () =
+  let observations = [| 0; 2; 1 |] in
+  let lattice = weather_lattice observations in
+  (* Enumerate all 2^3 paths and sum their joint probabilities. *)
+  let total = ref 0. in
+  for a = 0 to 1 do
+    for b = 0 to 1 do
+      for c = 0 to 1 do
+        total :=
+          !total +. exp (Fhmm.path_log_prob lattice [| a; b; c |])
+      done
+    done
+  done;
+  match Fhmm.forward_backward lattice with
+  | Some posteriors ->
+    check_bool "log-likelihood matches brute force" true
+      (Float.abs (posteriors.Fhmm.log_likelihood -. log !total) < 1e-9)
+  | None -> Alcotest.fail "expected posteriors"
+
+let test_viterbi_beats_other_paths () =
+  let observations = [| 0; 1; 2; 2 |] in
+  let lattice = weather_lattice observations in
+  match Fhmm.viterbi lattice with
+  | None -> Alcotest.fail "expected a path"
+  | Some best ->
+    let best_score = Fhmm.path_log_prob lattice best in
+    for mask = 0 to 15 do
+      let path = Array.init 4 (fun i -> (mask lsr i) land 1) in
+      check_bool "viterbi is maximal" true
+        (Fhmm.path_log_prob lattice path <= best_score +. 1e-9)
+    done
+
+let test_infeasible_lattice () =
+  let lattice =
+    {
+      Fhmm.length = 2;
+      states = (fun _ -> [| 0; 1 |]);
+      init = (fun _ -> Logspace.one);
+      trans = (fun _ _ _ -> Logspace.zero);  (* no transition allowed *)
+      emit = (fun _ _ -> Logspace.one);
+    }
+  in
+  check_bool "viterbi none" true (Fhmm.viterbi lattice = None);
+  check_bool "posteriors none" true (Fhmm.forward_backward lattice = None)
+
+let test_position_dependent_states () =
+  (* The admissible-state sets differ per position (as with D_i). *)
+  let lattice =
+    {
+      Fhmm.length = 3;
+      states = (fun i -> if i = 1 then [| 5 |] else [| 3; 5 |]);
+      init = (fun _ -> log 0.5);
+      trans = (fun _ _ _ -> log 0.5);
+      emit = (fun _ _ -> Logspace.one);
+    }
+  in
+  match Fhmm.viterbi lattice with
+  | Some path -> check_int "middle state forced" 5 path.(1)
+  | None -> Alcotest.fail "expected a path"
+
+let test_single_position () =
+  let lattice =
+    {
+      Fhmm.length = 1;
+      states = (fun _ -> [| 7; 9 |]);
+      init = (fun s -> log (if s = 9 then 0.8 else 0.2));
+      trans = (fun _ _ _ -> Logspace.zero);
+      emit = (fun _ _ -> Logspace.one);
+    }
+  in
+  match Fhmm.viterbi lattice with
+  | Some path -> check_int "most likely initial state" 9 path.(0)
+  | None -> Alcotest.fail "expected a path"
+
+let () =
+  Alcotest.run "tabseg_hmm"
+    [
+      ( "logspace",
+        [
+          Alcotest.test_case "add" `Quick test_logspace_add;
+          Alcotest.test_case "sum" `Quick test_logspace_sum;
+          Alcotest.test_case "mul" `Quick test_logspace_mul;
+          Alcotest.test_case "normalize" `Quick test_logspace_normalize;
+          Alcotest.test_case "of_prob" `Quick test_logspace_of_prob;
+          QCheck_alcotest.to_alcotest prop_logsumexp_stable;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "uniform" `Quick test_dist_uniform;
+          Alcotest.test_case "estimate" `Quick test_dist_estimate;
+          Alcotest.test_case "smoothing" `Quick test_dist_smoothing_avoids_zero;
+          Alcotest.test_case "bad weights" `Quick test_dist_rejects_bad_weights;
+          Alcotest.test_case "entropy" `Quick test_dist_entropy;
+          Alcotest.test_case "bernoulli vector" `Quick test_bernoulli;
+          Alcotest.test_case "bernoulli estimate" `Quick
+            test_bernoulli_estimate;
+        ] );
+      ( "fhmm",
+        [
+          Alcotest.test_case "viterbi weather" `Quick test_viterbi_weather;
+          Alcotest.test_case "posteriors normalized" `Quick
+            test_forward_backward_normalized;
+          Alcotest.test_case "likelihood vs brute force" `Quick
+            test_forward_backward_likelihood_brute_force;
+          Alcotest.test_case "viterbi maximal" `Quick
+            test_viterbi_beats_other_paths;
+          Alcotest.test_case "infeasible lattice" `Quick
+            test_infeasible_lattice;
+          Alcotest.test_case "position dependent states" `Quick
+            test_position_dependent_states;
+          Alcotest.test_case "single position" `Quick test_single_position;
+        ] );
+    ]

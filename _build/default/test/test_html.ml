@@ -1,0 +1,237 @@
+open Tabseg_html
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------------------- Entity ---------------------------- *)
+
+let test_decode_named () =
+  check_string "amp" "a & b" (Entity.decode "a &amp; b");
+  check_string "lt gt" "<tag>" (Entity.decode "&lt;tag&gt;");
+  check_string "nbsp is U+00A0" "a\xc2\xa0b" (Entity.decode "a&nbsp;b");
+  check_string "Greek" "\xce\xa9" (Entity.decode "&Omega;");
+  check_string "math" "\xe2\x89\xa0" (Entity.decode "&ne;");
+  check_string "quot" "\"x\"" (Entity.decode "&quot;x&quot;")
+
+let test_decode_numeric () =
+  check_string "decimal" "A" (Entity.decode "&#65;");
+  check_string "hex" "A" (Entity.decode "&#x41;");
+  check_string "hex upper" "A" (Entity.decode "&#X41;");
+  check_string "utf8 two-byte" "\xc2\xa9" (Entity.decode "&#169;");
+  check_string "utf8 three-byte" "\xe2\x82\xac" (Entity.decode "&#8364;")
+
+let test_decode_malformed () =
+  check_string "bare ampersand" "a & b" (Entity.decode "a & b");
+  check_string "unknown entity" "&zzz;" (Entity.decode "&zzz;");
+  check_string "unterminated" "&amp" (Entity.decode "&amp");
+  check_string "empty numeric" "&#;" (Entity.decode "&#;");
+  check_string "trailing amp" "x&" (Entity.decode "x&")
+
+let test_decode_invalid_code_points () =
+  check_string "surrogate replaced" "\xef\xbf\xbd" (Entity.decode "&#xD800;");
+  check_string "out of range replaced" "\xef\xbf\xbd"
+    (Entity.decode "&#x110000;")
+
+let test_encode () =
+  check_string "all specials" "&amp;&lt;&gt;&quot;&apos;"
+    (Entity.encode "&<>\"'");
+  check_string "plain untouched" "hello" (Entity.encode "hello")
+
+let test_roundtrip () =
+  let original = "a<b & \"c\" 'd'" in
+  check_string "decode (encode x) = x" original
+    (Entity.decode (Entity.encode original))
+
+let test_lookup () =
+  check_bool "amp known" true (Entity.lookup_named "amp" = Some "&");
+  check_bool "unknown" true (Entity.lookup_named "notanentity" = None)
+
+(* ----------------------------- Lexer ----------------------------- *)
+
+let lex = Lexer.lex
+
+let test_lex_simple () =
+  match lex "<b>hi</b>" with
+  | [ Lexer.Start_tag { name = "b"; _ }; Lexer.Text "hi"; Lexer.End_tag "b" ]
+    -> ()
+  | events ->
+    Alcotest.failf "unexpected events: %a"
+      (Format.pp_print_list Lexer.pp_event)
+      events
+
+let test_lex_attributes () =
+  match lex {|<a href="x.html" class=big selected>go</a>|} with
+  | [ Lexer.Start_tag { name = "a"; attributes; self_closing = false };
+      Lexer.Text "go"; Lexer.End_tag "a" ] ->
+    check_int "three attributes" 3 (List.length attributes);
+    check_bool "href" true
+      (Lexer.attribute_value attributes "href" = Some "x.html");
+    check_bool "unquoted" true
+      (Lexer.attribute_value attributes "class" = Some "big");
+    check_bool "bare flag has no value" true
+      (Lexer.attribute_value attributes "selected" = None)
+  | _ -> Alcotest.fail "unexpected lex result"
+
+let test_lex_entity_in_attribute () =
+  match lex {|<a href="x?a=1&amp;b=2">t</a>|} with
+  | Lexer.Start_tag { attributes; _ } :: _ ->
+    check_bool "decoded" true
+      (Lexer.attribute_value attributes "href" = Some "x?a=1&b=2")
+  | _ -> Alcotest.fail "unexpected lex result"
+
+let test_lex_case_normalized () =
+  match lex "<DIV Class=x></DIV>" with
+  | [ Lexer.Start_tag { name = "div"; attributes; _ }; Lexer.End_tag "div" ]
+    ->
+    check_bool "attr name lowercased" true
+      (Lexer.attribute_value attributes "class" = Some "x")
+  | _ -> Alcotest.fail "case not normalized"
+
+let test_lex_comment_doctype () =
+  match lex "<!DOCTYPE html><!-- note -->x" with
+  | [ Lexer.Doctype d; Lexer.Comment c; Lexer.Text "x" ] ->
+    check_string "doctype" "DOCTYPE html" d;
+    check_string "comment" " note " c
+  | _ -> Alcotest.fail "unexpected lex result"
+
+let test_lex_script_raw () =
+  match lex "<script>if (a<b) x();</script>done" with
+  | [ Lexer.Start_tag { name = "script"; _ }; Lexer.Text body;
+      Lexer.End_tag "script"; Lexer.Text "done" ] ->
+    check_string "raw body" "if (a<b) x();" body
+  | events ->
+    Alcotest.failf "unexpected events: %a"
+      (Format.pp_print_list Lexer.pp_event)
+      events
+
+let test_lex_self_closing () =
+  match lex "<br/>" with
+  | [ Lexer.Start_tag { name = "br"; self_closing = true; _ } ] -> ()
+  | _ -> Alcotest.fail "self-closing not detected"
+
+let test_lex_lone_angle () =
+  match lex "a < b" with
+  | [ Lexer.Text "a < b" ] -> ()
+  | events ->
+    Alcotest.failf "unexpected events: %a"
+      (Format.pp_print_list Lexer.pp_event)
+      events
+
+let test_lex_unclosed_tag_at_eof () =
+  match lex "<b" with
+  | [ Lexer.Start_tag { name = "b"; _ } ] -> ()
+  | events ->
+    Alcotest.failf "unexpected events: %a"
+      (Format.pp_print_list Lexer.pp_event)
+      events
+
+(* ------------------------------ Dom ------------------------------ *)
+
+let test_dom_nesting () =
+  match Dom.parse "<div><p>one</p><p>two</p></div>" with
+  | [ Dom.Element ("div", _, [ Dom.Element ("p", _, [ Dom.Text "one" ]);
+                               Dom.Element ("p", _, [ Dom.Text "two" ]) ]) ]
+    -> ()
+  | _ -> Alcotest.fail "unexpected tree"
+
+let test_dom_implicit_close () =
+  (* <li> closes a previous <li>; same for <tr>/<td>. *)
+  match Dom.parse "<ul><li>a<li>b</ul>" with
+  | [ Dom.Element ("ul", _, [ Dom.Element ("li", _, [ Dom.Text "a" ]);
+                              Dom.Element ("li", _, [ Dom.Text "b" ]) ]) ]
+    -> ()
+  | _ -> Alcotest.fail "li not implicitly closed"
+
+let test_dom_void () =
+  match Dom.parse "a<br>b" with
+  | [ Dom.Text "a"; Dom.Element ("br", _, []); Dom.Text "b" ] -> ()
+  | _ -> Alcotest.fail "void element mishandled"
+
+let test_dom_stray_end_tag () =
+  match Dom.parse "a</b>c" with
+  | [ Dom.Text "a"; Dom.Text "c" ] -> ()
+  | _ -> Alcotest.fail "stray end tag not dropped"
+
+let test_dom_unclosed_at_eof () =
+  match Dom.parse "<div><b>x" with
+  | [ Dom.Element ("div", _, [ Dom.Element ("b", _, [ Dom.Text "x" ]) ]) ]
+    -> ()
+  | _ -> Alcotest.fail "unclosed elements not recovered"
+
+let test_dom_text_content () =
+  let forest = Dom.parse "<div>John <b>Smith</b><br>Main St</div>" in
+  match forest with
+  | [ node ] ->
+    check_string "text content" "John  Smith Main St"
+      (Dom.text_content node)
+  | _ -> Alcotest.fail "unexpected forest"
+
+let test_dom_find_all () =
+  let forest = Dom.parse "<table><tr><td>a</td><td>b</td></tr></table>" in
+  check_int "two cells" 2 (List.length (Dom.find_all (( = ) "td") forest))
+
+let test_dom_attribute () =
+  match Dom.parse {|<a href="d1.html">x</a>|} with
+  | [ node ] ->
+    check_bool "href" true (Dom.attribute node "href" = Some "d1.html")
+  | _ -> Alcotest.fail "unexpected forest"
+
+(* ---------------------------- Printer ---------------------------- *)
+
+let test_printer_roundtrip () =
+  let html = {|<div class="row">John &amp; Jane<br>2 &lt; 3</div>|} in
+  let printed = Printer.to_string (Dom.parse html) in
+  check_string "roundtrip" html printed
+
+let test_printer_void () =
+  check_string "no end tag for br" "<br>"
+    (Printer.to_string (Dom.parse "<br>"))
+
+let () =
+  Alcotest.run "tabseg_html"
+    [
+      ( "entity",
+        [
+          Alcotest.test_case "decode named" `Quick test_decode_named;
+          Alcotest.test_case "decode numeric" `Quick test_decode_numeric;
+          Alcotest.test_case "decode malformed" `Quick test_decode_malformed;
+          Alcotest.test_case "decode invalid code points" `Quick
+            test_decode_invalid_code_points;
+          Alcotest.test_case "encode" `Quick test_encode;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+        ] );
+      ( "lexer",
+        [
+          Alcotest.test_case "simple" `Quick test_lex_simple;
+          Alcotest.test_case "attributes" `Quick test_lex_attributes;
+          Alcotest.test_case "entity in attribute" `Quick
+            test_lex_entity_in_attribute;
+          Alcotest.test_case "case normalized" `Quick test_lex_case_normalized;
+          Alcotest.test_case "comment and doctype" `Quick
+            test_lex_comment_doctype;
+          Alcotest.test_case "script raw text" `Quick test_lex_script_raw;
+          Alcotest.test_case "self closing" `Quick test_lex_self_closing;
+          Alcotest.test_case "lone angle bracket" `Quick test_lex_lone_angle;
+          Alcotest.test_case "unclosed tag at EOF" `Quick
+            test_lex_unclosed_tag_at_eof;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "nesting" `Quick test_dom_nesting;
+          Alcotest.test_case "implicit close" `Quick test_dom_implicit_close;
+          Alcotest.test_case "void elements" `Quick test_dom_void;
+          Alcotest.test_case "stray end tag" `Quick test_dom_stray_end_tag;
+          Alcotest.test_case "unclosed at EOF" `Quick
+            test_dom_unclosed_at_eof;
+          Alcotest.test_case "text content" `Quick test_dom_text_content;
+          Alcotest.test_case "find all" `Quick test_dom_find_all;
+          Alcotest.test_case "attribute" `Quick test_dom_attribute;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_printer_roundtrip;
+          Alcotest.test_case "void" `Quick test_printer_void;
+        ] );
+    ]

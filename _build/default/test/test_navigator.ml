@@ -1,0 +1,237 @@
+open Tabseg_navigator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----------------------------- Webgraph ---------------------------- *)
+
+let tiny_graph () =
+  Webgraph.make ~entry:"a.html"
+    ~pages:
+      [ ("a.html", {|<html><body><a href="b.html">B</a></body></html>|});
+        ("b.html", {|<html><body><a href="a.html">A</a></body></html>|}) ]
+
+let test_webgraph_fetch () =
+  let graph = tiny_graph () in
+  check_bool "entry fetchable" true (Webgraph.fetch graph "a.html" <> None);
+  check_bool "404" true (Webgraph.fetch graph "missing.html" = None);
+  check_int "fetch counted" 1 (Webgraph.fetch_count graph)
+
+let test_webgraph_validation () =
+  Alcotest.check_raises "missing entry"
+    (Invalid_argument "Webgraph.make: entry \"x\" not among pages") (fun () ->
+      ignore (Webgraph.make ~entry:"x" ~pages:[ ("y", "") ]));
+  Alcotest.check_raises "duplicate URL"
+    (Invalid_argument "Webgraph.make: duplicate URL \"y\"") (fun () ->
+      ignore (Webgraph.make ~entry:"y" ~pages:[ ("y", ""); ("y", "") ]))
+
+(* ----------------------------- Crawler ----------------------------- *)
+
+let test_links_extraction () =
+  let html =
+    {|<html><body>
+<a href="one.html">1</a>
+<a href="two.html#frag">2</a>
+<a href="http://external.example/x">ext</a>
+<a href="mailto:a@b.c">mail</a>
+<a href="javascript:void(0)">js</a>
+<a href="one.html">dup</a>
+</body></html>|}
+  in
+  Alcotest.(check (list string))
+    "internal links only, deduplicated"
+    [ "one.html"; "two.html" ]
+    (Crawler.links html)
+
+let test_crawl_bfs_order () =
+  let graph =
+    Webgraph.make ~entry:"root.html"
+      ~pages:
+        [ ("root.html",
+           {|<a href="child1.html">1</a><a href="child2.html">2</a>|});
+          ("child1.html", {|<a href="grandchild.html">g</a>|});
+          ("child2.html", "leaf");
+          ("grandchild.html", "leaf");
+          ("unreachable.html", "never") ]
+  in
+  let pages = Crawler.crawl graph in
+  Alcotest.(check (list string))
+    "BFS order, unreachable skipped"
+    [ "root.html"; "child1.html"; "child2.html"; "grandchild.html" ]
+    (List.map (fun (p : Crawler.page) -> p.Crawler.url) pages);
+  Alcotest.(check (list int))
+    "depths" [ 0; 1; 1; 2 ]
+    (List.map (fun (p : Crawler.page) -> p.Crawler.depth) pages)
+
+let test_crawl_limits () =
+  let graph =
+    Webgraph.make ~entry:"p0.html"
+      ~pages:
+        (List.init 10 (fun i ->
+             ( Printf.sprintf "p%d.html" i,
+               Printf.sprintf {|<a href="p%d.html">next</a>|} (i + 1) )))
+  in
+  let pages =
+    Crawler.crawl
+      ~config:{ Crawler.max_pages = 3; max_depth = 100 }
+      graph
+  in
+  check_int "page budget respected" 3 (List.length pages);
+  let pages =
+    Crawler.crawl
+      ~config:{ Crawler.max_pages = 100; max_depth = 2 }
+      graph
+  in
+  check_int "depth budget respected" 3 (List.length pages)
+
+let test_crawl_fetches_each_page_once () =
+  let graph = tiny_graph () in
+  ignore (Crawler.crawl graph);
+  check_int "two fetches for two pages" 2 (Webgraph.fetch_count graph)
+
+(* ---------------------------- Classifier --------------------------- *)
+
+let detail i =
+  Printf.sprintf
+    {|<html><body><h2>Detail</h2><table><tr><td><i>Name:</i></td><td>Person %d</td></tr><tr><td><i>Phone:</i></td><td>(555) 000-%04d</td></tr></table></body></html>|}
+    i i
+
+let list_page links =
+  Printf.sprintf
+    {|<html><body><h1>Results</h1><table>%s</table></body></html>|}
+    (String.concat ""
+       (List.map
+          (fun (href, name) ->
+            Printf.sprintf {|<tr><td>%s</td><td><a href="%s">More</a></td></tr>|}
+              name href)
+          links))
+
+let test_similarity_same_template () =
+  check_bool "same template pages similar" true
+    (Classifier.similarity (detail 1) (detail 2) > 0.95);
+  check_bool "different templates dissimilar" true
+    (Classifier.similarity (detail 1) (list_page [ ("d1.html", "A") ]) < 0.9)
+
+let test_identify_roles () =
+  let details = List.init 6 (fun i -> (Printf.sprintf "d%d.html" i, detail i)) in
+  let list1 =
+    list_page (List.init 3 (fun i -> (Printf.sprintf "d%d.html" i, "row")))
+  in
+  let list2 =
+    list_page
+      (List.init 3 (fun i -> (Printf.sprintf "d%d.html" (i + 3), "row")))
+  in
+  let junk = ("junk.html", "<html><body><h1>Ads!</h1><p>Buy now</p></body></html>") in
+  let pages =
+    List.map
+      (fun (url, html) -> { Classifier.url; html })
+      ((("l1.html", list1) :: ("l2.html", list2) :: details) @ [ junk ])
+  in
+  let roles = Classifier.identify pages in
+  check_int "two list pages" 2 (List.length roles.Classifier.list_pages);
+  check_int "six detail pages" 6 (List.length roles.Classifier.detail_pages);
+  check_int "one other" 1 (List.length roles.Classifier.other_pages)
+
+let test_identify_no_links () =
+  let pages =
+    [ { Classifier.url = "a"; html = "<p>x</p>" };
+      { Classifier.url = "b"; html = "<div>y</div>" } ]
+  in
+  let roles = Classifier.identify pages in
+  check_int "all other" 2 (List.length roles.Classifier.other_pages)
+
+(* ---------------------------- Simulate/Auto ------------------------ *)
+
+let test_simulated_graph_shape () =
+  let generated =
+    Tabseg_sitegen.Sites.generate
+      (Tabseg_sitegen.Sites.find "ButlerCounty")
+  in
+  let graph = Simulate.graph_of_site generated in
+  (* entry + 2 lists + 15 + 12 details + about + ads *)
+  check_int "page count" 32 (Webgraph.size graph);
+  check_bool "entry page" true (Webgraph.entry graph = "entry.html");
+  check_bool "truth for list page" true
+    (Simulate.truth_for generated "list_0.html" <> None);
+  check_bool "no truth for ads" true
+    (Simulate.truth_for generated "ads.html" = None)
+
+let test_auto_end_to_end () =
+  let generated =
+    Tabseg_sitegen.Sites.generate
+      (Tabseg_sitegen.Sites.find "ButlerCounty")
+  in
+  let graph = Simulate.graph_of_site generated in
+  let report = Auto.run graph in
+  check_int "everything crawled" 32 report.Auto.pages_fetched;
+  check_int "two list pages found" 2 report.Auto.lists_found;
+  check_int "27 detail pages found" 27 report.Auto.details_found;
+  check_int "two segmentations" 2 (List.length report.Auto.results);
+  (* Each segmentation must score perfectly against the page's truth. *)
+  List.iter
+    (fun result ->
+      match Simulate.truth_for generated result.Auto.list_url with
+      | None -> Alcotest.fail "segmented a non-list page"
+      | Some truth ->
+        let counts =
+          Tabseg_eval.Scorer.score ~truth result.Auto.segmentation
+        in
+        check_int
+          (result.Auto.list_url ^ " all correct")
+          (List.length truth) counts.Tabseg_eval.Metrics.cor)
+    report.Auto.results
+
+let test_auto_detail_order () =
+  let generated =
+    Tabseg_sitegen.Sites.generate
+      (Tabseg_sitegen.Sites.find "OhioCorrections")
+  in
+  let graph = Simulate.graph_of_site generated in
+  let report = Auto.run graph in
+  List.iter
+    (fun result ->
+      (* detail_<p>_<i>.html must come out with i ascending. *)
+      let indices =
+        List.map
+          (fun url ->
+            (* detail_<p>_<i>.html *)
+            match String.split_on_char '_' url with
+            | [ _; _; tail ] ->
+              int_of_string (List.hd (String.split_on_char '.' tail))
+            | _ -> Alcotest.failf "unexpected detail url %s" url)
+          result.Auto.detail_urls
+      in
+      check_bool "record order" true
+        (indices = List.sort compare indices))
+    report.Auto.results
+
+let () =
+  Alcotest.run "tabseg_navigator"
+    [
+      ( "webgraph",
+        [
+          Alcotest.test_case "fetch" `Quick test_webgraph_fetch;
+          Alcotest.test_case "validation" `Quick test_webgraph_validation;
+        ] );
+      ( "crawler",
+        [
+          Alcotest.test_case "link extraction" `Quick test_links_extraction;
+          Alcotest.test_case "BFS order" `Quick test_crawl_bfs_order;
+          Alcotest.test_case "limits" `Quick test_crawl_limits;
+          Alcotest.test_case "fetches once" `Quick
+            test_crawl_fetches_each_page_once;
+        ] );
+      ( "classifier",
+        [
+          Alcotest.test_case "similarity" `Quick test_similarity_same_template;
+          Alcotest.test_case "identify roles" `Quick test_identify_roles;
+          Alcotest.test_case "no links" `Quick test_identify_no_links;
+        ] );
+      ( "auto",
+        [
+          Alcotest.test_case "simulated graph" `Quick
+            test_simulated_graph_shape;
+          Alcotest.test_case "end to end" `Slow test_auto_end_to_end;
+          Alcotest.test_case "detail order" `Slow test_auto_detail_order;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+open Tabseg_pattern.Pattern
+open Tabseg_token
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let atoms html = atoms_of_tokens (Tokenizer.tokenize html)
+
+(* ------------------------------ atoms ------------------------------ *)
+
+let test_atoms_compression () =
+  match atoms "<td>John Q Smith</td>" with
+  | [ Atag "<td>"; Atext [ "John"; "Q"; "Smith" ]; Atag "</td>" ] -> ()
+  | other ->
+    Alcotest.failf "unexpected atoms (%d)" (List.length other)
+
+let test_atoms_separator_keeps_run () =
+  (* Word-level separators stay inside the text run at the atom level. *)
+  match atoms "<p>a ~ b</p>" with
+  | [ Atag "<p>"; Atext [ "a"; "~"; "b" ]; Atag "</p>" ] -> ()
+  | _ -> Alcotest.fail "unexpected atoms"
+
+(* ------------------------------ fold ------------------------------- *)
+
+let row cells =
+  atoms
+    ("<tr>"
+    ^ String.concat ""
+        (List.map (fun cell -> "<td>" ^ cell ^ "</td>") cells)
+    ^ "</tr>")
+
+let fold_all = function
+  | [] -> None
+  | first :: rest ->
+    List.fold_left
+      (fun pattern chunk ->
+        Option.bind pattern (fun p -> fold p chunk))
+      (Some (generalize first))
+      rest
+
+let test_fold_identical_rows () =
+  match fold_all [ row [ "a"; "b" ]; row [ "c"; "d" ]; row [ "e"; "f" ] ] with
+  | Some pattern ->
+    check_int "no optionals needed" 0
+      (List.length
+         (List.filter (function Optional _ -> true | _ -> false) pattern))
+  | None -> Alcotest.fail "fold failed"
+
+let test_fold_missing_cell () =
+  match fold_all [ row [ "a"; "b"; "c" ]; row [ "a"; "c" ] ] with
+  | Some pattern ->
+    check_bool "optional introduced" true
+      (List.exists (function Optional _ -> true | _ -> false) pattern)
+  | None -> Alcotest.fail "fold failed"
+
+let test_fold_disjunction_raises () =
+  let gray = atoms "<tr><td><font>na</font></td></tr>" in
+  let plain = atoms "<tr><td><b>addr</b></td></tr>" in
+  match fold (generalize plain) gray with
+  | Some _ -> Alcotest.fail "should not fold alternatives"
+  | None -> ()
+  | exception Disjunction _ -> ()
+
+(* --------------------------- capture ------------------------------- *)
+
+let test_capture_fields () =
+  match fold_all [ row [ "a"; "b" ]; row [ "c"; "d" ] ] with
+  | None -> Alcotest.fail "fold failed"
+  | Some pattern -> (
+    match capture pattern (row [ "x y"; "z" ]) with
+    | Some fields -> Alcotest.(check (list string)) "fields" [ "x y"; "z" ] fields
+    | None -> Alcotest.fail "capture failed")
+
+let test_capture_optional_present_and_absent () =
+  match fold_all [ row [ "a"; "b"; "c" ]; row [ "a"; "c" ] ] with
+  | None -> Alcotest.fail "fold failed"
+  | Some pattern ->
+    check_bool "accepts long row" true (matches pattern (row [ "1"; "2"; "3" ]));
+    check_bool "accepts short row" true (matches pattern (row [ "1"; "2" ]));
+    check_bool "rejects garbage" false
+      (matches pattern (atoms "<div>other</div>"))
+
+let test_capture_rejects_extra_structure () =
+  match fold_all [ row [ "a" ]; row [ "b" ] ] with
+  | None -> Alcotest.fail "fold failed"
+  | Some pattern ->
+    check_bool "rejects two cells" false (matches pattern (row [ "a"; "b" ]))
+
+(* ---------------------------- chunks ------------------------------- *)
+
+let test_chunks_split_and_trim () =
+  let page =
+    atoms
+      "<html><body><table><tr><td>a</td></tr><tr><td>b</td></tr></table>\
+       <p>footer</p></body></html>"
+  in
+  let chunk_list = chunks ~marker:"<tr>" page in
+  check_int "two chunks" 2 (List.length chunk_list);
+  List.iter
+    (fun chunk ->
+      check_bool "starts with marker" true (List.hd chunk = Atag "<tr>");
+      check_bool "footer trimmed" true
+        (not (List.exists (( = ) (Atext [ "footer" ])) chunk)))
+    chunk_list
+
+let test_chunks_no_marker () =
+  check_int "no chunks" 0 (List.length (chunks ~marker:"<tr>" (atoms "<p>x</p>")))
+
+(* --------------------------- properties ---------------------------- *)
+
+(* Random rows from a fixed schema with random missing cells: the folded
+   pattern must accept (and capture from) every training row. *)
+let random_row rand =
+  let cells =
+    List.filteri
+      (fun i _ -> i = 0 || Random.State.int rand 100 < 70)
+      [ "alpha"; "beta"; "gamma"; "delta" ]
+  in
+  row (List.mapi (fun i c -> Printf.sprintf "%s%d" c i) cells)
+
+let prop_fold_accepts_training_rows =
+  QCheck.Test.make ~name:"folded pattern accepts every training row"
+    ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let rows = List.init (2 + Random.State.int rand 5) (fun _ -> random_row rand) in
+      match fold_all rows with
+      | None -> QCheck.assume_fail ()
+      | exception Disjunction _ -> QCheck.assume_fail ()
+      | Some pattern -> List.for_all (matches pattern) rows)
+
+let prop_capture_count_matches_text_runs =
+  QCheck.Test.make
+    ~name:"capture returns one field per text run of the accepted row"
+    ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed + 1 |] in
+      let rows = List.init 3 (fun _ -> random_row rand) in
+      match fold_all rows with
+      | None -> QCheck.assume_fail ()
+      | exception Disjunction _ -> QCheck.assume_fail ()
+      | Some pattern ->
+        List.for_all
+          (fun r ->
+            match capture pattern r with
+            | None -> false
+            | Some fields ->
+              let text_runs =
+                List.length
+                  (List.filter
+                     (function Atext _ -> true | Atag _ -> false)
+                     r)
+              in
+              List.length fields = text_runs)
+          rows)
+
+let () =
+  Alcotest.run "tabseg_pattern"
+    [
+      ( "atoms",
+        [
+          Alcotest.test_case "compression" `Quick test_atoms_compression;
+          Alcotest.test_case "separators in runs" `Quick
+            test_atoms_separator_keeps_run;
+        ] );
+      ( "fold",
+        [
+          Alcotest.test_case "identical rows" `Quick test_fold_identical_rows;
+          Alcotest.test_case "missing cell" `Quick test_fold_missing_cell;
+          Alcotest.test_case "disjunction" `Quick test_fold_disjunction_raises;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "fields" `Quick test_capture_fields;
+          Alcotest.test_case "optional present/absent" `Quick
+            test_capture_optional_present_and_absent;
+          Alcotest.test_case "rejects extra structure" `Quick
+            test_capture_rejects_extra_structure;
+        ] );
+      ( "chunks",
+        [
+          Alcotest.test_case "split and trim" `Quick test_chunks_split_and_trim;
+          Alcotest.test_case "no marker" `Quick test_chunks_no_marker;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_fold_accepts_training_rows;
+          QCheck_alcotest.to_alcotest prop_capture_count_matches_text_runs;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+open Tabseg_sitegen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------ Prng ------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let seq rand = List.init 20 (fun _ -> Prng.int rand 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let seq rand = List.init 20 (fun _ -> Prng.int rand 1_000_000) in
+  check_bool "different seeds differ" true (seq a <> seq b)
+
+let test_prng_bounds () =
+  let rand = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rand 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: non-positive bound") (fun () ->
+      ignore (Prng.int (Prng.create 1) 0))
+
+let test_prng_pick_and_shuffle () =
+  let rand = Prng.create 4 in
+  check_bool "pick member" true (List.mem (Prng.pick rand [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  let shuffled = Prng.shuffle rand [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare shuffled)
+
+let test_prng_split_independent () =
+  let rand = Prng.create 5 in
+  let child = Prng.split rand in
+  let a = List.init 10 (fun _ -> Prng.int rand 100) in
+  let b = List.init 10 (fun _ -> Prng.int child 100) in
+  check_bool "streams differ" true (a <> b)
+
+let prop_prng_chance_extremes =
+  QCheck.Test.make ~name:"chance 0 never fires, chance 1 always fires"
+    ~count:100 QCheck.small_nat (fun seed ->
+      let rand = Prng.create seed in
+      (not (Prng.chance rand 0.)) && Prng.chance rand 0.9999999)
+
+(* ------------------------------ Data ------------------------------ *)
+
+let test_data_shapes () =
+  let rand = Prng.create 11 in
+  let pools = Data.make_pools rand in
+  let phone = Data.phone rand pools in
+  check_bool "phone shape" true
+    (String.length phone = 14 && phone.[0] = '(' && phone.[4] = ')');
+  let money = Data.money rand ~min:1_000 ~max:999_999 in
+  check_bool "money starts with dollar" true (money.[0] = '$');
+  let date = Data.date rand in
+  check_int "date length" 10 (String.length date);
+  check_bool "date slashes" true (date.[2] = '/' && date.[5] = '/')
+
+let test_data_pools_narrow () =
+  let rand = Prng.create 12 in
+  let pools = Data.make_pools rand in
+  let cities = List.init 200 (fun _ -> Data.city rand pools) in
+  check_bool "city pool has at most 3 values" true
+    (List.length (List.sort_uniq compare cities) <= 3)
+
+let test_data_authors () =
+  let rand = Prng.create 13 in
+  let pools = Data.make_pools rand in
+  check_int "three authors" 3 (List.length (Data.authors rand pools 3))
+
+(* ----------------------------- Render ----------------------------- *)
+
+let chrome =
+  {
+    Render.site_title = "Test Site";
+    summary = "Displaying 1-2 of 2 records.";
+    promos = [ "promo line" ];
+    footer = [ "Copyright 2004" ];
+  }
+
+let rows =
+  [
+    {
+      Render.cells =
+        [ { Render.text = "Alice A."; gray = false };
+          { Render.text = "12 Elm St"; gray = false } ];
+      link = Some "d0.html";
+      link_text = "More Info";
+      enumerator = Some "1.";
+    };
+    {
+      Render.cells =
+        [ { Render.text = "Bob B."; gray = false };
+          { Render.text = "street address not available"; gray = true } ];
+      link = Some "d1.html";
+      link_text = "More Info";
+      enumerator = Some "2.";
+    };
+  ]
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl
+    && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_render_grid () =
+  let html = Render.render_list Render.Grid ~columns:[ "Name"; "Addr" ] chrome rows in
+  check_bool "table present" true (contains html "<table");
+  check_bool "header label" true (contains html "<th>Name</th>");
+  check_bool "row data" true (contains html "Alice A.");
+  check_bool "link" true (contains html {|href="d0.html"|});
+  check_bool "no enumerator in plain grid" false (contains html ">1.<")
+
+let test_render_numbered_grid () =
+  let html =
+    Render.render_list Render.Numbered_grid ~columns:[ "Name"; "Addr" ] chrome
+      rows
+  in
+  check_bool "enumerator rendered" true (contains html "<td>1.</td>")
+
+let test_render_freeform_gray () =
+  (* Three cells so the tilde-before-last separator appears. *)
+  let three_cell_rows =
+    List.map
+      (fun row ->
+        { row with
+          Render.cells =
+            row.Render.cells @ [ { Render.text = "(555) 111-2222"; gray = false } ] })
+      rows
+  in
+  let html =
+    Render.render_list Render.Freeform ~columns:[] chrome three_cell_rows
+  in
+  check_bool "gray font for missing address" true
+    (contains html {|<font color="gray">street address not available</font>|});
+  check_bool "bold lead" true (contains html "<b>Alice A.</b>");
+  check_bool "tilde separator" true (contains html " ~ ")
+
+let test_render_detail_mismatch () =
+  Alcotest.check_raises "labels/values mismatch"
+    (Invalid_argument "Render.render_detail: labels/values length mismatch")
+    (fun () ->
+      ignore
+        (Render.render_detail ~chrome ~labels:[ "A" ] ~values:[] ~extra:[]))
+
+let test_render_escaping () =
+  let html =
+    Render.render_detail ~chrome ~labels:[ "Name" ]
+      ~values:[ "Smith & Sons <Ltd>" ] ~extra:[]
+  in
+  check_bool "escaped" true (contains html "Smith &amp; Sons &lt;Ltd&gt;")
+
+let test_row_truth_excludes_presentation () =
+  Alcotest.(check (list string))
+    "cell texts only"
+    [ "Alice A."; "12 Elm St" ]
+    (Render.row_truth (List.hd rows))
+
+(* ------------------------------ Sites ------------------------------ *)
+
+let test_twelve_sites () = check_int "twelve sites" 12 (List.length Sites.all)
+
+let test_find () =
+  check_bool "case-insensitive" true
+    ((Sites.find "superpages").Sites.name = "SuperPages")
+
+let test_generation_deterministic () =
+  let site = Sites.find "ButlerCounty" in
+  let a = Sites.generate site and b = Sites.generate site in
+  check_bool "same html" true
+    ((List.hd a.Sites.pages).Sites.list_html
+    = (List.hd b.Sites.pages).Sites.list_html)
+
+let test_record_counts_match_paper () =
+  List.iter
+    (fun (name, counts) ->
+      let site = Sites.find name in
+      Alcotest.(check (list int)) name counts site.Sites.records_per_page;
+      let generated = Sites.generate site in
+      List.iter2
+        (fun expected page ->
+          check_int (name ^ " truth rows") expected
+            (List.length page.Sites.truth);
+          check_int (name ^ " detail pages") expected
+            (List.length page.Sites.detail_htmls))
+        counts generated.Sites.pages)
+    [ ("AmazonBooks", [ 10; 10 ]); ("AlleghenyCounty", [ 20; 20 ]);
+      ("ButlerCounty", [ 15; 12 ]); ("LeeCounty", [ 16; 5 ]);
+      ("MichiganCorrections", [ 7; 16 ]); ("Canada411", [ 25; 5 ]);
+      ("SuperPages", [ 3; 15 ]) ]
+
+let test_truth_values_on_list_page () =
+  (* Every ground-truth cell must be visible on the rendered list page
+     (matching the word stream the tokenizer sees). *)
+  List.iter
+    (fun site ->
+      let generated = Sites.generate site in
+      List.iter
+        (fun page ->
+          let words =
+            Tabseg_token.Tokenizer.visible_text
+              (Tabseg_token.Tokenizer.tokenize page.Sites.list_html)
+          in
+          List.iter
+            (fun row ->
+              List.iter
+                (fun cell ->
+                  let cell_words =
+                    Tabseg_token.Tokenizer.visible_text
+                      (Tabseg_token.Tokenizer.tokenize cell)
+                  in
+                  check_bool
+                    (Printf.sprintf "%s: %S on page" site.Sites.name cell)
+                    true
+                    (contains words cell_words))
+                row)
+            page.Sites.truth)
+        generated.Sites.pages)
+    Sites.all
+
+let test_michigan_drift () =
+  let generated = Sites.generate (Sites.find "MichiganCorrections") in
+  let page2 = List.nth generated.Sites.pages 1 in
+  let parole_rows =
+    List.filter (fun row -> List.mem "Parole" row) page2.Sites.truth
+  in
+  check_bool "at least two Parole rows on page 2" true
+    (List.length parole_rows >= 2);
+  (* No detail page of the drifting rows contains "Parole" as a field. *)
+  let planted =
+    List.filter
+      (fun html ->
+        contains html "Parole board meets monthly")
+      page2.Sites.detail_htmls
+  in
+  check_int "exactly one planted page" 1 (List.length planted);
+  (* Page 1 must carry no Parole rows at all. *)
+  let page1 = List.hd generated.Sites.pages in
+  check_int "no Parole on page 1" 0
+    (List.length
+       (List.filter (fun row -> List.mem "Parole" row) page1.Sites.truth))
+
+let test_canada411_missing_city () =
+  let generated = Sites.generate (Sites.find "Canada411") in
+  let page2 = List.nth generated.Sites.pages 1 in
+  (* All five records share the unique town... *)
+  List.iter
+    (fun row ->
+      check_bool "shared town" true (List.mem "Port Renfrew, BC" row))
+    page2.Sites.truth;
+  (* ...and exactly one detail page omits it. *)
+  let withouts =
+    List.filter
+      (fun html -> not (contains html "Port Renfrew, BC"))
+      page2.Sites.detail_htmls
+  in
+  check_int "one detail page lacks the town" 1 (List.length withouts)
+
+let test_superpages_disjunction () =
+  let generated = Sites.generate (Sites.find "SuperPages") in
+  let page2 = List.nth generated.Sites.pages 1 in
+  check_bool "gray alternative present" true
+    (contains page2.Sites.list_html
+       {|<font color="gray">street address not available</font>|})
+
+let test_segmentation_input_shape () =
+  let generated = Sites.generate (Sites.find "OhioCorrections") in
+  let list_pages, details = Sites.segmentation_input generated ~page_index:1 in
+  check_int "two list pages" 2 (List.length list_pages);
+  check_int "details of page 2" 10 (List.length details);
+  check_bool "target first" true
+    (List.hd list_pages = (List.nth generated.Sites.pages 1).Sites.list_html)
+
+let () =
+  Alcotest.run "tabseg_sitegen"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_prng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "bad bound" `Quick test_prng_rejects_bad_bound;
+          Alcotest.test_case "pick and shuffle" `Quick
+            test_prng_pick_and_shuffle;
+          Alcotest.test_case "split independent" `Quick
+            test_prng_split_independent;
+          QCheck_alcotest.to_alcotest prop_prng_chance_extremes;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "value shapes" `Quick test_data_shapes;
+          Alcotest.test_case "narrow pools" `Quick test_data_pools_narrow;
+          Alcotest.test_case "authors" `Quick test_data_authors;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "grid" `Quick test_render_grid;
+          Alcotest.test_case "numbered grid" `Quick test_render_numbered_grid;
+          Alcotest.test_case "freeform gray" `Quick test_render_freeform_gray;
+          Alcotest.test_case "detail mismatch" `Quick
+            test_render_detail_mismatch;
+          Alcotest.test_case "escaping" `Quick test_render_escaping;
+          Alcotest.test_case "row truth" `Quick
+            test_row_truth_excludes_presentation;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "twelve" `Quick test_twelve_sites;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "deterministic" `Quick
+            test_generation_deterministic;
+          Alcotest.test_case "record counts match paper" `Quick
+            test_record_counts_match_paper;
+          Alcotest.test_case "truth visible on list pages" `Slow
+            test_truth_values_on_list_page;
+          Alcotest.test_case "michigan drift" `Quick test_michigan_drift;
+          Alcotest.test_case "canada411 missing city" `Quick
+            test_canada411_missing_city;
+          Alcotest.test_case "superpages disjunction" `Quick
+            test_superpages_disjunction;
+          Alcotest.test_case "segmentation input" `Quick
+            test_segmentation_input_shape;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Wrapper bootstrapping: induce a row wrapper from one segmented list
+   page, then extract records from a fresh page of the same site without
+   any detail pages. *)
+
+open Tabseg_sitegen
+open Tabseg_eval
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bootstrap site_name =
+  let generated = Sites.generate (Sites.find site_name) in
+  let list_pages, detail_pages =
+    Sites.segmentation_input generated ~page_index:0
+  in
+  let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+  let prepared = Tabseg.Pipeline.prepare input in
+  let segmentation = Tabseg.Csp_segmenter.segment prepared in
+  ( generated,
+    Tabseg_wrapper.Row_wrapper.induce ~page:prepared.Tabseg.Pipeline.page
+      ~segmentation )
+
+let test_induce_grid_site () =
+  let _, wrapper = bootstrap "AlleghenyCounty" in
+  match wrapper with
+  | None -> Alcotest.fail "expected a wrapper from the clean grid site"
+  | Some wrapper ->
+    check_bool "tr marker" true
+      (wrapper.Tabseg_wrapper.Row_wrapper.marker = "<tr>");
+    check_int "folded all 20 rows" 20
+      wrapper.Tabseg_wrapper.Row_wrapper.rows_folded
+
+let test_wrapper_extracts_unseen_page () =
+  let generated, wrapper = bootstrap "AlleghenyCounty" in
+  match wrapper with
+  | None -> Alcotest.fail "expected a wrapper"
+  | Some wrapper ->
+    (* Apply to page 2, which the wrapper never saw, with no details. *)
+    let page2 = List.nth generated.Sites.pages 1 in
+    let rows =
+      Tabseg_wrapper.Row_wrapper.apply wrapper page2.Sites.list_html
+    in
+    check_int "all 20 records extracted" 20 (List.length rows);
+    let counts =
+      Scorer.score ~truth:page2.Sites.truth
+        (Tabseg_wrapper.Row_wrapper.to_segmentation rows)
+    in
+    check_int "all correct" 20 counts.Metrics.cor;
+    check_int "nothing else" 0
+      (counts.Metrics.incor + counts.Metrics.fn + counts.Metrics.fp)
+
+let test_wrapper_skips_header_rows () =
+  let generated, wrapper = bootstrap "ButlerCounty" in
+  match wrapper with
+  | None -> Alcotest.fail "expected a wrapper"
+  | Some wrapper ->
+    let page2 = List.nth generated.Sites.pages 1 in
+    let rows =
+      Tabseg_wrapper.Row_wrapper.apply wrapper page2.Sites.list_html
+    in
+    (* The <th> header row must not match the row pattern. *)
+    check_int "only data rows" 12 (List.length rows);
+    check_bool "no label leakage" true
+      (not (List.exists (List.exists (( = ) "Parcel")) rows))
+
+let test_induce_needs_two_records () =
+  let e text id =
+    {
+      Tabseg_extract.Extract.id;
+      words = [ text ];
+      text;
+      start_index = id;
+      stop_index = id + 1;
+      types = 0;
+      first_types = 0;
+    }
+  in
+  let segmentation =
+    Tabseg.Segmentation.assemble ~notes:[]
+      ~assigned:[ (e "only" 1, 0, None) ]
+      ~unassigned:[] ~extras:[]
+  in
+  let page = Tabseg_token.Tokenizer.tokenize "<tr><td>only</td></tr>" in
+  check_bool "single record refused" true
+    (Tabseg_wrapper.Row_wrapper.induce ~page ~segmentation = None)
+
+let test_wrapper_freeform_site () =
+  (* Free-form blocks with <div> markers also wrap. *)
+  let generated, wrapper = bootstrap "SprintCanada" in
+  match wrapper with
+  | None -> Alcotest.fail "expected a wrapper from the blocks site"
+  | Some wrapper ->
+    let page2 = List.nth generated.Sites.pages 1 in
+    let rows =
+      Tabseg_wrapper.Row_wrapper.apply wrapper page2.Sites.list_html
+    in
+    check_bool "most records extracted" true (List.length rows >= 15)
+
+let prop_wrapper_roundtrip_on_random_grids =
+  QCheck.Test.make ~name:"wrapper bootstrapped on page 1 extracts page 2"
+    ~count:8
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let rand = Random.State.make [| seed + 3 |] in
+      let site =
+        {
+          Sites.name = Printf.sprintf "WrapRandom-%d" seed;
+          domain = "property tax";
+          layout = Render.Grid;
+          records_per_page =
+            [ 4 + Random.State.int rand 10; 4 + Random.State.int rand 10 ];
+          seed = Random.State.int rand 1_000_000;
+          quirks = [];
+        }
+      in
+      let generated = Sites.generate site in
+      let list_pages, detail_pages =
+        Sites.segmentation_input generated ~page_index:0
+      in
+      let prepared =
+        Tabseg.Pipeline.prepare { Tabseg.Pipeline.list_pages; detail_pages }
+      in
+      let segmentation = Tabseg.Csp_segmenter.segment prepared in
+      match
+        Tabseg_wrapper.Row_wrapper.induce ~page:prepared.Tabseg.Pipeline.page
+          ~segmentation
+      with
+      | None -> false
+      | Some wrapper ->
+        let page2 = List.nth generated.Sites.pages 1 in
+        let rows =
+          Tabseg_wrapper.Row_wrapper.apply wrapper page2.Sites.list_html
+        in
+        let counts =
+          Scorer.score ~truth:page2.Sites.truth
+            (Tabseg_wrapper.Row_wrapper.to_segmentation rows)
+        in
+        (* Most of the unseen page must come out exactly right (a couple
+           of rows may degrade when a value collides across pages and the
+           all-list-pages filter orphaned it during training). *)
+        counts.Metrics.cor
+        >= List.length page2.Sites.truth - 2)
+
+let () =
+  Alcotest.run "tabseg_wrapper"
+    [
+      ( "row_wrapper",
+        [
+          Alcotest.test_case "induce on grid site" `Quick
+            test_induce_grid_site;
+          Alcotest.test_case "extracts unseen page" `Quick
+            test_wrapper_extracts_unseen_page;
+          Alcotest.test_case "skips header rows" `Quick
+            test_wrapper_skips_header_rows;
+          Alcotest.test_case "needs two records" `Quick
+            test_induce_needs_two_records;
+          Alcotest.test_case "freeform site" `Quick test_wrapper_freeform_site;
+          QCheck_alcotest.to_alcotest prop_wrapper_roundtrip_on_random_grids;
+        ] );
+    ]
