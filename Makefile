@@ -1,0 +1,22 @@
+# Per-PR check: full build, the test suite, and the degraded-mode smoke
+# guard (fault sweep at rate 0.1, one seed — fails the process when
+# resilient-crawl recovery or degraded accuracy regress).
+
+.PHONY: check build test smoke bench clean
+
+check: build test smoke
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+smoke:
+	dune exec bench/main.exe -- faults-smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -586,6 +586,119 @@ let sweep () =
     [ 10; 20; 40; 80 ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault sweep: throughput and accuracy vs injected fault rate         *)
+(* ------------------------------------------------------------------ *)
+
+(* The resilient-crawling scenario: sweep the fault rate from a healthy
+   web to one where half the URLs misbehave, and watch recovery,
+   accuracy and (virtual-time) throughput degrade. Smoke mode runs one
+   transient-only point and fails the process when recovery or accuracy
+   regress — the per-PR guard for the degraded pipeline. *)
+let fault_sweep ?(smoke = false) () =
+  section
+    (if smoke then "Fault sweep (smoke): rate 0.1, one seed"
+     else "Fault sweep: recovery/accuracy/throughput vs fault rate");
+  let sites =
+    if smoke then [ Sites.find "ButlerCounty" ]
+    else [ Sites.find "ButlerCounty"; Sites.find "AlleghenyCounty" ]
+  in
+  let rates =
+    if smoke then [ 0.1 ] else [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ]
+  in
+  let seeds = if smoke then [ 0 ] else [ 0; 1; 2 ] in
+  let permanent_rate = if smoke then 0.0 else 0.1 in
+  Printf.printf
+    "%-8s %10s %8s %8s %8s %8s %10s %8s\n" "rate" "recovered" "damaged"
+    "giveups" "retries" "trips" "pages/s" "mean F";
+  let guard_failed = ref false in
+  List.iter
+    (fun rate ->
+      let recovered = ref 0 and reachable = ref 0 in
+      let damaged = ref 0 and giveups = ref 0 in
+      let retries = ref 0 and trips = ref 0 in
+      let elapsed_ms = ref 0 and fetched = ref 0 in
+      let fs = ref [] in
+      List.iter
+        (fun site ->
+          let generated = Sites.generate site in
+          List.iter
+            (fun seed ->
+              let graph = Tabseg_navigator.Simulate.graph_of_site generated in
+              let source =
+                if rate > 0. then
+                  Tabseg_navigator.Faults.wrap
+                    ~config:
+                      {
+                        Tabseg_navigator.Faults.default_config with
+                        Tabseg_navigator.Faults.seed = seed;
+                        fault_rate = rate;
+                        permanent_rate;
+                      }
+                    graph
+                else Tabseg_navigator.Faults.pristine graph
+              in
+              let report = Tabseg_navigator.Auto.run_resilient source in
+              let crawl = report.Tabseg_navigator.Auto.crawl in
+              recovered :=
+                !recovered
+                + crawl.Tabseg_navigator.Crawler.pages_ok
+                + crawl.Tabseg_navigator.Crawler.pages_damaged;
+              reachable := !reachable + Tabseg_navigator.Webgraph.size graph;
+              damaged :=
+                !damaged + crawl.Tabseg_navigator.Crawler.pages_damaged;
+              giveups := !giveups + crawl.Tabseg_navigator.Crawler.giveups;
+              retries := !retries + crawl.Tabseg_navigator.Crawler.retries;
+              trips :=
+                !trips + crawl.Tabseg_navigator.Crawler.breaker_trips;
+              elapsed_ms :=
+                !elapsed_ms + crawl.Tabseg_navigator.Crawler.elapsed_ms;
+              fetched :=
+                !fetched + report.Tabseg_navigator.Auto.pages_fetched;
+              List.iter
+                (fun result ->
+                  match
+                    Tabseg_navigator.Simulate.truth_for generated
+                      result.Tabseg_navigator.Auto.list_url
+                  with
+                  | None -> ()
+                  | Some truth ->
+                    fs :=
+                      Metrics.f_measure
+                        (Scorer.score ~truth
+                           result.Tabseg_navigator.Auto.segmentation)
+                      :: !fs)
+                report.Tabseg_navigator.Auto.results)
+            seeds)
+        sites;
+      let recovery = float_of_int !recovered /. float_of_int !reachable in
+      let mean_f =
+        if !fs = [] then 0.
+        else List.fold_left ( +. ) 0. !fs /. float_of_int (List.length !fs)
+      in
+      let throughput =
+        (* virtual pages per virtual second; infinite on a zero-latency
+           healthy web, so print it as a dash there *)
+        if !elapsed_ms = 0 then nan
+        else float_of_int !fetched /. (float_of_int !elapsed_ms /. 1000.)
+      in
+      Printf.printf "%-8.2f %9.1f%% %8d %8d %8d %8d %10s %8.3f\n" rate
+        (100. *. recovery) !damaged !giveups !retries !trips
+        (if Float.is_nan throughput then "-"
+         else Printf.sprintf "%.1f" throughput)
+        mean_f;
+      if smoke && (recovery < 0.95 || mean_f < 0.9) then begin
+        guard_failed := true;
+        Printf.printf
+          "SMOKE FAILURE: recovery %.3f (need >= 0.95), mean F %.3f (need \
+           >= 0.9)\n"
+          recovery mean_f
+      end)
+    rates;
+  if smoke then
+    if !guard_failed then exit 1
+    else Printf.printf "smoke ok: degraded-mode recovery and accuracy hold\n"
+
+(* ------------------------------------------------------------------ *)
 (* Wrapper bootstrap (extension): one segmented page wraps the site     *)
 (* ------------------------------------------------------------------ *)
 
@@ -703,7 +816,7 @@ let () =
     | _ ->
       [ "table1"; "table2"; "table3"; "table4"; "clean17"; "figure1";
         "figure23";
-        "ablation"; "ablation-csp"; "vision"; "sweep"; "wrapper";
+        "ablation"; "ablation-csp"; "vision"; "sweep"; "faults"; "wrapper";
         "baseline"; "timing" ]
   in
   let table4_cache = ref None in
@@ -721,6 +834,8 @@ let () =
       | "ablation-csp" -> ablation_csp ()
       | "vision" -> vision ()
       | "sweep" -> sweep ()
+      | "faults" -> fault_sweep ()
+      | "faults-smoke" -> fault_sweep ~smoke:true ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -230,7 +230,44 @@ let auto_cmd =
     let doc = "Site to simulate and navigate (see $(b,tabseg sites))." in
     Arg.(required & opt (some string) None & info [ "s"; "site" ] ~doc)
   in
-  let run method_ site_name =
+  let faults_arg =
+    let doc =
+      "Inject faults: each URL draws a fault plan (timeouts, 5xx, rate \
+       limits, truncated or garbled bodies) with this probability. 0 \
+       disables injection entirely."
+    in
+    Arg.(value & opt float 0. & info [ "faults" ] ~doc ~docv:"RATE")
+  in
+  let fault_seed_arg =
+    let doc = "Seed for the fault plans; runs are reproducible per seed." in
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~doc ~docv:"SEED")
+  in
+  let permanent_arg =
+    let doc =
+      "Fraction of faulty URLs whose fault is permanent rather than \
+       transient."
+    in
+    Arg.(
+      value
+      & opt float Tabseg_navigator.Faults.default_config.permanent_rate
+      & info [ "permanent" ] ~doc ~docv:"RATE")
+  in
+  let retries_arg =
+    let doc = "Fetch attempts per URL (including the first)." in
+    Arg.(
+      value
+      & opt int Tabseg_navigator.Crawler.default_retry_policy.max_attempts
+      & info [ "retries" ] ~doc ~docv:"N")
+  in
+  let report_arg =
+    let doc =
+      "Print the structured crawl report (attempts, retries, give-ups \
+       per error class, breaker trips, virtual time)."
+    in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
+  let run method_ site_name fault_rate fault_seed permanent retries
+      show_report =
     match Tabseg_sitegen.Sites.find site_name with
     | exception Not_found ->
       Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
@@ -238,26 +275,65 @@ let auto_cmd =
     | site ->
       let generated = Tabseg_sitegen.Sites.generate site in
       let graph = Tabseg_navigator.Simulate.graph_of_site generated in
-      let report = Tabseg_navigator.Auto.run ~method_ graph in
+      let source =
+        if fault_rate > 0. then
+          Tabseg_navigator.Faults.wrap
+            ~config:
+              {
+                Tabseg_navigator.Faults.default_config with
+                Tabseg_navigator.Faults.seed = fault_seed;
+                fault_rate;
+                permanent_rate = permanent;
+              }
+            graph
+        else Tabseg_navigator.Faults.pristine graph
+      in
+      let retry =
+        {
+          Tabseg_navigator.Crawler.default_retry_policy with
+          Tabseg_navigator.Crawler.max_attempts = max 1 retries;
+        }
+      in
+      let report =
+        Tabseg_navigator.Auto.run_resilient ~retry ~method_ source
+      in
       Format.printf
         "crawled %d pages: %d list, %d detail, %d other@."
         report.Tabseg_navigator.Auto.pages_fetched
         report.Tabseg_navigator.Auto.lists_found
         report.Tabseg_navigator.Auto.details_found
         report.Tabseg_navigator.Auto.others_found;
+      if
+        report.Tabseg_navigator.Auto.details_missing > 0
+        || report.Tabseg_navigator.Auto.details_corrupted > 0
+      then
+        Format.printf "degraded: %d detail page(s) missing, %d corrupted@."
+          report.Tabseg_navigator.Auto.details_missing
+          report.Tabseg_navigator.Auto.details_corrupted;
+      List.iter
+        (fun (url, error) ->
+          Format.printf "skipped %s: %s@." url
+            (Tabseg.Api.input_error_message error))
+        report.Tabseg_navigator.Auto.skipped;
       List.iter
         (fun result ->
           Format.printf "@.%s:@.%a@."
             result.Tabseg_navigator.Auto.list_url
             Tabseg.Segmentation.pp
             result.Tabseg_navigator.Auto.segmentation)
-        report.Tabseg_navigator.Auto.results
+        report.Tabseg_navigator.Auto.results;
+      if show_report then
+        Format.printf "@.crawl report:@.%a@."
+          Tabseg_navigator.Crawler.pp_report
+          report.Tabseg_navigator.Auto.crawl
   in
   Cmd.v
     (Cmd.info "auto"
        ~doc:"Navigate a simulated site from its entry page and segment \
-             every list page found")
-    Term.(const run $ method_arg $ site_arg)
+             every list page found, optionally through injected faults")
+    Term.(
+      const run $ method_arg $ site_arg $ faults_arg $ fault_seed_arg
+      $ permanent_arg $ retries_arg $ report_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in

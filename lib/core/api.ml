@@ -44,3 +44,37 @@ let segment ?pipeline_config ?csp_config ?prob_config
 let method_name = function
   | Csp -> "CSP"
   | Probabilistic -> "Probabilistic"
+
+type input_error =
+  | No_list_pages
+  | Blank_list_page
+  | All_details_lost
+  | Pipeline_failure of string
+
+let input_error_message = function
+  | No_list_pages -> "no list pages given"
+  | Blank_list_page -> "the list page to segment is empty"
+  | All_details_lost -> "every detail page is empty or missing"
+  | Pipeline_failure message -> "pipeline failure: " ^ message
+
+let blank html = String.trim html = ""
+
+let segment_result ?pipeline_config ?csp_config ?prob_config
+    ?transpose_vertical ~method_ input =
+  match input.Pipeline.list_pages with
+  | [] -> Error No_list_pages
+  | first :: _ when blank first -> Error Blank_list_page
+  | _ ->
+    if
+      input.Pipeline.detail_pages = []
+      || List.for_all blank input.Pipeline.detail_pages
+    then Error All_details_lost
+    else begin
+      match
+        segment ?pipeline_config ?csp_config ?prob_config
+          ?transpose_vertical ~method_ input
+      with
+      | result -> Ok result
+      | exception Invalid_argument message ->
+        Error (Pipeline_failure message)
+    end

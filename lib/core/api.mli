@@ -35,3 +35,26 @@ val segment :
     and transposed before segmentation. *)
 
 val method_name : method_ -> string
+
+type input_error =
+  | No_list_pages  (** [input.list_pages] was empty *)
+  | Blank_list_page  (** the page to segment has no content at all *)
+  | All_details_lost
+      (** no detail page survived the crawl — nothing to anchor records *)
+  | Pipeline_failure of string
+      (** the pipeline rejected the input for another reason *)
+
+val input_error_message : input_error -> string
+
+val segment_result :
+  ?pipeline_config:Pipeline.config ->
+  ?csp_config:Csp_segmenter.config ->
+  ?prob_config:Prob_segmenter.config ->
+  ?transpose_vertical:bool ->
+  method_:method_ ->
+  Pipeline.input ->
+  (result, input_error) Stdlib.result
+(** Non-raising {!segment}: unusable inputs — the degraded shapes a
+    resilient crawl can produce — come back as typed errors instead of
+    [Invalid_argument]. Usable inputs go through the exact same pipeline
+    as {!segment}. *)

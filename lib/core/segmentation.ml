@@ -5,12 +5,18 @@ type note =
   | Entire_page_used
   | No_solution
   | Relaxed_constraints
+  | Detail_missing
+  | Detail_corrupted
+  | Degraded_crawl
 
 let note_letter = function
   | Template_problem -> 'a'
   | Entire_page_used -> 'b'
   | No_solution -> 'c'
   | Relaxed_constraints -> 'd'
+  | Detail_missing -> 'e'
+  | Detail_corrupted -> 'f'
+  | Degraded_crawl -> 'g'
 
 let pp_note ppf note =
   let description =
@@ -19,6 +25,9 @@ let pp_note ppf note =
     | Entire_page_used -> "entire page used"
     | No_solution -> "no solution found"
     | Relaxed_constraints -> "relax constraints"
+    | Detail_missing -> "detail page missing"
+    | Detail_corrupted -> "detail page corrupted"
+    | Degraded_crawl -> "crawl gave up on some pages"
   in
   Format.fprintf ppf "%c. %s" (note_letter note) description
 

@@ -8,6 +8,15 @@ type note =
   | Entire_page_used  (** note "b": the whole page served as the table slot *)
   | No_solution  (** note "c": the strict constraint problem was unsatisfiable *)
   | Relaxed_constraints  (** note "d": equalities were relaxed to inequalities *)
+  | Detail_missing
+      (** note "e": a linked detail page was lost to the crawl; its record
+          was segmented against an empty observation column *)
+  | Detail_corrupted
+      (** note "f": a detail page was accepted with a truncated or garbled
+          body *)
+  | Degraded_crawl
+      (** note "g": the crawl gave up on pages, so the input may be
+          incomplete beyond the recorded detail losses *)
 
 val note_letter : note -> char
 val pp_note : Format.formatter -> note -> unit

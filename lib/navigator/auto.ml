@@ -2,6 +2,8 @@ type result = {
   list_url : string;
   segmentation : Tabseg.Segmentation.t;
   detail_urls : string list;
+  missing_details : string list;
+  corrupted_details : string list;
 }
 
 type report = {
@@ -10,6 +12,10 @@ type report = {
   details_found : int;
   others_found : int;
   results : result list;
+  skipped : (string * Tabseg.Api.input_error) list;
+  details_missing : int;
+  details_corrupted : int;
+  crawl : Crawler.crawl_report;
 }
 
 let detail_links_in_order ~detail_urls html =
@@ -17,57 +23,180 @@ let detail_links_in_order ~detail_urls html =
   List.iter (fun url -> Hashtbl.replace known url ()) detail_urls;
   List.filter (Hashtbl.mem known) (Crawler.links html)
 
-let run ?crawl_config ?(method_ = Tabseg.Api.Probabilistic) graph =
-  let fetched = Crawler.crawl ?config:crawl_config graph in
+(* What each row link of a list page resolved to after a (possibly
+   degraded) crawl. *)
+type row_page =
+  | Row_detail of string  (* clean detail body *)
+  | Row_corrupted of string  (* body accepted damaged *)
+  | Row_missing  (* the crawl gave the page up *)
+
+let run_resilient ?crawl_config ?retry ?breaker
+    ?(method_ = Tabseg.Api.Probabilistic) source =
+  let fetched, crawl_report =
+    Crawler.crawl_resilient ?config:crawl_config ?retry ?breaker source
+  in
+  let html_of = Hashtbl.create 64 in
+  let health_of = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Crawler.fetched) ->
+      Hashtbl.replace html_of f.Crawler.page.Crawler.url
+        f.Crawler.page.Crawler.html;
+      Hashtbl.replace health_of f.Crawler.page.Crawler.url f.Crawler.health)
+    fetched;
+  let gaveup = Hashtbl.create 8 in
+  List.iter
+    (fun url -> Hashtbl.replace gaveup url ())
+    crawl_report.Crawler.gaveup_urls;
   let pages =
     List.map
-      (fun (page : Crawler.page) ->
-        { Classifier.url = page.Crawler.url; html = page.Crawler.html })
+      (fun (f : Crawler.fetched) ->
+        {
+          Classifier.url = f.Crawler.page.Crawler.url;
+          html = f.Crawler.page.Crawler.html;
+        })
       fetched
   in
   let roles = Classifier.identify pages in
-  let detail_urls =
-    List.map (fun (p : Classifier.page) -> p.Classifier.url)
-      roles.Classifier.detail_pages
-  in
   let detail_html_of = Hashtbl.create 32 in
   List.iter
     (fun (p : Classifier.page) ->
       Hashtbl.replace detail_html_of p.Classifier.url p.Classifier.html)
     roles.Classifier.detail_pages;
-  let list_htmls =
-    List.map (fun (p : Classifier.page) -> p.Classifier.html)
-      roles.Classifier.list_pages
+  let list_urls = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Classifier.page) ->
+      Hashtbl.replace list_urls p.Classifier.url ())
+    roles.Classifier.list_pages;
+  (* How many distinct list pages link to each URL. Details are linked
+     from exactly one list page (one row each); ads/about boilerplate is
+     linked from all of them — the structural cue that lets us tell a
+     lost detail page from a lost advertisement. *)
+  let list_link_count = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Classifier.page) ->
+      List.iter
+        (fun target ->
+          Hashtbl.replace list_link_count target
+            (1
+            + Option.value ~default:0
+                (Hashtbl.find_opt list_link_count target)))
+        (Crawler.links p.Classifier.html))
+    roles.Classifier.list_pages;
+  let linked_once url = Hashtbl.find_opt list_link_count url = Some 1 in
+  (* Resolve one row link of a list page, or None when the target is not
+     row material (boilerplate, another list page, a dead link). *)
+  let resolve_row target =
+    match Hashtbl.find_opt detail_html_of target with
+    | Some html -> (
+      match Hashtbl.find_opt health_of target with
+      | Some (Crawler.Damaged _) -> Some (Row_corrupted html)
+      | _ -> Some (Row_detail html))
+    | None ->
+      if Hashtbl.mem gaveup target && linked_once target then
+        Some Row_missing
+      else begin
+        (* Fetched but classified outside the detail cluster: a damaged
+           body whose structure no longer matches its siblings is still a
+           detail page if only this list page points at it. *)
+        match Hashtbl.find_opt health_of target with
+        | Some (Crawler.Damaged _)
+          when linked_once target && not (Hashtbl.mem list_urls target) ->
+          Option.map (fun html -> Row_corrupted html)
+            (Hashtbl.find_opt html_of target)
+        | _ -> None
+      end
   in
+  let skipped = ref [] in
   let results =
     List.filter_map
       (fun (list_page : Classifier.page) ->
-        let ordered =
-          detail_links_in_order ~detail_urls list_page.Classifier.html
+        let rows =
+          List.filter_map
+            (fun target ->
+              Option.map (fun row -> (target, row)) (resolve_row target))
+            (Crawler.links list_page.Classifier.html)
         in
-        match ordered with
+        match rows with
         | [] -> None
         | _ ->
+          let detail_urls = List.map fst rows in
+          let detail_bodies =
+            List.map
+              (fun (_, row) ->
+                match row with
+                | Row_detail html | Row_corrupted html -> html
+                | Row_missing ->
+                  (* An absent detail page becomes an empty observation
+                     column: its record keeps its slot but nothing can be
+                     anchored to it. *)
+                  "")
+              rows
+          in
+          let missing_details =
+            List.filter_map
+              (fun (url, row) ->
+                if row = Row_missing then Some url else None)
+              rows
+          in
+          let corrupted_details =
+            List.filter_map
+              (fun (url, row) ->
+                match row with
+                | Row_corrupted _ -> Some url
+                | Row_detail _ | Row_missing -> None)
+              rows
+          in
           let others =
-            List.filter
-              (fun html -> html <> list_page.Classifier.html)
-              list_htmls
+            (* Supporting pages for template induction: every OTHER list
+               page, distinguished by URL — two byte-identical list pages
+               must both count, or induction starves. *)
+            List.filter_map
+              (fun (p : Classifier.page) ->
+                if p.Classifier.url = list_page.Classifier.url then None
+                else Some p.Classifier.html)
+              roles.Classifier.list_pages
           in
           let input =
             {
               Tabseg.Pipeline.list_pages =
                 list_page.Classifier.html :: others;
-              detail_pages =
-                List.map (Hashtbl.find detail_html_of) ordered;
+              detail_pages = detail_bodies;
             }
           in
-          let outcome = Tabseg.Api.segment ~method_ input in
-          Some
-            {
-              list_url = list_page.Classifier.url;
-              segmentation = outcome.Tabseg.Api.segmentation;
-              detail_urls = ordered;
-            })
+          (match Tabseg.Api.segment_result ~method_ input with
+          | Error error ->
+            skipped := (list_page.Classifier.url, error) :: !skipped;
+            None
+          | Ok outcome ->
+            let degradation_notes =
+              (if missing_details <> [] then
+                 [ Tabseg.Segmentation.Detail_missing ]
+               else [])
+              @ (if corrupted_details <> [] then
+                   [ Tabseg.Segmentation.Detail_corrupted ]
+                 else [])
+              @
+              if crawl_report.Crawler.giveups > 0 then
+                [ Tabseg.Segmentation.Degraded_crawl ]
+              else []
+            in
+            let segmentation = outcome.Tabseg.Api.segmentation in
+            let segmentation =
+              {
+                segmentation with
+                Tabseg.Segmentation.notes =
+                  segmentation.Tabseg.Segmentation.notes
+                  @ degradation_notes;
+              }
+            in
+            Some
+              {
+                list_url = list_page.Classifier.url;
+                segmentation;
+                detail_urls;
+                missing_details;
+                corrupted_details;
+              }))
       roles.Classifier.list_pages
   in
   {
@@ -76,4 +205,17 @@ let run ?crawl_config ?(method_ = Tabseg.Api.Probabilistic) graph =
     details_found = List.length roles.Classifier.detail_pages;
     others_found = List.length roles.Classifier.other_pages;
     results;
+    skipped = List.rev !skipped;
+    details_missing =
+      List.fold_left
+        (fun acc r -> acc + List.length r.missing_details)
+        0 results;
+    details_corrupted =
+      List.fold_left
+        (fun acc r -> acc + List.length r.corrupted_details)
+        0 results;
+    crawl = crawl_report;
   }
+
+let run ?crawl_config ?method_ graph =
+  run_resilient ?crawl_config ?method_ (Faults.pristine graph)

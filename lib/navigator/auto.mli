@@ -5,12 +5,36 @@
     and other pages ({!Classifier}), recovers each list page's detail pages
     {e in record order} (the order of the row links on the list page —
     the paper's "follow links in the table" heuristic, restricted to links
-    that lead into the detail cluster), and segments every list page. *)
+    that lead into the detail cluster), and segments every list page.
+
+    [run_resilient] does the same against a faulty web ({!Faults},
+    {!Crawler.crawl_resilient}) and {e degrades instead of crashing}:
+
+    - a row link whose page the crawl gave up on becomes an {e empty
+      observation column} — the record keeps its slot, the loss is
+      recorded as [missing_details] and a {!Tabseg.Segmentation.Detail_missing}
+      note (a lost URL is presumed to be a detail page when exactly one
+      list page links to it; boilerplate is linked from all of them);
+    - a detail page accepted with a truncated/garbled body is used as-is
+      and recorded as [corrupted_details] /
+      {!Tabseg.Segmentation.Detail_corrupted} — even when the damage
+      pushed it out of the detail cluster;
+    - a list page whose degraded input is unusable (e.g. every detail
+      lost) lands in [skipped] with its {!Tabseg.Api.input_error} rather
+      than raising;
+    - any give-ups at all add a {!Tabseg.Segmentation.Degraded_crawl} note
+      to every segmentation, and the full {!Crawler.crawl_report} rides
+      along in the report. *)
 
 type result = {
   list_url : string;
   segmentation : Tabseg.Segmentation.t;
-  detail_urls : string list;  (** in record order *)
+  detail_urls : string list;
+      (** in record order; includes missing/corrupted ones *)
+  missing_details : string list;
+      (** row links lost to the crawl, segmented as empty columns *)
+  corrupted_details : string list;
+      (** row links whose bodies were accepted damaged *)
 }
 
 type report = {
@@ -19,6 +43,11 @@ type report = {
   details_found : int;
   others_found : int;
   results : result list;
+  skipped : (string * Tabseg.Api.input_error) list;
+      (** list pages with row links whose degraded input was unusable *)
+  details_missing : int;  (** total over [results] *)
+  details_corrupted : int;  (** total over [results] *)
+  crawl : Crawler.crawl_report;
 }
 
 val detail_links_in_order :
@@ -27,11 +56,22 @@ val detail_links_in_order :
     [html]'s links that lead to known detail pages, deduplicated, in
     document (= record) order. *)
 
+val run_resilient :
+  ?crawl_config:Crawler.config ->
+  ?retry:Crawler.retry_policy ->
+  ?breaker:Crawler.breaker_policy ->
+  ?method_:Tabseg.Api.method_ ->
+  Faults.t ->
+  report
+(** Crawl (resiliently), classify and segment; never raises on degraded
+    input. Deterministic for a fixed source and policies. Default method:
+    probabilistic (the paper's more tolerant engine). *)
+
 val run :
   ?crawl_config:Crawler.config ->
   ?method_:Tabseg.Api.method_ ->
   Webgraph.t ->
   report
-(** Crawl, classify and segment. List pages whose row links cannot be
-    resolved to detail pages are skipped. Default method: probabilistic
-    (the paper's more tolerant engine). *)
+(** [run_resilient] over a {!Faults.pristine} source — the fair-weather
+    entry point. List pages whose row links cannot be resolved to detail
+    pages are skipped. *)

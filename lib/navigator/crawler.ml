@@ -1,4 +1,5 @@
 open Tabseg_html
+open Tabseg_sitegen
 
 type page = { url : string; html : string; depth : int }
 
@@ -42,20 +43,216 @@ let links html =
       | Some _ | None -> None)
     anchors
 
-let crawl ?(config = default_config) graph =
+(* ------------------------- retry policy ---------------------------- *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_delay_ms : int;
+  backoff_factor : float;
+  max_delay_ms : int;
+  jitter : float;
+  retry_budget : int;
+  seed : int;
+}
+
+let default_retry_policy =
+  {
+    max_attempts = 4;
+    base_delay_ms = 100;
+    backoff_factor = 2.0;
+    max_delay_ms = 5000;
+    jitter = 0.5;
+    retry_budget = 10_000;
+    seed = 0;
+  }
+
+let backoff_delays policy ~url =
+  let rng = Prng.create (policy.seed lxor Faults.url_hash url) in
+  List.init
+    (max 0 (policy.max_attempts - 1))
+    (fun i ->
+      let delay =
+        min
+          (float_of_int policy.base_delay_ms
+          *. (policy.backoff_factor ** float_of_int i))
+          (float_of_int policy.max_delay_ms)
+      in
+      let jitter =
+        delay *. policy.jitter
+        *. (float_of_int (Prng.int rng 1000) /. 1000.)
+      in
+      int_of_float (delay +. jitter))
+
+(* ------------------------ circuit breaker -------------------------- *)
+
+type breaker_policy = {
+  failure_threshold : int;
+  cooldown_ms : int;
+}
+
+let default_breaker_policy = { failure_threshold = 5; cooldown_ms = 30_000 }
+
+type breaker_state =
+  | Closed of int  (* consecutive failures so far *)
+  | Open of int  (* virtual time at which the breaker half-opens *)
+  | Half_open
+
+(* A 404 is an answer from a healthy server; only network-ish failures
+   count against the breaker. *)
+let trips_breaker = function
+  | Faults.Timeout | Faults.Server_error | Faults.Rate_limited -> true
+  | Faults.Not_found | Faults.Truncated_body | Faults.Garbled_body -> false
+
+(* ----------------------------- report ------------------------------ *)
+
+type health =
+  | Clean
+  | Damaged of Faults.failure
+
+type fetched = { page : page; health : health; attempts_used : int }
+
+type crawl_report = {
+  pages_ok : int;
+  pages_damaged : int;
+  attempts : int;
+  retries : int;
+  giveups : int;
+  gaveup_urls : string list;
+  budget_exhausted : bool;
+  breaker_trips : int;
+  breaker_wait_ms : int;
+  failures : (Faults.failure * int) list;
+  elapsed_ms : int;
+}
+
+let pp_report ppf r =
+  let failures =
+    if r.failures = [] then ""
+    else
+      "\nfailures:"
+      ^ String.concat ""
+          (List.map
+             (fun (f, n) ->
+               Printf.sprintf " %s=%d" (Faults.failure_name f) n)
+             r.failures)
+  in
+  Format.fprintf ppf
+    "pages: %d ok, %d damaged, %d given up@\n\
+     attempts: %d (%d retries%s)@\n\
+     breaker: %d trip(s), %dms waited@\n\
+     virtual time: %dms%s"
+    r.pages_ok r.pages_damaged r.giveups r.attempts r.retries
+    (if r.budget_exhausted then ", budget exhausted" else "")
+    r.breaker_trips r.breaker_wait_ms r.elapsed_ms failures
+
+(* --------------------------- the crawl ------------------------------ *)
+
+let crawl_resilient ?(config = default_config)
+    ?(retry = default_retry_policy) ?(breaker = default_breaker_policy)
+    source =
+  let attempts = ref 0 in
+  let retries = ref 0 in
+  let budget = ref retry.retry_budget in
+  let budget_exhausted = ref false in
+  let breaker_state = ref (Closed 0) in
+  let breaker_trips = ref 0 in
+  let breaker_wait = ref 0 in
+  let failure_counts = Hashtbl.create 8 in
+  let count_failure f =
+    Hashtbl.replace failure_counts f
+      (1 + Option.value ~default:0 (Hashtbl.find_opt failure_counts f))
+  in
+  let trip () =
+    incr breaker_trips;
+    breaker_state := Open (Faults.now_ms source + breaker.cooldown_ms)
+  in
+  let breaker_gate () =
+    match !breaker_state with
+    | Open until ->
+      (* The polite crawler waits the cooldown out on the virtual clock,
+         then probes; it never abandons pages just because the breaker is
+         open, so recovery is bounded by the retry policy alone. *)
+      let now = Faults.now_ms source in
+      if until > now then begin
+        breaker_wait := !breaker_wait + (until - now);
+        Faults.advance source (until - now)
+      end;
+      breaker_state := Half_open
+    | Closed _ | Half_open -> ()
+  in
+  let breaker_success () = breaker_state := Closed 0 in
+  let breaker_failure f =
+    if trips_breaker f then
+      match !breaker_state with
+      | Half_open -> trip ()
+      | Closed n ->
+        if n + 1 >= breaker.failure_threshold then trip ()
+        else breaker_state := Closed (n + 1)
+      | Open _ -> ()
+  in
+  (* Fetch one URL to completion: Some (html, health, attempts) or None
+     after giving up. *)
+  let fetch_url url =
+    let delays = backoff_delays retry ~url in
+    let last_damaged = ref None in
+    let rec go attempt delays =
+      breaker_gate ();
+      incr attempts;
+      let try_again delays k =
+        match delays with
+        | delay :: rest when attempt < retry.max_attempts ->
+          if !budget > 0 then begin
+            decr budget;
+            incr retries;
+            Faults.advance source delay;
+            go (attempt + 1) rest
+          end
+          else begin
+            budget_exhausted := true;
+            k ()
+          end
+        | _ -> k ()
+      in
+      match Faults.fetch source url with
+      | Faults.Body html ->
+        breaker_success ();
+        Some (html, Clean, attempt)
+      | Faults.Damaged (html, failure) ->
+        count_failure failure;
+        breaker_failure failure;
+        last_damaged := Some (html, failure);
+        try_again delays (fun () ->
+            (* Out of attempts: a damaged body beats no body. *)
+            Some (html, Damaged failure, attempt))
+      | Faults.Failed failure ->
+        count_failure failure;
+        breaker_failure failure;
+        let give_up () =
+          match !last_damaged with
+          | Some (html, damage) -> Some (html, Damaged damage, attempt)
+          | None -> None
+        in
+        if failure = Faults.Not_found then give_up ()
+        else try_again delays give_up
+    in
+    go 1 delays
+  in
+  let start_ms = Faults.now_ms source in
   let visited = Hashtbl.create 64 in
   let results = ref [] in
+  let gaveup = ref [] in
   let queue = Queue.create () in
-  Queue.add (Webgraph.entry graph, 0) queue;
-  Hashtbl.replace visited (Webgraph.entry graph) ();
+  Queue.add (Faults.entry source, 0) queue;
+  Hashtbl.replace visited (Faults.entry source) ();
   let fetched = ref 0 in
   while (not (Queue.is_empty queue)) && !fetched < config.max_pages do
     let url, depth = Queue.pop queue in
-    match Webgraph.fetch graph url with
-    | None -> ()
-    | Some html ->
+    match fetch_url url with
+    | None -> gaveup := url :: !gaveup
+    | Some (html, health, attempts_used) ->
       incr fetched;
-      results := { url; html; depth } :: !results;
+      results :=
+        { page = { url; html; depth }; health; attempts_used } :: !results;
       if depth < config.max_depth then
         List.iter
           (fun target ->
@@ -65,4 +262,36 @@ let crawl ?(config = default_config) graph =
             end)
           (links html)
   done;
-  List.rev !results
+  let pages = List.rev !results in
+  (* A dead link (the URL exists nowhere in the graph) is not a give-up:
+     the fair-weather crawler skipped those silently too. [gaveup_urls]
+     keeps only pages that exist and were abandoned. *)
+  let gaveup_urls =
+    List.filter (Webgraph.mem (Faults.graph source)) (List.rev !gaveup)
+  in
+  let giveups = List.length gaveup_urls in
+  let report =
+    {
+      pages_ok =
+        List.length (List.filter (fun f -> f.health = Clean) pages);
+      pages_damaged =
+        List.length (List.filter (fun f -> f.health <> Clean) pages);
+      attempts = !attempts;
+      retries = !retries;
+      giveups;
+      gaveup_urls;
+      budget_exhausted = !budget_exhausted;
+      breaker_trips = !breaker_trips;
+      breaker_wait_ms = !breaker_wait;
+      failures =
+        Hashtbl.fold (fun f n acc -> (f, n) :: acc) failure_counts []
+        |> List.sort (fun (fa, a) (fb, b) ->
+               match compare b a with 0 -> compare fa fb | c -> c);
+      elapsed_ms = Faults.now_ms source - start_ms;
+    }
+  in
+  (pages, report)
+
+let crawl ?config graph =
+  let pages, _report = crawl_resilient ?config (Faults.pristine graph) in
+  List.map (fun f -> f.page) pages

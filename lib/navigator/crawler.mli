@@ -1,5 +1,19 @@
-(** Breadth-first site crawler. Follows same-site [a href] links from the
-    entry page, skipping external URLs, fragments and duplicates. *)
+(** Breadth-first site crawler, resilient to a faulty web. Follows
+    same-site [a href] links from the entry page, skipping external URLs,
+    fragments and duplicates.
+
+    The crawl runs against a {!Faults.t} source. Each URL is fetched under
+    a {!retry_policy} (exponential backoff with deterministic jitter, a
+    per-URL attempt cap and a crawl-wide retry budget) behind a per-site
+    circuit {!breaker_policy} (the breaker trips after a run of
+    consecutive network failures, then half-opens after a cooldown on the
+    source's virtual clock — one [Webgraph] is one site, so the crawl
+    carries one breaker). Damaged bodies are retried like failures but
+    accepted as-is once the attempt cap is reached, so a truncated page
+    still contributes whatever structure survives.
+
+    Against a {!Faults.pristine} source all of this costs nothing and
+    [crawl] behaves exactly like a plain BFS. *)
 
 type page = { url : string; html : string; depth : int }
 
@@ -10,12 +24,77 @@ type config = {
 
 val default_config : config
 
+type retry_policy = {
+  max_attempts : int;  (** attempts per URL, including the first (default 4) *)
+  base_delay_ms : int;  (** backoff before the second attempt (default 100) *)
+  backoff_factor : float;  (** delay multiplier per further attempt (2.0) *)
+  max_delay_ms : int;  (** backoff cap (default 5000) *)
+  jitter : float;
+      (** add up to this fraction of the delay, drawn deterministically
+          from [seed] and the URL (default 0.5) *)
+  retry_budget : int;  (** total retries allowed per crawl (default 10000) *)
+  seed : int;  (** jitter seed (default 0) *)
+}
+
+val default_retry_policy : retry_policy
+
+val backoff_delays : retry_policy -> url:string -> int list
+(** The full backoff schedule for one URL — the virtual-milliseconds slept
+    before attempts [2 .. max_attempts]. Deterministic in
+    [(policy.seed, url)]. *)
+
+type breaker_policy = {
+  failure_threshold : int;
+      (** consecutive network failures that trip the breaker (default 5) *)
+  cooldown_ms : int;
+      (** virtual time the breaker stays open before half-opening
+          (default 30000) *)
+}
+
+val default_breaker_policy : breaker_policy
+
+type health =
+  | Clean
+  | Damaged of Faults.failure
+      (** the body was accepted despite truncation/garbling *)
+
+type fetched = { page : page; health : health; attempts_used : int }
+
+type crawl_report = {
+  pages_ok : int;
+  pages_damaged : int;
+  attempts : int;  (** fetch attempts issued, including retries *)
+  retries : int;
+  giveups : int;  (** URLs abandoned after exhausting attempts *)
+  gaveup_urls : string list;  (** in giveup order *)
+  budget_exhausted : bool;  (** a retry was denied for lack of budget *)
+  breaker_trips : int;
+  breaker_wait_ms : int;  (** virtual time spent waiting out open breakers *)
+  failures : (Faults.failure * int) list;
+      (** failed attempts per error class, descending by count *)
+  elapsed_ms : int;  (** virtual wall time of the whole crawl *)
+}
+
+val pp_report : Format.formatter -> crawl_report -> unit
+
 val links : string -> string list
 (** The crawlable link targets of a page, in document order, deduplicated:
     [href] values that are site-relative (no scheme, no leading slash
     required), with fragments stripped; [mailto:], [javascript:] and
     absolute [http(s)] URLs are skipped. *)
 
+val crawl_resilient :
+  ?config:config ->
+  ?retry:retry_policy ->
+  ?breaker:breaker_policy ->
+  Faults.t ->
+  fetched list * crawl_report
+(** BFS from the source's entry with retry, backoff and circuit breaking.
+    The entry page has depth 0; pages come out in fetch order. 404s are
+    never retried (they are answers, not failures) and do not trip the
+    breaker. For a fixed source configuration the result — report
+    included — is fully deterministic. *)
+
 val crawl : ?config:config -> Webgraph.t -> page list
-(** BFS from the graph's entry. The entry page has depth 0. Pages are
-    returned in fetch order. *)
+(** [crawl_resilient] over a {!Faults.pristine} source, pages only — the
+    historical fair-weather crawler, byte-identical to a plain BFS. *)

@@ -1,0 +1,183 @@
+open Tabseg_sitegen
+
+type failure =
+  | Timeout
+  | Server_error
+  | Rate_limited
+  | Not_found
+  | Truncated_body
+  | Garbled_body
+
+let failure_name = function
+  | Timeout -> "timeout"
+  | Server_error -> "server-error"
+  | Rate_limited -> "rate-limited"
+  | Not_found -> "not-found"
+  | Truncated_body -> "truncated-body"
+  | Garbled_body -> "garbled-body"
+
+let all_failures =
+  [ Timeout; Server_error; Rate_limited; Not_found; Truncated_body;
+    Garbled_body ]
+
+type plan =
+  | Healthy
+  | Transient of failure * int
+  | Permanent of failure
+
+type config = {
+  seed : int;
+  fault_rate : float;
+  permanent_rate : float;
+  max_transient_failures : int;
+  base_latency_ms : int;
+  timeout_latency_ms : int;
+}
+
+let default_config =
+  {
+    seed = 0;
+    fault_rate = 0.2;
+    permanent_rate = 0.1;
+    max_transient_failures = 2;
+    base_latency_ms = 15;
+    timeout_latency_ms = 1000;
+  }
+
+let no_faults =
+  {
+    seed = 0;
+    fault_rate = 0.;
+    permanent_rate = 0.;
+    max_transient_failures = 1;
+    base_latency_ms = 0;
+    timeout_latency_ms = 0;
+  }
+
+type t = {
+  graph : Webgraph.t;
+  config : config;
+  plans : (string, plan) Hashtbl.t;
+  tries : (string, int) Hashtbl.t;
+  mutable clock_ms : int;
+  mutable attempts : int;
+}
+
+(* FNV-1a, folded to a non-negative int: plan assignment and jitter must
+   not depend on Hashtbl.hash (whose behavior is an implementation
+   detail of the runtime). *)
+let url_hash url =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    url;
+  Int64.to_int (Int64.shift_right_logical !h 1)
+
+let wrap ?(config = default_config) graph =
+  {
+    graph;
+    config;
+    plans = Hashtbl.create 64;
+    tries = Hashtbl.create 64;
+    clock_ms = 0;
+    attempts = 0;
+  }
+
+let pristine graph = wrap ~config:no_faults graph
+let graph t = t.graph
+let entry t = Webgraph.entry t.graph
+let now_ms t = t.clock_ms
+let advance t ms = if ms > 0 then t.clock_ms <- t.clock_ms + ms
+let attempts t = t.attempts
+
+(* Failures whose damaged sibling still delivers a body. *)
+let transient_pool = [ Timeout; Server_error; Rate_limited; Truncated_body;
+                       Garbled_body ]
+
+let plan_for t url =
+  match Hashtbl.find_opt t.plans url with
+  | Some plan -> plan
+  | None ->
+    let plan =
+      if t.config.fault_rate <= 0. then Healthy
+      else begin
+        (* Seeded by (config seed, url) only: the plan is independent of
+           fetch order, so any crawl strategy sees the same web. *)
+        let rng = Prng.create (t.config.seed lxor url_hash url) in
+        if not (Prng.chance rng t.config.fault_rate) then Healthy
+        else if Prng.chance rng t.config.permanent_rate then
+          Permanent (Prng.pick rng all_failures)
+        else
+          Transient
+            ( Prng.pick rng transient_pool,
+              1 + Prng.int rng (max 1 t.config.max_transient_failures) )
+      end
+    in
+    Hashtbl.replace t.plans url plan;
+    plan
+
+let set_plan t url plan = Hashtbl.replace t.plans url plan
+
+(* Corruption is a pure function of (seed, url): accepting a degraded body
+   after n retries yields the same bytes as accepting it after one. *)
+let truncate_body rng html =
+  let n = String.length html in
+  if n = 0 then html
+  else String.sub html 0 (max 1 (n * (30 + Prng.int rng 40) / 100))
+
+let garble_body rng html =
+  let n = String.length html in
+  if n = 0 then html
+  else begin
+    let bytes = Bytes.of_string html in
+    for _ = 1 to max 1 (n / 20) do
+      Bytes.set bytes (Prng.int rng n) (Char.chr (97 + Prng.int rng 26))
+    done;
+    Bytes.to_string bytes
+  end
+
+let corrupted t url failure html =
+  let rng = Prng.create (t.config.seed lxor url_hash url lxor 0x5eed) in
+  match failure with
+  | Truncated_body -> truncate_body rng html
+  | Garbled_body -> garble_body rng html
+  | _ -> html
+
+type response =
+  | Body of string
+  | Damaged of string * failure
+  | Failed of failure
+
+let fetch t url =
+  t.attempts <- t.attempts + 1;
+  let attempt =
+    1 + Option.value ~default:0 (Hashtbl.find_opt t.tries url)
+  in
+  Hashtbl.replace t.tries url attempt;
+  let deliver damage =
+    advance t t.config.base_latency_ms;
+    match Webgraph.fetch t.graph url with
+    | None -> Failed Not_found
+    | Some html -> (
+      match damage with
+      | None -> Body html
+      | Some failure -> Damaged (corrupted t url failure html, failure))
+  in
+  let fail failure =
+    match failure with
+    | Timeout ->
+      advance t t.config.timeout_latency_ms;
+      Failed Timeout
+    | Truncated_body | Garbled_body -> deliver (Some failure)
+    | Server_error | Rate_limited | Not_found ->
+      advance t t.config.base_latency_ms;
+      Failed failure
+  in
+  match plan_for t url with
+  | Healthy -> deliver None
+  | Transient (_, k) when attempt > k -> deliver None
+  | Transient (failure, _) | Permanent failure -> fail failure

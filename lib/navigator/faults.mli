@@ -1,0 +1,92 @@
+(** Deterministic fault injection over a {!Webgraph} — the hostile-network
+    simulator behind the resilient crawler.
+
+    A wrapped graph answers fetches through a per-URL {e fault plan} drawn
+    from a seeded PRNG: a URL is either healthy, transiently faulty (its
+    first [k] attempts fail, then it recovers — a 5xx burst, a flapping
+    load balancer) or permanently faulty (every attempt fails the same
+    way). Time is virtual: every fetch advances an internal millisecond
+    clock, timeouts cost more than ordinary round trips, and the crawler's
+    backoff sleeps and circuit-breaker cooldowns run on the same clock —
+    so a whole chaos crawl is reproducible byte for byte from its seed. *)
+
+type failure =
+  | Timeout  (** the request never came back; costs [timeout_latency_ms] *)
+  | Server_error  (** 5xx with no usable body *)
+  | Rate_limited  (** 429; the site is pushing back *)
+  | Not_found  (** 404 — never worth retrying *)
+  | Truncated_body  (** a body arrived, but cut off mid-page *)
+  | Garbled_body  (** a body arrived, but with corrupted bytes *)
+
+val failure_name : failure -> string
+val all_failures : failure list
+
+type plan =
+  | Healthy
+  | Transient of failure * int
+      (** [Transient (f, k)]: the first [k] attempts fail with [f], every
+          later attempt succeeds *)
+  | Permanent of failure  (** every attempt fails with [f] *)
+
+type config = {
+  seed : int;  (** drives plan assignment, corruption and latency *)
+  fault_rate : float;  (** probability a URL gets a non-[Healthy] plan *)
+  permanent_rate : float;
+      (** given a faulty URL, probability the plan is [Permanent] *)
+  max_transient_failures : int;
+      (** transient plans fail for 1..this many attempts (default 2) *)
+  base_latency_ms : int;  (** virtual cost of an ordinary round trip *)
+  timeout_latency_ms : int;  (** virtual cost of a [Timeout] attempt *)
+}
+
+val default_config : config
+(** seed 0, 20% fault rate of which 10% permanent, up to 2 transient
+    failures, 15ms round trips, 1000ms timeouts. *)
+
+val no_faults : config
+(** Fault rate and latency zero — the wrapper becomes a transparent,
+    zero-cost pass-through. *)
+
+type t
+
+val wrap : ?config:config -> Webgraph.t -> t
+(** Wrap a graph. Fault plans are assigned per URL from
+    [config.seed] alone (not from fetch order), so two crawls of the same
+    wrapped graph — in any order — see the same faults. *)
+
+val pristine : Webgraph.t -> t
+(** [wrap ~config:no_faults] — the healthy web. *)
+
+val graph : t -> Webgraph.t
+val entry : t -> string
+
+val plan_for : t -> string -> plan
+(** The fault plan assigned to a URL (memoised; deterministic). *)
+
+val set_plan : t -> string -> plan -> unit
+(** Override the plan of one URL — for targeted scenarios and tests. *)
+
+type response =
+  | Body of string  (** a clean page *)
+  | Damaged of string * failure
+      (** a body was delivered but is damaged ([Truncated_body] /
+          [Garbled_body]); the caller may retry or accept it degraded *)
+  | Failed of failure  (** no body at all *)
+
+val fetch : t -> string -> response
+(** One fetch attempt. Advances the virtual clock and the URL's attempt
+    counter (which is what retires transient faults). *)
+
+val attempts : t -> int
+(** Total fetch attempts issued through this wrapper. *)
+
+val now_ms : t -> int
+(** The virtual clock, in milliseconds since the wrap. *)
+
+val advance : t -> int -> unit
+(** Advance the virtual clock — how the crawler "sleeps" between retries
+    and during circuit-breaker cooldowns. *)
+
+val url_hash : string -> int
+(** A deterministic (FNV-1a) string hash — shared with the crawler's
+    jitter so schedules never depend on OCaml's [Hashtbl.hash]. *)

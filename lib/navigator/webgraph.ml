@@ -26,6 +26,7 @@ let fetch t url =
     Some html
   | None -> None
 
+let mem t url = Hashtbl.mem t.pages url
 let fetch_count t = t.fetches
 let urls t = t.order
 let size t = List.length t.order

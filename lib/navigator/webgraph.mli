@@ -21,6 +21,9 @@ val fetch : t -> string -> string option
 (** Retrieve a page by URL; [None] for unknown URLs. Each successful fetch
     is counted. *)
 
+val mem : t -> string -> bool
+(** Whether a URL exists in the site, without counting a fetch. *)
+
 val fetch_count : t -> int
 (** Total successful fetches so far — lets tests assert the crawler's
     politeness. *)

@@ -1,0 +1,422 @@
+(* The fault-injection layer and the resilient crawler on top of it:
+   determinism of the chaos (fixed seed => identical schedules, reports
+   and segmentations), recovery under transient faults, and graceful
+   degradation of the pipeline when detail pages are lost for good. *)
+
+open Tabseg_navigator
+open Tabseg_sitegen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let site () = Sites.find "ButlerCounty"
+
+let graph_of site = Simulate.graph_of_site (Sites.generate site)
+
+let transient_config rate seed =
+  {
+    Faults.default_config with
+    Faults.seed;
+    fault_rate = rate;
+    permanent_rate = 0.;
+  }
+
+(* ------------------------- fault plans ----------------------------- *)
+
+let test_plans_deterministic () =
+  let config = transient_config 0.5 7 in
+  let graph = graph_of (site ()) in
+  let a = Faults.wrap ~config graph in
+  let b = Faults.wrap ~config graph in
+  List.iter
+    (fun url ->
+      check_bool ("same plan for " ^ url) true
+        (Faults.plan_for a url = Faults.plan_for b url))
+    (Webgraph.urls graph);
+  (* Plans are a function of (seed, url), not of query order. *)
+  let c = Faults.wrap ~config graph in
+  let urls = Webgraph.urls graph in
+  List.iter (fun url -> ignore (Faults.plan_for c url)) (List.rev urls);
+  List.iter
+    (fun url ->
+      check_bool "order-independent" true
+        (Faults.plan_for a url = Faults.plan_for c url))
+    urls
+
+let test_transient_fault_retires () =
+  let graph = graph_of (site ()) in
+  let faults = Faults.pristine graph in
+  Faults.set_plan faults "entry.html"
+    (Faults.Transient (Faults.Server_error, 2));
+  check_bool "attempt 1 fails" true
+    (Faults.fetch faults "entry.html" = Faults.Failed Faults.Server_error);
+  check_bool "attempt 2 fails" true
+    (Faults.fetch faults "entry.html" = Faults.Failed Faults.Server_error);
+  (match Faults.fetch faults "entry.html" with
+  | Faults.Body _ -> ()
+  | _ -> Alcotest.fail "attempt 3 should succeed");
+  Faults.set_plan faults "about.html" (Faults.Permanent Faults.Timeout);
+  for _ = 1 to 5 do
+    check_bool "permanent stays failed" true
+      (Faults.fetch faults "about.html" = Faults.Failed Faults.Timeout)
+  done
+
+let test_damaged_bodies_deterministic () =
+  let graph = graph_of (site ()) in
+  let damaged kind =
+    let faults = Faults.wrap ~config:(transient_config 0.0 3) graph in
+    Faults.set_plan faults "about.html" (Faults.Permanent kind);
+    match Faults.fetch faults "about.html" with
+    | Faults.Damaged (html, failure) ->
+      check_bool "failure class kept" true (failure = kind);
+      html
+    | _ -> Alcotest.fail "expected a damaged body"
+  in
+  let original =
+    match Webgraph.fetch graph "about.html" with
+    | Some html -> html
+    | None -> assert false
+  in
+  let truncated = damaged Faults.Truncated_body in
+  check_bool "truncated is a strict prefix" true
+    (String.length truncated < String.length original
+    && String.sub original 0 (String.length truncated) = truncated);
+  check_bool "truncation is reproducible" true
+    (truncated = damaged Faults.Truncated_body);
+  let garbled = damaged Faults.Garbled_body in
+  check_bool "garbling keeps length" true
+    (String.length garbled = String.length original);
+  check_bool "garbling changes bytes" true (garbled <> original);
+  check_bool "garbling is reproducible" true
+    (garbled = damaged Faults.Garbled_body)
+
+(* ------------------------ retry schedules -------------------------- *)
+
+let test_backoff_deterministic () =
+  let policy = Crawler.default_retry_policy in
+  let a = Crawler.backoff_delays policy ~url:"detail_0_1.html" in
+  let b = Crawler.backoff_delays policy ~url:"detail_0_1.html" in
+  Alcotest.(check (list int)) "same seed, same schedule" a b;
+  check_int "one delay per retry" (policy.Crawler.max_attempts - 1)
+    (List.length a);
+  (* Exponential growth survives the jitter because jitter < factor-1. *)
+  let rec ascending = function
+    | x :: (y :: _ as rest) -> x < y && ascending rest
+    | _ -> true
+  in
+  check_bool "monotone backoff" true (ascending a);
+  let other =
+    Crawler.backoff_delays
+      { policy with Crawler.seed = policy.Crawler.seed + 1 }
+      ~url:"detail_0_1.html"
+  in
+  check_bool "different seed, different jitter" true (a <> other);
+  List.iter2
+    (fun x y ->
+      check_bool "jitter bounded" true
+        (abs (x - y)
+        <= int_of_float
+             (float_of_int (max x y) *. policy.Crawler.jitter)))
+    a other
+
+(* -------------------- recovery under chaos ------------------------- *)
+
+let test_crawl_recovers_under_transient_faults () =
+  (* 30% of URLs fail transiently; the default policy retries past every
+     transient plan, so the crawl must recover every reachable page. *)
+  List.iter
+    (fun seed ->
+      let graph = graph_of (site ()) in
+      let faults = Faults.wrap ~config:(transient_config 0.3 seed) graph in
+      let pages, report = Crawler.crawl_resilient faults in
+      let recovered = List.length pages in
+      let total = Webgraph.size graph in
+      check_bool
+        (Printf.sprintf "seed %d: recovered %d of %d" seed recovered total)
+        true
+        (float_of_int recovered >= 0.95 *. float_of_int total);
+      check_int "nothing given up" 0 report.Crawler.giveups;
+      check_bool "faults actually fired" true (report.Crawler.retries > 0);
+      check_bool "every page clean in the end" true
+        (report.Crawler.pages_damaged = 0))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_crawl_deterministic_under_chaos () =
+  let run () =
+    let graph = graph_of (site ()) in
+    let config =
+      { (transient_config 0.4 11) with Faults.permanent_rate = 0.3 }
+    in
+    let faults = Faults.wrap ~config graph in
+    Crawler.crawl_resilient faults
+  in
+  let pages_a, report_a = run () in
+  let pages_b, report_b = run () in
+  check_bool "identical page lists" true (pages_a = pages_b);
+  check_bool "identical reports" true (report_a = report_b)
+
+let test_circuit_breaker_trips () =
+  (* A healthy entry page fanning out to a dead backend: the run of
+     consecutive failures must trip the breaker, the crawl must wait out
+     the cooldown on the virtual clock and still terminate with every
+     loss accounted. *)
+  let n = 6 in
+  let hub =
+    String.concat ""
+      (List.init n (fun i ->
+           Printf.sprintf {|<a href="p%d.html">p%d</a>|} i i))
+  in
+  let graph =
+    Webgraph.make ~entry:"hub.html"
+      ~pages:
+        (("hub.html", hub)
+        :: List.init n (fun i -> (Printf.sprintf "p%d.html" i, "leaf")))
+  in
+  let faults = Faults.pristine graph in
+  List.iter
+    (fun i ->
+      Faults.set_plan faults
+        (Printf.sprintf "p%d.html" i)
+        (Faults.Permanent Faults.Timeout))
+    (List.init n (fun i -> i));
+  let pages, report = Crawler.crawl_resilient faults in
+  check_int "only the hub fetched" 1 (List.length pages);
+  check_int "all leaves given up" n report.Crawler.giveups;
+  check_bool "breaker tripped" true (report.Crawler.breaker_trips >= 1);
+  check_bool "cooldowns waited out" true (report.Crawler.breaker_wait_ms > 0);
+  check_bool "timeouts recorded" true
+    (List.mem_assoc Faults.Timeout report.Crawler.failures)
+
+let test_retry_budget_respected () =
+  let graph = graph_of (site ()) in
+  let faults = Faults.wrap ~config:(transient_config 0.6 5) graph in
+  let retry = { Crawler.default_retry_policy with Crawler.retry_budget = 3 } in
+  let _pages, report = Crawler.crawl_resilient ~retry faults in
+  check_bool "at most 3 retries" true (report.Crawler.retries <= 3);
+  check_bool "budget flagged" true report.Crawler.budget_exhausted
+
+(* ------------------- graceful pipeline degradation ----------------- *)
+
+let test_auto_survives_lost_details () =
+  let generated = Sites.generate (site ()) in
+  let graph = Simulate.graph_of_site generated in
+  let faults = Faults.pristine graph in
+  Faults.set_plan faults "detail_0_1.html"
+    (Faults.Permanent Faults.Server_error);
+  Faults.set_plan faults "detail_1_4.html" (Faults.Permanent Faults.Timeout);
+  let report = Auto.run_resilient faults in
+  check_int "both losses counted" 2 report.Auto.details_missing;
+  check_int "two give-ups" 2 report.Auto.crawl.Crawler.giveups;
+  check_int "still two segmentations" 2 (List.length report.Auto.results);
+  List.iter
+    (fun result ->
+      check_int
+        (result.Auto.list_url ^ " has one missing detail")
+        1
+        (List.length result.Auto.missing_details);
+      check_bool "missing note" true
+        (List.mem Tabseg.Segmentation.Detail_missing
+           result.Auto.segmentation.Tabseg.Segmentation.notes);
+      check_bool "degraded-crawl note" true
+        (List.mem Tabseg.Segmentation.Degraded_crawl
+           result.Auto.segmentation.Tabseg.Segmentation.notes);
+      (* The lost URL still occupies its slot in record order. *)
+      check_bool "missing url in detail_urls" true
+        (List.for_all
+           (fun url -> List.mem url result.Auto.detail_urls)
+           result.Auto.missing_details))
+    report.Auto.results
+
+let test_auto_survives_corrupted_details () =
+  let generated = Sites.generate (site ()) in
+  let graph = Simulate.graph_of_site generated in
+  let faults = Faults.pristine graph in
+  Faults.set_plan faults "detail_0_2.html"
+    (Faults.Permanent Faults.Garbled_body);
+  let report = Auto.run_resilient faults in
+  check_int "corruption counted" 1 report.Auto.details_corrupted;
+  check_int "still two segmentations" 2 (List.length report.Auto.results);
+  let result =
+    List.find (fun r -> r.Auto.list_url = "list_0.html") report.Auto.results
+  in
+  Alcotest.(check (list string))
+    "corrupted detail recorded" [ "detail_0_2.html" ]
+    result.Auto.corrupted_details;
+  check_bool "corrupted note" true
+    (List.mem Tabseg.Segmentation.Detail_corrupted
+       result.Auto.segmentation.Tabseg.Segmentation.notes)
+
+let test_auto_all_details_lost_is_reported () =
+  let generated = Sites.generate (site ()) in
+  let graph = Simulate.graph_of_site generated in
+  let faults = Faults.pristine graph in
+  List.iter
+    (fun url ->
+      if
+        String.length url >= 8
+        && String.sub url 0 8 = "detail_0"
+      then Faults.set_plan faults url (Faults.Permanent Faults.Server_error))
+    (Webgraph.urls graph);
+  let report = Auto.run_resilient faults in
+  (* list_0's details are all gone: it must land in [skipped] with a
+     typed error, never raise; list_1 still segments. *)
+  check_bool "list_0 skipped with typed error" true
+    (List.exists
+       (fun (url, error) ->
+         url = "list_0.html" && error = Tabseg.Api.All_details_lost)
+       report.Auto.skipped);
+  check_bool "list_1 still segmented" true
+    (List.exists
+       (fun r -> r.Auto.list_url = "list_1.html")
+       report.Auto.results)
+
+let test_auto_deterministic_under_chaos () =
+  let run () =
+    let generated = Sites.generate (site ()) in
+    let graph = Simulate.graph_of_site generated in
+    let config =
+      { (transient_config 0.3 21) with Faults.permanent_rate = 0.25 }
+    in
+    let report = Auto.run_resilient (Faults.wrap ~config graph) in
+    ( report.Auto.crawl,
+      List.map
+        (fun r ->
+          ( r.Auto.list_url,
+            Tabseg.Segmentation.record_texts r.Auto.segmentation,
+            r.Auto.missing_details ))
+        report.Auto.results )
+  in
+  check_bool "two chaos runs agree" true (run () = run ())
+
+(* Segmentation with k details blanked: structural invariants always
+   hold, and accuracy degrades monotonically as losses grow (the blanked
+   sets are nested, so each step can only remove evidence). *)
+let test_degradation_monotone () =
+  let generated = Sites.generate (site ()) in
+  let page = List.hd generated.Sites.pages in
+  let list_pages, detail_pages =
+    Sites.segmentation_input generated ~page_index:0
+  in
+  let details = Array.of_list detail_pages in
+  let total = Array.length details in
+  let correct_with k =
+    let detail_pages =
+      Array.to_list
+        (Array.mapi (fun i html -> if i < k then "" else html) details)
+    in
+    let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+    match
+      Tabseg.Api.segment_result ~method_:Tabseg.Api.Probabilistic input
+    with
+    | Error error ->
+      Alcotest.failf "k=%d rejected: %s" k
+        (Tabseg.Api.input_error_message error)
+    | Ok outcome ->
+      let segmentation = outcome.Tabseg.Api.segmentation in
+      (* Structural invariants under degradation. *)
+      let records = segmentation.Tabseg.Segmentation.records in
+      let numbers =
+        List.map
+          (fun (r : Tabseg.Segmentation.record) ->
+            r.Tabseg.Segmentation.number)
+          records
+      in
+      check_bool "record numbers valid and ascending" true
+        (List.sort_uniq compare numbers = numbers
+        && List.for_all (fun n -> n >= 0 && n < total) numbers);
+      let ids =
+        List.concat_map
+          (fun (r : Tabseg.Segmentation.record) ->
+            List.map
+              (fun (e : Tabseg_extract.Extract.t) ->
+                e.Tabseg_extract.Extract.id)
+              r.Tabseg.Segmentation.extracts)
+          records
+      in
+      check_bool "no extract in two records" true
+        (List.sort_uniq compare ids = List.sort compare ids);
+      let counts =
+        Tabseg_eval.Scorer.score ~truth:page.Sites.truth segmentation
+      in
+      counts.Tabseg_eval.Metrics.cor
+  in
+  let ks = [ 0; 1; 3; 6; total - 1 ] in
+  let scores = List.map correct_with ks in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  check_bool
+    (Printf.sprintf "correct counts non-increasing in k: %s"
+       (String.concat " " (List.map string_of_int scores)))
+    true (monotone scores);
+  check_bool "no blanking is best" true (List.hd scores > 0);
+  (* Losing every detail page is no longer a segmentation problem — it is
+     a typed input error. *)
+  let all_blank =
+    { Tabseg.Pipeline.list_pages;
+      detail_pages = List.map (fun _ -> "") detail_pages }
+  in
+  check_bool "k=total is a typed error" true
+    (Tabseg.Api.segment_result ~method_:Tabseg.Api.Probabilistic all_blank
+    = Error Tabseg.Api.All_details_lost)
+
+(* Zero-cost when healthy: the resilient crawl over a pristine source is
+   the plain BFS, reports included. *)
+let test_pristine_is_zero_cost () =
+  let graph = graph_of (site ()) in
+  let pages = Crawler.crawl graph in
+  let graph2 = graph_of (site ()) in
+  let fetched, report = Crawler.crawl_resilient (Faults.pristine graph2) in
+  check_bool "same pages" true
+    (pages = List.map (fun (f : Crawler.fetched) -> f.Crawler.page) fetched);
+  check_int "one attempt per page" (List.length pages)
+    report.Crawler.attempts;
+  check_int "no retries" 0 report.Crawler.retries;
+  check_int "no virtual time" 0 report.Crawler.elapsed_ms;
+  check_int "no damage" 0 report.Crawler.pages_damaged
+
+let () =
+  Alcotest.run "tabseg_faults"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "plans deterministic" `Quick
+            test_plans_deterministic;
+          Alcotest.test_case "transient retires" `Quick
+            test_transient_fault_retires;
+          Alcotest.test_case "damaged bodies deterministic" `Quick
+            test_damaged_bodies_deterministic;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "budget respected" `Quick
+            test_retry_budget_respected;
+        ] );
+      ( "crawl",
+        [
+          Alcotest.test_case "recovers under 30% transient faults" `Slow
+            test_crawl_recovers_under_transient_faults;
+          Alcotest.test_case "deterministic under chaos" `Slow
+            test_crawl_deterministic_under_chaos;
+          Alcotest.test_case "circuit breaker trips" `Quick
+            test_circuit_breaker_trips;
+          Alcotest.test_case "pristine is zero-cost" `Quick
+            test_pristine_is_zero_cost;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "auto survives lost details" `Slow
+            test_auto_survives_lost_details;
+          Alcotest.test_case "auto survives corrupted details" `Slow
+            test_auto_survives_corrupted_details;
+          Alcotest.test_case "all details lost is typed" `Slow
+            test_auto_all_details_lost_is_reported;
+          Alcotest.test_case "auto deterministic under chaos" `Slow
+            test_auto_deterministic_under_chaos;
+          Alcotest.test_case "accuracy degrades monotonically" `Slow
+            test_degradation_monotone;
+        ] );
+    ]
