@@ -1,8 +1,10 @@
-# Per-PR check: full build, the test suite, and the degraded-mode smoke
-# guard (fault sweep at rate 0.1, one seed — fails the process when
-# resilient-crawl recovery or degraded accuracy regress).
+# Per-PR check: full build, the test suite, and the smoke guards — the
+# degraded-mode sweep (fault rate 0.1, one seed — fails the process when
+# resilient-crawl recovery or degraded accuracy regress) and the serving
+# determinism smoke (2-domain warm/cold rounds must match the sequential
+# segmentation byte for byte).
 
-.PHONY: check build test smoke bench clean
+.PHONY: check build test smoke bench bench-throughput clean
 
 check: build test smoke
 
@@ -14,9 +16,18 @@ test:
 
 smoke:
 	dune exec bench/main.exe -- faults-smoke
+	dune exec bench/main.exe -- serve-smoke
 
 bench:
 	dune exec bench/main.exe
+
+# Serving-layer throughput sweep (domains 1/2/4 × cache on/off) →
+# BENCH_serve.json. The 8M-word minor heap keeps OCaml's per-minor-GC
+# stop-the-world rendezvous from dominating multi-domain runs; it must
+# be set at process start (the arena is reserved then), hence the env
+# var rather than Gc.set in the bench.
+bench-throughput:
+	OCAMLRUNPARAM=s=8M dune exec bench/main.exe -- throughput --json
 
 clean:
 	dune clean

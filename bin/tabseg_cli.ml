@@ -266,8 +266,30 @@ let auto_cmd =
     in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
+  let jobs_arg =
+    let doc =
+      "Segment list pages on this many worker domains (through the \
+       serving layer). 1 = sequential; results are identical either way."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let cache_mb_arg =
+    let doc =
+      "Budget (MB) of the serving layer's template cache and result \
+       memo. 0 disables caching."
+    in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+  in
+  let metrics_arg =
+    let doc =
+      "Print the metrics registry after the run: request counters, \
+       cache hits, and per-stage latency histograms (crawl, tokenize, \
+       template, extract, CSP/HMM)."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
   let run method_ site_name fault_rate fault_seed permanent retries
-      show_report =
+      show_report jobs cache_mb show_metrics =
     match Tabseg_sitegen.Sites.find site_name with
     | exception Not_found ->
       Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
@@ -294,8 +316,53 @@ let auto_cmd =
           Tabseg_navigator.Crawler.max_attempts = max 1 retries;
         }
       in
-      let report =
-        Tabseg_navigator.Auto.run_resilient ~retry ~method_ source
+      let use_service = jobs > 1 || show_metrics in
+      let report, metrics_dump =
+        if not use_service then
+          (Tabseg_navigator.Auto.run_resilient ~retry ~method_ source, None)
+        else begin
+          let open Tabseg_serve in
+          let config =
+            {
+              Service.default_config with
+              Service.jobs;
+              method_;
+              cache =
+                (if cache_mb > 0 then
+                   Some { Cache.default_config with Cache.capacity_mb = cache_mb }
+                 else None);
+            }
+          in
+          let service = Service.create ~config () in
+          Fun.protect ~finally:(fun () -> Service.shutdown service)
+          @@ fun () ->
+          let segment_batch batch =
+            let requests =
+              List.map
+                (fun (url, input) -> { Service.id = url; site = url; input })
+                batch
+            in
+            List.map
+              (fun (response : Service.response) ->
+                match response.Service.outcome with
+                | Ok result -> Ok result
+                | Error (Service.Invalid_input error) -> Error error
+                | Error error ->
+                  Error
+                    (Tabseg.Api.Pipeline_failure (Service.error_message error)))
+              (Service.run_batch service requests)
+          in
+          let report =
+            Tabseg_navigator.Auto.run_resilient ~retry ~method_
+              ~segment_batch source
+          in
+          let dump =
+            if show_metrics then
+              Some (Metrics.report (Service.metrics service))
+            else None
+          in
+          (report, dump)
+        end
       in
       Format.printf
         "crawled %d pages: %d list, %d detail, %d other@."
@@ -325,15 +392,20 @@ let auto_cmd =
       if show_report then
         Format.printf "@.crawl report:@.%a@."
           Tabseg_navigator.Crawler.pp_report
-          report.Tabseg_navigator.Auto.crawl
+          report.Tabseg_navigator.Auto.crawl;
+      match metrics_dump with
+      | Some dump -> Format.printf "@.metrics:@.%s@?" dump
+      | None -> ()
   in
   Cmd.v
     (Cmd.info "auto"
        ~doc:"Navigate a simulated site from its entry page and segment \
-             every list page found, optionally through injected faults")
+             every list page found, optionally through injected faults \
+             and in parallel through the serving layer")
     Term.(
       const run $ method_arg $ site_arg $ faults_arg $ fault_seed_arg
-      $ permanent_arg $ retries_arg $ report_arg)
+      $ permanent_arg $ retries_arg $ report_arg $ jobs_arg $ cache_mb_arg
+      $ metrics_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in

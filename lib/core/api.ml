@@ -8,9 +8,11 @@ type result = {
   diagnostics : Prob_segmenter.diagnostics option;
 }
 
-let segment ?pipeline_config ?csp_config ?prob_config
+let segment ?pipeline_config ?template_cache ?csp_config ?prob_config
     ?(transpose_vertical = false) ~method_ input =
-  let prepared = Pipeline.prepare ?config:pipeline_config input in
+  let prepared =
+    Pipeline.prepare ?config:pipeline_config ?template_cache input
+  in
   let _input, prepared =
     (* Vertical-layout extension (paper Section 3.2): if the observation
        table shows the column-major signature, transpose every table and
@@ -27,7 +29,7 @@ let segment ?pipeline_config ?csp_config ?prob_config
             List.map Vertical.transpose_tables input.Pipeline.list_pages;
         }
       in
-      (input, Pipeline.prepare ?config:pipeline_config input)
+      (input, Pipeline.prepare ?config:pipeline_config ?template_cache input)
     end
     else (input, prepared)
   in
@@ -59,7 +61,7 @@ let input_error_message = function
 
 let blank html = String.trim html = ""
 
-let segment_result ?pipeline_config ?csp_config ?prob_config
+let segment_result ?pipeline_config ?template_cache ?csp_config ?prob_config
     ?transpose_vertical ~method_ input =
   match input.Pipeline.list_pages with
   | [] -> Error No_list_pages
@@ -71,7 +73,7 @@ let segment_result ?pipeline_config ?csp_config ?prob_config
     then Error All_details_lost
     else begin
       match
-        segment ?pipeline_config ?csp_config ?prob_config
+        segment ?pipeline_config ?template_cache ?csp_config ?prob_config
           ?transpose_vertical ~method_ input
       with
       | result -> Ok result

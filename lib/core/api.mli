@@ -23,6 +23,7 @@ type result = {
 
 val segment :
   ?pipeline_config:Pipeline.config ->
+  ?template_cache:Pipeline.template_cache ->
   ?csp_config:Csp_segmenter.config ->
   ?prob_config:Prob_segmenter.config ->
   ?transpose_vertical:bool ->
@@ -32,7 +33,8 @@ val segment :
 (** Run the full pipeline and the chosen segmentation method. With
     [~transpose_vertical:true] (default false), a vertically laid-out
     table (paper Section 3.2) is detected via {!Vertical.looks_vertical}
-    and transposed before segmentation. *)
+    and transposed before segmentation. [~template_cache] is forwarded
+    to {!Pipeline.prepare} to amortize template induction. *)
 
 val method_name : method_ -> string
 
@@ -48,6 +50,7 @@ val input_error_message : input_error -> string
 
 val segment_result :
   ?pipeline_config:Pipeline.config ->
+  ?template_cache:Pipeline.template_cache ->
   ?csp_config:Csp_segmenter.config ->
   ?prob_config:Prob_segmenter.config ->
   ?transpose_vertical:bool ->

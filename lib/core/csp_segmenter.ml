@@ -225,9 +225,10 @@ let segment_observation config observation notes extras =
   end
 
 let segment ?(config = default_config) (prepared : Pipeline.prepared) =
-  segment_observation config prepared.Pipeline.observation
-    prepared.Pipeline.notes
-    prepared.Pipeline.observation.Observation.extras
+  Instrument.time ~stage:"segment.csp" (fun () ->
+      segment_observation config prepared.Pipeline.observation
+        prepared.Pipeline.notes
+        prepared.Pipeline.observation.Observation.extras)
 
 let solve_observation ?(config = default_config) observation =
   segment_observation config observation []

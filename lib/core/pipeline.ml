@@ -14,6 +14,11 @@ type config = {
 
 let default_config = { min_template_tokens = 10; min_slot_cover = 0.8 }
 
+type template_cache = {
+  find_template : key:string -> Template.t option;
+  store_template : key:string -> Template.t -> unit;
+}
+
 type prepared = {
   page : Token.t array;
   table_slot : Slot.t;
@@ -26,12 +31,39 @@ let log = Logs.Src.create "tabseg.pipeline" ~doc:"Segmentation front half"
 
 module Log = (val Logs.src_log log)
 
+(* Content address of a list-page set. Induction is sensitive to page
+   order (the template's keys follow the first page), so the key is over
+   the ordered, length-framed pages — two different orderings of the
+   same pages are two different templates. *)
+let page_set_key list_pages =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ""
+          (List.map
+             (fun page ->
+               Printf.sprintf "%d:%s" (String.length page) page)
+             list_pages)))
+
 (* Locate the table slot; None when the induced template is unusable
    (paper notes a/b). *)
-let locate_table config pages page =
+let locate_table config ?cache ~key pages page =
   if List.length pages < 2 then (None, 0)
   else begin
-    let template = Template.induce pages in
+    let induce () =
+      Instrument.time ~stage:"pipeline.template" (fun () ->
+          Template.induce pages)
+    in
+    let template =
+      match cache with
+      | None -> induce ()
+      | Some cache -> (
+        match cache.find_template ~key with
+        | Some template -> template
+        | None ->
+          let template = induce () in
+          cache.store_template ~key template;
+          template)
+    in
     let template_size = Template.size template in
     if template_size < config.min_template_tokens then (None, template_size)
     else begin
@@ -51,15 +83,21 @@ let locate_table config pages page =
     end
   end
 
-let prepare ?(config = default_config) input =
+let prepare ?(config = default_config) ?template_cache input =
   (match input.list_pages with
   | [] -> invalid_arg "Pipeline.prepare: no list pages"
   | _ -> ());
-  let pages = List.map Tokenizer.tokenize input.list_pages in
+  let pages, details =
+    Instrument.time ~stage:"pipeline.tokenize" (fun () ->
+        ( List.map Tokenizer.tokenize input.list_pages,
+          List.map Tokenizer.tokenize input.detail_pages ))
+  in
   let page = List.hd pages in
   let others = List.tl pages in
-  let details = List.map Tokenizer.tokenize input.detail_pages in
-  let located, template_size = locate_table config pages page in
+  let key = page_set_key input.list_pages in
+  let located, template_size =
+    locate_table config ?cache:template_cache ~key pages page
+  in
   let table_slot, notes =
     match located with
     | Some slot -> (slot, [])
@@ -69,8 +107,9 @@ let prepare ?(config = default_config) input =
   in
   Log.debug (fun m ->
       m "template %d tokens, table slot %a" template_size Slot.pp table_slot);
-  let extracts = Extract.of_slot table_slot in
-  let observation =
-    Observation.build ~other_list_pages:others ~extracts ~details ()
-  in
-  { page; table_slot; observation; notes; template_size }
+  Instrument.time ~stage:"pipeline.extract" (fun () ->
+      let extracts = Extract.of_slot table_slot in
+      let observation =
+        Observation.build ~other_list_pages:others ~extracts ~details ()
+      in
+      { page; table_slot; observation; notes; template_size })

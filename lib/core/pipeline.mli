@@ -31,6 +31,21 @@ type config = {
 
 val default_config : config
 
+type template_cache = {
+  find_template : key:string -> Template.t option;
+  store_template : key:string -> Template.t -> unit;
+}
+(** An externally-provided store for induced page templates — the hook a
+    serving layer (e.g. [Tabseg_serve.Cache]) uses to amortize template
+    induction, the dominant cost of the front half, across requests. The
+    key is {!page_set_key} of the raw list pages, so a hit is guaranteed
+    to be the template this input would have induced. Implementations
+    must be safe to call from several domains. *)
+
+val page_set_key : string list -> string
+(** Content address (hex digest) of an {e ordered} list-page set: the
+    cache key under which {!prepare} looks up the induced template. *)
+
 type prepared = {
   page : Token.t array;  (** token stream of the list page to segment *)
   table_slot : Slot.t;
@@ -40,5 +55,8 @@ type prepared = {
   template_size : int;  (** tokens in the induced template; 0 if none *)
 }
 
-val prepare : ?config:config -> input -> prepared
-(** Run the front half. @raise Invalid_argument if [list_pages] is empty. *)
+val prepare : ?config:config -> ?template_cache:template_cache -> input -> prepared
+(** Run the front half. With [~template_cache], template induction is
+    skipped when the cache already holds the template of this list-page
+    set; the result is identical either way.
+    @raise Invalid_argument if [list_pages] is empty. *)

@@ -31,7 +31,16 @@ type row_page =
   | Row_missing  (* the crawl gave the page up *)
 
 let run_resilient ?crawl_config ?retry ?breaker
-    ?(method_ = Tabseg.Api.Probabilistic) source =
+    ?(method_ = Tabseg.Api.Probabilistic) ?segment_batch source =
+  let segment_batch =
+    match segment_batch with
+    | Some f -> f
+    | None ->
+      fun batch ->
+        List.map
+          (fun (_url, input) -> Tabseg.Api.segment_result ~method_ input)
+          batch
+  in
   let fetched, crawl_report =
     Crawler.crawl_resilient ?config:crawl_config ?retry ?breaker source
   in
@@ -106,8 +115,10 @@ let run_resilient ?crawl_config ?retry ?breaker
         | _ -> None
       end
   in
-  let skipped = ref [] in
-  let results =
+  (* Phase 1: resolve every list page's rows into a segmentation input.
+     Segmentation itself happens in a second phase, as one batch — the
+     seam through which a serving layer parallelizes and caches it. *)
+  let candidates =
     List.filter_map
       (fun (list_page : Classifier.page) ->
         let rows =
@@ -163,41 +174,61 @@ let run_resilient ?crawl_config ?retry ?breaker
               detail_pages = detail_bodies;
             }
           in
-          (match Tabseg.Api.segment_result ~method_ input with
-          | Error error ->
-            skipped := (list_page.Classifier.url, error) :: !skipped;
-            None
-          | Ok outcome ->
-            let degradation_notes =
-              (if missing_details <> [] then
-                 [ Tabseg.Segmentation.Detail_missing ]
-               else [])
-              @ (if corrupted_details <> [] then
-                   [ Tabseg.Segmentation.Detail_corrupted ]
-                 else [])
-              @
-              if crawl_report.Crawler.giveups > 0 then
-                [ Tabseg.Segmentation.Degraded_crawl ]
-              else []
-            in
-            let segmentation = outcome.Tabseg.Api.segmentation in
-            let segmentation =
-              {
-                segmentation with
-                Tabseg.Segmentation.notes =
-                  segmentation.Tabseg.Segmentation.notes
-                  @ degradation_notes;
-              }
-            in
-            Some
-              {
-                list_url = list_page.Classifier.url;
-                segmentation;
-                detail_urls;
-                missing_details;
-                corrupted_details;
-              }))
+          Some
+            ( list_page.Classifier.url,
+              input,
+              detail_urls,
+              missing_details,
+              corrupted_details ))
       roles.Classifier.list_pages
+  in
+  (* Phase 2: segment the whole batch at once. *)
+  let outcomes =
+    segment_batch
+      (List.map (fun (url, input, _, _, _) -> (url, input)) candidates)
+  in
+  if List.length outcomes <> List.length candidates then
+    invalid_arg "Auto.run_resilient: segment_batch changed the batch size";
+  let skipped = ref [] in
+  let results =
+    List.map2
+      (fun (url, _input, detail_urls, missing_details, corrupted_details)
+           outcome ->
+        match outcome with
+        | Error error ->
+          skipped := (url, error) :: !skipped;
+          None
+        | Ok outcome ->
+          let degradation_notes =
+            (if missing_details <> [] then
+               [ Tabseg.Segmentation.Detail_missing ]
+             else [])
+            @ (if corrupted_details <> [] then
+                 [ Tabseg.Segmentation.Detail_corrupted ]
+               else [])
+            @
+            if crawl_report.Crawler.giveups > 0 then
+              [ Tabseg.Segmentation.Degraded_crawl ]
+            else []
+          in
+          let segmentation = outcome.Tabseg.Api.segmentation in
+          let segmentation =
+            {
+              segmentation with
+              Tabseg.Segmentation.notes =
+                segmentation.Tabseg.Segmentation.notes @ degradation_notes;
+            }
+          in
+          Some
+            {
+              list_url = url;
+              segmentation;
+              detail_urls;
+              missing_details;
+              corrupted_details;
+            })
+      candidates outcomes
+    |> List.filter_map Fun.id
   in
   {
     pages_fetched = List.length fetched;

@@ -61,11 +61,23 @@ val run_resilient :
   ?retry:Crawler.retry_policy ->
   ?breaker:Crawler.breaker_policy ->
   ?method_:Tabseg.Api.method_ ->
+  ?segment_batch:
+    ((string * Tabseg.Pipeline.input) list ->
+    (Tabseg.Api.result, Tabseg.Api.input_error) Stdlib.result list) ->
   Faults.t ->
   report
 (** Crawl (resiliently), classify and segment; never raises on degraded
     input. Deterministic for a fixed source and policies. Default method:
-    probabilistic (the paper's more tolerant engine). *)
+    probabilistic (the paper's more tolerant engine).
+
+    [segment_batch] replaces the per-list-page call to
+    {!Tabseg.Api.segment_result}: it receives every (list URL, input)
+    pair of the crawl at once and must return one outcome per pair, in
+    order — the seam through which a serving layer
+    ([Tabseg_serve.Service]) parallelizes and caches the segmentation
+    phase. When it is given, [method_] only applies to the default it
+    replaced. @raise Invalid_argument if it returns a list of a
+    different length. *)
 
 val run :
   ?crawl_config:Crawler.config ->

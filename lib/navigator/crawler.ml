@@ -150,6 +150,7 @@ let pp_report ppf r =
 let crawl_resilient ?(config = default_config)
     ?(retry = default_retry_policy) ?(breaker = default_breaker_policy)
     source =
+  Tabseg.Instrument.time ~stage:"crawl" @@ fun () ->
   let attempts = ref 0 in
   let retries = ref 0 in
   let budget = ref retry.retry_budget in

@@ -1,0 +1,83 @@
+open Tabseg_template
+
+type config = {
+  capacity_mb : int;
+  shards : int;
+}
+
+let default_config = { capacity_mb = 64; shards = 8 }
+
+type t = {
+  templates : Template.t Shard.t;
+  results : Tabseg.Api.result Shard.t;
+}
+
+(* Approximate resident sizes. Exact accounting would need to walk the
+   values; these estimates only have to make the capacity knob
+   meaningful, not audit the heap. *)
+let template_cost template = 256 + (64 * Template.size template)
+
+let result_cost (result : Tabseg.Api.result) =
+  let prepared = result.Tabseg.Api.prepared in
+  let observation = prepared.Tabseg.Pipeline.observation in
+  1024
+  + (48 * Array.length prepared.Tabseg.Pipeline.page)
+  + (128 * Array.length observation.Tabseg_extract.Observation.entries)
+  + 64
+    * List.length
+        result.Tabseg.Api.segmentation.Tabseg.Segmentation.records
+
+let create ?(config = default_config) () =
+  if config.capacity_mb < 1 then
+    invalid_arg "Cache.create: capacity_mb must be positive";
+  let total = config.capacity_mb * 1024 * 1024 in
+  (* Templates are small and high-value (shared across every page of a
+     site); results are bulky. Budget a quarter for templates. *)
+  {
+    templates =
+      Shard.create ~shards:config.shards ~capacity:(max 1 (total / 4))
+        ~cost:template_cost ();
+    results =
+      Shard.create ~shards:config.shards ~capacity:(max 1 (total * 3 / 4))
+        ~cost:result_cost ();
+  }
+
+let template_cache t =
+  {
+    Tabseg.Pipeline.find_template = (fun ~key -> Shard.find t.templates key);
+    store_template = (fun ~key template -> Shard.store t.templates key template);
+  }
+
+let request_key ?(tag = "") ~method_ (input : Tabseg.Pipeline.input) =
+  let buffer = Buffer.create 4096 in
+  let frame s =
+    Buffer.add_string buffer (string_of_int (String.length s));
+    Buffer.add_char buffer ':';
+    Buffer.add_string buffer s
+  in
+  frame tag;
+  frame (Tabseg.Api.method_name method_);
+  List.iter frame input.Tabseg.Pipeline.list_pages;
+  Buffer.add_char buffer '|';
+  List.iter frame input.Tabseg.Pipeline.detail_pages;
+  Digest.to_hex (Digest.string (Buffer.contents buffer))
+
+let find_result t ~key = Shard.find t.results key
+let store_result t ~key result = Shard.store t.results key result
+
+type stats = {
+  templates : Shard.stats;
+  results : Shard.stats;
+}
+
+let stats (t : t) =
+  { templates = Shard.stats t.templates; results = Shard.stats t.results }
+
+let hit_rate (s : Shard.stats) =
+  let consulted = s.Shard.hits + s.Shard.misses in
+  if consulted = 0 then 0.
+  else float_of_int s.Shard.hits /. float_of_int consulted
+
+let clear (t : t) =
+  Shard.clear t.templates;
+  Shard.clear t.results

@@ -1,0 +1,54 @@
+(** Content-addressed caches for the segmentation pipeline.
+
+    Two sharded LRUs (see {!Shard}):
+
+    - a {e template cache} keyed by {!Tabseg.Pipeline.page_set_key} of
+      the raw list pages, holding induced page templates — plugged into
+      {!Tabseg.Pipeline.prepare} via {!template_cache}, it removes the
+      dominant front-half cost for any request over an already-seen
+      list-page set;
+    - a {e result memo} keyed by the full request content (method,
+      config tag, list pages, detail pages), holding complete
+      {!Tabseg.Api.result} values — including the observation table's
+      extract↔detail match positions — so a repeated request skips the
+      pipeline entirely.
+
+    Both caches address by content digest, so a hit is byte-identical to
+    what a cold run would compute. Cached values must be treated as
+    immutable by callers. Capacities are approximate byte budgets. *)
+
+type config = {
+  capacity_mb : int;  (** total budget across both caches (default 64) *)
+  shards : int;  (** shards per cache (default 8) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val template_cache : t -> Tabseg.Pipeline.template_cache
+(** The hook to pass to {!Tabseg.Pipeline.prepare} /
+    {!Tabseg.Api.segment_result}. *)
+
+val request_key :
+  ?tag:string -> method_:Tabseg.Api.method_ -> Tabseg.Pipeline.input -> string
+(** Content address of a whole segmentation request. [tag] fingerprints
+    any non-default engine configuration the caller applies (requests
+    served under different configs must not share entries). *)
+
+val find_result : t -> key:string -> Tabseg.Api.result option
+val store_result : t -> key:string -> Tabseg.Api.result -> unit
+
+type stats = {
+  templates : Shard.stats;
+  results : Shard.stats;
+}
+
+val stats : t -> stats
+
+val hit_rate : Shard.stats -> float
+(** hits / (hits + misses); 0 when the cache was never consulted. *)
+
+val clear : t -> unit

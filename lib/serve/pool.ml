@@ -1,0 +1,196 @@
+type 'a outcome =
+  | Done of 'a
+  | Rejected
+  | Expired
+  | Crashed of string
+
+type 'a ticket = {
+  t_mutex : Mutex.t;
+  t_filled : Condition.t;
+  mutable t_outcome : 'a outcome option;
+}
+
+type task = {
+  run : unit -> unit;  (* fills the ticket; never raises *)
+  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+}
+
+type stats = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  crashed : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  capacity : int;
+  num_jobs : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  (* exact, updated under [mutex] by submitters and workers *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable expired : int;
+  mutable crashed : int;
+}
+
+let with_lock mutex f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let fill ticket outcome =
+  with_lock ticket.t_mutex (fun () ->
+      if ticket.t_outcome = None then begin
+        ticket.t_outcome <- Some outcome;
+        Condition.broadcast ticket.t_filled
+      end)
+
+let await ticket =
+  with_lock ticket.t_mutex (fun () ->
+      let rec wait () =
+        match ticket.t_outcome with
+        | Some outcome -> outcome
+        | None ->
+          Condition.wait ticket.t_filled ticket.t_mutex;
+          wait ()
+      in
+      wait ())
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task.run ();
+    worker_loop pool
+  end
+
+let create ?queue_capacity ~jobs () =
+  let num_jobs = max jobs 0 in
+  let capacity =
+    match queue_capacity with
+    | Some c when c >= 0 -> c
+    | Some _ -> invalid_arg "Pool.create: negative queue capacity"
+    | None -> 32 * max num_jobs 1
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      num_jobs;
+      stopping = false;
+      workers = [];
+      submitted = 0;
+      completed = 0;
+      rejected = 0;
+      expired = 0;
+      crashed = 0;
+    }
+  in
+  if num_jobs > 1 then
+    pool.workers <-
+      List.init num_jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.num_jobs
+
+let count pool field =
+  with_lock pool.mutex (fun () ->
+      match field with
+      | `Completed -> pool.completed <- pool.completed + 1
+      | `Expired -> pool.expired <- pool.expired + 1
+      | `Crashed -> pool.crashed <- pool.crashed + 1)
+
+let execute pool ticket deadline f () =
+  let late =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  if late then begin
+    count pool `Expired;
+    fill ticket Expired
+  end
+  else begin
+    match f () with
+    | value ->
+      count pool `Completed;
+      fill ticket (Done value)
+    | exception e ->
+      count pool `Crashed;
+      fill ticket (Crashed (Printexc.to_string e))
+  end
+
+let submit pool ?deadline_s f =
+  let ticket =
+    { t_mutex = Mutex.create (); t_filled = Condition.create ();
+      t_outcome = None }
+  in
+  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s in
+  let run = execute pool ticket deadline f in
+  if pool.num_jobs <= 1 then begin
+    let accepted =
+      with_lock pool.mutex (fun () ->
+          pool.submitted <- pool.submitted + 1;
+          if pool.stopping then begin
+            pool.rejected <- pool.rejected + 1;
+            false
+          end
+          else true)
+    in
+    (* Inline mode: the submitting domain is the worker. *)
+    if accepted then run () else fill ticket Rejected;
+    ticket
+  end
+  else begin
+    let accepted =
+      with_lock pool.mutex (fun () ->
+          pool.submitted <- pool.submitted + 1;
+          if pool.stopping || Queue.length pool.queue >= pool.capacity then begin
+            pool.rejected <- pool.rejected + 1;
+            false
+          end
+          else begin
+            Queue.push { run; deadline } pool.queue;
+            Condition.signal pool.nonempty;
+            true
+          end)
+    in
+    if not accepted then fill ticket Rejected;
+    ticket
+  end
+
+let run_ordered pool ?deadline_s fs =
+  List.map await (List.map (fun f -> submit pool ?deadline_s f) fs)
+
+let stats pool =
+  with_lock pool.mutex (fun () ->
+      {
+        submitted = pool.submitted;
+        completed = pool.completed;
+        rejected = pool.rejected;
+        expired = pool.expired;
+        crashed = pool.crashed;
+      })
+
+let shutdown pool =
+  let to_join =
+    with_lock pool.mutex (fun () ->
+        pool.stopping <- true;
+        Condition.broadcast pool.nonempty;
+        let workers = pool.workers in
+        pool.workers <- [];
+        workers)
+  in
+  List.iter Domain.join to_join

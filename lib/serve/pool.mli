@@ -1,0 +1,57 @@
+(** A worker pool on OCaml 5 Domains with a bounded queue, per-task
+    deadlines and deterministic result ordering.
+
+    [jobs] worker domains drain a FIFO of tasks. Submission never
+    blocks: when the queue is full the task is rejected immediately with
+    a typed outcome — callers shed load instead of stacking up behind
+    it. A task's deadline is checked when a worker picks it up; a task
+    that spent its whole deadline queued is expired without running
+    (tasks are never preempted mid-run).
+
+    Determinism: tasks run concurrently in arbitrary order, but
+    {!run_ordered} returns outcomes in submission order, so a parallel
+    run over pure tasks yields exactly the sequence a sequential run
+    would. With [jobs <= 1] no domain is spawned and tasks run inline at
+    submission — the reference sequential mode. *)
+
+type t
+
+type 'a outcome =
+  | Done of 'a
+  | Rejected  (** the bounded queue was full at submission *)
+  | Expired  (** the deadline passed before a worker picked the task up *)
+  | Crashed of string  (** the task raised; the exception, printed *)
+
+type 'a ticket
+(** A handle on one submitted task. *)
+
+val create : ?queue_capacity:int -> jobs:int -> unit -> t
+(** Spawn [jobs] worker domains ([jobs <= 1]: none — inline mode).
+    [queue_capacity] bounds the number of tasks waiting for a worker
+    (default [32 * max jobs 1]; 0 rejects everything that cannot run
+    inline). *)
+
+val jobs : t -> int
+
+val submit : t -> ?deadline_s:float -> (unit -> 'a) -> 'a ticket
+(** Enqueue a task; never blocks. [deadline_s] is relative to now. *)
+
+val await : 'a ticket -> 'a outcome
+(** Block until the task's outcome is known. Idempotent. *)
+
+val run_ordered : t -> ?deadline_s:float -> (unit -> 'a) list -> 'a outcome list
+(** Submit every task, then await them in submission order. *)
+
+type stats = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  crashed : int;
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Let queued tasks finish, then join every worker domain. Idempotent;
+    submissions after shutdown are rejected. *)

@@ -1,0 +1,201 @@
+type config = {
+  jobs : int;
+  queue_capacity : int option;
+  cache : Cache.config option;
+  method_ : Tabseg.Api.method_;
+  deadline_s : float option;
+  simulated_fetch_s : float;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_capacity = None;
+    cache = Some Cache.default_config;
+    method_ = Tabseg.Api.Probabilistic;
+    deadline_s = None;
+    simulated_fetch_s = 0.;
+  }
+
+type request = {
+  id : string;
+  site : string;
+  input : Tabseg.Pipeline.input;
+}
+
+type error =
+  | Overloaded
+  | Deadline_exceeded
+  | Worker_crashed of string
+  | Invalid_input of Tabseg.Api.input_error
+
+let error_message = function
+  | Overloaded -> "overloaded: the request queue is full"
+  | Deadline_exceeded -> "deadline exceeded before a worker was free"
+  | Worker_crashed e -> "worker crashed: " ^ e
+  | Invalid_input e -> Tabseg.Api.input_error_message e
+
+type response = {
+  id : string;
+  outcome : (Tabseg.Api.result, error) result;
+  cache_hit : bool;
+  latency_s : float;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : Cache.t option;
+  registry : Metrics.t;
+  stage_bridge : Tabseg.Instrument.subscription;
+  requests_total : Metrics.counter;
+  requests_ok : Metrics.counter;
+  requests_failed : Metrics.counter;
+  requests_shed : Metrics.counter;
+  cache_hits : Metrics.counter;
+  batches : Metrics.counter;
+  request_seconds : Metrics.histogram;
+  mutable shut_down : bool;
+}
+
+let create ?(config = default_config) () =
+  let registry = Metrics.create () in
+  {
+    cfg = config;
+    pool =
+      Pool.create ?queue_capacity:config.queue_capacity ~jobs:config.jobs ();
+    cache = Option.map (fun c -> Cache.create ~config:c ()) config.cache;
+    registry;
+    stage_bridge = Metrics.attach_stages registry;
+    requests_total = Metrics.counter registry "requests.total";
+    requests_ok = Metrics.counter registry "requests.ok";
+    requests_failed = Metrics.counter registry "requests.failed";
+    requests_shed = Metrics.counter registry "requests.shed";
+    cache_hits = Metrics.counter registry "cache.result_hits";
+    batches = Metrics.counter registry "batches.total";
+    request_seconds = Metrics.histogram registry "request.seconds";
+    shut_down = false;
+  }
+
+let config t = t.cfg
+let metrics t = t.registry
+let cache_stats t = Option.map Cache.stats t.cache
+let pool_stats t = Pool.stats t.pool
+
+(* One request, on a worker domain. *)
+let process t (request : request) =
+  let started = Unix.gettimeofday () in
+  Metrics.incr t.requests_total;
+  let finish ~cache_hit outcome =
+    let latency_s = Unix.gettimeofday () -. started in
+    Metrics.observe t.request_seconds latency_s;
+    (match outcome with
+    | Ok _ -> Metrics.incr t.requests_ok
+    | Error _ -> Metrics.incr t.requests_failed);
+    if cache_hit then Metrics.incr t.cache_hits;
+    { id = request.id; outcome; cache_hit; latency_s }
+  in
+  let key =
+    Option.map
+      (fun _ -> Cache.request_key ~method_:t.cfg.method_ request.input)
+      t.cache
+  in
+  let memoized =
+    match (t.cache, key) with
+    | Some cache, Some key -> Cache.find_result cache ~key
+    | _ -> None
+  in
+  match memoized with
+  | Some result -> finish ~cache_hit:true (Ok result)
+  | None ->
+    (* A live deployment would fetch the pages here; the benchmark knob
+       models that wait so the pool's overlap is measurable. *)
+    if t.cfg.simulated_fetch_s > 0. then Unix.sleepf t.cfg.simulated_fetch_s;
+    let template_cache = Option.map Cache.template_cache t.cache in
+    let outcome =
+      match
+        Tabseg.Api.segment_result ?template_cache ~method_:t.cfg.method_
+          request.input
+      with
+      | Ok result ->
+        (match (t.cache, key) with
+        | Some cache, Some key -> Cache.store_result cache ~key result
+        | _ -> ());
+        Ok result
+      | Error input_error -> Error (Invalid_input input_error)
+    in
+    finish ~cache_hit:false outcome
+
+(* Group a batch by site, preserving first-appearance order of groups
+   and request order within each group. *)
+let group_by_site (requests : request list) =
+  let order = Hashtbl.create 16 in
+  let groups = ref [] in
+  List.iteri
+    (fun index (request : request) ->
+      match Hashtbl.find_opt order request.site with
+      | Some cell -> cell := (index, request) :: !cell
+      | None ->
+        let cell = ref [ (index, request) ] in
+        Hashtbl.replace order request.site cell;
+        groups := cell :: !groups)
+    requests;
+  List.rev_map (fun cell -> List.rev !cell) !groups
+
+let run_batch t requests =
+  if requests = [] then []
+  else begin
+    Metrics.incr t.batches;
+    let groups = group_by_site requests in
+    let tasks =
+      List.map
+        (fun group () -> List.map (fun (i, r) -> (i, process t r)) group)
+        groups
+    in
+    let outcomes =
+      Pool.run_ordered t.pool ?deadline_s:t.cfg.deadline_s tasks
+    in
+    let responses = Array.make (List.length requests) None in
+    List.iter2
+      (fun group outcome ->
+        let failed error =
+          List.iter
+            (fun (index, (request : request)) ->
+              Metrics.incr t.requests_total;
+              Metrics.incr t.requests_shed;
+              responses.(index) <-
+                Some
+                  {
+                    id = request.id;
+                    outcome = Error error;
+                    cache_hit = false;
+                    latency_s = 0.;
+                  })
+            group
+        in
+        match outcome with
+        | Pool.Done indexed ->
+          List.iter
+            (fun (index, response) -> responses.(index) <- Some response)
+            indexed
+        | Pool.Rejected -> failed Overloaded
+        | Pool.Expired -> failed Deadline_exceeded
+        | Pool.Crashed message -> failed (Worker_crashed message))
+      groups outcomes;
+    Array.to_list responses
+    |> List.map (function
+         | Some response -> response
+         | None -> assert false)
+  end
+
+let segment_one t request =
+  match run_batch t [ request ] with
+  | [ response ] -> response
+  | _ -> assert false
+
+let shutdown t =
+  if not t.shut_down then begin
+    t.shut_down <- true;
+    Tabseg.Instrument.unsubscribe t.stage_bridge;
+    Pool.shutdown t.pool
+  end

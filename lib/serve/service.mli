@@ -1,0 +1,72 @@
+(** The segmentation service: an in-process façade that turns
+    {!Tabseg.Api.segment_result} into a concurrent, cached, measured
+    request/response interface.
+
+    A service owns a {!Pool} of worker domains, optionally a {!Cache}
+    (template cache + result memo), and a {!Metrics} registry wired to
+    the core stage-instrumentation bus. Batches of requests are grouped
+    by site so all pages of one site run on one worker — same-site
+    requests share the induced template with perfect locality — and
+    responses always come back in request order, byte-identical to a
+    sequential run. Under queue overload whole batch groups are shed
+    with a typed [Overloaded] error instead of blocking the caller. *)
+
+type config = {
+  jobs : int;  (** worker domains; <= 1 runs inline (sequential) *)
+  queue_capacity : int option;  (** [None]: the pool default *)
+  cache : Cache.config option;  (** [None] disables caching *)
+  method_ : Tabseg.Api.method_;
+  deadline_s : float option;  (** per-batch-group deadline *)
+  simulated_fetch_s : float;
+      (** benchmark knob: sleep this long per cache-missing request to
+          model the network fetch a live deployment would perform
+          (cache hits serve from the cache and skip it). Default 0. *)
+}
+
+val default_config : config
+(** 1 job, default queue, 64 MB cache, probabilistic method, no
+    deadline, no simulated fetch. *)
+
+type request = {
+  id : string;  (** echoed back; not interpreted *)
+  site : string;  (** batching key: requests sharing it run together *)
+  input : Tabseg.Pipeline.input;
+}
+
+type error =
+  | Overloaded  (** the pool queue was full; the batch group was shed *)
+  | Deadline_exceeded
+  | Worker_crashed of string
+  | Invalid_input of Tabseg.Api.input_error
+
+val error_message : error -> string
+
+type response = {
+  id : string;
+  outcome : (Tabseg.Api.result, error) result;
+  cache_hit : bool;  (** served from the result memo *)
+  latency_s : float;
+      (** time inside the worker for this request (queue wait excluded) *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+val metrics : t -> Metrics.t
+val cache_stats : t -> Cache.stats option
+(** [None] when caching is off. *)
+
+val pool_stats : t -> Pool.stats
+
+val run_batch : t -> request list -> response list
+(** Process a batch: group by [site], run groups on the pool, await in
+    deterministic order. The response list is in request order. *)
+
+val segment_one : t -> request -> response
+(** [run_batch] of a singleton. *)
+
+val shutdown : t -> unit
+(** Drain the pool, join its domains and detach the metrics bridge from
+    the global instrumentation bus. Idempotent. *)

@@ -1,0 +1,383 @@
+(* The serving layer: parallel-vs-sequential determinism, cache
+   correctness (a hit returns exactly what the cold miss computed), LRU
+   eviction under a tiny budget, typed overload rejection and deadline
+   expiry instead of blocking, and monotone metrics. *)
+
+open Tabseg_serve
+open Tabseg_sitegen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let render segmentation =
+  Format.asprintf "%a" Tabseg.Segmentation.pp segmentation
+
+let render_response (response : Service.response) =
+  match response.Service.outcome with
+  | Ok result -> render result.Tabseg.Api.segmentation
+  | Error error -> "ERROR: " ^ Service.error_message error
+
+(* Every page of [sites] as one service request; [reseed] shifts each
+   site's generator seed so "across seeds" means genuinely different
+   page content. *)
+let requests_of ?(reseed = 0) site_names =
+  List.concat_map
+    (fun name ->
+      let site = Sites.find name in
+      let site = { site with Sites.seed = site.Sites.seed + reseed } in
+      let generated = Sites.generate site in
+      List.mapi
+        (fun page_index _ ->
+          let list_pages, detail_pages =
+            Sites.segmentation_input generated ~page_index
+          in
+          {
+            Service.id = Printf.sprintf "%s#%d" name page_index;
+            site = name;
+            input = { Tabseg.Pipeline.list_pages; detail_pages };
+          })
+        generated.Sites.pages)
+    site_names
+
+let sequential_reference ~method_ requests =
+  List.map
+    (fun (request : Service.request) ->
+      match
+        Tabseg.Api.segment_result ~method_ request.Service.input
+      with
+      | Ok result -> render result.Tabseg.Api.segmentation
+      | Error error -> "ERROR: " ^ Tabseg.Api.input_error_message error)
+    requests
+
+(* ------------------- determinism under parallelism ------------------ *)
+
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun reseed ->
+      let requests =
+        requests_of ~reseed [ "ButlerCounty"; "AlleghenyCounty"; "Canada411" ]
+      in
+      let expected =
+        sequential_reference ~method_:Tabseg.Api.Probabilistic requests
+      in
+      let service =
+        Service.create
+          ~config:{ Service.default_config with Service.jobs = 3 }
+          ()
+      in
+      Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+      (* Two rounds: the warm round must agree byte-for-byte too. *)
+      List.iter
+        (fun round ->
+          let responses = Service.run_batch service requests in
+          check_int
+            (Printf.sprintf "reseed %d round %d: response count" reseed round)
+            (List.length requests) (List.length responses);
+          List.iteri
+            (fun i (response : Service.response) ->
+              check_string
+                (Printf.sprintf "reseed %d round %d request %d" reseed round i)
+                (List.nth expected i)
+                (render_response response);
+              check_string "response order preserved"
+                (List.nth requests i).Service.id response.Service.id)
+            responses)
+        [ 1; 2 ])
+    [ 0; 17 ]
+
+let test_parallel_matches_sequential_csp () =
+  let requests = requests_of [ "ButlerCounty"; "OhioCorrections" ] in
+  let expected = sequential_reference ~method_:Tabseg.Api.Csp requests in
+  let service =
+    Service.create
+      ~config:
+        { Service.default_config with
+          Service.jobs = 2; method_ = Tabseg.Api.Csp }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let responses = Service.run_batch service requests in
+  List.iteri
+    (fun i response ->
+      check_string (Printf.sprintf "csp request %d" i) (List.nth expected i)
+        (render_response response))
+    responses
+
+(* --------------------------- cache behavior ------------------------- *)
+
+let test_cache_hit_identical () =
+  let requests = requests_of [ "ButlerCounty" ] in
+  let service = Service.create () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let cold = Service.run_batch service requests in
+  let after_cold =
+    match Service.cache_stats service with
+    | None -> Alcotest.fail "cache should be enabled by default"
+    | Some stats -> stats
+  in
+  let warm = Service.run_batch service requests in
+  List.iter
+    (fun (response : Service.response) ->
+      check_bool "cold round misses" false response.Service.cache_hit)
+    cold;
+  List.iter2
+    (fun (c : Service.response) (w : Service.response) ->
+      check_bool "warm round hits" true w.Service.cache_hit;
+      check_string "hit equals cold miss" (render_response c)
+        (render_response w))
+    cold warm;
+  match Service.cache_stats service with
+  | None -> Alcotest.fail "cache should be enabled by default"
+  | Some stats ->
+    check_bool "result memo hits recorded" true
+      (stats.Cache.results.Shard.hits >= List.length requests);
+    (* The acceptance bar is about the warm round alone: compare against
+       the snapshot taken after the cold round. *)
+    let warm_hits =
+      stats.Cache.results.Shard.hits - after_cold.Cache.results.Shard.hits
+    and warm_misses =
+      stats.Cache.results.Shard.misses
+      - after_cold.Cache.results.Shard.misses
+    in
+    check_bool "warm hit rate above 80%" true
+      (float_of_int warm_hits
+       /. float_of_int (max 1 (warm_hits + warm_misses))
+      > 0.8)
+
+let test_template_cache_shared () =
+  (* Same-site requests repeated: after the first, template induction
+     must be served from the template cache. *)
+  let requests = requests_of [ "AlleghenyCounty" ] in
+  let service = Service.create () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  ignore (Service.run_batch service requests);
+  ignore (Service.run_batch service requests);
+  match Service.cache_stats service with
+  | None -> Alcotest.fail "cache should be enabled by default"
+  | Some stats ->
+    check_bool "templates were cached" true
+      (stats.Cache.templates.Shard.entries > 0);
+    check_int "no template eviction in a 64MB budget" 0
+      stats.Cache.templates.Shard.evictions
+
+let test_lru_eviction () =
+  let shard = Shard.create ~shards:1 ~capacity:3 ~cost:(fun _ -> 1) () in
+  Shard.store shard "a" "A";
+  Shard.store shard "b" "B";
+  Shard.store shard "c" "C";
+  (* Refresh "a" so "b" is the least recently used. *)
+  check_bool "a present" true (Shard.find shard "a" = Some "A");
+  Shard.store shard "d" "D";
+  let stats = Shard.stats shard in
+  check_int "one eviction" 1 stats.Shard.evictions;
+  check_int "three live entries" 3 stats.Shard.entries;
+  check_bool "b evicted" true (Shard.find shard "b" = None);
+  check_bool "a survived" true (Shard.find shard "a" = Some "A");
+  check_bool "c survived" true (Shard.find shard "c" = Some "C");
+  check_bool "d stored" true (Shard.find shard "d" = Some "D")
+
+let test_oversize_value_not_cached () =
+  let shard = Shard.create ~shards:1 ~capacity:4 ~cost:String.length () in
+  Shard.store shard "big" "xxxxxxxxxx";
+  check_bool "oversize value skipped" true (Shard.find shard "big" = None);
+  check_int "nothing evicted for it" 0 (Shard.stats shard).Shard.evictions
+
+(* --------------------- overload and deadlines ----------------------- *)
+
+(* A gate the test controls: worker tasks block on it until [open_gate],
+   so queue occupancy is deterministic. *)
+let make_gate () =
+  let mutex = Mutex.create () in
+  let opened = Condition.create () in
+  let is_open = ref false in
+  let started = Atomic.make 0 in
+  let wait () =
+    Atomic.incr started;
+    Mutex.lock mutex;
+    while not !is_open do
+      Condition.wait opened mutex
+    done;
+    Mutex.unlock mutex
+  in
+  let open_gate () =
+    Mutex.lock mutex;
+    is_open := true;
+    Condition.broadcast opened;
+    Mutex.unlock mutex
+  in
+  let running () = Atomic.get started in
+  (wait, open_gate, running)
+
+let spin_until ?(timeout_s = 5.) condition =
+  let started = Unix.gettimeofday () in
+  while (not (condition ())) && Unix.gettimeofday () -. started < timeout_s do
+    Domain.cpu_relax ()
+  done;
+  condition ()
+
+let test_pool_overload_rejects () =
+  let pool = Pool.create ~queue_capacity:1 ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let wait, open_gate, running = make_gate () in
+  (* The gate must open no matter which assertion fails, or [shutdown]
+     would join a worker still blocked on it. *)
+  Fun.protect ~finally:open_gate @@ fun () ->
+  (* Saturate the workers one at a time: submitting both back-to-back
+     can bounce the second off the 1-slot queue before a worker wakes. *)
+  let blocker1 = Pool.submit pool (fun () -> wait (); "blocked") in
+  check_bool "first worker busy" true (spin_until (fun () -> running () = 1));
+  let blocker2 = Pool.submit pool (fun () -> wait (); "blocked") in
+  check_bool "both workers busy" true (spin_until (fun () -> running () = 2));
+  let queued = Pool.submit pool (fun () -> "queued") in
+  let shed = Pool.submit pool (fun () -> "shed") in
+  check_bool "queue full => immediate typed rejection" true
+    (Pool.await shed = Pool.Rejected);
+  open_gate ();
+  check_bool "queued task still ran" true (Pool.await queued = Pool.Done "queued");
+  check_bool "blockers completed" true
+    (Pool.await blocker1 = Pool.Done "blocked"
+    && Pool.await blocker2 = Pool.Done "blocked");
+  let stats = Pool.stats pool in
+  check_int "one rejection counted" 1 stats.Pool.rejected;
+  check_int "three completions counted" 3 stats.Pool.completed
+
+let test_service_overload_typed_error () =
+  (* queue_capacity 0: nothing can ever be handed to the workers, so
+     every batch group is shed with the typed error — and the caller is
+     never blocked. *)
+  let service =
+    Service.create
+      ~config:
+        { Service.default_config with
+          Service.jobs = 2; queue_capacity = Some 0 }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let requests = requests_of [ "ButlerCounty"; "AlleghenyCounty" ] in
+  let responses = Service.run_batch service requests in
+  check_int "every request answered" (List.length requests)
+    (List.length responses);
+  List.iter
+    (fun (response : Service.response) ->
+      check_bool "typed overload error" true
+        (response.Service.outcome = Error Service.Overloaded))
+    responses;
+  check_bool "rejections counted" true
+    ((Service.pool_stats service).Pool.rejected >= 2)
+
+let test_deadline_expiry () =
+  let pool = Pool.create ~queue_capacity:4 ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let wait, open_gate, running = make_gate () in
+  Fun.protect ~finally:open_gate @@ fun () ->
+  let _b1 = Pool.submit pool (fun () -> wait ()) in
+  check_bool "first worker busy" true (spin_until (fun () -> running () = 1));
+  let _b2 = Pool.submit pool (fun () -> wait ()) in
+  check_bool "both workers busy" true (spin_until (fun () -> running () = 2));
+  let doomed = Pool.submit pool ~deadline_s:0.005 (fun () -> "ran") in
+  Unix.sleepf 0.02;
+  open_gate ();
+  check_bool "queued past its deadline => Expired" true
+    (Pool.await doomed = Pool.Expired);
+  check_int "expiry counted" 1 (Pool.stats pool).Pool.expired
+
+(* ----------------------------- metrics ------------------------------ *)
+
+let test_metrics_counters_monotone () =
+  let registry = Metrics.create () in
+  let c = Metrics.counter registry "events" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "counter accumulates" 5 (Metrics.counter_value c);
+  check_bool "negative increments rejected" true
+    (match Metrics.incr ~by:(-1) c with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  check_int "value unchanged after rejected incr" 5 (Metrics.counter_value c);
+  (* Same name => same metric. *)
+  Metrics.incr (Metrics.counter registry "events");
+  check_int "interned by name" 6 (Metrics.counter_value c)
+
+let test_metrics_histogram_percentiles () =
+  let registry = Metrics.create () in
+  let h = Metrics.histogram registry "latency" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.008; 0.1 ];
+  let s = Metrics.summary h in
+  check_int "count" 5 s.Metrics.count;
+  check_bool "min <= p50 <= p95 <= p99 <= max" true
+    (s.Metrics.min <= s.Metrics.p50
+    && s.Metrics.p50 <= s.Metrics.p95
+    && s.Metrics.p95 <= s.Metrics.p99
+    && s.Metrics.p99 <= s.Metrics.max);
+  check_bool "p50 in the right decade" true
+    (s.Metrics.p50 >= 0.001 && s.Metrics.p50 <= 0.01)
+
+let test_service_metrics_flow () =
+  let requests = requests_of [ "ButlerCounty" ] in
+  let service = Service.create () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let registry = Service.metrics service in
+  let total = Metrics.counter registry "requests.total" in
+  ignore (Service.run_batch service requests);
+  let after_one = Metrics.counter_value total in
+  check_bool "requests counted" true (after_one >= List.length requests);
+  ignore (Service.run_batch service requests);
+  check_bool "counter is monotone across batches" true
+    (Metrics.counter_value total >= after_one + List.length requests);
+  let latency = Metrics.summary (Metrics.histogram registry "request.seconds") in
+  check_bool "latencies observed" true
+    (latency.Metrics.count >= 2 * List.length requests);
+  (* Stage events crossed the instrumentation bridge. *)
+  let stage =
+    Metrics.summary (Metrics.histogram registry "stage.pipeline.template")
+  in
+  check_bool "template stage timed" true (stage.Metrics.count > 0);
+  let json = Metrics.to_json registry in
+  let contains haystack needle =
+    let h = String.length haystack and n = String.length needle in
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "json dump mentions the counters" true
+    (contains json {|"requests.total"|})
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = sequential (prob, 2 seeds)" `Slow
+            test_parallel_matches_sequential;
+          Alcotest.test_case "parallel = sequential (csp)" `Slow
+            test_parallel_matches_sequential_csp;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit identical to cold miss" `Quick
+            test_cache_hit_identical;
+          Alcotest.test_case "templates shared across requests" `Quick
+            test_template_cache_shared;
+          Alcotest.test_case "LRU eviction under tiny budget" `Quick
+            test_lru_eviction;
+          Alcotest.test_case "oversize values skipped" `Quick
+            test_oversize_value_not_cached;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "pool sheds when queue full" `Quick
+            test_pool_overload_rejects;
+          Alcotest.test_case "service returns typed Overloaded" `Quick
+            test_service_overload_typed_error;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters monotone" `Quick
+            test_metrics_counters_monotone;
+          Alcotest.test_case "histogram percentiles ordered" `Quick
+            test_metrics_histogram_percentiles;
+          Alcotest.test_case "service threads metrics" `Quick
+            test_service_metrics_flow;
+        ] );
+    ]
