@@ -1,10 +1,12 @@
 # Per-PR check: full build, the test suite, and the smoke guards — the
 # degraded-mode sweep (fault rate 0.1, one seed — fails the process when
-# resilient-crawl recovery or degraded accuracy regress) and the serving
+# resilient-crawl recovery or degraded accuracy regress), the serving
 # determinism smoke (2-domain warm/cold rounds must match the sequential
-# segmentation byte for byte).
+# segmentation byte for byte), and the store smoke (write → reopen →
+# byte-identical read, plus the warm-start guarantee through the
+# persistent cache tier).
 
-.PHONY: check build test smoke bench bench-throughput clean
+.PHONY: check build test smoke bench bench-throughput bench-store clean
 
 check: build test smoke
 
@@ -17,6 +19,7 @@ test:
 smoke:
 	dune exec bench/main.exe -- faults-smoke
 	dune exec bench/main.exe -- serve-smoke
+	dune exec bench/main.exe -- store-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -29,5 +32,13 @@ bench:
 bench-throughput:
 	OCAMLRUNPARAM=s=8M dune exec bench/main.exe -- throughput --json
 
+# Persistent-store benchmark: cold vs warm-start latency over the 12-site
+# corpus plus a compaction probe → BENCH_store.json. Runs against
+# throwaway store directories under $TMPDIR.
+bench-store:
+	dune exec bench/main.exe -- store --json
+
+# Only build artifacts. User store directories (*.tabstore/) hold warm
+# cache state that survives restarts by design — never remove them here.
 clean:
 	dune clean

@@ -921,6 +921,209 @@ let throughput ?(json = false) () =
   end;
   points
 
+(* ------------------------------------------------------------------ *)
+(* Store: cold vs warm start through the persistent tier               *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Tabseg_store.Store
+
+let temp_store_dir prefix =
+  let path = Filename.temp_file prefix ".tabstore" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun name -> Sys.remove (Filename.concat dir name))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let persist_counts service =
+  match Serve.Service.cache_stats service with
+  | Some { Serve.Cache.persist = Some p; _ } ->
+    (p.Serve.Cache.template_hits, p.Serve.Cache.result_hits)
+  | _ -> (0, 0)
+
+(* One service lifetime over [requests] against [store_dir]: returns
+   (renders, seconds, L2 template hits, L2 result hits). *)
+let store_round ~method_ ~store_dir requests =
+  let config =
+    {
+      Serve.Service.default_config with
+      Serve.Service.method_;
+      store_dir = Some store_dir;
+    }
+  in
+  let service = Serve.Service.create ~config () in
+  Fun.protect ~finally:(fun () -> Serve.Service.shutdown service)
+  @@ fun () ->
+  let started = Unix.gettimeofday () in
+  let responses = Serve.Service.run_batch service requests in
+  let seconds = Unix.gettimeofday () -. started in
+  let tpl_hits, res_hits = persist_counts service in
+  (render_responses responses, seconds, tpl_hits, res_hits)
+
+(* Compaction behaviour in isolation: append synthetic entries well past
+   a small budget and watch the log stay bounded. *)
+let store_compaction_probe () =
+  let dir = temp_store_dir "tabseg_compact" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config = { Store.default_config with Store.capacity_mb = 1 } in
+  let store = Store.open_store ~config dir in
+  Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+  let value = String.make (64 * 1024) 'v' in
+  let puts = 64 (* 4 MB through a 1 MB budget *) in
+  for i = 1 to puts do
+    ignore (Store.put store ~key:(Printf.sprintf "key-%04d" i) value)
+  done;
+  let s = Store.stats store in
+  (* the newest entries must have survived every compaction *)
+  let newest_alive = Store.mem store (Printf.sprintf "key-%04d" puts) in
+  (puts, s, newest_alive)
+
+(* The store benchmark: the 12-site corpus served cold (empty store),
+   then again by a "restarted" process (fresh in-memory caches, same
+   store directory) — the restart must be pure lookup. A third restart
+   under the other segmentation method re-pays only the back half: its
+   result keys miss but every template comes from the store. *)
+let store_bench ?(json = false) () =
+  section "Store: cold vs warm start through the persistent tier";
+  let requests = throughput_requests () in
+  let dir = temp_store_dir "tabseg_bench" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let method_ = Tabseg.Api.Probabilistic in
+  let cold, cold_s, _, _ = store_round ~method_ ~store_dir:dir requests in
+  let warm, warm_s, _, warm_res_hits =
+    store_round ~method_ ~store_dir:dir requests
+  in
+  let _, csp_s, csp_tpl_hits, _ =
+    store_round ~method_:Tabseg.Api.Csp ~store_dir:dir requests
+  in
+  let identical = cold = warm in
+  let n = List.length requests in
+  let store_bytes =
+    (Unix.stat (Filename.concat dir "current.seg")).Unix.st_size
+  in
+  Printf.printf "%-34s %8.1f ms  (%d sites, empty store)\n" "cold start"
+    (cold_s *. 1000.) n;
+  Printf.printf
+    "%-34s %8.1f ms  (%d/%d requests from the store, identical: %b)\n"
+    "warm restart" (warm_s *. 1000.) warm_res_hits n identical;
+  Printf.printf
+    "%-34s %8.1f ms  (%d/%d templates from the store)\n"
+    "warm restart, other method" (csp_s *. 1000.) csp_tpl_hits n;
+  Printf.printf "%-34s %8.1f KB on disk\n" "store size"
+    (float_of_int store_bytes /. 1024.);
+  let puts, cs, newest_alive = store_compaction_probe () in
+  Printf.printf
+    "compaction: %d x 64KB puts through a 1 MB budget -> %d compactions, \
+     %d live entries, %d KB file (newest survives: %b)\n"
+    puts cs.Store.compactions cs.Store.entries
+    (cs.Store.file_bytes / 1024) newest_alive;
+  if json then begin
+    let path = "BENCH_store.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"store.warm_start\",\n  \"sites\": %d,\n  \
+       \"cold_seconds\": %.4f,\n  \"warm_seconds\": %.4f,\n  \
+       \"warm_speedup\": %.2f,\n  \"warm_result_hits\": %d,\n  \
+       \"warm_identical\": %b,\n  \"cross_method_seconds\": %.4f,\n  \
+       \"cross_method_template_hits\": %d,\n  \"store_bytes\": %d,\n  \
+       \"compaction\": {\"puts\": %d, \"put_bytes\": %d, \"budget_bytes\": \
+       %d, \"compactions\": %d, \"live_entries\": %d, \"file_bytes\": %d, \
+       \"newest_survives\": %b}\n}\n"
+      n cold_s warm_s
+      (if warm_s > 0. then cold_s /. warm_s else 0.)
+      warm_res_hits identical csp_s csp_tpl_hits store_bytes puts
+      (puts * 64 * 1024) (1024 * 1024) cs.Store.compactions cs.Store.entries
+      cs.Store.file_bytes newest_alive;
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  end
+
+(* The per-PR store guard: raw write -> reopen -> byte-identical read
+   (blobs chosen to embed the record framing bytes), then the warm-start
+   guarantee on one site — a restarted service must answer the repeated
+   corpus entirely from the store, byte-identically. *)
+let store_smoke () =
+  section "Store smoke: reopen byte-identity + warm-start guarantee";
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  (* 1. raw byte-identity across a close/reopen *)
+  let dir = temp_store_dir "tabseg_smoke" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let blobs =
+    [
+      ("empty", "");
+      ("binary", "\x00\x01TSRC\xff\xfe" ^ String.make 4096 '\x00');
+      ("header", "TABSTORE embedded header bytes");
+      ("big", String.init 100_000 (fun i -> Char.chr (i land 0xff)));
+    ]
+  in
+  let store = Store.open_store dir in
+  List.iter
+    (fun (key, value) ->
+      if not (Store.put store ~key value) then fail "put %s refused" key)
+    blobs;
+  Store.close store;
+  let store = Store.open_store dir in
+  List.iter
+    (fun (key, value) ->
+      match Store.get store key with
+      | Some read when read = value -> ()
+      | Some _ -> fail "reopened read of %s differs" key
+      | None -> fail "reopened store lost %s" key)
+    blobs;
+  Store.close store;
+  (* 2. warm-start guarantee on one site *)
+  let site = Sites.find "ButlerCounty" in
+  let generated = Sites.generate site in
+  let requests =
+    List.mapi
+      (fun page_index _ ->
+        let list_pages, detail_pages =
+          Sites.segmentation_input generated ~page_index
+        in
+        {
+          Serve.Service.id = Printf.sprintf "%s#%d" site.Sites.name page_index;
+          site = site.Sites.name;
+          input = { Tabseg.Pipeline.list_pages; detail_pages };
+        })
+      generated.Sites.pages
+  in
+  let service_dir = temp_store_dir "tabseg_smoke_srv" in
+  Fun.protect ~finally:(fun () -> rm_rf service_dir) @@ fun () ->
+  let method_ = Tabseg.Api.Probabilistic in
+  let cold, _, _, _ = store_round ~method_ ~store_dir:service_dir requests in
+  let warm, _, _, warm_res_hits =
+    store_round ~method_ ~store_dir:service_dir requests
+  in
+  if warm <> cold then fail "warm restart diverged from the cold run";
+  if warm_res_hits < List.length requests then
+    fail "only %d/%d warm requests served from the store" warm_res_hits
+      (List.length requests);
+  let _, _, csp_tpl_hits, _ =
+    store_round ~method_:Tabseg.Api.Csp ~store_dir:service_dir requests
+  in
+  if csp_tpl_hits < List.length requests then
+    fail "only %d/%d templates served from the store under the other method"
+      csp_tpl_hits (List.length requests);
+  if not !ok then exit 1;
+  Printf.printf
+    "smoke ok: reopen byte-identity, %d/%d warm store hits, %d/%d \
+     cross-method template hits\n"
+    warm_res_hits (List.length requests) csp_tpl_hits
+    (List.length requests)
+
 (* The per-PR serve guard: on one generated site, a 2-domain cached run
    must reproduce the sequential segmentation byte-for-byte, and the
    warm round must be served from the result memo. *)
@@ -1118,7 +1321,7 @@ let () =
       [ "table1"; "table2"; "table3"; "table4"; "clean17"; "figure1";
         "figure23";
         "ablation"; "ablation-csp"; "vision"; "sweep"; "faults"; "wrapper";
-        "baseline"; "throughput"; "timing" ]
+        "baseline"; "throughput"; "store"; "timing" ]
   in
   let table4_cache = ref None in
   List.iter
@@ -1139,6 +1342,8 @@ let () =
       | "faults-smoke" -> fault_sweep ~smoke:true ()
       | "throughput" -> ignore (throughput ~json ())
       | "serve-smoke" -> serve_smoke ()
+      | "store" -> store_bench ~json ()
+      | "store-smoke" -> store_smoke ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -225,6 +225,43 @@ let reconstruct_cmd =
 
 (* ------------------------------- auto ------------------------------ *)
 
+(* Cache effectiveness for the --metrics dump: the registry's histograms
+   say how long things took, this says how often the caches answered. *)
+let cache_stats_dump service =
+  match Tabseg_serve.Service.cache_stats service with
+  | None -> ""
+  | Some stats ->
+    let open Tabseg_serve in
+    let buffer = Buffer.create 256 in
+    let tier name (s : Shard.stats) =
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "  %-12s %6d hits %6d misses  (%5.1f%% hit rate)  %d entries\n"
+           name s.Shard.hits s.Shard.misses
+           (100. *. Cache.hit_rate s)
+           s.Shard.entries)
+    in
+    Buffer.add_string buffer "cache:\n";
+    tier "templates" stats.Cache.templates;
+    tier "results" stats.Cache.results;
+    (match stats.Cache.persist with
+    | None -> ()
+    | Some p ->
+      let s = p.Cache.store in
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "  %-12s %6d hits (%d tpl, %d res) %6d misses  %s, %d entries, \
+            %d KB\n"
+           "store"
+           (p.Cache.template_hits + p.Cache.result_hits)
+           p.Cache.template_hits p.Cache.result_hits p.Cache.misses
+           (match s.Tabseg_store.Store.role with
+           | Tabseg_store.Store.Writer -> "writer"
+           | Tabseg_store.Store.Reader -> "reader")
+           s.Tabseg_store.Store.entries
+           (s.Tabseg_store.Store.file_bytes / 1024)));
+    Buffer.contents buffer
+
 let auto_cmd =
   let site_arg =
     let doc = "Site to simulate and navigate (see $(b,tabseg sites))." in
@@ -288,8 +325,18 @@ let auto_cmd =
     in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
+  let store_arg =
+    let doc =
+      "Back the caches with a persistent store in this directory \
+       (created if missing; conventionally NAME.tabstore). Induced \
+       templates and results written there survive restarts and are \
+       shared with other tabseg processes (one writer, many readers)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
+  in
   let run method_ site_name fault_rate fault_seed permanent retries
-      show_report jobs cache_mb show_metrics =
+      show_report jobs cache_mb show_metrics store_dir =
     match Tabseg_sitegen.Sites.find site_name with
     | exception Not_found ->
       Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
@@ -316,7 +363,7 @@ let auto_cmd =
           Tabseg_navigator.Crawler.max_attempts = max 1 retries;
         }
       in
-      let use_service = jobs > 1 || show_metrics in
+      let use_service = jobs > 1 || show_metrics || store_dir <> None in
       let report, metrics_dump =
         if not use_service then
           (Tabseg_navigator.Auto.run_resilient ~retry ~method_ source, None)
@@ -331,6 +378,7 @@ let auto_cmd =
                 (if cache_mb > 0 then
                    Some { Cache.default_config with Cache.capacity_mb = cache_mb }
                  else None);
+              store_dir;
             }
           in
           let service = Service.create ~config () in
@@ -358,7 +406,9 @@ let auto_cmd =
           in
           let dump =
             if show_metrics then
-              Some (Metrics.report (Service.metrics service))
+              Some
+                (Metrics.report (Service.metrics service)
+                ^ cache_stats_dump service)
             else None
           in
           (report, dump)
@@ -405,7 +455,7 @@ let auto_cmd =
     Term.(
       const run $ method_arg $ site_arg $ faults_arg $ fault_seed_arg
       $ permanent_arg $ retries_arg $ report_arg $ jobs_arg $ cache_mb_arg
-      $ metrics_arg)
+      $ metrics_arg $ store_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in

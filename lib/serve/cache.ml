@@ -1,4 +1,6 @@
 open Tabseg_template
+module Store = Tabseg_store.Store
+module Codec = Tabseg_store.Codec
 
 type config = {
   capacity_mb : int;
@@ -7,9 +9,33 @@ type config = {
 
 let default_config = { capacity_mb = 64; shards = 8 }
 
+(* The persistent (L2) tier: a shared on-disk store behind both in-memory
+   LRUs, plus the counters it feeds. Key namespaces keep templates and
+   results apart in the one key space ("T:" / "R:" + content digest). *)
+type persist = {
+  store : Store.t;
+  p_template_hits : int Atomic.t;
+  p_result_hits : int Atomic.t;
+  p_misses : int Atomic.t;
+  counters : persist_counters option;
+  compaction_mutex : Mutex.t;
+  mutable last_compactions : int;
+}
+
+and persist_counters = {
+  c_template_hits : Metrics.counter;
+  c_result_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_read_bytes : Metrics.counter;
+  c_write_bytes : Metrics.counter;
+  c_compactions : Metrics.counter;
+  c_hydration : Metrics.histogram;
+}
+
 type t = {
   templates : Template.t Shard.t;
   results : Tabseg.Api.result Shard.t;
+  persist : persist option;
 }
 
 (* Approximate resident sizes. Exact accounting would need to walk the
@@ -27,10 +53,38 @@ let result_cost (result : Tabseg.Api.result) =
     * List.length
         result.Tabseg.Api.segmentation.Tabseg.Segmentation.records
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?store ?metrics () =
   if config.capacity_mb < 1 then
     invalid_arg "Cache.create: capacity_mb must be positive";
   let total = config.capacity_mb * 1024 * 1024 in
+  let persist =
+    Option.map
+      (fun store ->
+        {
+          store;
+          p_template_hits = Atomic.make 0;
+          p_result_hits = Atomic.make 0;
+          p_misses = Atomic.make 0;
+          counters =
+            Option.map
+              (fun registry ->
+                {
+                  c_template_hits =
+                    Metrics.counter registry "store.template_hits";
+                  c_result_hits = Metrics.counter registry "store.result_hits";
+                  c_misses = Metrics.counter registry "store.misses";
+                  c_read_bytes = Metrics.counter registry "store.read_bytes";
+                  c_write_bytes = Metrics.counter registry "store.write_bytes";
+                  c_compactions = Metrics.counter registry "store.compactions";
+                  c_hydration =
+                    Metrics.histogram registry "store.hydration_seconds";
+                })
+              metrics;
+          compaction_mutex = Mutex.create ();
+          last_compactions = (Store.stats store).Store.compactions;
+        })
+      store
+  in
   (* Templates are small and high-value (shared across every page of a
      site); results are bulky. Budget a quarter for templates. *)
   {
@@ -40,12 +94,91 @@ let create ?(config = default_config) () =
     results =
       Shard.create ~shards:config.shards ~capacity:(max 1 (total * 3 / 4))
         ~cost:result_cost ();
+    persist;
   }
+
+(* ------------------------- the persistent tier ----------------------- *)
+
+let count_miss persist =
+  Atomic.incr persist.p_misses;
+  Option.iter (fun c -> Metrics.incr c.c_misses) persist.counters
+
+let count_hit persist ~which ~bytes ~seconds =
+  Atomic.incr
+    (match which with
+    | `Template -> persist.p_template_hits
+    | `Result -> persist.p_result_hits);
+  Option.iter
+    (fun c ->
+      Metrics.incr
+        (match which with
+        | `Template -> c.c_template_hits
+        | `Result -> c.c_result_hits);
+      Metrics.incr ~by:bytes c.c_read_bytes;
+      Metrics.observe c.c_hydration seconds)
+    persist.counters
+
+(* Compactions happen inside Store.put; surface them as a monotone
+   counter by folding in the delta since the last write we made. *)
+let count_write persist ~bytes =
+  Option.iter
+    (fun c ->
+      Metrics.incr ~by:bytes c.c_write_bytes;
+      let compactions = (Store.stats persist.store).Store.compactions in
+      Mutex.lock persist.compaction_mutex;
+      let delta = compactions - persist.last_compactions in
+      if delta > 0 then persist.last_compactions <- compactions;
+      Mutex.unlock persist.compaction_mutex;
+      if delta > 0 then Metrics.incr ~by:delta c.c_compactions)
+    persist.counters
+
+(* Read-through: on an L1 miss, consult the store, and promote a decoded
+   value into the L1 LRU so the next lookup is a memory hit. A blob that
+   fails to decode (corrupt, version-skewed) is a miss, never an error. *)
+let l2_find t ~prefix ~decode ~promote ~which key =
+  match t.persist with
+  | None -> None
+  | Some persist -> (
+    let started = Unix.gettimeofday () in
+    match Store.get persist.store (prefix ^ key) with
+    | None ->
+      count_miss persist;
+      None
+    | Some blob -> (
+      match decode blob with
+      | None ->
+        count_miss persist;
+        None
+      | Some value ->
+        promote value;
+        count_hit persist ~which ~bytes:(String.length blob)
+          ~seconds:(Unix.gettimeofday () -. started);
+        Some value))
+
+(* Write-through: every L1 store also lands in the log (no-op when this
+   handle is a reader or the store already holds the key). *)
+let l2_store t ~prefix ~encode key value =
+  match t.persist with
+  | None -> ()
+  | Some persist ->
+    let blob = encode value in
+    if Store.put persist.store ~key:(prefix ^ key) blob then
+      count_write persist ~bytes:(String.length blob)
 
 let template_cache t =
   {
-    Tabseg.Pipeline.find_template = (fun ~key -> Shard.find t.templates key);
-    store_template = (fun ~key template -> Shard.store t.templates key template);
+    Tabseg.Pipeline.find_template =
+      (fun ~key ->
+        match Shard.find t.templates key with
+        | Some _ as hit -> hit
+        | None ->
+          l2_find t ~prefix:"T:" ~decode:Codec.decode_template
+            ~promote:(fun template -> Shard.store t.templates key template)
+            ~which:`Template key);
+    store_template =
+      (fun ~key template ->
+        Shard.store t.templates key template;
+        l2_store t ~prefix:"T:" ~encode:Codec.encode_template key template);
   }
 
 let request_key ?(tag = "") ~method_ (input : Tabseg.Pipeline.input) =
@@ -62,16 +195,46 @@ let request_key ?(tag = "") ~method_ (input : Tabseg.Pipeline.input) =
   List.iter frame input.Tabseg.Pipeline.detail_pages;
   Digest.to_hex (Digest.string (Buffer.contents buffer))
 
-let find_result t ~key = Shard.find t.results key
-let store_result t ~key result = Shard.store t.results key result
+let find_result t ~key =
+  match Shard.find t.results key with
+  | Some _ as hit -> hit
+  | None ->
+    l2_find t ~prefix:"R:" ~decode:Codec.decode_result
+      ~promote:(fun result -> Shard.store t.results key result)
+      ~which:`Result key
+
+let store_result t ~key result =
+  Shard.store t.results key result;
+  l2_store t ~prefix:"R:" ~encode:Codec.encode_result key result
+
+type persist_stats = {
+  template_hits : int;
+  result_hits : int;
+  misses : int;
+  store : Store.stats;
+}
 
 type stats = {
   templates : Shard.stats;
   results : Shard.stats;
+  persist : persist_stats option;
 }
 
 let stats (t : t) =
-  { templates = Shard.stats t.templates; results = Shard.stats t.results }
+  {
+    templates = Shard.stats t.templates;
+    results = Shard.stats t.results;
+    persist =
+      Option.map
+        (fun p ->
+          {
+            template_hits = Atomic.get p.p_template_hits;
+            result_hits = Atomic.get p.p_result_hits;
+            misses = Atomic.get p.p_misses;
+            store = Store.stats p.store;
+          })
+        t.persist;
+  }
 
 let hit_rate (s : Shard.stats) =
   let consulted = s.Shard.hits + s.Shard.misses in

@@ -15,7 +15,16 @@
 
     Both caches address by content digest, so a hit is byte-identical to
     what a cold run would compute. Cached values must be treated as
-    immutable by callers. Capacities are approximate byte budgets. *)
+    immutable by callers. Capacities are approximate byte budgets.
+
+    With [~store], a {!Tabseg_store.Store} becomes a {e persistent L2
+    tier} behind both LRUs: every store is written through to the log
+    (when this process holds the writer lock), every L1 miss consults
+    the log, and a decoded L2 hit is promoted back into the L1 LRU. The
+    blobs are versioned and digest-verified ({!Tabseg_store.Codec});
+    anything corrupt or version-skewed is a miss, never an error — so a
+    restarted process re-serves warm state byte-identically, and a
+    stale store can only cost recomputation, never correctness. *)
 
 type config = {
   capacity_mb : int;  (** total budget across both caches (default 64) *)
@@ -26,7 +35,17 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create :
+  ?config:config ->
+  ?store:Tabseg_store.Store.t ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
+(** [~store] plugs in the persistent L2 tier. [~metrics] (only
+    meaningful with [~store]) registers the L2 counters
+    ([store.template_hits], [store.result_hits], [store.misses],
+    [store.read_bytes], [store.write_bytes], [store.compactions]) and
+    the [store.hydration_seconds] histogram in the given registry. *)
 
 val template_cache : t -> Tabseg.Pipeline.template_cache
 (** The hook to pass to {!Tabseg.Pipeline.prepare} /
@@ -41,9 +60,17 @@ val request_key :
 val find_result : t -> key:string -> Tabseg.Api.result option
 val store_result : t -> key:string -> Tabseg.Api.result -> unit
 
+type persist_stats = {
+  template_hits : int;  (** L1 misses served by the store *)
+  result_hits : int;
+  misses : int;  (** L1 misses the store could not serve either *)
+  store : Tabseg_store.Store.stats;
+}
+
 type stats = {
   templates : Shard.stats;
   results : Shard.stats;
+  persist : persist_stats option;  (** [None] without [~store] *)
 }
 
 val stats : t -> stats
@@ -52,3 +79,4 @@ val hit_rate : Shard.stats -> float
 (** hits / (hits + misses); 0 when the cache was never consulted. *)
 
 val clear : t -> unit
+(** Drop the in-memory tiers (the persistent store is left alone). *)

@@ -201,6 +201,13 @@ let report t =
     histograms;
   Buffer.contents buffer
 
+(* RFC 8259 string escaping. Metric names are caller-controlled (stage
+   labels flow in from the instrumentation bus), so every control
+   character, the backslash and the quote must come out escaped — a
+   hostile label must never be able to break out of its JSON string.
+   Bytes >= 0x20 other than '"' and '\\' pass through verbatim (UTF-8
+   sequences survive untouched); DEL and friends are legal raw in JSON
+   but escaped anyway for the benefit of line-oriented consumers. *)
 let json_string s =
   let buffer = Buffer.create (String.length s + 2) in
   Buffer.add_char buffer '"';
@@ -209,8 +216,12 @@ let json_string s =
       match c with
       | '"' -> Buffer.add_string buffer "\\\""
       | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\b' -> Buffer.add_string buffer "\\b"
+      | '\t' -> Buffer.add_string buffer "\\t"
       | '\n' -> Buffer.add_string buffer "\\n"
-      | c when Char.code c < 32 ->
+      | '\012' -> Buffer.add_string buffer "\\f"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | c when Char.code c < 32 || Char.code c = 127 ->
         Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buffer c)
     s;

@@ -61,6 +61,13 @@ val to_json : t -> string
     "gauges": {...}, "histograms": {name: {count, sum, min, max, p50,
     p95, p99}}}]. Deterministic key order (sorted by name). *)
 
+val json_string : string -> string
+(** RFC 8259 escaping of one string, quotes included: control
+    characters, the double quote and the backslash always come out
+    escaped, so arbitrary (hostile) metric names cannot break the JSON
+    framing. Exposed for tests and for callers embedding metric names
+    in their own JSON. *)
+
 (** {1 Stage bridge} *)
 
 val attach_stages : t -> Tabseg.Instrument.subscription

@@ -1,7 +1,10 @@
+module Store = Tabseg_store.Store
+
 type config = {
   jobs : int;
   queue_capacity : int option;
   cache : Cache.config option;
+  store_dir : string option;
   method_ : Tabseg.Api.method_;
   deadline_s : float option;
   simulated_fetch_s : float;
@@ -12,6 +15,7 @@ let default_config =
     jobs = 1;
     queue_capacity = None;
     cache = Some Cache.default_config;
+    store_dir = None;
     method_ = Tabseg.Api.Probabilistic;
     deadline_s = None;
     simulated_fetch_s = 0.;
@@ -46,6 +50,7 @@ type t = {
   cfg : config;
   pool : Pool.t;
   cache : Cache.t option;
+  store : Store.t option;
   registry : Metrics.t;
   stage_bridge : Tabseg.Instrument.subscription;
   requests_total : Metrics.counter;
@@ -60,11 +65,29 @@ type t = {
 
 let create ?(config = default_config) () =
   let registry = Metrics.create () in
+  (* The persistent tier only matters through the cache, so a service
+     with caching disabled does not open the store at all. Open and
+     hydration (the log scan) are timed into [store.open_seconds]. *)
+  let store =
+    match (config.cache, config.store_dir) with
+    | Some _, Some dir ->
+      let started = Unix.gettimeofday () in
+      let store = Store.open_store dir in
+      Metrics.observe
+        (Metrics.histogram registry "store.open_seconds")
+        (Unix.gettimeofday () -. started);
+      Some store
+    | _ -> None
+  in
   {
     cfg = config;
     pool =
       Pool.create ?queue_capacity:config.queue_capacity ~jobs:config.jobs ();
-    cache = Option.map (fun c -> Cache.create ~config:c ()) config.cache;
+    cache =
+      Option.map
+        (fun c -> Cache.create ~config:c ?store ~metrics:registry ())
+        config.cache;
+    store;
     registry;
     stage_bridge = Metrics.attach_stages registry;
     requests_total = Metrics.counter registry "requests.total";
@@ -80,6 +103,7 @@ let create ?(config = default_config) () =
 let config t = t.cfg
 let metrics t = t.registry
 let cache_stats t = Option.map Cache.stats t.cache
+let store_stats t = Option.map Store.stats t.store
 let pool_stats t = Pool.stats t.pool
 
 (* One request, on a worker domain. *)
@@ -197,5 +221,6 @@ let shutdown t =
   if not t.shut_down then begin
     t.shut_down <- true;
     Tabseg.Instrument.unsubscribe t.stage_bridge;
-    Pool.shutdown t.pool
+    Pool.shutdown t.pool;
+    Option.iter Store.close t.store
   end

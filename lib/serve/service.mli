@@ -15,6 +15,12 @@ type config = {
   jobs : int;  (** worker domains; <= 1 runs inline (sequential) *)
   queue_capacity : int option;  (** [None]: the pool default *)
   cache : Cache.config option;  (** [None] disables caching *)
+  store_dir : string option;
+      (** directory of a persistent {!Tabseg_store.Store} backing the
+          cache as an L2 tier (conventionally [NAME.tabstore/]); warm
+          state survives restarts and is shared across processes. Only
+          meaningful with [cache]; [None] (default) keeps the caches
+          purely in-memory. *)
   method_ : Tabseg.Api.method_;
   deadline_s : float option;  (** per-batch-group deadline *)
   simulated_fetch_s : float;
@@ -24,8 +30,8 @@ type config = {
 }
 
 val default_config : config
-(** 1 job, default queue, 64 MB cache, probabilistic method, no
-    deadline, no simulated fetch. *)
+(** 1 job, default queue, 64 MB cache, no persistent store,
+    probabilistic method, no deadline, no simulated fetch. *)
 
 type request = {
   id : string;  (** echoed back; not interpreted *)
@@ -58,6 +64,9 @@ val metrics : t -> Metrics.t
 val cache_stats : t -> Cache.stats option
 (** [None] when caching is off. *)
 
+val store_stats : t -> Tabseg_store.Store.stats option
+(** [None] when no persistent store is configured. *)
+
 val pool_stats : t -> Pool.stats
 
 val run_batch : t -> request list -> response list
@@ -68,5 +77,6 @@ val segment_one : t -> request -> response
 (** [run_batch] of a singleton. *)
 
 val shutdown : t -> unit
-(** Drain the pool, join its domains and detach the metrics bridge from
-    the global instrumentation bus. Idempotent. *)
+(** Drain the pool, join its domains, detach the metrics bridge from
+    the global instrumentation bus and close the persistent store (if
+    any), releasing its writer lock. Idempotent. *)

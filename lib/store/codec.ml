@@ -1,0 +1,49 @@
+(* Blob framing:   "TSGC" kind version md5(payload) payload
+                    4     1    1       16           ...
+
+   The payload is OCaml [Marshal] output. Marshal of damaged bytes can
+   crash the process, so the digest check runs first and the payload is
+   only ever unmarshalled when it is byte-identical to what encode
+   produced. The version byte guards intentional schema changes (the
+   digest cannot: it only proves the bytes are intact, not that the
+   current binary still agrees on what they mean). *)
+
+let magic = "TSGC"
+let version = 1
+let kind_template = 'T'
+let kind_result = 'R'
+let digest_len = 16
+let prefix_len = String.length magic + 2 + digest_len (* 22 *)
+
+let encode ~kind value =
+  let payload = Marshal.to_string value [] in
+  let buffer = Buffer.create (prefix_len + String.length payload) in
+  Buffer.add_string buffer magic;
+  Buffer.add_char buffer kind;
+  Buffer.add_char buffer (Char.chr version);
+  Buffer.add_string buffer (Digest.string payload);
+  Buffer.add_string buffer payload;
+  Buffer.contents buffer
+
+let decode ~kind blob =
+  if String.length blob < prefix_len then None
+  else if String.sub blob 0 4 <> magic then None
+  else if blob.[4] <> kind then None
+  else if Char.code blob.[5] <> version then None
+  else begin
+    let payload = String.sub blob prefix_len (String.length blob - prefix_len) in
+    if Digest.string payload <> String.sub blob 6 digest_len then None
+    else
+      match Marshal.from_string payload 0 with
+      | value -> Some value
+      | exception _ -> None
+  end
+
+let encode_template (template : Tabseg_template.Template.t) =
+  encode ~kind:kind_template template
+
+let decode_template blob : Tabseg_template.Template.t option =
+  decode ~kind:kind_template blob
+
+let encode_result (result : Tabseg.Api.result) = encode ~kind:kind_result result
+let decode_result blob : Tabseg.Api.result option = decode ~kind:kind_result blob

@@ -1,0 +1,23 @@
+(** Versioned, digest-verified (de)serialization of the two cacheable
+    pipeline artifacts: induced page templates and whole
+    {!Tabseg.Api.result} values.
+
+    Every encoded blob carries a magic, a kind byte (template vs
+    result), a schema version and an MD5 digest of the payload. Decode
+    verifies all four {e before} touching the payload, so a truncated,
+    bit-rotted, kind-confused or version-skewed blob comes back as
+    [None] — a cache miss — never as an exception or a bogus value.
+
+    Bump {!version} whenever the marshalled shape of [Template.t],
+    [Api.result] or anything they reach changes: old blobs then decode
+    to [None] and simply get recomputed, which is the only safe
+    migration for a cache. *)
+
+val version : int
+(** Current schema version stamped into every blob. *)
+
+val encode_template : Tabseg_template.Template.t -> string
+val decode_template : string -> Tabseg_template.Template.t option
+
+val encode_result : Tabseg.Api.result -> string
+val decode_result : string -> Tabseg.Api.result option

@@ -342,6 +342,73 @@ let test_service_metrics_flow () =
   check_bool "json dump mentions the counters" true
     (contains json {|"requests.total"|})
 
+(* A minimal RFC 8259 string-literal parser: enough to prove that what
+   [Metrics.json_string] emits decodes back to the original bytes. *)
+let json_unescape literal =
+  let n = String.length literal in
+  if n < 2 || literal.[0] <> '"' || literal.[n - 1] <> '"' then
+    Alcotest.failf "not a JSON string literal: %s" literal;
+  let buf = Buffer.create n in
+  let rec go i =
+    if i < n - 1 then
+      match literal.[i] with
+      | '\\' -> (
+        match literal.[i + 1] with
+        | '"' -> Buffer.add_char buf '"'; go (i + 2)
+        | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+        | '/' -> Buffer.add_char buf '/'; go (i + 2)
+        | 'b' -> Buffer.add_char buf '\b'; go (i + 2)
+        | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+        | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+        | 'f' -> Buffer.add_char buf '\012'; go (i + 2)
+        | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+        | 'u' ->
+          let code = int_of_string ("0x" ^ String.sub literal (i + 2) 4) in
+          if code > 0xff then Alcotest.fail "non-latin escape unexpected here";
+          Buffer.add_char buf (Char.chr code);
+          go (i + 6)
+        | c -> Alcotest.failf "bad escape \\%c" c)
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go 1;
+  Buffer.contents buf
+
+let test_json_string_hostile_label () =
+  (* Every byte class the encoder must defuse: the quote, the
+     backslash, named control escapes, arbitrary control bytes
+     (including NUL and 0x1f at the boundary), DEL, and multi-byte
+     UTF-8 (which must pass through untouched). *)
+  let hostile =
+    "ev\"il\\label\nwith\tctrl\x00\x01\x1f\x7f\band\r\012caf\xc3\xa9"
+  in
+  let literal = Metrics.json_string hostile in
+  check_string "escaping round-trips" hostile (json_unescape literal);
+  (* No raw control bytes and no unescaped quotes may survive inside
+     the literal — that is what breaks JSON consumers. *)
+  String.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "byte %d is JSON-clean" i)
+        false
+        (Char.code c < 0x20
+        || (c = '"' && i > 0 && i < String.length literal - 1
+            && literal.[i - 1] <> '\\')))
+    literal;
+  (* And the whole registry dump stays parseable-shaped with such a
+     label embedded: the hostile name appears exactly in its escaped
+     form. *)
+  let registry = Metrics.create () in
+  Metrics.incr (Metrics.counter registry hostile);
+  let json = Metrics.to_json registry in
+  let contains haystack needle =
+    let h = String.length haystack and n = String.length needle in
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "to_json embeds the escaped label" true (contains json literal);
+  check_bool "to_json has no raw newline from the label" true
+    (not (contains json "il\\label\n"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -379,5 +446,7 @@ let () =
             test_metrics_histogram_percentiles;
           Alcotest.test_case "service threads metrics" `Quick
             test_service_metrics_flow;
+          Alcotest.test_case "hostile label survives json escaping" `Quick
+            test_json_string_hostile_label;
         ] );
     ]
