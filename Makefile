@@ -2,11 +2,14 @@
 # degraded-mode sweep (fault rate 0.1, one seed — fails the process when
 # resilient-crawl recovery or degraded accuracy regress), the serving
 # determinism smoke (2-domain warm/cold rounds must match the sequential
-# segmentation byte for byte), and the store smoke (write → reopen →
+# segmentation byte for byte), the store smoke (write → reopen →
 # byte-identical read, plus the warm-start guarantee through the
-# persistent cache tier).
+# persistent cache tier), and the gateway smoke (procs=2 responses
+# byte-identical to procs=1, and a worker killed mid-request recovers
+# to a correct — not typed-error — result via a single re-dispatch).
 
-.PHONY: check build test smoke bench bench-throughput bench-store clean
+.PHONY: check build test smoke bench bench-throughput bench-store \
+	bench-gateway clean
 
 check: build test smoke
 
@@ -20,6 +23,7 @@ smoke:
 	dune exec bench/main.exe -- faults-smoke
 	dune exec bench/main.exe -- serve-smoke
 	dune exec bench/main.exe -- store-smoke
+	dune exec bench/main.exe -- gateway-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -37,6 +41,14 @@ bench-throughput:
 # throwaway store directories under $TMPDIR.
 bench-store:
 	dune exec bench/main.exe -- store --json
+
+# Multi-process gateway sweep (procs 1/2/4 × cold/warm store × cpu|io,
+# plus a jobs=4 domain-ceiling comparison cell) → BENCH_gateway.json.
+# Must run in its own process: OCaml forbids fork once any domain has
+# been spawned, so the gateway target cannot share a process with the
+# domain-based throughput sweep.
+bench-gateway:
+	dune exec bench/main.exe -- gateway --json
 
 # Only build artifacts. User store directories (*.tabstore/) hold warm
 # cache state that survives restarts by design — never remove them here.

@@ -1195,6 +1195,281 @@ let serve_smoke () =
     (List.length requests)
 
 (* ------------------------------------------------------------------ *)
+(* Gateway: the multi-process front-end past the domain ceiling         *)
+(* ------------------------------------------------------------------ *)
+
+module Gw = Tabseg_gateway.Gateway
+
+let render_gateway_responses responses =
+  List.map
+    (fun (response : Gw.response) ->
+      match response.Gw.outcome with
+      | Ok result ->
+        Format.asprintf "%a" Tabseg.Segmentation.pp
+          result.Tabseg.Api.segmentation
+      | Error error -> "ERROR: " ^ Gw.error_message error)
+    responses
+
+(* The sequential, uncached reference rendering — what every gateway
+   configuration must reproduce byte for byte. *)
+let gateway_reference requests =
+  render_responses
+    (let service =
+       Serve.Service.create
+         ~config:
+           { Serve.Service.default_config with
+             Serve.Service.jobs = 1; cache = None }
+         ()
+     in
+     Fun.protect ~finally:(fun () -> Serve.Service.shutdown service)
+     @@ fun () -> Serve.Service.run_batch service requests)
+
+type gateway_point = {
+  g_workload : string;  (* "cpu" | "io" *)
+  g_procs : int;  (* worker processes (1 = inline, no fork) *)
+  g_jobs : int;  (* domains inside each worker *)
+  g_store : string;  (* "cold" | "warm" *)
+  g_requests : int;
+  g_seconds : float;
+  g_rps : float;
+  g_speedup_vs_seq : float;  (* filled in a second pass *)
+  g_deterministic : bool;
+}
+
+(* One (workload, procs, jobs) configuration over a throwaway store
+   directory: a cold round (empty store, forks and lock acquisition
+   included in wall time only via create, not per-request), then warm
+   rounds against the now-populated store. *)
+let gateway_cell ~workload ~fetch_s ~procs ~jobs ~warm_rounds ~requests
+    ~reference =
+  let dir = temp_store_dir "tabseg_gw" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config =
+    {
+      Gw.default_config with
+      Gw.procs;
+      service =
+        {
+          Serve.Service.default_config with
+          Serve.Service.jobs;
+          simulated_fetch_s = fetch_s;
+          store_dir = Some dir;
+        };
+    }
+  in
+  let gateway = Gw.create ~config () in
+  Fun.protect ~finally:(fun () -> Gw.shutdown gateway) @@ fun () ->
+  let round () =
+    render_gateway_responses (Gw.run_batch gateway requests) = reference
+  in
+  let point store seconds rounds ok =
+    let total = rounds * List.length requests in
+    {
+      g_workload = workload;
+      g_procs = procs;
+      g_jobs = jobs;
+      g_store = store;
+      g_requests = total;
+      g_seconds = seconds;
+      g_rps = float_of_int total /. seconds;
+      g_speedup_vs_seq = 1.;
+      g_deterministic = ok;
+    }
+  in
+  let started = Unix.gettimeofday () in
+  let cold_ok = round () in
+  let cold_seconds = Unix.gettimeofday () -. started in
+  let warm_ok = ref true in
+  let started = Unix.gettimeofday () in
+  for _ = 1 to warm_rounds do
+    if not (round ()) then warm_ok := false
+  done;
+  let warm_seconds = Unix.gettimeofday () -. started in
+  [
+    point "cold" cold_seconds 1 cold_ok;
+    point "warm" warm_seconds warm_rounds !warm_ok;
+  ]
+
+let gateway_json points =
+  let point_json p =
+    Printf.sprintf
+      "    {\"workload\": \"%s\", \"procs\": %d, \"jobs\": %d, \
+       \"store\": \"%s\", \"requests\": %d, \"seconds\": %.4f, \
+       \"rps\": %.2f, \"speedup_vs_seq\": %.3f, \"deterministic\": %b}"
+      p.g_workload p.g_procs p.g_jobs p.g_store p.g_requests p.g_seconds
+      p.g_rps p.g_speedup_vs_seq p.g_deterministic
+  in
+  Printf.sprintf
+    "{\n  \"bench\": \"gateway.throughput\",\n  \"sites\": %d,\n  \
+     \"recommended_domains\": %d,\n  \"sweep\": [\n%s\n  ]\n}\n"
+    (List.length Sites.all)
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map point_json points))
+
+(* The gateway benchmark: procs 1/2/4 over a shared throwaway store, in
+   the cpu and io regimes, cold and warm store rounds — plus a
+   domains=4 single-process cell so the JSON carries the in-process
+   ceiling (PR 2's rendezvous-bound sweep) next to the process numbers
+   it is meant to be compared against. Worker processes share no minor
+   heap, so they pay no stop-the-world rendezvous: on a multi-core host
+   the cpu regime scales with procs where domains stall. Responses are
+   checked byte-for-byte against the sequential reference in every
+   cell. *)
+let gateway_bench ?(json = false) () =
+  section "Gateway: procs x store sweep (12 sites, shared store)";
+  Printf.printf
+    "(1 cold + warm rounds per cell; %d hardware core(s); procs=1 is \
+     inline, jobs>1 are domains inside one process)\n"
+    (Domain.recommended_domain_count ());
+  let requests = throughput_requests () in
+  let reference = gateway_reference requests in
+  (* OCaml forbids [Unix.fork] once any domain has ever been spawned in
+     the process, so every forking cell must run before the jobs=4
+     (domain) comparison cell — and if an earlier bench target already
+     spawned domains in this process, the forking cells are skipped
+     with a note rather than killing the whole run (use
+     `make bench-gateway` for a clean process). *)
+  let safe_cell ~workload ~fetch_s ~procs ~jobs ~warm_rounds =
+    try
+      gateway_cell ~workload ~fetch_s ~procs ~jobs ~warm_rounds ~requests
+        ~reference
+    with Failure message ->
+      Printf.printf
+        "skipping procs=%d %s cell: %s (run `make bench-gateway` for a \
+         fresh process)\n"
+        procs workload message;
+      []
+  in
+  let regimes = [ ("cpu", 0., 2); ("io", 0.75, 1) ] in
+  let forked_cells =
+    List.concat_map
+      (fun (workload, fetch_s, warm_rounds) ->
+        List.concat_map
+          (fun (procs, jobs) ->
+            safe_cell ~workload ~fetch_s ~procs ~jobs ~warm_rounds)
+          [ (1, 1); (2, 1); (4, 1) ])
+      regimes
+  in
+  let domain_cells =
+    List.concat_map
+      (fun (workload, fetch_s, warm_rounds) ->
+        safe_cell ~workload ~fetch_s ~procs:1 ~jobs:4 ~warm_rounds)
+      regimes
+  in
+  let cells = forked_cells @ domain_cells in
+  let baseline workload store =
+    match
+      List.find_opt
+        (fun p ->
+          p.g_workload = workload && p.g_store = store && p.g_procs = 1
+          && p.g_jobs = 1)
+        cells
+    with
+    | Some p -> p.g_rps
+    | None -> nan
+  in
+  let points =
+    List.map
+      (fun p ->
+        { p with
+          g_speedup_vs_seq = p.g_rps /. baseline p.g_workload p.g_store })
+      cells
+  in
+  Printf.printf "%-5s %6s %5s %6s %8s %9s %6s\n" "load" "procs" "jobs"
+    "store" "req/s" "speedup" "ok";
+  List.iter
+    (fun p ->
+      Printf.printf "%-5s %6d %5d %6s %8.2f %8.2fx %6s\n" p.g_workload
+        p.g_procs p.g_jobs p.g_store p.g_rps p.g_speedup_vs_seq
+        (if p.g_deterministic then "yes" else "NO");
+      if not p.g_deterministic then
+        Printf.printf
+          "WARNING: %s procs=%d jobs=%d %s diverged from the sequential \
+           reference\n"
+          p.g_workload p.g_procs p.g_jobs p.g_store)
+    points;
+  if json then begin
+    let path = "BENCH_gateway.json" in
+    let oc = open_out path in
+    output_string oc (gateway_json points);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  end;
+  points
+
+(* The per-PR gateway guard: procs=2 must reproduce the sequential
+   segmentation byte for byte, and a worker killed mid-request must be
+   restarted with the request re-dispatched — the caller sees the
+   correct result, not a typed error. *)
+let gateway_smoke () =
+  section "Gateway smoke: procs=2 byte-identity + worker-kill recovery";
+  let site = Sites.find "ButlerCounty" in
+  let generated = Sites.generate site in
+  let requests =
+    List.mapi
+      (fun page_index _ ->
+        let list_pages, detail_pages =
+          Sites.segmentation_input generated ~page_index
+        in
+        {
+          Serve.Service.id = Printf.sprintf "%s#%d" site.Sites.name page_index;
+          site = site.Sites.name;
+          input = { Tabseg.Pipeline.list_pages; detail_pages };
+        })
+      generated.Sites.pages
+  in
+  let reference = gateway_reference requests in
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  (* 1. procs=2 responses byte-identical to procs=1 (inline). *)
+  let run_procs procs fault =
+    let gateway =
+      Gw.create ~config:{ Gw.default_config with Gw.procs; backoff_s = 0.01 }
+        ()
+    in
+    Fun.protect ~finally:(fun () -> Gw.shutdown gateway) @@ fun () ->
+    let rendered =
+      render_gateway_responses (Gw.run_batch gateway ?fault requests)
+    in
+    let restarts =
+      Serve.Metrics.counter_value
+        (Serve.Metrics.counter (Gw.metrics gateway)
+           "gateway.worker_restarts")
+    in
+    (rendered, restarts)
+  in
+  let inline, _ = run_procs 1 None in
+  if inline <> reference then fail "procs=1 diverged from sequential";
+  let forked, _ = run_procs 2 None in
+  if forked <> inline then fail "procs=2 diverged from procs=1";
+  (* 2. a worker crash mid-request recovers to the correct result. *)
+  let marker = Filename.temp_file "tabseg_gw_smoke" ".crash" in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists marker then Sys.remove marker)
+  @@ fun () ->
+  let poison = (List.hd requests).Serve.Service.id in
+  let fault (request : Serve.Service.request) =
+    if request.Serve.Service.id = poison then
+      Tabseg_gateway.Wire.Crash_if_exists marker
+    else Tabseg_gateway.Wire.No_fault
+  in
+  let recovered, restarts = run_procs 2 (Some fault) in
+  if recovered <> reference then
+    fail "responses after worker crash diverged from sequential";
+  if restarts < 1 then fail "worker crash was not supervised (no restart)";
+  if not !ok then exit 1;
+  Printf.printf
+    "smoke ok: procs=2 = procs=1 = sequential (%d pages), crash recovery \
+     via %d restart(s) returned correct results\n"
+    (List.length requests) restarts
+
+(* ------------------------------------------------------------------ *)
 (* Wrapper bootstrap (extension): one segmented page wraps the site     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1344,6 +1619,8 @@ let () =
       | "serve-smoke" -> serve_smoke ()
       | "store" -> store_bench ~json ()
       | "store-smoke" -> store_smoke ()
+      | "gateway" -> ignore (gateway_bench ~json ())
+      | "gateway-smoke" -> gateway_smoke ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -310,6 +310,17 @@ let auto_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
   in
+  let procs_arg =
+    let doc =
+      "Shard segmentation across this many worker processes through \
+       the gateway (master + forked workers over socket RPC). 1 runs \
+       inline with no fork. Combine with --store so the workers share \
+       one warm cache directory: the first to grab the lock writes, \
+       the rest read and offload their writes back to it. Results are \
+       byte-identical to a sequential run."
+    in
+    Arg.(value & opt int 1 & info [ "procs" ] ~doc ~docv:"N")
+  in
   let cache_mb_arg =
     let doc =
       "Budget (MB) of the serving layer's template cache and result \
@@ -336,7 +347,7 @@ let auto_cmd =
       value & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
   in
   let run method_ site_name fault_rate fault_seed permanent retries
-      show_report jobs cache_mb show_metrics store_dir =
+      show_report jobs procs cache_mb show_metrics store_dir =
     match Tabseg_sitegen.Sites.find site_name with
     | exception Not_found ->
       Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
@@ -363,10 +374,69 @@ let auto_cmd =
           Tabseg_navigator.Crawler.max_attempts = max 1 retries;
         }
       in
-      let use_service = jobs > 1 || show_metrics || store_dir <> None in
+      let use_service =
+        jobs > 1 || procs > 1 || show_metrics || store_dir <> None
+      in
       let report, metrics_dump =
         if not use_service then
           (Tabseg_navigator.Auto.run_resilient ~retry ~method_ source, None)
+        else if procs > 1 then begin
+          (* Multi-process: the gateway forks the workers and shards
+             the request stream across them by site affinity. *)
+          let open Tabseg_serve in
+          let open Tabseg_gateway in
+          let config =
+            {
+              Gateway.default_config with
+              Gateway.procs;
+              service =
+                {
+                  Service.default_config with
+                  Service.jobs;
+                  method_;
+                  cache =
+                    (if cache_mb > 0 then
+                       Some
+                         { Cache.default_config with
+                           Cache.capacity_mb = cache_mb }
+                     else None);
+                  store_dir;
+                };
+            }
+          in
+          let gateway = Gateway.create ~config () in
+          Gateway.install_sigterm gateway;
+          Fun.protect ~finally:(fun () -> Gateway.shutdown gateway)
+          @@ fun () ->
+          let segment_batch batch =
+            let requests =
+              List.map
+                (fun (url, input) -> { Service.id = url; site = url; input })
+                batch
+            in
+            List.map
+              (fun (response : Gateway.response) ->
+                match response.Gateway.outcome with
+                | Ok result -> Ok result
+                | Error (Gateway.Service_error (Service.Invalid_input error))
+                  ->
+                  Error error
+                | Error error ->
+                  Error
+                    (Tabseg.Api.Pipeline_failure (Gateway.error_message error)))
+              (Gateway.run_batch gateway requests)
+          in
+          let report =
+            Tabseg_navigator.Auto.run_resilient ~retry ~method_
+              ~segment_batch source
+          in
+          let dump =
+            if show_metrics then
+              Some (Metrics.report (Gateway.metrics gateway))
+            else None
+          in
+          (report, dump)
+        end
         else begin
           let open Tabseg_serve in
           let config =
@@ -454,8 +524,8 @@ let auto_cmd =
              and in parallel through the serving layer")
     Term.(
       const run $ method_arg $ site_arg $ faults_arg $ fault_seed_arg
-      $ permanent_arg $ retries_arg $ report_arg $ jobs_arg $ cache_mb_arg
-      $ metrics_arg $ store_arg)
+      $ permanent_arg $ retries_arg $ report_arg $ jobs_arg $ procs_arg
+      $ cache_mb_arg $ metrics_arg $ store_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in

@@ -1,0 +1,690 @@
+module Service = Tabseg_serve.Service
+module Metrics = Tabseg_serve.Metrics
+
+type config = {
+  procs : int;
+  service : Service.config;
+  deadline_s : float option;
+  max_inflight : int option;
+  max_restarts : int;
+  backoff_s : float;
+  backoff_cap_s : float;
+}
+
+let default_config =
+  {
+    procs = 1;
+    service = Service.default_config;
+    deadline_s = None;
+    max_inflight = None;
+    max_restarts = 5;
+    backoff_s = 0.05;
+    backoff_cap_s = 2.0;
+  }
+
+type error =
+  | Worker_lost of string
+  | Gateway_overloaded of { inflight : int; capacity : int }
+  | Deadline_exceeded
+  | Draining
+  | Service_error of Service.error
+
+let error_message = function
+  | Worker_lost why -> "worker lost: " ^ why
+  | Gateway_overloaded { inflight; capacity } ->
+    Printf.sprintf "gateway overloaded: %d requests in flight of %d allowed"
+      inflight capacity
+  | Deadline_exceeded -> "deadline exceeded at the gateway"
+  | Draining -> "gateway is draining (shutdown in progress)"
+  | Service_error e -> Service.error_message e
+
+type response = {
+  id : string;
+  outcome : (Tabseg.Api.result, error) result;
+  cache_hit : bool;
+  latency_s : float;
+}
+
+(* ----------------------- master-side plumbing ----------------------- *)
+
+(* One live connection to a worker process. The outbox is a queue of
+   whole frames: the select loop writes the head frame as far as the
+   socket accepts and never blocks — backpressure surfaces as queue
+   length, not as a master stuck in [write]. *)
+type conn = {
+  c_pid : int;
+  c_fd : Unix.file_descr;
+  mutable c_role : string option;  (* from the worker's Hello *)
+  mutable c_inbox : string;  (* unparsed stream prefix *)
+  c_outbox : (string * int option) Queue.t;  (* frame, seq if a request *)
+  mutable c_head_off : int;  (* bytes of the head frame already written *)
+}
+
+type slot_state =
+  | Live of conn
+  | Restarting of float  (* absolute time the replacement may fork *)
+  | Failed  (* restart budget exhausted *)
+
+type slot = { s_index : int; mutable s_state : slot_state; mutable s_restarts : int }
+
+type pending = {
+  p_seq : int;
+  p_pos : int;  (* position in the submitted batch *)
+  p_request : Service.request;
+  p_fault : Wire.fault;
+  p_slot : int;
+  p_deadline : float option;  (* absolute *)
+  p_submitted : float;
+  mutable p_dispatched : float option;  (* when its frame hit the socket *)
+  mutable p_redispatched : bool;
+  mutable p_outcome : response option;
+}
+
+type forked = {
+  slots : slot array;
+  pending : (int, pending) Hashtbl.t;  (* seq -> in-flight request *)
+  mutable next_seq : int;
+  mutable next_token : int;  (* ping tokens *)
+  pongs : (int, unit) Hashtbl.t;
+  mutable zombies : int list;  (* dead pids not yet reaped *)
+}
+
+type mode = Inline of Service.t | Forked of forked
+
+type t = {
+  cfg : config;
+  capacity : int;
+  registry : Metrics.t;
+  mode : mode;
+  mutable g_draining : bool;
+  mutable shut : bool;
+  m_total : Metrics.counter;
+  m_ok : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_redispatches : Metrics.counter;
+  m_restarts : Metrics.counter;
+  m_lost : Metrics.counter;
+  m_deadline : Metrics.counter;
+  m_overloaded : Metrics.counter;
+  m_late : Metrics.counter;
+  m_dispatch_s : Metrics.histogram;
+  m_turnaround_s : Metrics.histogram;
+}
+
+let now () = Unix.gettimeofday ()
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let live_fds forked =
+  Array.to_list forked.slots
+  |> List.filter_map (fun slot ->
+         match slot.s_state with Live c -> Some c.c_fd | _ -> None)
+
+(* Fork one worker for [slot]. The child closes every other worker's
+   parent-side socket it inherited — otherwise a sibling holding the
+   descriptor open would mask a dead worker's EOF from the master. *)
+let fork_worker ~service_config forked index =
+  flush stdout;
+  flush stderr;
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  match Unix.fork () with
+  | 0 ->
+    close_quietly parent_fd;
+    List.iter close_quietly (live_fds forked);
+    Sys.set_signal Sys.sigterm Sys.Signal_default;
+    Sys.set_signal Sys.sigpipe Sys.Signal_default;
+    (try Worker.run ~socket:child_fd ~config:service_config
+     with _ -> Unix._exit 98);
+    Unix._exit 0
+  | pid ->
+    close_quietly child_fd;
+    Unix.set_nonblock parent_fd;
+    forked.slots.(index).s_state <-
+      Live
+        {
+          c_pid = pid;
+          c_fd = parent_fd;
+          c_role = None;
+          c_inbox = "";
+          c_outbox = Queue.create ();
+          c_head_off = 0;
+        }
+
+let create ?(config = default_config) () =
+  let registry = Metrics.create () in
+  let capacity =
+    match config.max_inflight with
+    | Some c -> max c 1
+    | None -> 128 * max config.procs 1
+  in
+  let mode =
+    if config.procs <= 1 then
+      (* No fork: the master itself hosts the service. *)
+      Inline (Service.create ~config:config.service ())
+    else begin
+      (* A worker death must come back from [write] as EPIPE, never as
+         a process-killing signal. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let forked =
+        {
+          slots =
+            Array.init config.procs (fun i ->
+                { s_index = i; s_state = Restarting 0.; s_restarts = 0 });
+          pending = Hashtbl.create 64;
+          next_seq = 0;
+          next_token = 0;
+          pongs = Hashtbl.create 8;
+          zombies = [];
+        }
+      in
+      Array.iteri
+        (fun i _ -> fork_worker ~service_config:config.service forked i)
+        forked.slots;
+      Forked forked
+    end
+  in
+  let t =
+    {
+      cfg = config;
+      capacity;
+      registry;
+      mode;
+      g_draining = false;
+      shut = false;
+      m_total = Metrics.counter registry "gateway.requests_total";
+      m_ok = Metrics.counter registry "gateway.requests_ok";
+      m_failed = Metrics.counter registry "gateway.requests_failed";
+      m_redispatches = Metrics.counter registry "gateway.redispatches";
+      m_restarts = Metrics.counter registry "gateway.worker_restarts";
+      m_lost = Metrics.counter registry "gateway.worker_lost";
+      m_deadline = Metrics.counter registry "gateway.deadline_exceeded";
+      m_overloaded = Metrics.counter registry "gateway.overloaded";
+      m_late = Metrics.counter registry "gateway.late_responses";
+      m_dispatch_s = Metrics.histogram registry "gateway.dispatch_seconds";
+      m_turnaround_s = Metrics.histogram registry "gateway.turnaround_seconds";
+    }
+  in
+  Metrics.set (Metrics.gauge registry "gateway.procs")
+    (float_of_int (max config.procs 1));
+  t
+
+let config t = t.cfg
+let procs t = max t.cfg.procs 1
+let metrics t = t.registry
+let draining t = t.g_draining
+
+let worker_pids t =
+  match t.mode with
+  | Inline _ -> []
+  | Forked forked ->
+    Array.to_list forked.slots
+    |> List.filter_map (fun slot ->
+           match slot.s_state with Live c -> Some c.c_pid | _ -> None)
+
+let worker_roles t =
+  match t.mode with
+  | Inline _ -> []
+  | Forked forked ->
+    Array.to_list forked.slots
+    |> List.filter_map (fun slot ->
+           match slot.s_state with
+           | Live c -> Some (c.c_pid, Option.value c.c_role ~default:"unknown")
+           | _ -> None)
+
+(* Affinity: all requests of one site map to one slot, so the site's
+   warm template cache has exactly one home process. *)
+let slot_of_site ~procs site =
+  let digest = Digest.string site in
+  let h =
+    Char.code digest.[0]
+    lor (Char.code digest.[1] lsl 8)
+    lor (Char.code digest.[2] lsl 16)
+  in
+  h mod procs
+
+(* ------------------------- result accounting ------------------------ *)
+
+let count_outcome t = function
+  | Ok _ -> Metrics.incr t.m_ok
+  | Error e ->
+    Metrics.incr t.m_failed;
+    (match e with
+    | Deadline_exceeded -> Metrics.incr t.m_deadline
+    | Gateway_overloaded _ -> Metrics.incr t.m_overloaded
+    | Worker_lost _ -> Metrics.incr t.m_lost
+    | Draining | Service_error _ -> ())
+
+let resolve t pending response =
+  if pending.p_outcome = None then begin
+    pending.p_outcome <- Some response;
+    Metrics.observe t.m_turnaround_s (now () -. pending.p_submitted);
+    count_outcome t response.outcome
+  end
+
+let refusal t (request : Service.request) error =
+  Metrics.incr t.m_total;
+  count_outcome t (Error error);
+  { id = request.id; outcome = Error error; cache_hit = false; latency_s = 0. }
+
+let of_service_response (response : Service.response) =
+  {
+    id = response.Service.id;
+    outcome =
+      (match response.Service.outcome with
+      | Ok result -> Ok result
+      | Error e -> Error (Service_error e));
+    cache_hit = response.Service.cache_hit;
+    latency_s = response.Service.latency_s;
+  }
+
+(* --------------------------- the event loop ------------------------- *)
+
+let enqueue_frame conn frame seq =
+  Queue.push (frame, seq) conn.c_outbox
+
+(* Push the (re)dispatchable frames of every unresolved pending request
+   assigned to a now-live slot. Called right after a fork. *)
+let dispatch_pending_to forked index conn =
+  Hashtbl.iter
+    (fun _ pending ->
+      if pending.p_slot = index && pending.p_outcome = None then
+        enqueue_frame conn
+          (Wire.encode
+             (Wire.Request
+                {
+                  seq = pending.p_seq;
+                  request = pending.p_request;
+                  fault = pending.p_fault;
+                }))
+          (Some pending.p_seq))
+    forked.pending
+
+(* A worker's socket went dead: close it, account the death, schedule a
+   restart (or fail the slot), and decide the fate of its in-flight
+   requests — re-dispatch each at most once. *)
+let worker_dead t forked slot conn reason =
+  close_quietly conn.c_fd;
+  forked.zombies <- conn.c_pid :: forked.zombies;
+  let can_restart = (not t.shut) && slot.s_restarts < t.cfg.max_restarts in
+  if can_restart then begin
+    let backoff =
+      min t.cfg.backoff_cap_s
+        (t.cfg.backoff_s *. (2. ** float_of_int slot.s_restarts))
+    in
+    slot.s_restarts <- slot.s_restarts + 1;
+    Metrics.incr t.m_restarts;
+    slot.s_state <- Restarting (now () +. backoff)
+  end
+  else slot.s_state <- Failed;
+  Hashtbl.iter
+    (fun _ pending ->
+      if pending.p_slot = slot.s_index && pending.p_outcome = None then
+        if pending.p_redispatched || not can_restart then
+          resolve t pending
+            {
+              id = pending.p_request.Service.id;
+              outcome = Error (Worker_lost reason);
+              cache_hit = false;
+              latency_s = 0.;
+            }
+        else begin
+          pending.p_redispatched <- true;
+          pending.p_dispatched <- None;
+          Metrics.incr t.m_redispatches
+        end)
+    forked.pending
+
+let reap forked =
+  forked.zombies <-
+    List.filter
+      (fun pid ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> false)
+      forked.zombies
+
+let handle_message t forked conn = function
+  | Wire.Hello { role; _ } -> conn.c_role <- Some role
+  | Wire.Pong token -> Hashtbl.replace forked.pongs token ()
+  | Wire.Response { seq; response } -> (
+    match Hashtbl.find_opt forked.pending seq with
+    | Some pending when pending.p_outcome = None ->
+      resolve t pending (of_service_response response)
+    | Some _ | None ->
+      (* Deadline already resolved it, or it belongs to a previous
+         batch: late, counted, dropped. *)
+      Metrics.incr t.m_late)
+  | Wire.Request _ | Wire.Ping _ | Wire.Shutdown ->
+    (* Workers never send these; ignore rather than kill. *)
+    ()
+
+(* Drain one conn's inbox through the frame parser. Returns false when
+   the stream is broken (typed decode error => treat as dead). *)
+let rec parse_inbox t forked conn =
+  match Wire.decode conn.c_inbox with
+  | `Need_more -> true
+  | `Error _ -> false
+  | `Msg (message, next) ->
+    conn.c_inbox <-
+      String.sub conn.c_inbox next (String.length conn.c_inbox - next);
+    handle_message t forked conn message;
+    parse_inbox t forked conn
+
+let read_step t forked slot conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> worker_dead t forked slot conn "socket closed"
+  | n ->
+    conn.c_inbox <- conn.c_inbox ^ Bytes.sub_string chunk 0 n;
+    if not (parse_inbox t forked conn) then
+      worker_dead t forked slot conn "protocol error on socket"
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    worker_dead t forked slot conn "connection reset"
+
+let write_step t forked slot conn =
+  let broken = ref false in
+  let continue = ref true in
+  while !continue && (not !broken) && not (Queue.is_empty conn.c_outbox) do
+    let frame, seq = Queue.peek conn.c_outbox in
+    let bytes = Bytes.unsafe_of_string frame in
+    let len = Bytes.length bytes in
+    match Unix.write conn.c_fd bytes conn.c_head_off (len - conn.c_head_off) with
+    | n ->
+      conn.c_head_off <- conn.c_head_off + n;
+      if conn.c_head_off >= len then begin
+        ignore (Queue.pop conn.c_outbox);
+        conn.c_head_off <- 0;
+        match seq with
+        | Some seq -> (
+          match Hashtbl.find_opt forked.pending seq with
+          | Some pending when pending.p_dispatched = None ->
+            pending.p_dispatched <- Some (now ());
+            Metrics.observe t.m_dispatch_s (now () -. pending.p_submitted)
+          | _ -> ())
+        | None -> ()
+      end
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      continue := false
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      broken := true
+  done;
+  if !broken then worker_dead t forked slot conn "broken pipe on dispatch"
+
+(* Restart every slot whose backoff has elapsed, and re-dispatch its
+   surviving pendings to the replacement. *)
+let restart_due t forked =
+  if not t.shut then
+    Array.iter
+      (fun slot ->
+        match slot.s_state with
+        | Restarting at when at <= now () ->
+          fork_worker ~service_config:t.cfg.service forked slot.s_index;
+          (match slot.s_state with
+          | Live conn -> dispatch_pending_to forked slot.s_index conn
+          | _ -> ())
+        | _ -> ())
+      forked.slots
+
+let expire_deadlines t forked =
+  Hashtbl.iter
+    (fun _ pending ->
+      match (pending.p_outcome, pending.p_deadline) with
+      | None, Some deadline when deadline <= now () ->
+        resolve t pending
+          {
+            id = pending.p_request.Service.id;
+            outcome = Error Deadline_exceeded;
+            cache_hit = false;
+            latency_s = 0.;
+          }
+      | _ -> ())
+    forked.pending
+
+(* Earliest instant anything is scheduled to happen: a deadline expiry
+   or a slot restart. Bounds the select timeout. *)
+let next_event_in forked =
+  let soonest = ref 0.25 in
+  let note at =
+    let dt = at -. now () in
+    if dt < !soonest then soonest := max dt 0.
+  in
+  Array.iter
+    (fun slot ->
+      match slot.s_state with Restarting at -> note at | _ -> ())
+    forked.slots;
+  Hashtbl.iter
+    (fun _ pending ->
+      match (pending.p_outcome, pending.p_deadline) with
+      | None, Some deadline -> note deadline
+      | _ -> ())
+    forked.pending;
+  !soonest
+
+(* One turn of the master loop: fire timers, move bytes, parse frames.
+   Never blocks longer than the next scheduled event. *)
+let step t forked =
+  restart_due t forked;
+  expire_deadlines t forked;
+  reap forked;
+  let conns =
+    Array.to_list forked.slots
+    |> List.filter_map (fun slot ->
+           match slot.s_state with Live c -> Some (slot, c) | _ -> None)
+  in
+  let reads = List.map (fun (_, c) -> c.c_fd) conns in
+  let writes =
+    conns
+    |> List.filter (fun (_, c) -> not (Queue.is_empty c.c_outbox))
+    |> List.map (fun (_, c) -> c.c_fd)
+  in
+  match Unix.select reads writes [] (next_event_in forked) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, writable, _ ->
+    List.iter
+      (fun (slot, conn) ->
+        if List.mem conn.c_fd writable then write_step t forked slot conn)
+      conns;
+    List.iter
+      (fun (slot, conn) ->
+        match slot.s_state with
+        | Live current when current == conn ->
+          if List.mem conn.c_fd readable then read_step t forked slot conn
+        | _ -> () (* the write step already declared it dead *))
+      conns
+
+(* --------------------------- the public API ------------------------- *)
+
+let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
+  if requests = [] then []
+  else
+    match t.mode with
+    | Inline service ->
+      if t.g_draining || t.shut then
+        List.map (fun r -> refusal t r Draining) requests
+      else
+        List.map
+          (fun (request : Service.request) ->
+            (match fault request with
+            | Wire.Sleep_s s when s > 0. -> Unix.sleepf s
+            | _ -> ());
+            Metrics.incr t.m_total;
+            let started = now () in
+            let response =
+              of_service_response (Service.segment_one service request)
+            in
+            Metrics.observe t.m_turnaround_s (now () -. started);
+            count_outcome t response.outcome;
+            response)
+          requests
+    | Forked forked ->
+      if t.g_draining || t.shut then
+        List.map (fun r -> refusal t r Draining) requests
+      else begin
+        let total = List.length requests in
+        let responses = Array.make total None in
+        let batch = ref [] in
+        List.iteri
+          (fun pos (request : Service.request) ->
+            if Hashtbl.length forked.pending >= t.capacity then
+              responses.(pos) <-
+                Some
+                  (refusal t request
+                     (Gateway_overloaded
+                        { inflight = Hashtbl.length forked.pending;
+                          capacity = t.capacity }))
+            else begin
+              Metrics.incr t.m_total;
+              let seq = forked.next_seq in
+              forked.next_seq <- seq + 1;
+              let pending =
+                {
+                  p_seq = seq;
+                  p_pos = pos;
+                  p_request = request;
+                  p_fault = fault request;
+                  p_slot = slot_of_site ~procs:t.cfg.procs request.Service.site;
+                  p_deadline =
+                    Option.map (fun d -> now () +. d) t.cfg.deadline_s;
+                  p_submitted = now ();
+                  p_dispatched = None;
+                  p_redispatched = false;
+                  p_outcome = None;
+                }
+              in
+              Hashtbl.replace forked.pending seq pending;
+              batch := pending :: !batch;
+              match forked.slots.(pending.p_slot).s_state with
+              | Live conn ->
+                enqueue_frame conn
+                  (Wire.encode
+                     (Wire.Request
+                        { seq; request; fault = pending.p_fault }))
+                  (Some seq)
+              | Restarting _ -> () (* dispatched when the fork lands *)
+              | Failed ->
+                resolve t pending
+                  {
+                    id = request.Service.id;
+                    outcome =
+                      Error (Worker_lost "worker slot permanently failed");
+                    cache_hit = false;
+                    latency_s = 0.;
+                  }
+            end)
+          requests;
+        let batch = List.rev !batch in
+        let unresolved () =
+          List.exists (fun p -> p.p_outcome = None) batch
+        in
+        while unresolved () do
+          step t forked
+        done;
+        List.iter
+          (fun pending ->
+            responses.(pending.p_pos) <- pending.p_outcome;
+            Hashtbl.remove forked.pending pending.p_seq)
+          batch;
+        Array.to_list responses
+        |> List.map (function Some r -> r | None -> assert false)
+      end
+
+let health t =
+  match t.mode with
+  | Inline _ -> [ (Unix.getpid (), not t.shut) ]
+  | Forked forked ->
+    let targets =
+      Array.to_list forked.slots
+      |> List.filter_map (fun slot ->
+             match slot.s_state with
+             | Live conn ->
+               let token = forked.next_token in
+               forked.next_token <- token + 1;
+               enqueue_frame conn (Wire.encode (Wire.Ping token)) None;
+               Some (conn.c_pid, token)
+             | _ -> None)
+    in
+    let deadline = now () +. 0.5 in
+    let all_ponged () =
+      List.for_all (fun (_, token) -> Hashtbl.mem forked.pongs token) targets
+    in
+    while (not (all_ponged ())) && now () < deadline do
+      step t forked
+    done;
+    let report =
+      List.map
+        (fun (pid, token) -> (pid, Hashtbl.mem forked.pongs token))
+        targets
+    in
+    List.iter (fun (_, token) -> Hashtbl.remove forked.pongs token) targets;
+    report
+
+let install_sigterm t =
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> t.g_draining <- true))
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    match t.mode with
+    | Inline service -> Service.shutdown service
+    | Forked forked ->
+      (* Ask nicely, flush what we can, then make sure. *)
+      Array.iter
+        (fun slot ->
+          match slot.s_state with
+          | Live conn ->
+            enqueue_frame conn (Wire.encode Wire.Shutdown) None;
+            write_step t forked slot conn
+          | _ -> ())
+        forked.slots;
+      let deadline = now () +. 2.0 in
+      let all_exited () =
+        Array.for_all
+          (fun slot ->
+            match slot.s_state with
+            | Live conn -> (
+              match Unix.waitpid [ Unix.WNOHANG ] conn.c_pid with
+              | 0, _ -> false
+              | _ -> true
+              | exception Unix.Unix_error _ -> true)
+            | _ -> true)
+          forked.slots
+      in
+      while (not (all_exited ())) && now () < deadline do
+        (* Keep servicing sockets so a worker blocked writing a final
+           response can finish and see our Shutdown. *)
+        step t forked;
+        Unix.sleepf 0.01
+      done;
+      Array.iter
+        (fun slot ->
+          match slot.s_state with
+          | Live conn ->
+            (match Unix.waitpid [ Unix.WNOHANG ] conn.c_pid with
+            | 0, _ ->
+              (try Unix.kill conn.c_pid Sys.sigkill
+               with Unix.Unix_error _ -> ());
+              (try ignore (Unix.waitpid [] conn.c_pid)
+               with Unix.Unix_error _ -> ())
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ());
+            close_quietly conn.c_fd;
+            slot.s_state <- Failed
+          | _ -> ())
+        forked.slots;
+      reap forked;
+      List.iter
+        (fun pid ->
+          try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+          with Unix.Unix_error _ -> ())
+        forked.zombies;
+      forked.zombies <- []
+  end

@@ -1,0 +1,120 @@
+(** The multi-process serving front-end: a master that shards a request
+    stream across [procs] forked worker processes and merges responses
+    back in strict submission order — byte-identical to a sequential
+    run, the same guarantee {!Tabseg_serve.Pool.run_ordered} gives
+    in-process, but past the domain-parallelism ceiling: workers are
+    processes, so they share no minor-GC rendezvous and one poisoned
+    page set can only take down its own worker.
+
+    Topology: each worker hosts a full {!Tabseg_serve.Service} over the
+    shared store directory — whichever worker grabs the advisory lock
+    first is the store's Writer, the rest are Readers whose cache puts
+    ride the offload queue ({!Tabseg_store.Store}) back to the Writer.
+    Master and workers speak {!Wire} frames over [socketpair]s; the
+    master's side runs a nonblocking [select] loop (so a slow worker
+    can never deadlock the pipe), the workers stay blocking.
+
+    Partitioning is by {e site-digest affinity}: every request of one
+    site lands on the same worker, so a site's warm template cache has
+    one home. With [procs <= 1] nothing is forked — requests run inline
+    on an embedded service, the reference sequential mode.
+
+    Supervision: the master detects a dead worker by its socket (EOF /
+    EPIPE — a single-threaded worker grinding through a long request
+    legitimately ignores heartbeats, so silence alone never kills),
+    restarts it with capped exponential backoff, and re-dispatches the
+    dead worker's in-flight requests {e at most once}; a request whose
+    second worker also dies — or whose worker slot has exhausted its
+    restart budget — comes back as a typed [Worker_lost], never as a
+    hang. SIGTERM (see {!install_sigterm}) drains: the in-flight batch
+    finishes, subsequent batches are refused with [Draining]. *)
+
+type config = {
+  procs : int;  (** worker processes; <= 1 runs inline with no fork *)
+  service : Tabseg_serve.Service.config;
+      (** the per-worker service configuration (jobs inside a worker
+          default to 1 — parallelism comes from processes here) *)
+  deadline_s : float option;
+      (** per-request deadline, measured from submission at the master;
+          an expired request resolves [Deadline_exceeded] and a late
+          reply is discarded (counted as [gateway.late_responses]) *)
+  max_inflight : int option;
+      (** cap on requests dispatched at once; the excess of a batch is
+          refused with [Gateway_overloaded]. [None]: [128 * procs]. *)
+  max_restarts : int;  (** restart budget per worker slot (default 5) *)
+  backoff_s : float;  (** initial restart backoff (default 0.05) *)
+  backoff_cap_s : float;  (** backoff ceiling (default 2.0) *)
+}
+
+val default_config : config
+
+type error =
+  | Worker_lost of string
+      (** the worker died and the request could not be re-dispatched
+          (already re-dispatched once, or the slot exhausted restarts) *)
+  | Gateway_overloaded of { inflight : int; capacity : int }
+      (** refused at submission: dispatching this request would have
+          exceeded [max_inflight] *)
+  | Deadline_exceeded
+  | Draining  (** refused: the gateway is shutting down (SIGTERM) *)
+  | Service_error of Tabseg_serve.Service.error
+      (** the worker answered, with a typed service-level error *)
+
+val error_message : error -> string
+
+type response = {
+  id : string;
+  outcome : (Tabseg.Api.result, error) result;
+  cache_hit : bool;
+  latency_s : float;
+      (** worker-side service latency; 0 for gateway-level errors *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Fork the workers (none when [procs <= 1]). The master ignores
+    SIGPIPE from here on — a dying worker's socket must surface as an
+    error code, not a signal. *)
+
+val config : t -> config
+val procs : t -> int
+val metrics : t -> Tabseg_serve.Metrics.t
+(** [gateway.*] counters ([requests_total], [ok], [failed],
+    [redispatches], [worker_restarts], [worker_lost], [late_responses],
+    [overloaded], …) and the [gateway.dispatch_seconds] /
+    [gateway.turnaround_seconds] histograms. *)
+
+val worker_pids : t -> int list
+(** Live worker pids, slot order. Empty inline. *)
+
+val worker_roles : t -> (int * string) list
+(** [(pid, store role)] per live worker, slot order — the role each
+    worker reported in its Hello ("writer", "reader", "none";
+    "unknown" until the Hello has been read). Exactly one worker over a
+    shared store reports "writer". Empty inline. *)
+
+val run_batch :
+  t ->
+  ?fault:(Tabseg_serve.Service.request -> Wire.fault) ->
+  Tabseg_serve.Service.request list ->
+  response list
+(** Dispatch a batch across the workers and block until every request
+    resolved (responded, expired, refused or lost). Responses are in
+    request order. [fault] attaches a fault-injection knob per request
+    (tests only; inline mode ignores crash faults and honours sleeps). *)
+
+val health : t -> (int * bool) list
+(** Ping every live worker and report [(pid, responded within the
+    timeout)]. A worker busy on a long request reports [false] without
+    being killed — only its socket decides life and death. *)
+
+val install_sigterm : t -> unit
+(** Route SIGTERM to a drain: the flag flips immediately, the in-flight
+    batch completes, later batches get [Draining]. *)
+
+val draining : t -> bool
+
+val shutdown : t -> unit
+(** Send every worker [Shutdown], wait briefly, SIGKILL stragglers and
+    reap them. Idempotent. *)

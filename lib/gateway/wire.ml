@@ -1,0 +1,151 @@
+module Service = Tabseg_serve.Service
+
+let protocol_version = 1
+let magic = "TSGW"
+let header_size = 16 (* magic + version + crc + length *)
+
+(* A frame bigger than this is never real — a wedged peer cannot make
+   the master allocate unboundedly. *)
+let max_payload = 1 lsl 28
+
+type fault =
+  | No_fault
+  | Sleep_s of float
+  | Crash_if_exists of string
+
+type message =
+  | Hello of { pid : int; role : string }
+  | Request of { seq : int; request : Service.request; fault : fault }
+  | Response of { seq : int; response : Service.response }
+  | Ping of int
+  | Pong of int
+  | Shutdown
+
+type decode_error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_crc
+  | Bad_payload of string
+
+let decode_error_message = function
+  | Bad_magic -> "bad frame magic (not a gateway socket?)"
+  | Bad_version v -> Printf.sprintf "protocol version %d (expected %d)" v
+                       protocol_version
+  | Bad_crc -> "frame checksum mismatch"
+  | Bad_payload e -> "frame payload failed to unmarshal: " ^ e
+
+(* Same polynomial and table construction as the store's segment log. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_string s off len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let set_u32 bytes off v = Bytes.set_int32_be bytes off (Int32.of_int v)
+
+let encode message =
+  let payload = Marshal.to_string message [] in
+  let len = String.length payload in
+  let frame = Bytes.create (header_size + len) in
+  Bytes.blit_string magic 0 frame 0 4;
+  set_u32 frame 4 protocol_version;
+  set_u32 frame 8 (crc32_string payload 0 len);
+  set_u32 frame 12 len;
+  Bytes.blit_string payload 0 frame header_size len;
+  Bytes.unsafe_to_string frame
+
+let decode ?(off = 0) buffer =
+  let available = String.length buffer - off in
+  if available < header_size then `Need_more
+  else if String.sub buffer off 4 <> magic then `Error Bad_magic
+  else begin
+    let version = u32 buffer (off + 4) in
+    if version <> protocol_version then `Error (Bad_version version)
+    else begin
+      let crc = u32 buffer (off + 8) in
+      let len = u32 buffer (off + 12) in
+      if len > max_payload then `Error Bad_crc
+      else if available < header_size + len then `Need_more
+      else if crc32_string buffer (off + header_size) len <> crc then
+        `Error Bad_crc
+      else
+        match
+          Marshal.from_string
+            (String.sub buffer (off + header_size) len)
+            0
+        with
+        | message -> `Msg (message, off + header_size + len)
+        | exception e -> `Error (Bad_payload (Printexc.to_string e))
+    end
+  end
+
+let rec really_read fd bytes pos len =
+  if len > 0 then begin
+    match Unix.read fd bytes pos len with
+    | 0 -> raise End_of_file
+    | n -> really_read fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      really_read fd bytes pos len
+  end
+
+let read_message fd =
+  match
+    let header = Bytes.create header_size in
+    really_read fd header 0 header_size;
+    let header = Bytes.unsafe_to_string header in
+    if String.sub header 0 4 <> magic then Error (`Decode Bad_magic)
+    else begin
+      let version = u32 header 4 in
+      if version <> protocol_version then
+        Error (`Decode (Bad_version version))
+      else begin
+        let crc = u32 header 8 in
+        let len = u32 header 12 in
+        if len > max_payload then Error (`Decode Bad_crc)
+        else begin
+          let payload = Bytes.create len in
+          really_read fd payload 0 len;
+          let payload = Bytes.unsafe_to_string payload in
+          if crc32_string payload 0 len <> crc then Error (`Decode Bad_crc)
+          else
+            match Marshal.from_string payload 0 with
+            | message -> Ok message
+            | exception e ->
+              Error (`Decode (Bad_payload (Printexc.to_string e)))
+        end
+      end
+    end
+  with
+  | result -> result
+  | exception End_of_file -> Error `Eof
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    Error `Eof
+
+let write_message fd message =
+  let frame = encode message in
+  let bytes = Bytes.unsafe_of_string frame in
+  let len = Bytes.length bytes in
+  let rec go pos =
+    if pos < len then
+      match Unix.write fd bytes pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0

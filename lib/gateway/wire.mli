@@ -1,0 +1,77 @@
+(** The gateway's wire protocol: length-prefixed, CRC-32-framed,
+    versioned messages over a Unix-domain socket.
+
+    The framing discipline is {!Tabseg_store.Store}'s, applied to a
+    stream: every message is one frame
+
+    {v "TSGW" + u32be version + u32be crc + u32be length + payload v}
+
+    where the CRC covers exactly the payload bytes. The payload is the
+    marshalled {!message} (pure data only — requests and responses are
+    records of strings and variants, never closures). Unlike the store's
+    segment scan there is {e no resync}: a socket either delivers intact
+    frames in order or it is broken, so any header that fails to verify
+    is a fatal, {e typed} decode error and the connection is abandoned —
+    the supervisor treats it exactly like a dead worker.
+
+    Master and workers are always the same binary (the workers are
+    forks), so marshalling is version-safe by construction; the version
+    field guards against a master accidentally pointed at a socket of a
+    different build. *)
+
+val protocol_version : int
+
+(** Fault-injection knobs carried inside a request — the supervision
+    test surface. Workers obey them {e before} touching the service, so
+    a fault exercises exactly the gateway's recovery path. *)
+type fault =
+  | No_fault
+  | Sleep_s of float  (** stall this long before serving (latency skew) *)
+  | Crash_if_exists of string
+      (** if [path] exists: delete it, then [_exit] without replying.
+          Deleting first makes the crash one-shot — the re-dispatched
+          request survives on the replacement worker. A {e directory}
+          at [path] cannot be deleted this way, so it crashes every
+          worker it reaches: the permanent-failure case. *)
+
+type message =
+  | Hello of { pid : int; role : string }
+      (** first message a worker sends; [role] is the store role it got
+          ("writer", "reader" or "none") *)
+  | Request of {
+      seq : int;
+      request : Tabseg_serve.Service.request;
+      fault : fault;
+    }
+  | Response of { seq : int; response : Tabseg_serve.Service.response }
+  | Ping of int
+  | Pong of int  (** echoes the ping's token *)
+  | Shutdown  (** master → worker: finish up and exit cleanly *)
+
+type decode_error =
+  | Bad_magic
+  | Bad_version of int  (** the version the frame claimed *)
+  | Bad_crc
+  | Bad_payload of string  (** framing intact, marshalling failed *)
+
+val decode_error_message : decode_error -> string
+
+val encode : message -> string
+(** One complete frame, ready to write. *)
+
+val decode :
+  ?off:int ->
+  string ->
+  [ `Msg of message * int | `Need_more | `Error of decode_error ]
+(** Try to parse one frame starting at [off] (default 0). [`Msg (m, n)]
+    also returns the offset just past the frame, for the next call;
+    [`Need_more] means the buffer holds only a frame prefix. *)
+
+val read_message :
+  Unix.file_descr -> (message, [ `Eof | `Decode of decode_error ]) result
+(** Blocking read of exactly one frame — the worker side, where plain
+    blocking I/O is the correct loop. *)
+
+val write_message : Unix.file_descr -> message -> unit
+(** Blocking write of one frame. Raises [Unix.Unix_error] on a broken
+    socket. *)

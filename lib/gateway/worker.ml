@@ -1,0 +1,69 @@
+module Service = Tabseg_serve.Service
+module Store = Tabseg_store.Store
+
+(* How long the worker sleeps in [select] before running a maintenance
+   tick. Short enough that a Writer folds reader offload queues with
+   interactive latency; long enough to cost nothing. *)
+let maintenance_interval_s = 0.2
+
+let apply_fault = function
+  | Wire.No_fault -> ()
+  | Wire.Sleep_s s -> if s > 0. then Unix.sleepf s
+  | Wire.Crash_if_exists path ->
+    if Sys.file_exists path then begin
+      (* Remove the marker first: the crash is one-shot, so the same
+         request re-dispatched to our replacement succeeds — unless the
+         marker is a directory, which [Sys.remove] cannot take, making
+         the crash permanent. Both cases are exactly what the
+         supervision tests need. *)
+      (try Sys.remove path with Sys_error _ -> ());
+      Unix._exit 97
+    end
+
+let store_role service =
+  match Service.store_stats service with
+  | Some stats -> (
+    match stats.Store.role with
+    | Store.Writer -> "writer"
+    | Store.Reader -> "reader")
+  | None -> "none"
+
+let run ~socket ~config =
+  let service = Service.create ~config () in
+  Wire.write_message socket
+    (Wire.Hello { pid = Unix.getpid (); role = store_role service });
+  let stop = ref false in
+  let handle = function
+    | Wire.Request { seq; request; fault } ->
+      apply_fault fault;
+      let response = Service.segment_one service request in
+      Wire.write_message socket (Wire.Response { seq; response })
+    | Wire.Ping token -> Wire.write_message socket (Wire.Pong token)
+    | Wire.Shutdown -> stop := true
+    | Wire.Hello _ | Wire.Response _ | Wire.Pong _ ->
+      (* A master never sends these; a peer that does is broken. *)
+      Unix._exit 96
+  in
+  let rec loop () =
+    if not !stop then begin
+      match Unix.select [ socket ] [] [] maintenance_interval_s with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ ->
+        Service.maintenance service;
+        loop ()
+      | _ -> (
+        match Wire.read_message socket with
+        | Ok message ->
+          handle message;
+          loop ()
+        | Error `Eof -> ()
+        | Error (`Decode _) ->
+          Service.shutdown service;
+          Unix._exit 96)
+    end
+  in
+  (try loop ()
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     (* The master vanished mid-reply; shut down quietly. *)
+     ());
+  Service.shutdown service

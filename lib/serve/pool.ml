@@ -1,6 +1,6 @@
 type 'a outcome =
   | Done of 'a
-  | Rejected
+  | Rejected of { depth : int; capacity : int }
   | Expired
   | Crashed of string
 
@@ -21,6 +21,8 @@ type stats = {
   rejected : int;
   expired : int;
   crashed : int;
+  queue_depth : int;
+  queue_capacity : int;
 }
 
 type t = {
@@ -150,24 +152,27 @@ let submit pool ?deadline_s f =
           else true)
     in
     (* Inline mode: the submitting domain is the worker. *)
-    if accepted then run () else fill ticket Rejected;
+    if accepted then run ()
+    else fill ticket (Rejected { depth = 0; capacity = pool.capacity });
     ticket
   end
   else begin
-    let accepted =
+    let rejected_at_depth =
       with_lock pool.mutex (fun () ->
           pool.submitted <- pool.submitted + 1;
           if pool.stopping || Queue.length pool.queue >= pool.capacity then begin
             pool.rejected <- pool.rejected + 1;
-            false
+            Some (Queue.length pool.queue)
           end
           else begin
             Queue.push { run; deadline } pool.queue;
             Condition.signal pool.nonempty;
-            true
+            None
           end)
     in
-    if not accepted then fill ticket Rejected;
+    (match rejected_at_depth with
+    | Some depth -> fill ticket (Rejected { depth; capacity = pool.capacity })
+    | None -> ());
     ticket
   end
 
@@ -182,6 +187,8 @@ let stats pool =
         rejected = pool.rejected;
         expired = pool.expired;
         crashed = pool.crashed;
+        queue_depth = Queue.length pool.queue;
+        queue_capacity = pool.capacity;
       })
 
 let shutdown pool =

@@ -18,7 +18,11 @@ type t
 
 type 'a outcome =
   | Done of 'a
-  | Rejected  (** the bounded queue was full at submission *)
+  | Rejected of { depth : int; capacity : int }
+      (** the bounded queue was full at submission (or the pool was
+          stopping); [depth] is the queue length observed at the moment
+          of rejection and [capacity] the configured bound — the two
+          numbers a caller needs to size its shedding decision *)
   | Expired  (** the deadline passed before a worker picked the task up *)
   | Crashed of string  (** the task raised; the exception, printed *)
 
@@ -48,6 +52,8 @@ type stats = {
   rejected : int;
   expired : int;
   crashed : int;
+  queue_depth : int;  (** tasks waiting for a worker right now *)
+  queue_capacity : int;  (** the configured queue bound *)
 }
 
 val stats : t -> stats

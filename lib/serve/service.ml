@@ -28,13 +28,15 @@ type request = {
 }
 
 type error =
-  | Overloaded
+  | Overloaded of { depth : int; capacity : int }
   | Deadline_exceeded
   | Worker_crashed of string
   | Invalid_input of Tabseg.Api.input_error
 
 let error_message = function
-  | Overloaded -> "overloaded: the request queue is full"
+  | Overloaded { depth; capacity } ->
+    Printf.sprintf "overloaded: the request queue is full (%d queued of %d)"
+      depth capacity
   | Deadline_exceeded -> "deadline exceeded before a worker was free"
   | Worker_crashed e -> "worker crashed: " ^ e
   | Invalid_input e -> Tabseg.Api.input_error_message e
@@ -60,6 +62,8 @@ type t = {
   cache_hits : Metrics.counter;
   batches : Metrics.counter;
   request_seconds : Metrics.histogram;
+  queue_depth : Metrics.gauge;
+  queue_capacity : Metrics.gauge;
   mutable shut_down : bool;
 }
 
@@ -97,6 +101,8 @@ let create ?(config = default_config) () =
     cache_hits = Metrics.counter registry "cache.result_hits";
     batches = Metrics.counter registry "batches.total";
     request_seconds = Metrics.histogram registry "request.seconds";
+    queue_depth = Metrics.gauge registry "pool.queue_depth";
+    queue_capacity = Metrics.gauge registry "pool.queue_capacity";
     shut_down = false;
   }
 
@@ -179,6 +185,9 @@ let run_batch t requests =
     let outcomes =
       Pool.run_ordered t.pool ?deadline_s:t.cfg.deadline_s tasks
     in
+    let pstats = Pool.stats t.pool in
+    Metrics.set t.queue_depth (float_of_int pstats.Pool.queue_depth);
+    Metrics.set t.queue_capacity (float_of_int pstats.Pool.queue_capacity);
     let responses = Array.make (List.length requests) None in
     List.iter2
       (fun group outcome ->
@@ -202,7 +211,8 @@ let run_batch t requests =
           List.iter
             (fun (index, response) -> responses.(index) <- Some response)
             indexed
-        | Pool.Rejected -> failed Overloaded
+        | Pool.Rejected { depth; capacity } ->
+          failed (Overloaded { depth; capacity })
         | Pool.Expired -> failed Deadline_exceeded
         | Pool.Crashed message -> failed (Worker_crashed message))
       groups outcomes;
@@ -216,6 +226,8 @@ let segment_one t request =
   match run_batch t [ request ] with
   | [ response ] -> response
   | _ -> assert false
+
+let maintenance t = Option.iter Store.refresh t.store
 
 let shutdown t =
   if not t.shut_down then begin

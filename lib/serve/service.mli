@@ -40,7 +40,10 @@ type request = {
 }
 
 type error =
-  | Overloaded  (** the pool queue was full; the batch group was shed *)
+  | Overloaded of { depth : int; capacity : int }
+      (** the pool queue was full; the batch group was shed. [depth] is
+          the queue length observed at rejection, [capacity] the bound —
+          what a front-end needs to size its shedding decision *)
   | Deadline_exceeded
   | Worker_crashed of string
   | Invalid_input of Tabseg.Api.input_error
@@ -75,6 +78,12 @@ val run_batch : t -> request list -> response list
 
 val segment_one : t -> request -> response
 (** [run_batch] of a singleton. *)
+
+val maintenance : t -> unit
+(** Periodic housekeeping between batches: {!Tabseg_store.Store.refresh}
+    the persistent store (a Writer folds reader offload queues into the
+    log; a Reader picks up appends and folded entries). No-op without a
+    store. A multi-process front-end calls this on its idle tick. *)
 
 val shutdown : t -> unit
 (** Drain the pool, join its domains, detach the metrics bridge from

@@ -16,9 +16,11 @@ type config = {
   capacity_mb : int;
   sync_on_put : bool;
   auto_compact : bool;
+  offload : bool;
 }
 
-let default_config = { capacity_mb = 128; sync_on_put = false; auto_compact = true }
+let default_config =
+  { capacity_mb = 128; sync_on_put = false; auto_compact = true; offload = true }
 
 exception Not_a_store of string
 
@@ -30,6 +32,14 @@ let record_header = 16
 let segment_name = "current.seg"
 let lock_name = "LOCK"
 let compact_name = "compact.tmp"
+
+(* Reader offload queues: "offload-<pid>-<n>.queue" while a reader owns
+   it, renamed to ".folding" once the writer claims it. The <n> keeps
+   two reader handles in one process off each other's file. *)
+let offload_prefix = "offload-"
+let offload_suffix = ".queue"
+let folding_suffix = ".folding"
+let offload_counter = Atomic.make 0
 
 (* A key longer than this, or a value longer than this, is never a real
    record — scan uses the bounds to reject garbage lengths quickly. *)
@@ -160,11 +170,17 @@ type t = {
   mutable next_seq : int;
   mutable ino : int;
   mutable closed : bool;
+  (* reader-side write offload: this handle's queue file, opened lazily
+     at the first queued put *)
+  offload_path : string option;  (* readers with offload enabled only *)
+  mutable offload_fd : (Unix.file_descr * int (* inode *)) option;
   (* statistics (cumulative over the handle's lifetime) *)
   mutable s_gets : int;
   mutable s_hits : int;
   mutable s_puts : int;
   mutable s_put_rejected : int;
+  mutable s_offload_queued : int;
+  mutable s_offload_folded : int;
   mutable s_appended_bytes : int;
   mutable s_read_bytes : int;
   mutable s_compactions : int;
@@ -188,11 +204,12 @@ let index_add t ~key entry =
   Hashtbl.replace t.index key entry;
   t.live_bytes <- t.live_bytes + entry_size entry
 
-(* Scan the byte region [base, base + |buf|) of the file. Valid records
-   enter the index; damaged ones are skipped by searching for the next
-   record magic. Returns the absolute offset just past the last valid
-   record — anything beyond it is an unparseable tail. *)
-let scan_region t buf ~base =
+(* Walk the intact records of a byte region, resynchronising on the
+   next frame magic after damage. [f] sees each record's offset and
+   lengths. Returns the offset just past the last intact record (the
+   rest is an unparseable tail) and the number of damaged stretches
+   skipped. Shared by the segment scan and the offload-queue fold. *)
+let iter_region buf ~f =
   let len = Bytes.length buf in
   let find_magic from =
     let rec go i =
@@ -222,29 +239,40 @@ let scan_region t buf ~base =
   in
   let pos = ref 0 in
   let last_good = ref 0 in
+  let damaged = ref 0 in
   let continue = ref true in
   while !continue do
     if !pos >= len then continue := false
     else
       match valid_at !pos with
       | Some (klen, vlen) ->
-        let key = Bytes.sub_string buf (!pos + record_header) klen in
-        index_add t ~key
-          { e_off = base + !pos; e_klen = klen; e_vlen = vlen;
-            e_seq = t.next_seq };
-        t.next_seq <- t.next_seq + 1;
+        f ~pos:!pos ~klen ~vlen;
         pos := !pos + record_header + klen + vlen;
         last_good := !pos
       | None -> (
         match find_magic (!pos + 1) with
         | Some next ->
-          (* Damage in the middle of the log: skip to the next frame.
-             The skipped record stays as garbage until compaction. *)
-          t.s_corrupt_dropped <- t.s_corrupt_dropped + 1;
+          incr damaged;
           pos := next
         | None -> continue := false)
   done;
-  base + !last_good
+  (!last_good, !damaged)
+
+(* Scan the byte region [base, base + |buf|) of the file. Valid records
+   enter the index; damaged ones are skipped by searching for the next
+   record magic (the skipped record stays as garbage until compaction).
+   Returns the absolute offset just past the last valid record. *)
+let scan_region t buf ~base =
+  let good_end, damaged =
+    iter_region buf ~f:(fun ~pos ~klen ~vlen ->
+        let key = Bytes.sub_string buf (pos + record_header) klen in
+        index_add t ~key
+          { e_off = base + pos; e_klen = klen; e_vlen = vlen;
+            e_seq = t.next_seq };
+        t.next_seq <- t.next_seq + 1)
+  in
+  t.s_corrupt_dropped <- t.s_corrupt_dropped + damaged;
+  base + good_end
 
 (* (Re)build the index from the file. The writer truncates a torn tail
    so the next append lands on a clean frame boundary; readers leave the
@@ -290,122 +318,6 @@ let load t =
     end;
     t.file_bytes <- good_end
   end
-
-let open_store ?(config = default_config) ?(readonly = false) dir =
-  if config.capacity_mb < 1 then
-    invalid_arg "Store.open_store: capacity_mb must be positive";
-  mkdir_p dir;
-  let real_dir = Unix.realpath dir in
-  let role, lock_fd =
-    if readonly then (Reader, None)
-    else if not (try_register_writer real_dir) then (Reader, None)
-    else begin
-      let fd =
-        Unix.openfile
-          (Filename.concat dir lock_name)
-          [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
-          0o644
-      in
-      match Unix.lockf fd Unix.F_TLOCK 0 with
-      | () -> (Writer, Some fd)
-      | exception Unix.Unix_error _ ->
-        unregister_writer real_dir;
-        Unix.close fd;
-        (Reader, None)
-    end
-  in
-  let fd =
-    Unix.openfile
-      (Filename.concat dir segment_name)
-      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
-      0o644
-  in
-  let t =
-    {
-      t_dir = dir;
-      real_dir;
-      cfg = config;
-      t_role = role;
-      lock_fd;
-      mutex = Mutex.create ();
-      fd;
-      index = Hashtbl.create 1024;
-      file_bytes = 0;
-      live_bytes = 0;
-      next_seq = 0;
-      ino = 0;
-      closed = false;
-      s_gets = 0;
-      s_hits = 0;
-      s_puts = 0;
-      s_put_rejected = 0;
-      s_appended_bytes = 0;
-      s_read_bytes = 0;
-      s_compactions = 0;
-      s_corrupt_dropped = 0;
-      s_truncated_bytes = 0;
-    }
-  in
-  (match load t with
-  | () -> ()
-  | exception e ->
-    Unix.close fd;
-    (match lock_fd with
-    | Some lfd ->
-      unregister_writer real_dir;
-      Unix.close lfd
-    | None -> ());
-    raise e);
-  t
-
-let role t = t.t_role
-let dir t = t.t_dir
-
-let drop_entry t key e =
-  Hashtbl.remove t.index key;
-  t.live_bytes <- t.live_bytes - entry_size e
-
-let get t key =
-  with_lock t @@ fun () ->
-  ensure_open t;
-  t.s_gets <- t.s_gets + 1;
-  match Hashtbl.find_opt t.index key with
-  | None -> None
-  | Some e -> (
-    let size = entry_size e in
-    match read_exact t.fd ~off:e.e_off ~len:size with
-    | exception _ ->
-      drop_entry t key e;
-      t.s_corrupt_dropped <- t.s_corrupt_dropped + 1;
-      None
-    | buf ->
-      let intact =
-        Bytes.sub_string buf 0 4 = record_magic
-        && u32 buf 8 = e.e_klen
-        && u32 buf 12 = e.e_vlen
-        && crc32 buf 8 (8 + e.e_klen + e.e_vlen) = u32 buf 4
-        && Bytes.sub_string buf record_header e.e_klen = key
-      in
-      if intact then begin
-        t.s_hits <- t.s_hits + 1;
-        t.s_read_bytes <- t.s_read_bytes + e.e_vlen;
-        Some (Bytes.sub_string buf (record_header + e.e_klen) e.e_vlen)
-      end
-      else begin
-        drop_entry t key e;
-        t.s_corrupt_dropped <- t.s_corrupt_dropped + 1;
-        None
-      end)
-
-let mem t key =
-  with_lock t @@ fun () ->
-  ensure_open t;
-  Hashtbl.mem t.index key
-
-let length t =
-  with_lock t @@ fun () ->
-  ensure_open t;
-  Hashtbl.length t.index
 
 (* Copy live, still-verifiable entries (oldest evicted first when over
    budget) into a side segment, fsync, atomically rename it over the old
@@ -476,14 +388,10 @@ let compact_locked t =
       raise e
   end
 
-let put t ~key value =
-  with_lock t @@ fun () ->
-  ensure_open t;
-  if t.t_role <> Writer then begin
-    t.s_put_rejected <- t.s_put_rejected + 1;
-    false
-  end
-  else if Hashtbl.mem t.index key then
+(* The writer append path: assumes the lock is held and the handle is a
+   writer. Shared by [put] and the offload-queue fold. *)
+let put_locked t ~key value =
+  if Hashtbl.mem t.index key then
     (* Content-addressed: an existing key already holds these bytes. *)
     true
   else begin
@@ -513,6 +421,262 @@ let put t ~key value =
     end
   end
 
+(* ----------------------- reader write offload ----------------------- *)
+
+(* Append one framed record to this reader's private queue file. The
+   file carries the same header and record framing as the segment, so
+   the writer's fold reuses the one scanner and torn appends are caught
+   the same way. O_APPEND keeps concurrent appends (two handles of one
+   process sharing a pid-named file) at record granularity. *)
+let offload_append_locked t ~key value =
+  let path = Option.get t.offload_path in
+  let append_all fd bytes =
+    let len = Bytes.length bytes in
+    let rec go pos =
+      if pos < len then go (pos + Unix.write fd bytes pos (len - pos))
+    in
+    go 0
+  in
+  let open_queue () =
+    let fd =
+      Unix.openfile path
+        [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND; Unix.O_CLOEXEC ]
+        0o644
+    in
+    if (Unix.fstat fd).Unix.st_size = 0 then append_all fd (encode_header ());
+    t.offload_fd <- Some (fd, (Unix.fstat fd).Unix.st_ino);
+    fd
+  in
+  let fd =
+    match t.offload_fd with
+    | None -> open_queue ()
+    | Some (fd, ino) -> (
+      (* The writer claims a queue by renaming it; if ours vanished from
+         under its path, the queued records are on their way into the
+         log — start a fresh queue. *)
+      match Unix.stat path with
+      | st when st.Unix.st_ino = ino -> fd
+      | _ | (exception Unix.Unix_error _) ->
+        Unix.close fd;
+        t.offload_fd <- None;
+        open_queue ())
+  in
+  append_all fd (encode_record ~key ~value)
+
+let reader_put_locked t ~key value =
+  let size = record_header + String.length key + String.length value in
+  if t.cfg.offload && t.offload_path <> None && size <= capacity_bytes t then (
+    match offload_append_locked t ~key value with
+    | () ->
+      t.s_offload_queued <- t.s_offload_queued + 1;
+      false
+    | exception _ ->
+      t.s_put_rejected <- t.s_put_rejected + 1;
+      false)
+  else begin
+    t.s_put_rejected <- t.s_put_rejected + 1;
+    false
+  end
+
+(* Writer side: fold every reader queue into the log. Each queue is
+   claimed by renaming it to ".folding" first — the rename is atomic, so
+   a reader appending concurrently either lands its record before the
+   claim (folded now) or notices the vanished path at its next append
+   and starts a fresh queue (folded at the next tick). A crash between
+   claim and unlink leaves a ".folding" file that the next fold replays;
+   re-folding is idempotent because folding an existing key is a no-op. *)
+let fold_offload_locked t =
+  if t.t_role <> Writer then ()
+  else begin
+    let names =
+      match Sys.readdir t.t_dir with
+      | names -> Array.to_list names
+      | exception Sys_error _ -> []
+    in
+    let claimed =
+      List.filter_map
+        (fun name ->
+          if not (String.starts_with ~prefix:offload_prefix name) then None
+          else if Filename.check_suffix name folding_suffix then
+            Some (Filename.concat t.t_dir name)
+          else if Filename.check_suffix name offload_suffix then begin
+            let path = Filename.concat t.t_dir name in
+            let folding = path ^ folding_suffix in
+            match Unix.rename path folding with
+            | () -> Some folding
+            | exception Unix.Unix_error _ -> None
+          end
+          else None)
+        names
+    in
+    List.iter
+      (fun path ->
+        (match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+          Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+          let size = (Unix.fstat fd).Unix.st_size in
+          if size > header_size then begin
+            let header = read_exact fd ~off:0 ~len:header_size in
+            if
+              Bytes.sub_string header 0 (String.length header_magic)
+              = header_magic
+              && u32 header (String.length header_magic) = format_version
+            then begin
+              let body = read_exact fd ~off:header_size ~len:(size - header_size) in
+              let _, damaged =
+                iter_region body ~f:(fun ~pos ~klen ~vlen ->
+                    let key = Bytes.sub_string body (pos + record_header) klen in
+                    let fresh = not (Hashtbl.mem t.index key) in
+                    let value =
+                      Bytes.sub_string body (pos + record_header + klen) vlen
+                    in
+                    if put_locked t ~key value && fresh then
+                      t.s_offload_folded <- t.s_offload_folded + 1)
+              in
+              t.s_corrupt_dropped <- t.s_corrupt_dropped + damaged
+            end
+          end);
+        try Sys.remove path with Sys_error _ -> ())
+      claimed
+  end
+
+let open_store ?(config = default_config) ?(readonly = false) dir =
+  if config.capacity_mb < 1 then
+    invalid_arg "Store.open_store: capacity_mb must be positive";
+  mkdir_p dir;
+  let real_dir = Unix.realpath dir in
+  let role, lock_fd =
+    if readonly then (Reader, None)
+    else if not (try_register_writer real_dir) then (Reader, None)
+    else begin
+      let fd =
+        Unix.openfile
+          (Filename.concat dir lock_name)
+          [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+          0o644
+      in
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () -> (Writer, Some fd)
+      | exception Unix.Unix_error _ ->
+        unregister_writer real_dir;
+        Unix.close fd;
+        (Reader, None)
+    end
+  in
+  let fd =
+    Unix.openfile
+      (Filename.concat dir segment_name)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  in
+  let t =
+    {
+      t_dir = dir;
+      real_dir;
+      cfg = config;
+      t_role = role;
+      lock_fd;
+      mutex = Mutex.create ();
+      fd;
+      index = Hashtbl.create 1024;
+      file_bytes = 0;
+      live_bytes = 0;
+      next_seq = 0;
+      ino = 0;
+      closed = false;
+      offload_path =
+        (if role = Reader && config.offload then
+           Some
+             (Filename.concat dir
+                (Printf.sprintf "%s%d-%d%s" offload_prefix (Unix.getpid ())
+                   (Atomic.fetch_and_add offload_counter 1)
+                   offload_suffix))
+         else None);
+      offload_fd = None;
+      s_gets = 0;
+      s_hits = 0;
+      s_puts = 0;
+      s_put_rejected = 0;
+      s_offload_queued = 0;
+      s_offload_folded = 0;
+      s_appended_bytes = 0;
+      s_read_bytes = 0;
+      s_compactions = 0;
+      s_corrupt_dropped = 0;
+      s_truncated_bytes = 0;
+    }
+  in
+  (match
+     load t;
+     if t.t_role = Writer then fold_offload_locked t
+   with
+  | () -> ()
+  | exception e ->
+    Unix.close fd;
+    (match lock_fd with
+    | Some lfd ->
+      unregister_writer real_dir;
+      Unix.close lfd
+    | None -> ());
+    raise e);
+  t
+
+let role t = t.t_role
+let dir t = t.t_dir
+
+let drop_entry t key e =
+  Hashtbl.remove t.index key;
+  t.live_bytes <- t.live_bytes - entry_size e
+
+let get t key =
+  with_lock t @@ fun () ->
+  ensure_open t;
+  t.s_gets <- t.s_gets + 1;
+  match Hashtbl.find_opt t.index key with
+  | None -> None
+  | Some e -> (
+    let size = entry_size e in
+    match read_exact t.fd ~off:e.e_off ~len:size with
+    | exception _ ->
+      drop_entry t key e;
+      t.s_corrupt_dropped <- t.s_corrupt_dropped + 1;
+      None
+    | buf ->
+      let intact =
+        Bytes.sub_string buf 0 4 = record_magic
+        && u32 buf 8 = e.e_klen
+        && u32 buf 12 = e.e_vlen
+        && crc32 buf 8 (8 + e.e_klen + e.e_vlen) = u32 buf 4
+        && Bytes.sub_string buf record_header e.e_klen = key
+      in
+      if intact then begin
+        t.s_hits <- t.s_hits + 1;
+        t.s_read_bytes <- t.s_read_bytes + e.e_vlen;
+        Some (Bytes.sub_string buf (record_header + e.e_klen) e.e_vlen)
+      end
+      else begin
+        drop_entry t key e;
+        t.s_corrupt_dropped <- t.s_corrupt_dropped + 1;
+        None
+      end)
+
+let mem t key =
+  with_lock t @@ fun () ->
+  ensure_open t;
+  Hashtbl.mem t.index key
+
+let length t =
+  with_lock t @@ fun () ->
+  ensure_open t;
+  Hashtbl.length t.index
+
+let put t ~key value =
+  with_lock t @@ fun () ->
+  ensure_open t;
+  if t.t_role <> Writer then reader_put_locked t ~key value
+  else put_locked t ~key value
+
 let compact t =
   with_lock t @@ fun () ->
   ensure_open t;
@@ -521,7 +685,7 @@ let compact t =
 let refresh t =
   with_lock t @@ fun () ->
   ensure_open t;
-  if t.t_role = Writer then ()
+  if t.t_role = Writer then fold_offload_locked t
   else
     match Unix.stat (segment_path t) with
     | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
@@ -560,6 +724,11 @@ let close t =
   if not t.closed then begin
     if t.t_role = Writer then (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
     Unix.close t.fd;
+    (match t.offload_fd with
+    | Some (fd, _) ->
+      t.offload_fd <- None;
+      Unix.close fd
+    | None -> ());
     (match t.lock_fd with
     | Some lfd ->
       unregister_writer t.real_dir;
@@ -576,6 +745,8 @@ type stats = {
   hits : int;
   puts : int;
   put_rejected : int;
+  offload_queued : int;
+  offload_folded : int;
   appended_bytes : int;
   read_bytes : int;
   compactions : int;
@@ -594,6 +765,8 @@ let stats t =
     hits = t.s_hits;
     puts = t.s_puts;
     put_rejected = t.s_put_rejected;
+    offload_queued = t.s_offload_queued;
+    offload_folded = t.s_offload_folded;
     appended_bytes = t.s_appended_bytes;
     read_bytes = t.s_read_bytes;
     compactions = t.s_compactions;

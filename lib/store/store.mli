@@ -23,8 +23,21 @@
     in-process registry, so two handles in one process exclude each
     other too), any number of {e readers}. A process that cannot take
     the write lock degrades to a reader. Readers never modify the
-    files; {!refresh} picks up records appended — or a whole segment
+    segment; {!refresh} picks up records appended — or a whole segment
     swapped in by a compaction — since their last scan.
+
+    {e Write offload}: a reader cannot append to the segment, but with
+    {!config.offload} (the default) its [put]s are not lost either —
+    each reader appends them to a private [offload-<pid>-<n>.queue]
+    file in the store directory, framed exactly like segment records.
+    The writer {e folds} every queue into the main log when it opens
+    the store and on every {!refresh} tick (claiming each queue by
+    rename first, so a crash mid-fold re-folds idempotently — folding
+    an already-present key is a no-op), then unlinks it. Readers pick
+    the folded entries up through their own [refresh] like any other
+    append. [put_rejected] stays what it always was: the count of
+    drops that did not even queue (oversize records, offload disabled,
+    or a queue-file write error).
 
     Keys are arbitrary strings (callers here use content digests);
     values are arbitrary bytes. The store never interprets either: it
@@ -51,6 +64,10 @@ type config = {
   auto_compact : bool;
       (** compact from inside [put] when the budget is exceeded
           (default true) *)
+  offload : bool;
+      (** readers queue their [put]s to a per-reader offload file for
+          the writer to fold in, instead of dropping them (default
+          true) *)
 }
 
 val default_config : config
@@ -78,10 +95,14 @@ val get : t -> string -> string option
     open) is dropped from the index and reported as a miss. *)
 
 val put : t -> key:string -> string -> bool
-(** Append one record. Returns [false] without writing when the handle
-    is a {!Reader} or the single record alone exceeds the whole
-    capacity budget; [true] when the key is now present (including the
-    no-op re-put of an existing key). *)
+(** Append one record. Returns [true] when the key is now present in
+    this handle's view (including the no-op re-put of an existing
+    key); [false] when it is not — because the record alone exceeds
+    the whole capacity budget, or because the handle is a {!Reader}.
+    A reader's put is still {e queued} to its offload file (unless
+    {!config.offload} is off or the queue write fails) for the writer
+    to fold in later; the key only becomes visible through this handle
+    after the writer folds and a {!refresh} picks it up. *)
 
 val mem : t -> string -> bool
 val length : t -> int
@@ -89,7 +110,10 @@ val length : t -> int
 val refresh : t -> unit
 (** Readers: pick up appends since the last scan, or re-open and
     re-scan if the segment was swapped (compaction) or truncated under
-    us. Writers: no-op (a writer's view is authoritative). *)
+    us. Writers: fold any reader offload queues into the log and
+    unlink them (a writer's view of the segment itself is
+    authoritative) — the periodic "refresh tick" a serving layer
+    already performs is exactly when folding should happen. *)
 
 val compact : t -> unit
 (** Writer only (readers: no-op): copy live, verifiable entries into a
@@ -112,7 +136,15 @@ type stats = {
   gets : int;
   hits : int;
   puts : int;  (** appends actually performed *)
-  put_rejected : int;  (** reader-side or oversize puts refused *)
+  put_rejected : int;
+      (** puts that were dropped outright — oversize, offload disabled,
+          or the offload append itself failed; queued puts are counted
+          in [offload_queued] instead *)
+  offload_queued : int;  (** reader puts appended to the offload queue *)
+  offload_folded : int;
+      (** offload-queue records this writer folded into the log
+          (records whose key was already present fold as no-ops and are
+          not counted) *)
   appended_bytes : int;
   read_bytes : int;  (** value bytes served by hits *)
   compactions : int;

@@ -1,0 +1,376 @@
+(* The multi-process gateway: wire-frame integrity (roundtrip, CRC
+   damage, version skew as typed decode errors), byte-identity of the
+   procs=2 merge against the sequential reference, in-order merge under
+   adversarial per-worker latency skew, worker-crash recovery via a
+   single re-dispatch, permanent worker loss as a typed error, deadline
+   expiry at the master, and SIGTERM drain semantics. *)
+
+open Tabseg_serve
+open Tabseg_gateway
+open Tabseg_sitegen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let render segmentation =
+  Format.asprintf "%a" Tabseg.Segmentation.pp segmentation
+
+let render_response (response : Gateway.response) =
+  match response.Gateway.outcome with
+  | Ok result -> render result.Tabseg.Api.segmentation
+  | Error error -> "ERROR: " ^ Gateway.error_message error
+
+let requests_of site_names =
+  List.concat_map
+    (fun name ->
+      let site = Sites.find name in
+      let generated = Sites.generate site in
+      List.mapi
+        (fun page_index _ ->
+          let list_pages, detail_pages =
+            Sites.segmentation_input generated ~page_index
+          in
+          {
+            Service.id = Printf.sprintf "%s#%d" name page_index;
+            site = name;
+            input = { Tabseg.Pipeline.list_pages; detail_pages };
+          })
+        generated.Sites.pages)
+    site_names
+
+let sequential_reference requests =
+  List.map
+    (fun (request : Service.request) ->
+      match
+        Tabseg.Api.segment_result ~method_:Tabseg.Api.Probabilistic
+          request.Service.input
+      with
+      | Ok result -> render result.Tabseg.Api.segmentation
+      | Error error -> "ERROR: " ^ Tabseg.Api.input_error_message error)
+    requests
+
+let with_gateway config f =
+  let gateway = Gateway.create ~config () in
+  Fun.protect ~finally:(fun () -> Gateway.shutdown gateway) (fun () ->
+      f gateway)
+
+let temp_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tabseg_gw_%d_%d" (Unix.getpid ()) !counter)
+
+let counter_value gateway name =
+  Metrics.counter_value (Metrics.counter (Gateway.metrics gateway) name)
+
+(* ------------------------------ wire -------------------------------- *)
+
+let roundtrip message = Wire.decode (Wire.encode message)
+
+let test_wire_roundtrip () =
+  let messages =
+    [
+      Wire.Hello { pid = 4242; role = "writer" };
+      Wire.Ping 7;
+      Wire.Pong 7;
+      Wire.Shutdown;
+      Wire.Request
+        {
+          seq = 12;
+          request =
+            {
+              Service.id = "r12";
+              site = "example";
+              input =
+                {
+                  Tabseg.Pipeline.list_pages = [ "<html>x</html>" ];
+                  detail_pages = [ "<html>y</html>" ];
+                };
+            };
+          fault = Wire.Sleep_s 0.25;
+        };
+    ]
+  in
+  List.iter
+    (fun message ->
+      match roundtrip message with
+      | `Msg (decoded, consumed) ->
+        check_bool "roundtrip preserves the message" true (decoded = message);
+        check_int "whole frame consumed" (String.length (Wire.encode message))
+          consumed
+      | `Need_more | `Error _ -> Alcotest.fail "roundtrip failed to decode")
+    messages;
+  (* Two frames back to back parse in order from the running offset. *)
+  let stream = Wire.encode (Wire.Ping 1) ^ Wire.encode (Wire.Ping 2) in
+  (match Wire.decode stream with
+  | `Msg (Wire.Ping 1, next) -> (
+    match Wire.decode ~off:next stream with
+    | `Msg (Wire.Ping 2, final) ->
+      check_int "stream fully consumed" (String.length stream) final
+    | _ -> Alcotest.fail "second frame lost")
+  | _ -> Alcotest.fail "first frame lost");
+  (* A frame prefix is Need_more at every cut point, never an error. *)
+  let frame = Wire.encode Wire.Shutdown in
+  for cut = 0 to String.length frame - 1 do
+    match Wire.decode (String.sub frame 0 cut) with
+    | `Need_more -> ()
+    | `Msg _ | `Error _ ->
+      Alcotest.fail (Printf.sprintf "truncation at %d misparsed" cut)
+  done
+
+let test_wire_damage_typed () =
+  let frame = Wire.encode (Wire.Hello { pid = 1; role = "reader" }) in
+  let flip frame pos =
+    let bytes = Bytes.of_string frame in
+    Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x40));
+    Bytes.to_string bytes
+  in
+  (* A flipped payload byte fails the CRC. *)
+  (match Wire.decode (flip frame (String.length frame - 1)) with
+  | `Error Wire.Bad_crc -> ()
+  | _ -> Alcotest.fail "payload damage must be Bad_crc");
+  (* A flipped magic byte is Bad_magic. *)
+  (match Wire.decode (flip frame 0) with
+  | `Error Wire.Bad_magic -> ()
+  | _ -> Alcotest.fail "magic damage must be Bad_magic");
+  (* A version bump is typed with the claimed version. *)
+  (match Wire.decode (flip frame 7) with
+  | `Error (Wire.Bad_version v) ->
+    check_bool "claimed version reported" true (v <> Wire.protocol_version)
+  | _ -> Alcotest.fail "version skew must be Bad_version");
+  (* Damage in the length field cannot make the decoder allocate wild:
+     it reports an error or wants more bytes, it never throws. *)
+  match Wire.decode (flip frame 13) with
+  | `Error _ | `Need_more -> ()
+  | `Msg _ -> Alcotest.fail "length damage decoded as a message"
+
+(* ------------------------ byte-identity merge ----------------------- *)
+
+let test_procs2_matches_sequential () =
+  let requests = requests_of [ "ButlerCounty"; "AlleghenyCounty" ] in
+  let expected = sequential_reference requests in
+  let store_dir = temp_path () ^ ".tabstore" in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists store_dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat store_dir name))
+          (Sys.readdir store_dir);
+        Unix.rmdir store_dir
+      end)
+  @@ fun () ->
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 2;
+      service =
+        { Service.default_config with Service.store_dir = Some store_dir }
+    }
+  @@ fun gateway ->
+  (* Cold and warm rounds must both agree byte-for-byte. *)
+  List.iter
+    (fun round ->
+      let responses = Gateway.run_batch gateway requests in
+      check_int
+        (Printf.sprintf "round %d: response count" round)
+        (List.length requests) (List.length responses);
+      List.iteri
+        (fun i (response : Gateway.response) ->
+          check_string
+            (Printf.sprintf "round %d request %d" round i)
+            (List.nth expected i)
+            (render_response response);
+          check_string "order preserved"
+            (List.nth requests i).Service.id response.Gateway.id)
+        responses)
+    [ 1; 2 ];
+  (* Over one shared store, exactly one worker won the writer lock. *)
+  let roles = Gateway.worker_roles gateway in
+  check_int "both workers alive" 2 (List.length roles);
+  check_int "exactly one writer" 1
+    (List.length (List.filter (fun (_, role) -> role = "writer") roles));
+  check_int "the other is a reader" 1
+    (List.length (List.filter (fun (_, role) -> role = "reader") roles))
+
+(* --------------------- in-order merge under skew -------------------- *)
+
+let test_inorder_merge_under_skew () =
+  let requests = requests_of [ "ButlerCounty"; "AlleghenyCounty" ] in
+  let expected = sequential_reference requests in
+  (* Deterministic adversarial skew: each request sleeps a different
+     amount derived from its id, so workers finish far out of
+     submission order. *)
+  let skew (request : Service.request) =
+    Wire.Sleep_s (float_of_int (Hashtbl.hash request.Service.id mod 5) *. 0.02)
+  in
+  with_gateway { Gateway.default_config with Gateway.procs = 3 }
+  @@ fun gateway ->
+  let responses = Gateway.run_batch gateway ~fault:skew requests in
+  check_int "every request answered" (List.length requests)
+    (List.length responses);
+  List.iteri
+    (fun i (response : Gateway.response) ->
+      check_string
+        (Printf.sprintf "skewed request %d still in order" i)
+        (List.nth requests i).Service.id response.Gateway.id;
+      check_string
+        (Printf.sprintf "skewed request %d byte-identical" i)
+        (List.nth expected i) (render_response response))
+    responses
+
+(* ------------------------- crash supervision ------------------------ *)
+
+let test_worker_crash_recovery () =
+  let requests = requests_of [ "ButlerCounty" ] in
+  let expected = sequential_reference requests in
+  let marker = temp_path () ^ ".crash" in
+  let oc = open_out marker in
+  close_out oc;
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists marker then Sys.remove marker)
+  @@ fun () ->
+  (* The marked request kills its worker mid-request; the marker is
+     deleted by the dying worker, so the single re-dispatch to the
+     restarted replacement must return the real result, not an error. *)
+  let poison = (List.hd requests).Service.id in
+  let fault (request : Service.request) =
+    if request.Service.id = poison then Wire.Crash_if_exists marker
+    else Wire.No_fault
+  in
+  with_gateway
+    { Gateway.default_config with Gateway.procs = 2; backoff_s = 0.01 }
+  @@ fun gateway ->
+  let responses = Gateway.run_batch gateway ~fault requests in
+  List.iteri
+    (fun i (response : Gateway.response) ->
+      check_string
+        (Printf.sprintf "request %d correct after crash recovery" i)
+        (List.nth expected i) (render_response response))
+    responses;
+  check_bool "the crash was supervised (restart counted)" true
+    (counter_value gateway "gateway.worker_restarts" >= 1);
+  check_bool "the request was re-dispatched exactly once" true
+    (counter_value gateway "gateway.redispatches" >= 1);
+  check_bool "marker consumed by the dying worker" true
+    (not (Sys.file_exists marker));
+  (* The fleet is healthy again afterwards. *)
+  let healthy = Gateway.health gateway in
+  check_int "both workers answer pings" 2
+    (List.length (List.filter snd healthy))
+
+let test_worker_lost_is_typed () =
+  (* A directory marker cannot be deleted by the crashing worker, so
+     every dispatch of the poisoned request kills a worker: after the
+     one allowed re-dispatch the gateway must give up with a typed
+     Worker_lost, never hang or crash the master. *)
+  let marker = temp_path () ^ ".crashdir" in
+  Unix.mkdir marker 0o700;
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists marker then Unix.rmdir marker)
+  @@ fun () ->
+  let requests = [ List.hd (requests_of [ "ButlerCounty" ]) ] in
+  let fault _ = Wire.Crash_if_exists marker in
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 2;
+      max_restarts = 2;
+      backoff_s = 0.01
+    }
+  @@ fun gateway ->
+  let responses = Gateway.run_batch gateway ~fault requests in
+  match responses with
+  | [ { Gateway.outcome = Error (Gateway.Worker_lost _); _ } ] -> ()
+  | [ response ] ->
+    Alcotest.fail
+      ("expected Worker_lost, got " ^ render_response response)
+  | _ -> Alcotest.fail "expected exactly one response"
+
+let test_gateway_deadline () =
+  let requests = [ List.hd (requests_of [ "ButlerCounty" ]) ] in
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 2;
+      deadline_s = Some 0.05
+    }
+  @@ fun gateway ->
+  let responses =
+    Gateway.run_batch gateway ~fault:(fun _ -> Wire.Sleep_s 0.5) requests
+  in
+  (match responses with
+  | [ { Gateway.outcome = Error Gateway.Deadline_exceeded; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Deadline_exceeded");
+  check_int "deadline counted" 1
+    (counter_value gateway "gateway.deadline_exceeded")
+
+(* ----------------------------- draining ----------------------------- *)
+
+let test_sigterm_drains () =
+  let requests = requests_of [ "ButlerCounty" ] in
+  with_gateway { Gateway.default_config with Gateway.procs = 2 }
+  @@ fun gateway ->
+  Gateway.install_sigterm gateway;
+  Fun.protect ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm Sys.Signal_default)
+  @@ fun () ->
+  (* SIGTERM lands mid-batch (the sleeps keep the batch in flight);
+     the in-flight work must still complete — drain, not abort. *)
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Unix.kill (Unix.getpid ()) Sys.sigterm)
+  in
+  let responses =
+    Gateway.run_batch gateway ~fault:(fun _ -> Wire.Sleep_s 0.15) requests
+  in
+  Domain.join killer;
+  check_int "in-flight batch completed through the drain"
+    (List.length requests) (List.length responses);
+  List.iter
+    (fun (response : Gateway.response) ->
+      check_bool "drained request answered, not errored" true
+        (Result.is_ok response.Gateway.outcome))
+    responses;
+  check_bool "gateway is draining" true (Gateway.draining gateway);
+  (* New work is refused with the typed drain error. *)
+  match Gateway.run_batch gateway requests with
+  | [] -> Alcotest.fail "expected responses"
+  | refused ->
+    List.iter
+      (fun (response : Gateway.response) ->
+        check_bool "refused with Draining" true
+          (response.Gateway.outcome = Error Gateway.Draining))
+      refused
+
+let () =
+  Alcotest.run "gateway"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame roundtrip + stream + truncation" `Quick
+            test_wire_roundtrip;
+          Alcotest.test_case "damage decodes as typed errors" `Quick
+            test_wire_damage_typed;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "procs=2 byte-identical to sequential" `Slow
+            test_procs2_matches_sequential;
+          Alcotest.test_case "in-order under latency skew" `Slow
+            test_inorder_merge_under_skew;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash mid-request recovers via re-dispatch"
+            `Slow test_worker_crash_recovery;
+          Alcotest.test_case "permanent crash is typed Worker_lost" `Slow
+            test_worker_lost_is_typed;
+          Alcotest.test_case "deadline expiry at the master" `Quick
+            test_gateway_deadline;
+        ] );
+      ( "draining",
+        [
+          Alcotest.test_case "SIGTERM drains in-flight work" `Quick
+            test_sigterm_drains;
+        ] );
+    ]

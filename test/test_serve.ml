@@ -232,7 +232,9 @@ let test_pool_overload_rejects () =
   let queued = Pool.submit pool (fun () -> "queued") in
   let shed = Pool.submit pool (fun () -> "shed") in
   check_bool "queue full => immediate typed rejection" true
-    (Pool.await shed = Pool.Rejected);
+    (match Pool.await shed with
+    | Pool.Rejected { depth; capacity } -> depth = 1 && capacity = 1
+    | _ -> false);
   open_gate ();
   check_bool "queued task still ran" true (Pool.await queued = Pool.Done "queued");
   check_bool "blockers completed" true
@@ -261,7 +263,9 @@ let test_service_overload_typed_error () =
   List.iter
     (fun (response : Service.response) ->
       check_bool "typed overload error" true
-        (response.Service.outcome = Error Service.Overloaded))
+        (match response.Service.outcome with
+        | Error (Service.Overloaded { capacity = 0; _ }) -> true
+        | _ -> false))
     responses;
   check_bool "rejections counted" true
     ((Service.pool_stats service).Pool.rejected >= 2)

@@ -202,9 +202,22 @@ let test_single_writer () =
   let second = Store.open_store dir in
   check_bool "second handle degrades to reader" true
     (Store.role second = Store.Reader);
-  check_bool "reader put refused" false (Store.put second ~key:"k" "v");
-  check_int "refusal counted" 1 (Store.stats second).Store.put_rejected;
+  check_bool "reader put queues instead of writing" false
+    (Store.put second ~key:"k" "v");
+  check_int "queued, not dropped" 1 (Store.stats second).Store.offload_queued;
+  check_int "no outright drop" 0 (Store.stats second).Store.put_rejected;
   Store.close second;
+  (* with offload off, a reader's put is a counted hard drop *)
+  let no_offload =
+    Store.open_store
+      ~config:{ Store.default_config with Store.offload = false }
+      dir
+  in
+  check_bool "offload off: put refused" false
+    (Store.put no_offload ~key:"k2" "v");
+  check_int "refusal counted" 1 (Store.stats no_offload).Store.put_rejected;
+  check_int "nothing queued" 0 (Store.stats no_offload).Store.offload_queued;
+  Store.close no_offload;
   Store.close writer;
   (* the lock dies with its holder *)
   let reopened = Store.open_store dir in
@@ -234,6 +247,49 @@ let test_reader_refresh_sees_appends () =
   check_bool "old entries survive the swap" true (Store.mem reader "before");
   Store.close reader;
   Store.close writer
+
+let test_reader_offload_folds () =
+  with_dir @@ fun dir ->
+  let queues () =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun name ->
+           String.length name >= 8 && String.sub name 0 8 = "offload-")
+  in
+  let writer = Store.open_store dir in
+  ignore (Store.put writer ~key:"w" "1");
+  let reader = Store.open_store dir in
+  check_bool "reader put queues, not visible yet" false
+    (Store.put reader ~key:"q" "2");
+  check_int "queued counted" 1 (Store.stats reader).Store.offload_queued;
+  check_int "one offload queue on disk" 1 (List.length (queues ()));
+  check_bool "writer does not see it before folding" false
+    (Store.mem writer "q");
+  (* the writer's refresh tick folds the queue into the log… *)
+  Store.refresh writer;
+  check_bool "folded into the writer's log" true
+    (Store.get writer "q" = Some "2");
+  check_int "fold counted" 1 (Store.stats writer).Store.offload_folded;
+  check_int "queue unlinked after fold" 0 (List.length (queues ()));
+  (* …and the reader picks its own put back up like any other append. *)
+  check_bool "still invisible to the reader" false (Store.mem reader "q");
+  Store.refresh reader;
+  check_bool "reader sees its put after fold + refresh" true
+    (Store.get reader "q" = Some "2");
+  (* A later put starts a fresh queue (the old file was claimed by
+     rename); that queue survives both closes and is folded when the
+     next writer opens the store. *)
+  check_bool "second reader put queues" false (Store.put reader ~key:"r" "3");
+  check_int "fresh queue on disk" 1 (List.length (queues ()));
+  Store.close reader;
+  Store.close writer;
+  let reopened = Store.open_store dir in
+  check_bool "fold on open" true (Store.get reopened "r" = Some "3");
+  check_int "fold on open counted" 1
+    (Store.stats reopened).Store.offload_folded;
+  check_int "no queues left behind" 0 (List.length (queues ()));
+  check_bool "earlier entries intact" true
+    (Store.mem reopened "w" && Store.mem reopened "q");
+  Store.close reopened
 
 (* ---------------------------- compaction ---------------------------- *)
 
@@ -489,6 +545,8 @@ let () =
             test_single_writer;
           Alcotest.test_case "reader refresh sees appends and swaps" `Quick
             test_reader_refresh_sees_appends;
+          Alcotest.test_case "reader offload queue folds into the log" `Quick
+            test_reader_offload_folds;
         ] );
       ( "compaction",
         [
