@@ -7,14 +7,21 @@
 # persistent cache tier), and the gateway smoke (procs=2 responses
 # byte-identical to procs=1, and a worker killed mid-request recovers
 # to a correct — not typed-error — result via a single re-dispatch).
+# `lint` runs tabseg_lint (rules TS001-TS007: fork-after-domain,
+# raw-marshal, bare-mutex, blocking-io-select, print-in-lib,
+# global-mutable-state, allow discipline) over lib/ bin/ bench/ and
+# fails on any unsuppressed finding.
 
-.PHONY: check build test smoke bench bench-throughput bench-store \
+.PHONY: check build lint test smoke bench bench-throughput bench-store \
 	bench-gateway clean
 
-check: build test smoke
+check: build lint test smoke
 
 build:
 	dune build @all
+
+lint:
+	dune exec bin/tabseg_lint.exe -- lib bin bench
 
 test:
 	dune runtest

@@ -1,0 +1,60 @@
+(* tabseg_lint: the project-invariant gate.
+
+   Walks every .ml under the given roots (default: lib bin bench),
+   parses each with compiler-libs, and reports violations of the
+   project invariants as file:line findings with stable rule ids.
+   Exits 1 when any unsuppressed finding remains, so `make lint` (and
+   CI) fail closed. See `tabseg_lint --list-rules` or the README
+   section "Keeping the invariants honest". *)
+
+module Lint = Tabseg_analyze.Lint
+
+let default_roots = [ "lib"; "bin"; "bench" ]
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           if String.length entry > 0 && (entry.[0] = '.' || entry.[0] = '_')
+           then []
+           else ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let list_rules () =
+  print_endline "rule id  slug                        invariant";
+  List.iter
+    (fun (id, slug, description) ->
+      Printf.printf "%-8s %-27s %s\n" id slug description)
+    (Lint.rules_table ());
+  print_endline
+    "\nSuppress a finding at its site with\n\
+    \  [@tabseg.allow \"<slug>\" \"<one-line justification>\"]\n\
+     (or [@@tabseg.allow ...] on a binding, [@@@tabseg.allow ...] for a \
+     whole file)."
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list-rules" args then list_rules ()
+  else begin
+    let roots = match args with [] -> default_roots | roots -> roots in
+    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+    if missing <> [] then begin
+      Printf.eprintf "tabseg_lint: no such file or directory: %s\n"
+        (String.concat ", " missing);
+      exit 2
+    end;
+    let files = List.concat_map ml_files_under roots in
+    let findings = Lint.lint_files files in
+    List.iter (fun f -> print_endline (Lint.render f)) findings;
+    match findings with
+    | [] ->
+      Printf.printf "tabseg_lint: %d files clean (rules TS001-TS007)\n"
+        (List.length files)
+    | _ ->
+      Printf.printf
+        "tabseg_lint: %d finding(s) in %d files; suppress only with a \
+         justified [@tabseg.allow], see --list-rules\n"
+        (List.length findings) (List.length files);
+      exit 1
+  end

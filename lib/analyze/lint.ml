@@ -1,0 +1,555 @@
+(* Project-invariant linter over compiler-libs parsetrees.
+
+   The serving stack's safety rests on invariants that used to live only
+   in comments: fork before domains, Marshal only behind CRC framing,
+   exception-safe locking, nonblocking IO in select loops, Logs in
+   libraries, no unguarded domain-shared globals. This pass parses every
+   compilation unit with [Parse.implementation], walks it with an
+   [Ast_iterator], and turns each invariant into a typed, file:line
+   finding with a stable rule id (TS001..TS006), so `make lint` can gate
+   CI on them.
+
+   Findings are suppressible per site with
+     [@tabseg.allow "<rule-slug>" "<one-line justification>"]
+   on the offending expression, binding or structure item (or
+   [@@@tabseg.allow ...] for the rest of a file). The justification is
+   mandatory: an allow without one is itself a finding (TS007). *)
+
+type rule =
+  | Parse_error
+  | Fork_after_domain
+  | Raw_marshal
+  | Bare_mutex
+  | Blocking_io_select
+  | Print_in_lib
+  | Global_mutable_state
+  | Allow_needs_justification
+
+let rule_id = function
+  | Parse_error -> "TS000"
+  | Fork_after_domain -> "TS001"
+  | Raw_marshal -> "TS002"
+  | Bare_mutex -> "TS003"
+  | Blocking_io_select -> "TS004"
+  | Print_in_lib -> "TS005"
+  | Global_mutable_state -> "TS006"
+  | Allow_needs_justification -> "TS007"
+
+let rule_slug = function
+  | Parse_error -> "parse-error"
+  | Fork_after_domain -> "fork-after-domain"
+  | Raw_marshal -> "raw-marshal"
+  | Bare_mutex -> "bare-mutex"
+  | Blocking_io_select -> "blocking-io-select"
+  | Print_in_lib -> "print-in-lib"
+  | Global_mutable_state -> "global-mutable-state"
+  | Allow_needs_justification -> "allow-needs-justification"
+
+(* The rules an [@tabseg.allow] may name. Parse errors and malformed
+   allows are not suppressible. *)
+let suppressible =
+  [
+    Fork_after_domain;
+    Raw_marshal;
+    Bare_mutex;
+    Blocking_io_select;
+    Print_in_lib;
+    Global_mutable_state;
+  ]
+
+let rule_of_slug slug =
+  List.find_opt (fun r -> rule_slug r = slug) suppressible
+
+let describe_rule = function
+  | Parse_error -> "the file does not parse; nothing else can be checked"
+  | Fork_after_domain ->
+    "no Unix.fork in a compilation unit that (transitively) references \
+     a unit spawning domains — fork after Domain.spawn aborts the \
+     OCaml 5 runtime"
+  | Raw_marshal ->
+    "no raw Marshal outside Gateway.Wire and Store.Codec — unframed \
+     Marshal turns a flipped byte into a segfault instead of a \
+     checksum miss"
+  | Bare_mutex ->
+    "no bare Mutex.lock/Mutex.unlock — an exception between them \
+     leaks the lock; use Lockcheck.protect"
+  | Blocking_io_select ->
+    "no Unix.read/Unix.write/Unix.sleepf in a module driving a \
+     Unix.select loop — use the EINTR-safe wrappers in Gateway.Wire"
+  | Print_in_lib ->
+    "no Printf.printf/print_endline in lib/ — libraries report through \
+     Logs; stdout belongs to the CLIs"
+  | Global_mutable_state ->
+    "no module-level ref/Hashtbl.create in domain-shared lib/serve or \
+     lib/store modules without a guard annotation naming the lock"
+  | Allow_needs_justification ->
+    "every [@tabseg.allow] names a known rule and carries a non-empty \
+     one-line justification"
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let render f =
+  Printf.sprintf "%s:%d:%d: %s %s: %s" f.file f.line f.col (rule_id f.rule)
+    (rule_slug f.rule) f.message
+
+(* --------------------------- path scoping --------------------------- *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  path
+
+let components path = String.split_on_char '/' (normalize path)
+let has_component c path = List.mem c (components path)
+let ends_with suffix path = String.ends_with ~suffix (normalize path)
+
+(* Wire and Codec own the raw Marshal calls: both put a CRC between the
+   bytes and [Marshal.from_string]. *)
+let marshal_blessed path =
+  ends_with "lib/gateway/wire.ml" path || ends_with "lib/store/codec.ml" path
+
+(* Lockcheck implements the protect wrapper; it is the one place a raw
+   lock may appear. *)
+let mutex_blessed path = ends_with "lockcheck.ml" path
+
+(* Wire implements the EINTR-safe read/write/sleep wrappers the
+   select-loop rule points at. *)
+let io_blessed path = ends_with "lib/gateway/wire.ml" path
+let in_lib path = has_component "lib" path
+
+let domain_shared path =
+  has_component "lib" path
+  && (has_component "serve" path || has_component "store" path)
+
+(* ------------------------------ scanning ----------------------------- *)
+
+type fork_site = { fk_line : int; fk_col : int; fk_allowed : bool }
+
+type unit_info = {
+  u_path : string;
+  u_dir : string;
+  u_module : string;
+  u_refs : string list;  (* "Mod" and "Tabseg_lib.Mod" candidates *)
+  u_has_spawn : bool;
+  u_forks : fork_site list;
+  u_findings : finding list;  (* local rules, allow-filtered *)
+}
+
+type allow_span = {
+  a_rule : rule;
+  a_from : int;
+  a_to : int;  (* inclusive line range the allow covers *)
+}
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
+
+let parse_allow (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_constant (Pconst_string (slug, _, _)); _ },
+          [
+            ( Asttypes.Nolabel,
+              { pexp_desc = Pexp_constant (Pconst_string (why, _, _)); _ } );
+          ] ) ->
+      `Allow (slug, Some why)
+    | Pexp_constant (Pconst_string (slug, _, _)) -> `Allow (slug, None)
+    | _ -> `Malformed)
+  | _ -> `Malformed
+
+let scan ~path source =
+  let path = normalize path in
+  let dir = Filename.dirname path in
+  let module_name =
+    String.capitalize_ascii
+      (Filename.remove_extension (Filename.basename path))
+  in
+  let refs : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let findings = ref [] in
+  let allows = ref [] in
+  let forks = ref [] in
+  let has_spawn = ref false in
+  let has_select = ref false in
+  let io_sites = ref [] in
+  let report rule loc message =
+    findings :=
+      { rule; file = path; line = line_of loc; col = col_of loc; message }
+      :: !findings
+  in
+  let note_modules parts =
+    match parts with
+    | [] -> ()
+    | first :: rest ->
+      if first <> "" && first.[0] >= 'A' && first.[0] <= 'Z' then begin
+        Hashtbl.replace refs first ();
+        match rest with
+        | second :: _ when String.starts_with ~prefix:"Tabseg" first ->
+          Hashtbl.replace refs (first ^ "." ^ second) ()
+        | _ -> ()
+      end
+  in
+  (* Module prefix of a value/constructor/type path: everything before
+     the final component. *)
+  let note_value_path parts =
+    match List.rev parts with
+    | [] | [ _ ] -> ()
+    | _ :: rev_prefix -> note_modules (List.rev rev_prefix)
+  in
+  let host_allows loc (attrs : Parsetree.attributes) ~to_line =
+    List.iter
+      (fun (attr : Parsetree.attribute) ->
+        if attr.attr_name.txt = "tabseg.allow" then
+          match parse_allow attr with
+          | `Allow (slug, why) -> (
+            match (rule_of_slug slug, why) with
+            | Some rule, Some why when String.trim why <> "" ->
+              allows :=
+                { a_rule = rule; a_from = line_of loc; a_to = to_line loc }
+                :: !allows
+            | Some _, _ ->
+              report Allow_needs_justification attr.attr_loc
+                (Printf.sprintf
+                   "[@tabseg.allow \"%s\"] needs a non-empty justification \
+                    string: [@tabseg.allow \"%s\" \"why this site is safe\"]"
+                   slug slug)
+            | None, _ ->
+              report Allow_needs_justification attr.attr_loc
+                (Printf.sprintf
+                   "unknown rule %S in [@tabseg.allow]; suppressible rules: %s"
+                   slug
+                   (String.concat ", " (List.map rule_slug suppressible))))
+          | `Malformed ->
+            report Allow_needs_justification attr.attr_loc
+              "malformed [@tabseg.allow]: expected [@tabseg.allow \
+               \"<rule-slug>\" \"<justification>\"]")
+      attrs
+  in
+  let span_of_host (loc : Location.t) = loc.loc_end.pos_lnum in
+  let check_ident parts loc =
+    (match parts with
+    | [ "Unix"; "fork" ] ->
+      forks := (line_of loc, col_of loc) :: !forks
+    | [ "Domain"; "spawn" ] -> has_spawn := true
+    | [ "Unix"; "select" ] -> has_select := true
+    | [ "Unix"; (("read" | "write" | "single_write" | "sleepf") as f) ] ->
+      io_sites := ("Unix." ^ f, loc) :: !io_sites
+    | [ "Mutex"; (("lock" | "unlock" | "try_lock") as f) ]
+      when not (mutex_blessed path) ->
+      report Bare_mutex loc
+        (Printf.sprintf
+           "Mutex.%s outside Lockcheck: an exception between lock and \
+            unlock leaks the mutex; use Lockcheck.protect (Lockcheck.wait \
+            for condition variables)"
+           f)
+    | [ "Marshal"; f ]
+      when (String.starts_with ~prefix:"to_" f
+           || String.starts_with ~prefix:"from_" f)
+           && not (marshal_blessed path) ->
+      report Raw_marshal loc
+        (Printf.sprintf
+           "Marshal.%s outside Gateway.Wire/Store.Codec: raw Marshal on \
+            untrusted bytes can crash the runtime; go through the \
+            CRC-verified framing"
+           f)
+    | _ -> ());
+    if in_lib path then
+      match String.concat "." parts with
+      | ( "Printf.printf" | "Printf.eprintf" | "print_endline" | "print_string"
+        | "print_newline" | "print_int" | "print_float" | "print_char"
+        | "prerr_endline" | "prerr_string" | "prerr_newline" ) as f ->
+        report Print_in_lib loc
+          (f ^ " in a library: libraries log through Logs; only the CLIs \
+              own stdout/stderr")
+      | _ -> ()
+  in
+  let open Ast_iterator in
+  let iterator =
+    {
+      default_iterator with
+      expr =
+        (fun iter e ->
+          host_allows e.pexp_loc e.pexp_attributes ~to_line:span_of_host;
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            let parts = Longident.flatten txt in
+            check_ident parts e.pexp_loc;
+            note_value_path parts
+          | Pexp_construct ({ txt; _ }, _) ->
+            note_value_path (Longident.flatten txt)
+          | Pexp_open _ | Pexp_letmodule _ -> ()
+          | _ -> ());
+          default_iterator.expr iter e);
+      typ =
+        (fun iter t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) ->
+            note_value_path (Longident.flatten txt)
+          | _ -> ());
+          default_iterator.typ iter t);
+      pat =
+        (fun iter p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) ->
+            note_value_path (Longident.flatten txt)
+          | _ -> ());
+          default_iterator.pat iter p);
+      module_expr =
+        (fun iter me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> note_modules (Longident.flatten txt)
+          | _ -> ());
+          default_iterator.module_expr iter me);
+      value_binding =
+        (fun iter vb ->
+          host_allows vb.pvb_loc vb.pvb_attributes ~to_line:span_of_host;
+          default_iterator.value_binding iter vb);
+      module_binding =
+        (fun iter mb ->
+          host_allows mb.pmb_loc mb.pmb_attributes ~to_line:span_of_host;
+          default_iterator.module_binding iter mb);
+      structure_item =
+        (fun iter item ->
+          (match item.pstr_desc with
+          | Pstr_attribute attr ->
+            (* Floating [@@@tabseg.allow ...]: covers the rest of the
+               file. *)
+            host_allows item.pstr_loc [ attr ] ~to_line:(fun _ -> max_int)
+          | Pstr_eval (_, attrs) ->
+            host_allows item.pstr_loc attrs ~to_line:span_of_host
+          | _ -> ());
+          default_iterator.structure_item iter item);
+    }
+  in
+  (* Module-level mutable bindings in domain-shared directories. Only
+     structure-level [let]s count; locals inside functions are fine. *)
+  let rec mutable_binding_expr (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) -> mutable_binding_expr e
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match Longident.flatten txt with
+      | [ "ref" ] -> Some "ref"
+      | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+      | _ -> None)
+    | _ -> None
+  in
+  let rec check_globals (items : Parsetree.structure) =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, bindings) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              match mutable_binding_expr vb.pvb_expr with
+              | Some what ->
+                report Global_mutable_state vb.pvb_loc
+                  (Printf.sprintf
+                     "module-level %s in a domain-shared module: every \
+                      domain sees this one value; either move it into a \
+                      handle type or annotate the guarding discipline \
+                      with [@tabseg.allow]"
+                     what)
+              | None -> ())
+            bindings
+        | Pstr_module { pmb_expr; _ } -> check_globals_of_module pmb_expr
+        | _ -> ())
+      items
+  and check_globals_of_module (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> check_globals items
+    | Pmod_constraint (me, _) -> check_globals_of_module me
+    | _ -> ()
+  in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  (match Parse.implementation lexbuf with
+  | structure ->
+    iterator.structure iterator structure;
+    if domain_shared path then check_globals structure
+  | exception e ->
+    let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+    findings :=
+      [
+        {
+          rule = Parse_error;
+          file = path;
+          line;
+          col = 0;
+          message = Printexc.to_string e;
+        };
+      ]);
+  (* Select-loop IO findings need the whole-unit [has_select] flag, so
+     they are emitted after the walk. *)
+  if !has_select && not (io_blessed path) then
+    List.iter
+      (fun (name, loc) ->
+        report Blocking_io_select loc
+          (name
+         ^ " in a module driving a Unix.select loop: a signal or a full \
+            pipe turns this into a stall or a spin; use Wire.read_nonblock/\
+            write_nonblock/sleep_s"))
+      !io_sites;
+  let suppressed rule line =
+    List.exists
+      (fun a -> a.a_rule = rule && a.a_from <= line && line <= a.a_to)
+      !allows
+  in
+  {
+    u_path = path;
+    u_dir = dir;
+    u_module = module_name;
+    u_refs = Hashtbl.fold (fun k () acc -> k :: acc) refs [];
+    u_has_spawn = !has_spawn;
+    u_forks =
+      List.map
+        (fun (line, c) ->
+          {
+            fk_line = line;
+            fk_col = c;
+            fk_allowed = suppressed Fork_after_domain line;
+          })
+        !forks;
+    u_findings =
+      List.filter (fun f -> not (suppressed f.rule f.line)) !findings;
+  }
+
+(* -------------------- cross-unit analysis (TS001) -------------------- *)
+
+(* Resolve a reference candidate to a scanned unit. "Tabseg_serve.Shard"
+   resolves through the library naming convention lib/<x> <->
+   Tabseg_<x> (lib/core is plain Tabseg); a bare "Shard" resolves to a
+   same-directory unit first, then to a globally unique module name. *)
+let resolve units (from : unit_info) candidate =
+  match String.index_opt candidate '.' with
+  | Some i ->
+    let prefix = String.sub candidate 0 i in
+    let m = String.sub candidate (i + 1) (String.length candidate - i - 1) in
+    let libdir =
+      if prefix = "Tabseg" then Some "core"
+      else if String.starts_with ~prefix:"Tabseg_" prefix then
+        Some
+          (String.lowercase_ascii
+             (String.sub prefix 7 (String.length prefix - 7)))
+      else None
+    in
+    Option.bind libdir (fun libdir ->
+        List.find_opt
+          (fun u ->
+            u.u_module = m && Filename.basename u.u_dir = libdir)
+          units)
+  | None -> (
+    match
+      List.find_opt
+        (fun u -> u.u_module = candidate && u.u_dir = from.u_dir)
+        units
+    with
+    | Some _ as hit -> hit
+    | None -> (
+      match List.filter (fun u -> u.u_module = candidate) units with
+      | [ unique ] -> Some unique
+      | _ -> None))
+
+(* Breadth-first over unit references from [start]; returns the path to
+   the first unit containing a [Domain.spawn], if any. *)
+let find_spawn_path units start =
+  if start.u_has_spawn then Some [ start ]
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited start.u_path ();
+    let queue = Queue.create () in
+    Queue.push (start, [ start ]) queue;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty queue) do
+      let u, path = Queue.pop queue in
+      List.iter
+        (fun candidate ->
+          match resolve units u candidate with
+          | Some next when not (Hashtbl.mem visited next.u_path) ->
+            Hashtbl.replace visited next.u_path ();
+            let path = next :: path in
+            if next.u_has_spawn && !result = None then
+              result := Some (List.rev path)
+            else Queue.push (next, path) queue
+          | _ -> ())
+        u.u_refs
+    done;
+    !result
+  end
+
+let analyze units =
+  let fork_findings =
+    List.concat_map
+      (fun u ->
+        match u.u_forks with
+        | [] -> []
+        | forks -> (
+          match find_spawn_path units u with
+          | None -> []
+          | Some chain ->
+            let chain_s =
+              String.concat " -> " (List.map (fun v -> v.u_path) chain)
+            in
+            List.filter_map
+              (fun fk ->
+                if fk.fk_allowed then None
+                else
+                  Some
+                    {
+                      rule = Fork_after_domain;
+                      file = u.u_path;
+                      line = fk.fk_line;
+                      col = fk.fk_col;
+                      message =
+                        Printf.sprintf
+                          "Unix.fork in a unit that reaches Domain.spawn \
+                           (%s): fork after a domain spawn aborts the \
+                           OCaml 5 runtime; fork all processes before \
+                           spawning, then suppress with a justification"
+                          chain_s;
+                    })
+              forks))
+      units
+  in
+  let all = fork_findings @ List.concat_map (fun u -> u.u_findings) units in
+  List.sort
+    (fun a b ->
+      match compare a.file b.file with
+      | 0 -> (
+        match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+      | c -> c)
+    all
+
+(* ---------------------------- file driving --------------------------- *)
+
+let scan_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let source = really_input_string ic (in_channel_length ic) in
+      scan ~path source)
+
+let lint_files paths = analyze (List.map scan_file paths)
+
+let rules_table () =
+  List.map
+    (fun r -> (rule_id r, rule_slug r, describe_rule r))
+    [
+      Fork_after_domain;
+      Raw_marshal;
+      Bare_mutex;
+      Blocking_io_select;
+      Print_in_lib;
+      Global_mutable_state;
+      Allow_needs_justification;
+    ]

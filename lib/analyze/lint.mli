@@ -1,0 +1,77 @@
+(** Project-invariant linter over compiler-libs parsetrees.
+
+    Each rule turns one of the serving stack's safety invariants —
+    previously enforced only by comments — into a typed, file:line
+    finding with a stable id:
+
+    - TS001 [fork-after-domain]: no [Unix.fork] in a compilation unit
+      that (transitively) references a unit spawning domains.
+    - TS002 [raw-marshal]: no raw [Marshal] outside [Gateway.Wire] and
+      [Store.Codec] (CRC-verified framing only).
+    - TS003 [bare-mutex]: no bare [Mutex.lock]/[Mutex.unlock]; use
+      {!Tabseg_lockcheck.Lockcheck.protect}.
+    - TS004 [blocking-io-select]: no [Unix.read]/[Unix.write]/
+      [Unix.sleepf] in a module driving a [Unix.select] loop; use the
+      EINTR-safe wrappers in [Gateway.Wire].
+    - TS005 [print-in-lib]: no [Printf.printf]/[print_endline] under
+      [lib/] (Logs only).
+    - TS006 [global-mutable-state]: no module-level [ref]/
+      [Hashtbl.create] in domain-shared [lib/serve]/[lib/store] modules
+      without a guard annotation.
+
+    A finding is suppressed at its site by
+    [[@tabseg.allow "<slug>" "<one-line justification>"]] on the
+    enclosing expression/binding ([[@@...]] for a whole binding,
+    [[@@@...]] for the rest of a file). The justification is mandatory;
+    an allow without one is finding TS007. *)
+
+type rule =
+  | Parse_error
+  | Fork_after_domain
+  | Raw_marshal
+  | Bare_mutex
+  | Blocking_io_select
+  | Print_in_lib
+  | Global_mutable_state
+  | Allow_needs_justification
+
+val rule_id : rule -> string  (** "TS001" ... *)
+
+val rule_slug : rule -> string  (** "fork-after-domain" ... *)
+
+val rule_of_slug : string -> rule option
+(** Only the six suppressible rules resolve; TS000/TS007 cannot be
+    named in an [@tabseg.allow]. *)
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val render : finding -> string
+(** ["file:line:col: TSnnn slug: message"]. *)
+
+type unit_info
+(** Per-compilation-unit scan result: local findings plus the facts the
+    cross-unit fork rule needs (module references, spawn/fork sites). *)
+
+val scan : path:string -> string -> unit_info
+(** Parse and check one unit given as source text. [path] scopes the
+    path-sensitive rules (lib/, blessed files) and labels findings. *)
+
+val scan_file : string -> unit_info
+(** {!scan} on a file's contents. *)
+
+val analyze : unit_info list -> finding list
+(** Run the cross-unit fork rule over the scanned set and return all
+    findings, sorted by file, line, column. *)
+
+val lint_files : string list -> finding list
+(** [analyze (List.map scan_file paths)]. *)
+
+val rules_table : unit -> (string * string * string) list
+(** (id, slug, description) for every rule, for [--list-rules] and the
+    docs. *)

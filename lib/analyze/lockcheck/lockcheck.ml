@@ -1,0 +1,138 @@
+(* Instrumented mutual exclusion: the one blessed locking idiom.
+
+   [protect] is the exception-safe lock/unlock wrapper that used to be
+   copy-pasted as [with_lock] into every module of lib/serve; the static
+   rule TS003 (bare-mutex) points here, so raw [Mutex.lock]/[Mutex.unlock]
+   pairs — which leak the lock on an exception between them — cannot
+   reappear elsewhere.
+
+   When recording is [enable]d (the test suite does this; production
+   paths never pay more than one [Atomic.get] per acquisition), every
+   acquisition made while another lock is held adds an edge to a global
+   lock-order graph, and an acquisition that closes a cycle in that
+   graph is reported as a lock-order violation: two domains that ever
+   take A then B and B then A can deadlock, even if the run at hand got
+   lucky. Detection works from the orders actually observed, so the
+   interleaving does not have to deadlock for the hazard to be caught.
+
+   This file is the only place allowed to touch [Mutex.lock] directly:
+   the instrumentation cannot instrument itself. *)
+
+type t = {
+  name : string;
+  id : int;
+  mutex : Mutex.t;
+}
+
+let next_id = Atomic.make 0
+
+let create ?(name = "lock") () =
+  { name; id = Atomic.fetch_and_add next_id 1; mutex = Mutex.create () }
+
+let name t = t.name
+
+(* ------------------------- recording state -------------------------- *)
+
+type violation = {
+  cycle : string list;
+      (* lock names along the cycle; the first name is repeated last *)
+}
+
+let enabled = Atomic.make false
+
+(* The observed-order graph: [succs id] holds every lock acquired at
+   least once while [id] was held. Guarded by [state_mutex], a raw
+   mutex by necessity. *)
+let state_mutex = Mutex.create ()
+
+let succs : (int, int list) Hashtbl.t = Hashtbl.create 64
+let names : (int, string) Hashtbl.t = Hashtbl.create 64
+let found : violation list ref = ref []
+
+(* Per-domain stack of currently-held locks, innermost first. *)
+let held_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let with_state f =
+  Mutex.lock state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mutex) f
+
+let reset () =
+  with_state (fun () ->
+      Hashtbl.reset succs;
+      Hashtbl.reset names;
+      found := [])
+
+let enable () =
+  reset ();
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+let recording () = Atomic.get enabled
+let violations () = with_state (fun () -> List.rev !found)
+
+(* Is [target] reachable from [start] in the order graph? Returns the
+   path (as lock ids, [start] first) when it is. *)
+let path_to ~start ~target =
+  let visited = Hashtbl.create 16 in
+  let rec go node path =
+    if node = target then Some (List.rev (node :: path))
+    else if Hashtbl.mem visited node then None
+    else begin
+      Hashtbl.replace visited node ();
+      let nexts = Option.value (Hashtbl.find_opt succs node) ~default:[] in
+      List.fold_left
+        (fun acc next ->
+          match acc with Some _ -> acc | None -> go next (node :: path))
+        None nexts
+    end
+  in
+  go start []
+
+let lock_name id =
+  Option.value (Hashtbl.find_opt names id) ~default:"?"
+
+(* Acquiring [next] while holding [held] (innermost first): record the
+   edge held-top -> next, and if [next] can already reach the held lock
+   in the graph, the new edge closes an order cycle — report it. *)
+let record_acquisition next held =
+  match held with
+  | [] -> ()
+  | outer :: _ when outer.id = next.id -> () (* recursive misuse; not ours *)
+  | outer :: _ ->
+    with_state (fun () ->
+        Hashtbl.replace names next.id next.name;
+        Hashtbl.replace names outer.id outer.name;
+        let existing =
+          Option.value (Hashtbl.find_opt succs outer.id) ~default:[]
+        in
+        if not (List.mem next.id existing) then begin
+          (* Check before inserting: a cycle means [outer] is reachable
+             from [next] through orders some domain already exhibited. *)
+          (match path_to ~start:next.id ~target:outer.id with
+          | Some path ->
+            found :=
+              { cycle = List.map lock_name (outer.id :: path) } :: !found
+          | None -> ());
+          Hashtbl.replace succs outer.id (next.id :: existing)
+        end)
+
+let protect t f =
+  Mutex.lock t.mutex;
+  let held = Domain.DLS.get held_key in
+  if Atomic.get enabled then record_acquisition t !held;
+  held := t :: !held;
+  Fun.protect
+    ~finally:(fun () ->
+      (held :=
+         match !held with
+         | _ :: rest -> rest
+         | [] -> []);
+      Mutex.unlock t.mutex)
+    f
+
+(* [Condition.wait] releases and reacquires the lock internally; the
+   caller's held set is unchanged on return, so no edge is recorded. *)
+let wait condition t = Condition.wait condition t.mutex
+
+let violation_message { cycle } =
+  "lock-order cycle: " ^ String.concat " -> " cycle

@@ -1,0 +1,52 @@
+(** Instrumented mutual exclusion — the one blessed locking idiom.
+
+    {!protect} is the exception-safe wrapper that lint rule TS003
+    (bare-mutex) points at: raw [Mutex.lock]/[Mutex.unlock] pairs leak
+    the lock when anything between them raises, so they are banned
+    everywhere except inside this module.
+
+    When recording is {!enable}d (the test suite does this; production
+    paths pay one [Atomic.get] per acquisition), every acquisition made
+    while another lock is held adds an edge to a global lock-order
+    graph, and an acquisition closing a cycle is reported as a
+    {!violation}: two domains that ever take A then B and B then A can
+    deadlock, even if the observed run got lucky. The hazard is caught
+    from the orders actually exhibited — no deadlock has to occur. *)
+
+type t
+(** A named, instrumented mutex. *)
+
+val create : ?name:string -> unit -> t
+(** [name] (default ["lock"]) labels the lock in violation reports. *)
+
+val name : t -> string
+
+val protect : t -> (unit -> 'a) -> 'a
+(** Run the thunk with the lock held; the lock is released on normal
+    return {e and} on exception. *)
+
+val wait : Condition.t -> t -> unit
+(** [Condition.wait] against the lock's underlying mutex: [protect]'s
+    body blocks here with the lock released, reacquired on wakeup. Must
+    be called while holding [t] (i.e. inside [protect t]). *)
+
+(** {2 Lock-order recording} *)
+
+type violation = {
+  cycle : string list;
+      (** lock names along the cycle; the first name is repeated last *)
+}
+
+val enable : unit -> unit
+(** Clear recorded state and start recording acquisition orders. *)
+
+val disable : unit -> unit
+val recording : unit -> bool
+
+val violations : unit -> violation list
+(** Order cycles observed since {!enable}, oldest first. *)
+
+val reset : unit -> unit
+(** Clear the graph and the recorded violations. *)
+
+val violation_message : violation -> string

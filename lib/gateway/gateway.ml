@@ -151,6 +151,10 @@ let fork_worker ~service_config forked index =
           c_outbox = Queue.create ();
           c_head_off = 0;
         }
+[@@tabseg.allow "fork-after-domain"
+    "the master forks every worker before any domain can exist in this \
+     process: domains are spawned by Serve.Pool inside the workers \
+     (post-fork) or by the procs<=1 inline mode, which never forks"]
 
 let create ?(config = default_config) () =
   let registry = Metrics.create () in
@@ -375,17 +379,14 @@ let rec parse_inbox t forked conn =
 
 let read_step t forked slot conn =
   let chunk = Bytes.create 65536 in
-  match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
-  | 0 -> worker_dead t forked slot conn "socket closed"
-  | n ->
+  match Wire.read_nonblock conn.c_fd chunk 0 (Bytes.length chunk) with
+  | `Eof -> worker_dead t forked slot conn "socket closed"
+  | `Data n ->
     conn.c_inbox <- conn.c_inbox ^ Bytes.sub_string chunk 0 n;
     if not (parse_inbox t forked conn) then
       worker_dead t forked slot conn "protocol error on socket"
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    ->
-    ()
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-    worker_dead t forked slot conn "connection reset"
+  | `Retry -> ()
+  | `Broken -> worker_dead t forked slot conn "connection reset"
 
 let write_step t forked slot conn =
   let broken = ref false in
@@ -394,8 +395,11 @@ let write_step t forked slot conn =
     let frame, seq = Queue.peek conn.c_outbox in
     let bytes = Bytes.unsafe_of_string frame in
     let len = Bytes.length bytes in
-    match Unix.write conn.c_fd bytes conn.c_head_off (len - conn.c_head_off) with
-    | n ->
+    match
+      Wire.write_nonblock conn.c_fd bytes conn.c_head_off
+        (len - conn.c_head_off)
+    with
+    | `Wrote n ->
       conn.c_head_off <- conn.c_head_off + n;
       if conn.c_head_off >= len then begin
         ignore (Queue.pop conn.c_outbox);
@@ -409,12 +413,8 @@ let write_step t forked slot conn =
           | _ -> ())
         | None -> ()
       end
-    | exception
-        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-      continue := false
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-      broken := true
+    | `Retry -> continue := false
+    | `Broken -> broken := true
   done;
   if !broken then worker_dead t forked slot conn "broken pipe on dispatch"
 
@@ -513,7 +513,7 @@ let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
         List.map
           (fun (request : Service.request) ->
             (match fault request with
-            | Wire.Sleep_s s when s > 0. -> Unix.sleepf s
+            | Wire.Sleep_s s when s > 0. -> Wire.sleep_s s
             | _ -> ());
             Metrics.incr t.m_total;
             let started = now () in
@@ -662,7 +662,7 @@ let shutdown t =
         (* Keep servicing sockets so a worker blocked writing a final
            response can finish and see our Shutdown. *)
         step t forked;
-        Unix.sleepf 0.01
+        Wire.sleep_s 0.01
       done;
       Array.iter
         (fun slot ->

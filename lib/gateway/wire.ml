@@ -149,3 +149,45 @@ let write_message fd message =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
   in
   go 0
+
+(* ------------------- select-loop building blocks -------------------- *)
+
+(* The nonblocking single steps a select loop is allowed to use (the
+   TS004 rule bans raw Unix.read/Unix.write/Unix.sleepf there): every
+   transient condition — EINTR, EAGAIN — comes back as [`Retry] for the
+   next select round instead of stalling or raising mid-loop, and a
+   peer death comes back as a value, never as a signal-driven surprise. *)
+
+let read_nonblock fd bytes off len =
+  match Unix.read fd bytes off len with
+  | 0 -> `Eof
+  | n -> `Data n
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    `Retry
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    `Broken
+
+let write_nonblock fd bytes off len =
+  match Unix.write fd bytes off len with
+  | n -> `Wrote n
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    `Retry
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    `Broken
+
+(* EINTR-safe sleep: a signal (SIGCHLD from a dying worker, the drain
+   SIGTERM) wakes [Unix.sleepf] early; resume until the full duration
+   has elapsed. *)
+let sleep_s duration =
+  let until = Unix.gettimeofday () +. duration in
+  let rec go () =
+    let remaining = until -. Unix.gettimeofday () in
+    if remaining > 0. then begin
+      (try Unix.sleepf remaining
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()

@@ -75,3 +75,32 @@ val read_message :
 val write_message : Unix.file_descr -> message -> unit
 (** Blocking write of one frame. Raises [Unix.Unix_error] on a broken
     socket. *)
+
+(** {2 Select-loop building blocks}
+
+    The only IO primitives allowed inside a select loop (lint rule
+    TS004 [blocking-io-select]): each returns every transient condition
+    — EINTR, EAGAIN — as a value the loop can route to its next select
+    round, and a peer death as a value rather than an exception escaping
+    mid-step. *)
+
+val read_nonblock :
+  Unix.file_descr ->
+  bytes ->
+  int ->
+  int ->
+  [ `Data of int | `Eof | `Retry | `Broken ]
+(** One nonblocking read step. [`Retry] covers EAGAIN/EWOULDBLOCK/EINTR;
+    [`Broken] covers ECONNRESET/EPIPE. *)
+
+val write_nonblock :
+  Unix.file_descr ->
+  bytes ->
+  int ->
+  int ->
+  [ `Wrote of int | `Retry | `Broken ]
+(** One nonblocking write step, same conventions as {!read_nonblock}. *)
+
+val sleep_s : float -> unit
+(** Sleep for the full duration even if signals (SIGCHLD, SIGTERM)
+    interrupt [Unix.sleepf] early. *)

@@ -8,7 +8,7 @@ let maintenance_interval_s = 0.2
 
 let apply_fault = function
   | Wire.No_fault -> ()
-  | Wire.Sleep_s s -> if s > 0. then Unix.sleepf s
+  | Wire.Sleep_s s -> if s > 0. then Wire.sleep_s s
   | Wire.Crash_if_exists path ->
     if Sys.file_exists path then begin
       (* Remove the marker first: the crash is one-shot, so the same

@@ -1,6 +1,7 @@
 open Tabseg_template
 module Store = Tabseg_store.Store
 module Codec = Tabseg_store.Codec
+module Lockcheck = Tabseg_lockcheck.Lockcheck
 
 type config = {
   capacity_mb : int;
@@ -18,7 +19,7 @@ type persist = {
   p_result_hits : int Atomic.t;
   p_misses : int Atomic.t;
   counters : persist_counters option;
-  compaction_mutex : Mutex.t;
+  compaction_mutex : Lockcheck.t;
   mutable last_compactions : int;
 }
 
@@ -80,7 +81,7 @@ let create ?(config = default_config) ?store ?metrics () =
                     Metrics.histogram registry "store.hydration_seconds";
                 })
               metrics;
-          compaction_mutex = Mutex.create ();
+          compaction_mutex = Lockcheck.create ~name:"cache.compaction" ();
           last_compactions = (Store.stats store).Store.compactions;
         })
       store
@@ -125,10 +126,12 @@ let count_write persist ~bytes =
     (fun c ->
       Metrics.incr ~by:bytes c.c_write_bytes;
       let compactions = (Store.stats persist.store).Store.compactions in
-      Mutex.lock persist.compaction_mutex;
-      let delta = compactions - persist.last_compactions in
-      if delta > 0 then persist.last_compactions <- compactions;
-      Mutex.unlock persist.compaction_mutex;
+      let delta =
+        Lockcheck.protect persist.compaction_mutex (fun () ->
+            let delta = compactions - persist.last_compactions in
+            if delta > 0 then persist.last_compactions <- compactions;
+            delta)
+      in
       if delta > 0 then Metrics.incr ~by:delta c.c_compactions)
     persist.counters
 

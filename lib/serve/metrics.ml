@@ -1,3 +1,5 @@
+module Lockcheck = Tabseg_lockcheck.Lockcheck
+
 (* Log-bucketed histograms: five buckets per decade over [1e-5 s, 1e2 s],
    one underflow bucket below and one overflow bucket above. *)
 
@@ -27,17 +29,17 @@ let bucket_of seconds =
   end
 
 type counter = {
-  c_mutex : Mutex.t;
+  c_mutex : Lockcheck.t;
   mutable c_value : int;
 }
 
 type gauge = {
-  g_mutex : Mutex.t;
+  g_mutex : Lockcheck.t;
   mutable g_value : float;
 }
 
 type histogram = {
-  h_mutex : Mutex.t;
+  h_mutex : Lockcheck.t;
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : float;
@@ -46,7 +48,7 @@ type histogram = {
 }
 
 type t = {
-  mutex : Mutex.t;  (* guards the name tables, not the metrics *)
+  mutex : Lockcheck.t;  (* guards the name tables, not the metrics *)
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
@@ -54,18 +56,14 @@ type t = {
 
 let create () =
   {
-    mutex = Mutex.create ();
+    mutex = Lockcheck.create ~name:"metrics.registry" ();
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
   }
 
-let with_lock mutex f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
-
 let intern table mutex name make =
-  with_lock mutex (fun () ->
+  Lockcheck.protect mutex (fun () ->
       match Hashtbl.find_opt table name with
       | Some metric -> metric
       | None ->
@@ -75,26 +73,26 @@ let intern table mutex name make =
 
 let counter t name =
   intern t.counters t.mutex name (fun () ->
-      { c_mutex = Mutex.create (); c_value = 0 })
+      { c_mutex = Lockcheck.create ~name:("metrics.counter:" ^ name) (); c_value = 0 })
 
 let incr ?(by = 1) counter =
   if by < 0 then invalid_arg "Metrics.incr: counters are monotone";
-  with_lock counter.c_mutex (fun () ->
+  Lockcheck.protect counter.c_mutex (fun () ->
       counter.c_value <- counter.c_value + by)
 
-let counter_value counter = with_lock counter.c_mutex (fun () -> counter.c_value)
+let counter_value counter = Lockcheck.protect counter.c_mutex (fun () -> counter.c_value)
 
 let gauge t name =
   intern t.gauges t.mutex name (fun () ->
-      { g_mutex = Mutex.create (); g_value = 0. })
+      { g_mutex = Lockcheck.create ~name:("metrics.gauge:" ^ name) (); g_value = 0. })
 
-let set gauge value = with_lock gauge.g_mutex (fun () -> gauge.g_value <- value)
-let gauge_value gauge = with_lock gauge.g_mutex (fun () -> gauge.g_value)
+let set gauge value = Lockcheck.protect gauge.g_mutex (fun () -> gauge.g_value <- value)
+let gauge_value gauge = Lockcheck.protect gauge.g_mutex (fun () -> gauge.g_value)
 
 let histogram t name =
   intern t.histograms t.mutex name (fun () ->
       {
-        h_mutex = Mutex.create ();
+        h_mutex = Lockcheck.create ~name:("metrics.histogram:" ^ name) ();
         h_buckets = Array.make num_buckets 0;
         h_count = 0;
         h_sum = 0.;
@@ -104,7 +102,7 @@ let histogram t name =
 
 let observe histogram seconds =
   let seconds = Float.max seconds 0. in
-  with_lock histogram.h_mutex (fun () ->
+  Lockcheck.protect histogram.h_mutex (fun () ->
       let i = bucket_of seconds in
       histogram.h_buckets.(i) <- histogram.h_buckets.(i) + 1;
       histogram.h_count <- histogram.h_count + 1;
@@ -123,7 +121,7 @@ type summary = {
 }
 
 let summary histogram =
-  with_lock histogram.h_mutex (fun () ->
+  Lockcheck.protect histogram.h_mutex (fun () ->
       if histogram.h_count = 0 then
         { count = 0; sum = 0.; min = 0.; max = 0.; p50 = 0.; p95 = 0.; p99 = 0. }
       else begin
@@ -164,7 +162,7 @@ let sorted_names table =
   List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) table [])
 
 let snapshot t =
-  with_lock t.mutex (fun () ->
+  Lockcheck.protect t.mutex (fun () ->
       ( List.map (fun n -> (n, Hashtbl.find t.counters n)) (sorted_names t.counters),
         List.map (fun n -> (n, Hashtbl.find t.gauges n)) (sorted_names t.gauges),
         List.map

@@ -1,3 +1,5 @@
+module Lockcheck = Tabseg_lockcheck.Lockcheck
+
 type 'a outcome =
   | Done of 'a
   | Rejected of { depth : int; capacity : int }
@@ -5,7 +7,7 @@ type 'a outcome =
   | Crashed of string
 
 type 'a ticket = {
-  t_mutex : Mutex.t;
+  t_mutex : Lockcheck.t;
   t_filled : Condition.t;
   mutable t_outcome : 'a outcome option;
 }
@@ -26,7 +28,7 @@ type stats = {
 }
 
 type t = {
-  mutex : Mutex.t;
+  mutex : Lockcheck.t;
   nonempty : Condition.t;
   queue : task Queue.t;
   capacity : int;
@@ -41,40 +43,39 @@ type t = {
   mutable crashed : int;
 }
 
-let with_lock mutex f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
-
 let fill ticket outcome =
-  with_lock ticket.t_mutex (fun () ->
+  Lockcheck.protect ticket.t_mutex (fun () ->
       if ticket.t_outcome = None then begin
         ticket.t_outcome <- Some outcome;
         Condition.broadcast ticket.t_filled
       end)
 
 let await ticket =
-  with_lock ticket.t_mutex (fun () ->
+  Lockcheck.protect ticket.t_mutex (fun () ->
       let rec wait () =
         match ticket.t_outcome with
         | Some outcome -> outcome
         | None ->
-          Condition.wait ticket.t_filled ticket.t_mutex;
+          Lockcheck.wait ticket.t_filled ticket.t_mutex;
           wait ()
       in
       wait ())
 
+(* The lock is only held while claiming a task, never while running
+   it. [None] means the pool is stopping. *)
 let rec worker_loop pool =
-  Mutex.lock pool.mutex;
-  while Queue.is_empty pool.queue && not pool.stopping do
-    Condition.wait pool.nonempty pool.mutex
-  done;
-  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
-  else begin
-    let task = Queue.pop pool.queue in
-    Mutex.unlock pool.mutex;
+  let task =
+    Lockcheck.protect pool.mutex (fun () ->
+        while Queue.is_empty pool.queue && not pool.stopping do
+          Lockcheck.wait pool.nonempty pool.mutex
+        done;
+        if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue))
+  in
+  match task with
+  | None -> () (* stopping *)
+  | Some task ->
     task.run ();
     worker_loop pool
-  end
 
 let create ?queue_capacity ~jobs () =
   let num_jobs = max jobs 0 in
@@ -86,7 +87,7 @@ let create ?queue_capacity ~jobs () =
   in
   let pool =
     {
-      mutex = Mutex.create ();
+      mutex = Lockcheck.create ~name:"pool.queue" ();
       nonempty = Condition.create ();
       queue = Queue.create ();
       capacity;
@@ -108,7 +109,7 @@ let create ?queue_capacity ~jobs () =
 let jobs pool = pool.num_jobs
 
 let count pool field =
-  with_lock pool.mutex (fun () ->
+  Lockcheck.protect pool.mutex (fun () ->
       match field with
       | `Completed -> pool.completed <- pool.completed + 1
       | `Expired -> pool.expired <- pool.expired + 1
@@ -136,14 +137,14 @@ let execute pool ticket deadline f () =
 
 let submit pool ?deadline_s f =
   let ticket =
-    { t_mutex = Mutex.create (); t_filled = Condition.create ();
-      t_outcome = None }
+    { t_mutex = Lockcheck.create ~name:"pool.ticket" ();
+      t_filled = Condition.create (); t_outcome = None }
   in
   let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s in
   let run = execute pool ticket deadline f in
   if pool.num_jobs <= 1 then begin
     let accepted =
-      with_lock pool.mutex (fun () ->
+      Lockcheck.protect pool.mutex (fun () ->
           pool.submitted <- pool.submitted + 1;
           if pool.stopping then begin
             pool.rejected <- pool.rejected + 1;
@@ -158,7 +159,7 @@ let submit pool ?deadline_s f =
   end
   else begin
     let rejected_at_depth =
-      with_lock pool.mutex (fun () ->
+      Lockcheck.protect pool.mutex (fun () ->
           pool.submitted <- pool.submitted + 1;
           if pool.stopping || Queue.length pool.queue >= pool.capacity then begin
             pool.rejected <- pool.rejected + 1;
@@ -180,7 +181,7 @@ let run_ordered pool ?deadline_s fs =
   List.map await (List.map (fun f -> submit pool ?deadline_s f) fs)
 
 let stats pool =
-  with_lock pool.mutex (fun () ->
+  Lockcheck.protect pool.mutex (fun () ->
       {
         submitted = pool.submitted;
         completed = pool.completed;
@@ -193,7 +194,7 @@ let stats pool =
 
 let shutdown pool =
   let to_join =
-    with_lock pool.mutex (fun () ->
+    Lockcheck.protect pool.mutex (fun () ->
         pool.stopping <- true;
         Condition.broadcast pool.nonempty;
         let workers = pool.workers in

@@ -1,3 +1,5 @@
+module Lockcheck = Tabseg_lockcheck.Lockcheck
+
 type stats = {
   hits : int;
   misses : int;
@@ -17,7 +19,7 @@ type 'v node = {
 }
 
 type 'v shard = {
-  mutex : Mutex.t;
+  mutex : Lockcheck.t;
   table : (string, 'v node) Hashtbl.t;
   mutable head : 'v node option;
   mutable tail : 'v node option;
@@ -39,9 +41,10 @@ let create ?(shards = 8) ~capacity ~cost () =
   let budget = max 1 (capacity / shards) in
   {
     shards =
-      Array.init shards (fun _ ->
+      Array.init shards (fun i ->
           {
-            mutex = Mutex.create ();
+            mutex =
+              Lockcheck.create ~name:(Printf.sprintf "shard.%d" i) ();
             table = Hashtbl.create 64;
             head = None;
             tail = None;
@@ -55,10 +58,6 @@ let create ?(shards = 8) ~capacity ~cost () =
   }
 
 let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
-
-let with_lock mutex f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
 
 let unlink shard node =
   (match node.prev with
@@ -95,7 +94,7 @@ let rec evict_to_fit shard =
 
 let find t key =
   let shard = shard_of t key in
-  with_lock shard.mutex (fun () ->
+  Lockcheck.protect shard.mutex (fun () ->
       match Hashtbl.find_opt shard.table key with
       | None ->
         shard.misses <- shard.misses + 1;
@@ -109,7 +108,7 @@ let find t key =
 let store t key value =
   let node_cost = max 1 (t.cost value) in
   let shard = shard_of t key in
-  with_lock shard.mutex (fun () ->
+  Lockcheck.protect shard.mutex (fun () ->
       (match Hashtbl.find_opt shard.table key with
       | Some old -> drop shard old
       | None -> ());
@@ -124,7 +123,7 @@ let store t key value =
 let stats t =
   Array.fold_left
     (fun (acc : stats) shard ->
-      with_lock shard.mutex (fun () ->
+      Lockcheck.protect shard.mutex (fun () ->
           {
             hits = acc.hits + shard.hits;
             misses = acc.misses + shard.misses;
@@ -139,7 +138,7 @@ let stats t =
 let clear t =
   Array.iter
     (fun shard ->
-      with_lock shard.mutex (fun () ->
+      Lockcheck.protect shard.mutex (fun () ->
           Hashtbl.reset shard.table;
           shard.head <- None;
           shard.tail <- None;

@@ -10,6 +10,8 @@
    record is either intact or detectably damaged; the magic gives scan a
    frame to resynchronise on after damage. *)
 
+module Lockcheck = Tabseg_lockcheck.Lockcheck
+
 type role = Writer | Reader
 
 type config = {
@@ -131,19 +133,21 @@ let encode_header () =
    handles in one process exclude each other the same way two processes
    do. *)
 let process_locks : (string, unit) Hashtbl.t = Hashtbl.create 8
-let process_locks_mutex = Mutex.create ()
+[@@tabseg.allow "global-mutable-state"
+    "process-wide by design: the writer registry must span every handle \
+     in the process; all access goes through process_locks_mutex below"]
+
+let process_locks_mutex = Lockcheck.create ~name:"store.process_locks" ()
 
 let try_register_writer path =
-  Mutex.lock process_locks_mutex;
-  let free = not (Hashtbl.mem process_locks path) in
-  if free then Hashtbl.replace process_locks path ();
-  Mutex.unlock process_locks_mutex;
-  free
+  Lockcheck.protect process_locks_mutex (fun () ->
+      let free = not (Hashtbl.mem process_locks path) in
+      if free then Hashtbl.replace process_locks path ();
+      free)
 
 let unregister_writer path =
-  Mutex.lock process_locks_mutex;
-  Hashtbl.remove process_locks path;
-  Mutex.unlock process_locks_mutex
+  Lockcheck.protect process_locks_mutex (fun () ->
+      Hashtbl.remove process_locks path)
 
 (* ------------------------------ handles ----------------------------- *)
 
@@ -162,7 +166,7 @@ type t = {
   cfg : config;
   t_role : role;
   lock_fd : Unix.file_descr option;
-  mutex : Mutex.t;
+  mutex : Lockcheck.t;
   mutable fd : Unix.file_descr;
   mutable index : (string, entry) Hashtbl.t;
   mutable file_bytes : int;  (* logical end of the scanned/written log *)
@@ -191,9 +195,7 @@ type t = {
 let capacity_bytes t = t.cfg.capacity_mb * 1024 * 1024
 let segment_path t = Filename.concat t.t_dir segment_name
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let with_lock t f = Lockcheck.protect t.mutex f
 
 let ensure_open t = if t.closed then invalid_arg "Tabseg_store.Store: closed"
 
@@ -577,7 +579,7 @@ let open_store ?(config = default_config) ?(readonly = false) dir =
       cfg = config;
       t_role = role;
       lock_fd;
-      mutex = Mutex.create ();
+      mutex = Lockcheck.create ~name:"store.handle" ();
       fd;
       index = Hashtbl.create 1024;
       file_bytes = 0;

@@ -1,0 +1,411 @@
+(* The invariant gate: every lint rule fires on a seeded fixture with
+   the right file:line, [@tabseg.allow] suppresses exactly the rule it
+   names (and only with a justification), the cross-unit fork rule
+   follows module references between units and through the Tabseg_<lib>
+   naming convention, and the dynamic Lockcheck companion reports an
+   A->B / B->A acquisition cycle across two domains. *)
+
+module Lint = Tabseg_analyze.Lint
+module Lockcheck = Tabseg_lockcheck.Lockcheck
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Scan a set of (path, source) fixtures and return all findings. *)
+let lint fixtures =
+  Lint.analyze
+    (List.map (fun (path, source) -> Lint.scan ~path source) fixtures)
+
+let findings_of rule findings =
+  List.filter (fun f -> f.Lint.rule = rule) findings
+
+let the_finding rule findings =
+  match findings_of rule findings with
+  | [ f ] -> f
+  | fs ->
+    Alcotest.failf "expected exactly one %s finding, got %d"
+      (Lint.rule_slug rule) (List.length fs)
+
+(* ------------------------- TS001 fork-after-domain ------------------- *)
+
+let spawner = "let go () = ignore (Domain.spawn (fun () -> ()))\n"
+
+let forker =
+  "let boot () = A.go ()\n\
+   let f () = Unix.fork ()\n"
+
+let test_fork_fires () =
+  let fs = lint [ ("a.ml", spawner); ("b.ml", forker) ] in
+  let f = the_finding Lint.Fork_after_domain fs in
+  check_string "file" "b.ml" f.Lint.file;
+  check_int "line" 2 f.Lint.line
+
+let test_fork_needs_reachability () =
+  (* No reference from the forking unit to the spawning one: clean. *)
+  let fs =
+    lint [ ("a.ml", spawner); ("b.ml", "let f () = Unix.fork ()\n") ]
+  in
+  check_int "no finding" 0 (List.length (findings_of Lint.Fork_after_domain fs))
+
+let test_fork_resolves_library_prefix () =
+  (* gateway -> Tabseg_serve.Pool across the lib/<x> <-> Tabseg_<x>
+     convention, the shape of the real PR-4 incident. *)
+  let fs =
+    lint
+      [
+        ("lib/serve/pool.ml", "let start f = Domain.spawn f\n");
+        ( "lib/gateway/master.ml",
+          "let boot f = Tabseg_serve.Pool.start f\n\
+           let f () = Unix.fork ()\n" );
+      ]
+  in
+  let f = the_finding Lint.Fork_after_domain fs in
+  check_string "file" "lib/gateway/master.ml" f.Lint.file;
+  check_int "line" 2 f.Lint.line
+
+let test_fork_suppressed () =
+  let fs =
+    lint
+      [
+        ("a.ml", spawner);
+        ( "b.ml",
+          "let boot () = A.go ()\n\
+           let f () = Unix.fork ()\n\
+           [@@tabseg.allow \"fork-after-domain\" \"forks before any spawn\"]\n"
+        );
+      ]
+  in
+  check_int "suppressed" 0 (List.length fs)
+
+(* --------------------------- TS002 raw-marshal ----------------------- *)
+
+let marshal_src = "let noise () = ()\nlet f x = Marshal.to_string x []\n"
+
+let test_marshal_fires () =
+  let f = the_finding Lint.Raw_marshal (lint [ ("lib/x.ml", marshal_src) ]) in
+  check_int "line" 2 f.Lint.line;
+  check_bool "mentions framing" true
+    (String.length f.Lint.message > 0)
+
+let test_marshal_blessed_in_wire_and_codec () =
+  check_int "wire" 0
+    (List.length (lint [ ("lib/gateway/wire.ml", marshal_src) ]));
+  check_int "codec" 0
+    (List.length (lint [ ("lib/store/codec.ml", marshal_src) ]))
+
+let test_marshal_suppressed () =
+  let fs =
+    lint
+      [
+        ( "lib/x.ml",
+          "let f x = (Marshal.to_string x [])\n\
+           [@@tabseg.allow \"raw-marshal\" \"checksummed by the caller\"]\n" );
+      ]
+  in
+  check_int "suppressed" 0 (List.length fs)
+
+(* ---------------------------- TS003 bare-mutex ----------------------- *)
+
+let test_mutex_fires () =
+  let fs = lint [ ("lib/x.ml", "let f m =\n  Mutex.lock m\n") ] in
+  let f = the_finding Lint.Bare_mutex fs in
+  check_int "line" 2 f.Lint.line
+
+let test_mutex_blessed_in_lockcheck () =
+  check_int "lockcheck" 0
+    (List.length
+       (lint [ ("lib/analyze/lockcheck/lockcheck.ml", "let f m = Mutex.lock m\n") ]))
+
+let test_mutex_suppressed_by_its_rule_only () =
+  (* An allow for a different rule must not suppress bare-mutex. *)
+  let wrong =
+    lint
+      [
+        ( "lib/x.ml",
+          "let f m = (Mutex.lock m) [@tabseg.allow \"raw-marshal\" \"nope\"]\n"
+        );
+      ]
+  in
+  check_int "wrong-rule allow keeps the finding" 1
+    (List.length (findings_of Lint.Bare_mutex wrong));
+  let right =
+    lint
+      [
+        ( "lib/x.ml",
+          "let f m = (Mutex.lock m) [@tabseg.allow \"bare-mutex\" \"fixture\"]\n"
+        );
+      ]
+  in
+  check_int "matching allow suppresses" 0 (List.length right)
+
+(* ------------------------ TS004 blocking-io-select ------------------- *)
+
+let select_io_src =
+  "let tick fd = ignore (Unix.select [ fd ] [] [] 0.1)\n\
+   let pump fd b = ignore (Unix.read fd b 0 1)\n"
+
+let test_select_io_fires () =
+  let f =
+    the_finding Lint.Blocking_io_select (lint [ ("lib/g.ml", select_io_src) ])
+  in
+  check_int "line" 2 f.Lint.line
+
+let test_io_without_select_is_fine () =
+  let fs = lint [ ("lib/g.ml", "let pump fd b = Unix.read fd b 0 1\n") ] in
+  check_int "no select loop, no finding" 0 (List.length fs)
+
+let test_select_io_blessed_in_wire () =
+  check_int "wire implements the wrappers" 0
+    (List.length (lint [ ("lib/gateway/wire.ml", select_io_src) ]))
+
+let test_select_io_suppressed () =
+  let fs =
+    lint
+      [
+        ( "lib/g.ml",
+          "let tick fd = ignore (Unix.select [ fd ] [] [] 0.1)\n\
+           let nap () = (Unix.sleepf 0.1)\n\
+           [@@tabseg.allow \"blocking-io-select\" \"runs outside the loop\"]\n"
+        );
+      ]
+  in
+  check_int "suppressed" 0 (List.length fs)
+
+(* ---------------------------- TS005 print-in-lib --------------------- *)
+
+let test_print_fires_in_lib_only () =
+  let src = "let debug () = ()\nlet f () = Printf.printf \"x\"\n" in
+  let f = the_finding Lint.Print_in_lib (lint [ ("lib/x.ml", src) ]) in
+  check_int "line" 2 f.Lint.line;
+  check_int "CLIs may print" 0 (List.length (lint [ ("bin/x.ml", src) ]));
+  check_int "print_endline too" 1
+    (List.length (lint [ ("lib/x.ml", "let f () = print_endline \"x\"\n") ]))
+
+let test_print_suppressed_floating () =
+  (* A floating [@@@tabseg.allow] covers the rest of the file. *)
+  let fs =
+    lint
+      [
+        ( "lib/x.ml",
+          "[@@@tabseg.allow \"print-in-lib\" \"progress bars are its job\"]\n\
+           let f () = print_endline \"x\"\n" );
+      ]
+  in
+  check_int "suppressed" 0 (List.length fs)
+
+(* ------------------------ TS006 global-mutable-state ----------------- *)
+
+let test_global_state_fires () =
+  let fs =
+    lint
+      [
+        ( "lib/serve/glob.ml",
+          "let table = Hashtbl.create 8\nlet hits = ref 0\n" );
+      ]
+  in
+  let found = findings_of Lint.Global_mutable_state fs in
+  check_int "both globals flagged" 2 (List.length found);
+  check_int "first line" 1 (List.nth found 0).Lint.line;
+  check_int "second line" 2 (List.nth found 1).Lint.line
+
+let test_global_state_scoped_and_local_ok () =
+  check_int "outside serve/store: fine" 0
+    (List.length (lint [ ("lib/html/glob.ml", "let t = Hashtbl.create 8\n") ]));
+  check_int "locals are fine" 0
+    (List.length
+       (lint [ ("lib/serve/glob.ml", "let f () = let c = ref 0 in !c\n") ]))
+
+let test_global_state_guard_annotation () =
+  let fs =
+    lint
+      [
+        ( "lib/store/glob.ml",
+          "let registry = Hashtbl.create 8\n\
+           [@@tabseg.allow \"global-mutable-state\" \"guarded by \
+           registry_mutex\"]\n" );
+      ]
+  in
+  check_int "guard annotation suppresses" 0 (List.length fs)
+
+(* --------------------- TS007 allow-needs-justification --------------- *)
+
+let test_allow_without_justification () =
+  let fs =
+    lint
+      [ ("lib/x.ml", "let f m = (Mutex.lock m) [@tabseg.allow \"bare-mutex\"]\n") ]
+  in
+  (* The naked allow is itself a finding AND does not suppress. *)
+  check_int "TS007 fired" 1
+    (List.length (findings_of Lint.Allow_needs_justification fs));
+  check_int "TS003 not suppressed" 1
+    (List.length (findings_of Lint.Bare_mutex fs))
+
+let test_allow_unknown_rule () =
+  let fs =
+    lint
+      [
+        ( "lib/x.ml",
+          "let f () = () [@tabseg.allow \"no-such-rule\" \"misspelt\"]\n" );
+      ]
+  in
+  check_int "unknown rule is a finding" 1
+    (List.length (findings_of Lint.Allow_needs_justification fs))
+
+(* ------------------------------- plumbing ---------------------------- *)
+
+let test_parse_error_is_a_finding () =
+  let fs = lint [ ("lib/x.ml", "let let = in\n") ] in
+  check_int "parse error reported" 1
+    (List.length (findings_of Lint.Parse_error fs))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_render_carries_rule_id () =
+  let f = the_finding Lint.Bare_mutex (lint [ ("lib/x.ml", "let f m = Mutex.lock m\n") ]) in
+  let rendered = Lint.render f in
+  check_bool "has TS003" true (contains rendered "TS003");
+  check_bool "has slug" true (contains rendered "bare-mutex")
+
+(* ------------------------------ Lockcheck ---------------------------- *)
+
+let ab_dance a b =
+  (* Domain 1 takes A then B; domain 2 takes B then A. Sequential joins:
+     the order hazard is recorded without any real contention. *)
+  Domain.join
+    (Domain.spawn (fun () ->
+         Lockcheck.protect a (fun () -> Lockcheck.protect b (fun () -> ()))));
+  Domain.join
+    (Domain.spawn (fun () ->
+         Lockcheck.protect b (fun () -> Lockcheck.protect a (fun () -> ()))))
+
+let test_lockcheck_detects_cycle () =
+  Lockcheck.enable ();
+  let a = Lockcheck.create ~name:"A" () in
+  let b = Lockcheck.create ~name:"B" () in
+  ab_dance a b;
+  let vs = Lockcheck.violations () in
+  Lockcheck.disable ();
+  (* This is the test that MUST fail if detection is disabled. *)
+  check_int "one cycle" 1 (List.length vs);
+  let cycle = (List.hd vs).Lockcheck.cycle in
+  check_bool "names A" true (List.mem "A" cycle);
+  check_bool "names B" true (List.mem "B" cycle);
+  check_string "closes on its first lock" (List.hd cycle)
+    (List.nth cycle (List.length cycle - 1))
+
+let test_lockcheck_disabled_records_nothing () =
+  Lockcheck.reset ();
+  Lockcheck.disable ();
+  let a = Lockcheck.create ~name:"A" () in
+  let b = Lockcheck.create ~name:"B" () in
+  ab_dance a b;
+  check_int "nothing recorded when disabled" 0
+    (List.length (Lockcheck.violations ()))
+
+let test_lockcheck_consistent_order_is_clean () =
+  Lockcheck.enable ();
+  let a = Lockcheck.create ~name:"A" () in
+  let b = Lockcheck.create ~name:"B" () in
+  Domain.join
+    (Domain.spawn (fun () ->
+         Lockcheck.protect a (fun () -> Lockcheck.protect b (fun () -> ()))));
+  Lockcheck.protect a (fun () -> Lockcheck.protect b (fun () -> ()));
+  let vs = Lockcheck.violations () in
+  Lockcheck.disable ();
+  check_int "same order everywhere: clean" 0 (List.length vs)
+
+let test_lockcheck_protect_releases_on_exception () =
+  let a = Lockcheck.create ~name:"A" () in
+  (try Lockcheck.protect a (fun () -> raise Exit) with Exit -> ());
+  (* If the exception leaked the lock, this would deadlock (or raise
+     Sys_error on the same-domain reacquire). *)
+  check_int "reacquired fine" 42 (Lockcheck.protect a (fun () -> 42))
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "fork-after-domain",
+        [
+          Alcotest.test_case "fires across unit references" `Quick
+            test_fork_fires;
+          Alcotest.test_case "needs reachability" `Quick
+            test_fork_needs_reachability;
+          Alcotest.test_case "resolves Tabseg_<lib> prefixes" `Quick
+            test_fork_resolves_library_prefix;
+          Alcotest.test_case "suppressed with justification" `Quick
+            test_fork_suppressed;
+        ] );
+      ( "raw-marshal",
+        [
+          Alcotest.test_case "fires outside the codecs" `Quick
+            test_marshal_fires;
+          Alcotest.test_case "Wire and Codec are blessed" `Quick
+            test_marshal_blessed_in_wire_and_codec;
+          Alcotest.test_case "suppressed with justification" `Quick
+            test_marshal_suppressed;
+        ] );
+      ( "bare-mutex",
+        [
+          Alcotest.test_case "fires on raw lock" `Quick test_mutex_fires;
+          Alcotest.test_case "Lockcheck itself is blessed" `Quick
+            test_mutex_blessed_in_lockcheck;
+          Alcotest.test_case "allow suppresses exactly its rule" `Quick
+            test_mutex_suppressed_by_its_rule_only;
+        ] );
+      ( "blocking-io-select",
+        [
+          Alcotest.test_case "fires in select-loop modules" `Quick
+            test_select_io_fires;
+          Alcotest.test_case "plain blocking IO elsewhere is fine" `Quick
+            test_io_without_select_is_fine;
+          Alcotest.test_case "Wire is blessed" `Quick
+            test_select_io_blessed_in_wire;
+          Alcotest.test_case "suppressed with justification" `Quick
+            test_select_io_suppressed;
+        ] );
+      ( "print-in-lib",
+        [
+          Alcotest.test_case "fires under lib/ only" `Quick
+            test_print_fires_in_lib_only;
+          Alcotest.test_case "floating allow covers the file" `Quick
+            test_print_suppressed_floating;
+        ] );
+      ( "global-mutable-state",
+        [
+          Alcotest.test_case "fires on module-level ref/Hashtbl" `Quick
+            test_global_state_fires;
+          Alcotest.test_case "scoped to serve/store; locals fine" `Quick
+            test_global_state_scoped_and_local_ok;
+          Alcotest.test_case "guard annotation suppresses" `Quick
+            test_global_state_guard_annotation;
+        ] );
+      ( "allow-discipline",
+        [
+          Alcotest.test_case "justification is mandatory" `Quick
+            test_allow_without_justification;
+          Alcotest.test_case "unknown rule name is a finding" `Quick
+            test_allow_unknown_rule;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "parse errors are findings" `Quick
+            test_parse_error_is_a_finding;
+          Alcotest.test_case "render carries the rule id" `Quick
+            test_render_carries_rule_id;
+        ] );
+      ( "lockcheck",
+        [
+          Alcotest.test_case "A->B/B->A across two domains is a cycle" `Quick
+            test_lockcheck_detects_cycle;
+          Alcotest.test_case "disabled: records nothing" `Quick
+            test_lockcheck_disabled_records_nothing;
+          Alcotest.test_case "consistent order is clean" `Quick
+            test_lockcheck_consistent_order_is_clean;
+          Alcotest.test_case "protect releases on exception" `Quick
+            test_lockcheck_protect_releases_on_exception;
+        ] );
+    ]
