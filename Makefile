@@ -6,14 +6,18 @@
 # byte-identical read, plus the warm-start guarantee through the
 # persistent cache tier), and the gateway smoke (procs=2 responses
 # byte-identical to procs=1, and a worker killed mid-request recovers
-# to a correct — not typed-error — result via a single re-dispatch).
+# to a correct — not typed-error — result via a single re-dispatch), and
+# the overload smoke (a fixed-seed Zipf-skewed burst at ~1.6x fleet
+# capacity: the spill+shed gateway must keep goodput positive with the
+# degradation ladder demonstrably engaged, no worker crashes, and every
+# completed response byte-identical to the sequential reference).
 # `lint` runs tabseg_lint (rules TS001-TS007: fork-after-domain,
 # raw-marshal, bare-mutex, blocking-io-select, print-in-lib,
 # global-mutable-state, allow discipline) over lib/ bin/ bench/ and
 # fails on any unsuppressed finding.
 
 .PHONY: check build lint test smoke bench bench-throughput bench-store \
-	bench-gateway clean
+	bench-gateway bench-overload clean
 
 check: build lint test smoke
 
@@ -31,6 +35,7 @@ smoke:
 	dune exec bench/main.exe -- serve-smoke
 	dune exec bench/main.exe -- store-smoke
 	dune exec bench/main.exe -- gateway-smoke
+	dune exec bench/main.exe -- overload-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -56,6 +61,15 @@ bench-store:
 # domain-based throughput sweep.
 bench-gateway:
 	dune exec bench/main.exe -- gateway --json
+
+# Overload / graceful-degradation sweep: open-loop Zipf-skewed stampedes
+# at rates below, near, and past fleet capacity, against each rung of
+# the degradation ladder (static affinity / spill / spill+shed / full
+# with per-site quotas) → BENCH_overload.json, including the
+# goodput ratio of spill+shed over the static baseline at the top rate.
+# Forks workers, so like bench-gateway it needs its own process.
+bench-overload:
+	dune exec bench/main.exe -- overload --json
 
 # Only build artifacts. User store directories (*.tabstore/) hold warm
 # cache state that survives restarts by design — never remove them here.

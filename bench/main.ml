@@ -1470,6 +1470,343 @@ let gateway_smoke () =
     (List.length requests) restarts
 
 (* ------------------------------------------------------------------ *)
+(* Gateway overload: graceful degradation under Zipf-skewed stampedes   *)
+(* ------------------------------------------------------------------ *)
+
+(* Skewed site popularity: rank r drawn with probability proportional
+   to 1/r^exponent, from a seeded generator — the heavy-tailed traffic
+   shape of large list-page corpora, reproducible run to run. *)
+let zipf_sampler ~state ~n ~exponent =
+  let weights =
+    Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** exponent))
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  fun () ->
+    let x = Random.State.float state total in
+    let rec pick i acc =
+      if i >= n - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if x < acc then i else pick (i + 1) acc
+    in
+    pick 0 0.
+
+(* Every overload request reuses one small page set under 12 synthetic
+   site labels: the label drives affinity and quotas, the shared input
+   makes the worker's result memo absorb the segmentation cost, and an
+   injected [Sleep_s] models the service time — so the bench measures
+   queueing and the degradation ladder, not the segmenter (essential on
+   a 1-core runner, where sleeps overlap across processes but compute
+   does not). *)
+let overload_input () =
+  let site = Sites.find "ButlerCounty" in
+  let generated = Sites.generate site in
+  let list_pages, detail_pages =
+    Sites.segmentation_input generated ~page_index:0
+  in
+  { Tabseg.Pipeline.list_pages; detail_pages }
+
+let overload_labels =
+  Array.init 12 (fun i -> Printf.sprintf "overload-site-%02d" i)
+
+type overload_mode = {
+  om_name : string;
+  om_spill : int option;
+  om_shed : bool;
+  om_quota : float option;
+}
+
+let overload_modes =
+  [
+    { om_name = "static"; om_spill = None; om_shed = false; om_quota = None };
+    { om_name = "spill"; om_spill = Some 2; om_shed = false; om_quota = None };
+    {
+      om_name = "spill+shed";
+      om_spill = Some 2;
+      om_shed = true;
+      om_quota = None;
+    };
+    {
+      om_name = "full";
+      om_spill = Some 2;
+      om_shed = true;
+      om_quota = Some 25.0;
+    };
+  ]
+
+type overload_point = {
+  o_rate : int;  (* offered arrivals per second *)
+  o_mode : string;
+  o_offered : int;
+  o_ok : int;  (* in-deadline completions *)
+  o_goodput : float;  (* ok / wall seconds *)
+  o_shed : int;
+  o_spilled : int;
+  o_quota : int;
+  o_deadline_missed : int;
+  o_p50_ms : float;
+  o_p95_ms : float;
+  o_p99_ms : float;
+  o_max_backlog : int;  (* worst per-worker frame backlog observed *)
+  o_restarts : int;
+  o_deterministic : bool;
+}
+
+(* One (mode, rate) cell: a fresh 2-proc gateway, warmed, then [waves]
+   bursts of rate*wave_s Zipf-drawn requests submitted open-loop (each
+   wave is offered regardless of how the last one fared). Goodput
+   counts only in-deadline completions, every one checked byte-for-byte
+   against the sequential reference. *)
+let overload_cell ~mode ~rate ~waves ~wave_s ~service_s ~deadline_s ~input
+    ~reference =
+  let config =
+    {
+      Gw.default_config with
+      Gw.procs = 2;
+      deadline_s = Some deadline_s;
+      spill_threshold = mode.om_spill;
+      shed = mode.om_shed;
+      site_quota_rps = mode.om_quota;
+    }
+  in
+  let gateway = Gw.create ~config () in
+  Fun.protect ~finally:(fun () -> Gw.shutdown gateway) @@ fun () ->
+  let counter name =
+    Serve.Metrics.counter_value
+      (Serve.Metrics.counter (Gw.metrics gateway) name)
+  in
+  let backlog () =
+    Array.fold_left
+      (fun acc i ->
+        max acc
+          (int_of_float
+             (Serve.Metrics.gauge_value
+                (Serve.Metrics.gauge (Gw.metrics gateway)
+                   (Printf.sprintf "gateway.worker%d.inflight" i)))))
+      0 [| 0; 1 |]
+  in
+  let request ~id label = { Serve.Service.id = id; site = label; input } in
+  let slow _ = Tabseg_gateway.Wire.Sleep_s service_s in
+  (* Warmup 1 populates both workers' result memos (real segmentation
+     happens once per worker); warmup 2 pulls the per-worker EWMAs from
+     that cold sample toward the modeled service time. Not counted. *)
+  let warm tag fault =
+    ignore
+      (Gw.run_batch gateway ?fault
+         (Array.to_list
+            (Array.map
+               (fun label -> request ~id:(tag ^ label) label)
+               overload_labels)))
+  in
+  warm "w1-" None;
+  warm "w2-" (Some slow);
+  let base_shed = counter "gateway.shed" in
+  let base_spilled = counter "gateway.spilled" in
+  let base_quota = counter "gateway.quota_rejected" in
+  let base_missed = counter "gateway.deadline_exceeded" in
+  let state = Random.State.make [| 4242; rate |] in
+  let draw =
+    zipf_sampler ~state ~n:(Array.length overload_labels) ~exponent:1.5
+  in
+  let per_wave = int_of_float (float_of_int rate *. wave_s) in
+  let ok = ref 0 in
+  let deterministic = ref true in
+  let max_backlog = ref 0 in
+  let started = Unix.gettimeofday () in
+  for wave = 1 to waves do
+    let requests =
+      List.init per_wave (fun i ->
+          request
+            ~id:(Printf.sprintf "r%d-%d" wave i)
+            overload_labels.(draw ()))
+    in
+    let wave_started = Unix.gettimeofday () in
+    let responses = Gw.run_batch gateway ~fault:slow requests in
+    List.iter
+      (fun (response : Gw.response) ->
+        match response.Gw.outcome with
+        | Ok result ->
+          incr ok;
+          if
+            Format.asprintf "%a" Tabseg.Segmentation.pp
+              result.Tabseg.Api.segmentation
+            <> reference
+          then deterministic := false
+        | Error _ -> ())
+      responses;
+    max_backlog := max !max_backlog (backlog ());
+    (* Open-loop pacing: the next wave leaves on schedule even when
+       this one resolved early (all shed, say). A congested wave runs
+       ~deadline long and is already past its slot. *)
+    let wall = Unix.gettimeofday () -. wave_started in
+    if wall < wave_s then Unix.sleepf (wave_s -. wall)
+  done;
+  let elapsed = Unix.gettimeofday () -. started in
+  let turnaround =
+    Serve.Metrics.summary
+      (Serve.Metrics.histogram (Gw.metrics gateway)
+         "gateway.turnaround_seconds")
+  in
+  let ms x = x *. 1000. in
+  {
+    o_rate = rate;
+    o_mode = mode.om_name;
+    o_offered = per_wave * waves;
+    o_ok = !ok;
+    o_goodput = float_of_int !ok /. elapsed;
+    o_shed = counter "gateway.shed" - base_shed;
+    o_spilled = counter "gateway.spilled" - base_spilled;
+    o_quota = counter "gateway.quota_rejected" - base_quota;
+    o_deadline_missed = counter "gateway.deadline_exceeded" - base_missed;
+    o_p50_ms = ms turnaround.Serve.Metrics.p50;
+    o_p95_ms = ms turnaround.Serve.Metrics.p95;
+    o_p99_ms = ms turnaround.Serve.Metrics.p99;
+    o_max_backlog = !max_backlog;
+    o_restarts = counter "gateway.worker_restarts";
+    o_deterministic = !deterministic;
+  }
+
+let overload_json ~rates ~waves ~wave_s ~service_s ~deadline_s points =
+  let point_json p =
+    Printf.sprintf
+      "    {\"rate\": %d, \"mode\": \"%s\", \"offered\": %d, \"ok\": %d, \
+       \"goodput_rps\": %.2f, \"shed\": %d, \"spilled\": %d, \
+       \"quota_rejected\": %d, \"deadline_missed\": %d, \"p50_ms\": %.2f, \
+       \"p95_ms\": %.2f, \"p99_ms\": %.2f, \"max_backlog\": %d, \
+       \"restarts\": %d, \"deterministic\": %b}"
+      p.o_rate p.o_mode p.o_offered p.o_ok p.o_goodput p.o_shed p.o_spilled
+      p.o_quota p.o_deadline_missed p.o_p50_ms p.o_p95_ms p.o_p99_ms
+      p.o_max_backlog p.o_restarts p.o_deterministic
+  in
+  let top_rate = List.fold_left max 0 rates in
+  let goodput mode =
+    match
+      List.find_opt (fun p -> p.o_rate = top_rate && p.o_mode = mode) points
+    with
+    | Some p -> p.o_goodput
+    | None -> nan
+  in
+  let static = goodput "static" and degraded = goodput "spill+shed" in
+  Printf.sprintf
+    "{\n  \"bench\": \"gateway.overload\",\n  \"procs\": 2,\n  \
+     \"service_ms\": %.1f,\n  \"deadline_ms\": %.1f,\n  \
+     \"zipf_exponent\": 1.5,\n  \"sites\": %d,\n  \"waves\": %d,\n  \
+     \"wave_s\": %.2f,\n  \"seed\": 4242,\n  \"sweep\": [\n%s\n  ],\n  \
+     \"top_rate\": %d,\n  \"goodput_static_at_top\": %.2f,\n  \
+     \"goodput_degraded_at_top\": %.2f,\n  \"degradation_ratio_at_top\": \
+     %.2f\n}\n"
+    (service_s *. 1000.) (deadline_s *. 1000.)
+    (Array.length overload_labels)
+    waves wave_s
+    (String.concat ",\n" (List.map point_json points))
+    top_rate static degraded
+    (degraded /. static)
+
+(* The overload benchmark: arrival rates below, at ~1.6x, and at ~2.4x
+   the fleet's service capacity (2 workers x 1/service_s), against each
+   rung of the degradation ladder. The static baseline collapses — its
+   workers grind through zombie work whose deadlines already passed, so
+   in-deadline completions go to ~zero while backlogs grow without
+   bound; shedding keeps the queues holding only winnable work and
+   goodput pinned near capacity. Like the gateway bench, this must run
+   in a fresh process (fork before any domain). *)
+let overload_bench ?(json = false) () =
+  section "Gateway overload: Zipf stampede x degradation ladder";
+  let waves = 6 and wave_s = 0.5 in
+  let service_s = 0.02 and deadline_s = 0.5 in
+  let rates = [ 80; 160; 240 ] in
+  Printf.printf
+    "(procs=2, service %.0f ms, deadline %.0f ms, %d waves of %.1f s, \
+     Zipf(1.5) over %d sites, seed 4242; fleet capacity ~%.0f req/s)\n"
+    (service_s *. 1000.) (deadline_s *. 1000.) waves wave_s
+    (Array.length overload_labels)
+    (2. /. service_s);
+  let input = overload_input () in
+  let reference =
+    List.hd
+      (gateway_reference
+         [ { Serve.Service.id = "ref"; site = "ref"; input } ])
+  in
+  let points =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun mode ->
+            overload_cell ~mode ~rate ~waves ~wave_s ~service_s ~deadline_s
+              ~input ~reference)
+          overload_modes)
+      rates
+  in
+  Printf.printf "%5s %-10s %7s %5s %9s %6s %6s %6s %7s %8s %8s %3s\n" "rate"
+    "mode" "offered" "ok" "goodput" "shed" "spill" "quota" "missed" "p95ms"
+    "backlog" "ok?";
+  List.iter
+    (fun p ->
+      Printf.printf "%5d %-10s %7d %5d %9.1f %6d %6d %6d %7d %8.1f %8d %3s\n"
+        p.o_rate p.o_mode p.o_offered p.o_ok p.o_goodput p.o_shed p.o_spilled
+        p.o_quota p.o_deadline_missed p.o_p95_ms p.o_max_backlog
+        (if p.o_deterministic then "yes" else "NO"))
+    points;
+  if json then begin
+    let path = "BENCH_overload.json" in
+    let oc = open_out path in
+    output_string oc
+      (overload_json ~rates ~waves ~wave_s ~service_s ~deadline_s points);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  end;
+  points
+
+(* The per-PR overload guard: one fixed-seed skewed burst at ~1.6x
+   capacity. The degraded gateway must keep goodput positive with the
+   ladder demonstrably engaged (something shed, something spilled), no
+   worker may crash or be restarted in either cell, and every completed
+   response must stay byte-identical to the sequential reference. *)
+let overload_smoke () =
+  section "Overload smoke: skewed burst, goodput > 0, no worker crashes";
+  let waves = 3 and wave_s = 0.5 in
+  let service_s = 0.02 and deadline_s = 0.5 in
+  let rate = 160 in
+  let input = overload_input () in
+  let reference =
+    List.hd
+      (gateway_reference
+         [ { Serve.Service.id = "ref"; site = "ref"; input } ])
+  in
+  let cell mode =
+    overload_cell ~mode ~rate ~waves ~wave_s ~service_s ~deadline_s ~input
+      ~reference
+  in
+  let static = cell (List.nth overload_modes 0) in
+  let degraded = cell (List.nth overload_modes 2) in
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  if degraded.o_ok <= 0 then
+    fail "degraded mode completed nothing within deadline";
+  if degraded.o_shed <= 0 then fail "shedding never engaged";
+  if degraded.o_spilled <= 0 then fail "spill never engaged";
+  List.iter
+    (fun p ->
+      if p.o_restarts > 0 then
+        fail "%s cell crashed/restarted %d worker(s)" p.o_mode p.o_restarts;
+      if not p.o_deterministic then
+        fail "%s cell diverged from the sequential reference" p.o_mode)
+    [ static; degraded ];
+  if not !ok then exit 1;
+  Printf.printf
+    "smoke ok: %d/%d in-deadline under a %d req/s skewed burst (static \
+     baseline %d/%d), %d shed + %d spilled, no worker crashes, responses \
+     byte-identical\n"
+    degraded.o_ok degraded.o_offered rate static.o_ok static.o_offered
+    degraded.o_shed degraded.o_spilled
+
+(* ------------------------------------------------------------------ *)
 (* Wrapper bootstrap (extension): one segmented page wraps the site     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1621,6 +1958,8 @@ let () =
       | "store-smoke" -> store_smoke ()
       | "gateway" -> ignore (gateway_bench ~json ())
       | "gateway-smoke" -> gateway_smoke ()
+      | "overload" -> ignore (overload_bench ~json ())
+      | "overload-smoke" -> overload_smoke ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -346,8 +346,54 @@ let auto_cmd =
     Arg.(
       value & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
   in
+  let spill_arg =
+    let doc =
+      "With --procs > 1: adaptive affinity. When a request's \
+       site-affinity worker already holds more than $(docv) requests, \
+       route it to the least-loaded worker instead (counted as \
+       gateway.spilled). Results stay byte-identical; only tail \
+       latency changes. Unset: strict affinity, never spill."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill-threshold" ] ~doc ~docv:"N")
+  in
+  let quota_arg =
+    let doc =
+      "With --procs > 1: per-site admission quota. Each site gets a \
+       token bucket refilled at $(docv) requests/second (burst = one \
+       second of quota), so one hot site cannot monopolize the \
+       workers; excess requests fail with a typed quota error carrying \
+       a retry-after hint. Unset: unlimited."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "site-quota" ] ~doc ~docv:"RPS")
+  in
+  let shed_arg =
+    let doc =
+      "With --procs > 1 and --deadline: deadline-aware load shedding. \
+       Reject at admission any request predicted (per-worker EWMA of \
+       service time times queue depth) to miss its deadline, so worker \
+       queues hold only winnable work. Off by default: requests queue \
+       and may burn their whole deadline before failing."
+    in
+    Arg.(value & flag & info [ "shed" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "With --procs > 1: per-request deadline at the gateway, in \
+       seconds; a request not answered in time fails with a typed \
+       deadline error. Unset: wait forever."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~doc ~docv:"SECONDS")
+  in
   let run method_ site_name fault_rate fault_seed permanent retries
-      show_report jobs procs cache_mb show_metrics store_dir =
+      show_report jobs procs cache_mb show_metrics store_dir spill_threshold
+      site_quota shed deadline =
     match Tabseg_sitegen.Sites.find site_name with
     | exception Not_found ->
       Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
@@ -389,6 +435,10 @@ let auto_cmd =
             {
               Gateway.default_config with
               Gateway.procs;
+              deadline_s = deadline;
+              spill_threshold;
+              site_quota_rps = site_quota;
+              shed;
               service =
                 {
                   Service.default_config with
@@ -525,7 +575,8 @@ let auto_cmd =
     Term.(
       const run $ method_arg $ site_arg $ faults_arg $ fault_seed_arg
       $ permanent_arg $ retries_arg $ report_arg $ jobs_arg $ procs_arg
-      $ cache_mb_arg $ metrics_arg $ store_arg)
+      $ cache_mb_arg $ metrics_arg $ store_arg $ spill_arg $ quota_arg
+      $ shed_arg $ deadline_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in

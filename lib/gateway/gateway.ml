@@ -9,6 +9,10 @@ type config = {
   max_restarts : int;
   backoff_s : float;
   backoff_cap_s : float;
+  spill_threshold : int option;
+  site_quota_rps : float option;
+  shed : bool;
+  ping_timeout_s : float option;
 }
 
 let default_config =
@@ -20,11 +24,17 @@ let default_config =
     max_restarts = 5;
     backoff_s = 0.05;
     backoff_cap_s = 2.0;
+    spill_threshold = None;
+    site_quota_rps = None;
+    shed = false;
+    ping_timeout_s = None;
   }
 
 type error =
   | Worker_lost of string
   | Gateway_overloaded of { inflight : int; capacity : int }
+  | Quota_exceeded of { site : string; retry_after_s : float }
+  | Shed of { predicted_s : float; deadline_s : float }
   | Deadline_exceeded
   | Draining
   | Service_error of Service.error
@@ -34,6 +44,14 @@ let error_message = function
   | Gateway_overloaded { inflight; capacity } ->
     Printf.sprintf "gateway overloaded: %d requests in flight of %d allowed"
       inflight capacity
+  | Quota_exceeded { site; retry_after_s } ->
+    Printf.sprintf "per-site quota exceeded for %S: retry in %.3f s" site
+      retry_after_s
+  | Shed { predicted_s; deadline_s } ->
+    Printf.sprintf
+      "shed at admission: predicted completion in %.3f s would miss the %.3f \
+       s deadline"
+      predicted_s deadline_s
   | Deadline_exceeded -> "deadline exceeded at the gateway"
   | Draining -> "gateway is draining (shutdown in progress)"
   | Service_error e -> Service.error_message e
@@ -58,6 +76,8 @@ type conn = {
   mutable c_inbox : string;  (* unparsed stream prefix *)
   c_outbox : (string * int option) Queue.t;  (* frame, seq if a request *)
   mutable c_head_off : int;  (* bytes of the head frame already written *)
+  mutable c_ping : (int * float) option;  (* heartbeat token, sent at *)
+  mutable c_ping_last : float;  (* when the last heartbeat went out *)
 }
 
 type slot_state =
@@ -65,7 +85,21 @@ type slot_state =
   | Restarting of float  (* absolute time the replacement may fork *)
   | Failed  (* restart budget exhausted *)
 
-type slot = { s_index : int; mutable s_state : slot_state; mutable s_restarts : int }
+type slot = {
+  s_index : int;
+  mutable s_state : slot_state;
+  mutable s_restarts : int;
+  (* Frames this slot's worker currently holds, zombies included: a
+     request the master already expired still occupies the worker until
+     it grinds through it, so it must keep counting against the slot's
+     backlog for spill and shed decisions. *)
+  mutable s_busy : int;
+  (* EWMA of the per-request service interval, measured between
+     consecutive responses while the worker is busy. Survives worker
+     restarts — the replacement serves the same sites. *)
+  mutable s_ewma : float option;
+  mutable s_reply_mark : float;  (* start of the current service interval *)
+}
 
 type pending = {
   p_seq : int;
@@ -83,6 +117,13 @@ type pending = {
 type forked = {
   slots : slot array;
   pending : (int, pending) Hashtbl.t;  (* seq -> in-flight request *)
+  (* seq -> slot index, for every frame enqueued to a live worker and
+     not yet answered. Unlike [pending] this keeps an entry for a
+     request the master already resolved (deadline expiry): the worker
+     still has to chew through it, and the spill/shed load model would
+     be blind to exactly the overload it exists for if zombie work
+     vanished from the books at expiry. *)
+  dispatched : (int, int) Hashtbl.t;
   mutable next_seq : int;
   mutable next_token : int;  (* ping tokens *)
   pongs : (int, unit) Hashtbl.t;
@@ -91,11 +132,15 @@ type forked = {
 
 type mode = Inline of Service.t | Forked of forked
 
+(* Per-site admission token bucket ([site_quota_rps]). *)
+type bucket = { mutable b_tokens : float; mutable b_stamp : float }
+
 type t = {
   cfg : config;
   capacity : int;
   registry : Metrics.t;
   mode : mode;
+  quota : (string, bucket) Hashtbl.t;
   mutable g_draining : bool;
   mutable shut : bool;
   m_total : Metrics.counter;
@@ -107,6 +152,10 @@ type t = {
   m_deadline : Metrics.counter;
   m_overloaded : Metrics.counter;
   m_late : Metrics.counter;
+  m_spilled : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_quota : Metrics.counter;
+  m_ping_timeouts : Metrics.counter;
   m_dispatch_s : Metrics.histogram;
   m_turnaround_s : Metrics.histogram;
 }
@@ -150,6 +199,8 @@ let fork_worker ~service_config forked index =
           c_inbox = "";
           c_outbox = Queue.create ();
           c_head_off = 0;
+          c_ping = None;
+          c_ping_last = Unix.gettimeofday ();
         }
 [@@tabseg.allow "fork-after-domain"
     "the master forks every worker before any domain can exist in this \
@@ -175,8 +226,16 @@ let create ?(config = default_config) () =
         {
           slots =
             Array.init config.procs (fun i ->
-                { s_index = i; s_state = Restarting 0.; s_restarts = 0 });
+                {
+                  s_index = i;
+                  s_state = Restarting 0.;
+                  s_restarts = 0;
+                  s_busy = 0;
+                  s_ewma = None;
+                  s_reply_mark = 0.;
+                });
           pending = Hashtbl.create 64;
+          dispatched = Hashtbl.create 64;
           next_seq = 0;
           next_token = 0;
           pongs = Hashtbl.create 8;
@@ -195,6 +254,7 @@ let create ?(config = default_config) () =
       capacity;
       registry;
       mode;
+      quota = Hashtbl.create 16;
       g_draining = false;
       shut = false;
       m_total = Metrics.counter registry "gateway.requests_total";
@@ -206,6 +266,10 @@ let create ?(config = default_config) () =
       m_deadline = Metrics.counter registry "gateway.deadline_exceeded";
       m_overloaded = Metrics.counter registry "gateway.overloaded";
       m_late = Metrics.counter registry "gateway.late_responses";
+      m_spilled = Metrics.counter registry "gateway.spilled";
+      m_shed = Metrics.counter registry "gateway.shed";
+      m_quota = Metrics.counter registry "gateway.quota_rejected";
+      m_ping_timeouts = Metrics.counter registry "gateway.ping_timeouts";
       m_dispatch_s = Metrics.histogram registry "gateway.dispatch_seconds";
       m_turnaround_s = Metrics.histogram registry "gateway.turnaround_seconds";
     }
@@ -248,6 +312,144 @@ let slot_of_site ~procs site =
   in
   h mod procs
 
+(* ---------------------- the degradation ladder ---------------------- *)
+
+(* Per-site token bucket, refilled lazily at admission time. The burst
+   allowance equals one second of quota (at least 1), so a site under
+   its rate never sees a rejection from bucket granularity alone. *)
+let quota_admit t (request : Service.request) =
+  match t.cfg.site_quota_rps with
+  | None -> Ok ()
+  | Some rate when rate <= 0. -> Ok ()
+  | Some rate ->
+    let burst = Float.max rate 1. in
+    let site = request.Service.site in
+    let bucket =
+      match Hashtbl.find_opt t.quota site with
+      | Some bucket -> bucket
+      | None ->
+        let bucket = { b_tokens = burst; b_stamp = now () } in
+        Hashtbl.replace t.quota site bucket;
+        bucket
+    in
+    let at = now () in
+    bucket.b_tokens <-
+      Float.min burst (bucket.b_tokens +. ((at -. bucket.b_stamp) *. rate));
+    bucket.b_stamp <- at;
+    if bucket.b_tokens >= 1. then begin
+      bucket.b_tokens <- bucket.b_tokens -. 1.;
+      Ok ()
+    end
+    else
+      Error
+        (Quota_exceeded
+           { site; retry_after_s = (1. -. bucket.b_tokens) /. rate })
+
+(* Adaptive affinity: a request's home is still its site-digest slot —
+   that worker holds the site's warm template cache — but when the home
+   worker's backlog is past [spill_threshold] frames (or the slot is
+   down), the request goes to the least-loaded live worker instead,
+   trading cache locality for tail latency. Deterministic: ties break
+   to the lowest slot index. Returns the slot and whether it spilled. *)
+let choose_slot t forked site =
+  let preferred = slot_of_site ~procs:t.cfg.procs site in
+  match t.cfg.spill_threshold with
+  | None -> (preferred, false)
+  | Some threshold ->
+    let load index =
+      match forked.slots.(index).s_state with
+      | Live _ -> Some forked.slots.(index).s_busy
+      | Restarting _ | Failed -> None
+    in
+    let preferred_ok =
+      match load preferred with
+      | Some busy -> busy <= threshold
+      | None -> false
+    in
+    if preferred_ok then (preferred, false)
+    else begin
+      let best = ref None in
+      Array.iter
+        (fun slot ->
+          match load slot.s_index with
+          | Some busy -> (
+            match !best with
+            | Some (_, best_busy) when best_busy <= busy -> ()
+            | _ -> best := Some (slot.s_index, busy))
+          | None -> ())
+        forked.slots;
+      match !best with
+      | Some (index, _) when index <> preferred -> (index, true)
+      | Some _ | None -> (preferred, false)
+    end
+
+(* Smoothing factor for the per-worker service-time EWMA. *)
+let ewma_alpha = 0.3
+
+(* Deadline-aware shedding: admit a request only if the worker it was
+   routed to can plausibly answer within the deadline. The estimate is
+   the slot's service-time EWMA times the frames already ahead of it
+   (zombies included) plus itself; a slot that has never answered is
+   seeded from the turnaround histogram's mean. The seed can be
+   polluted by past expiries (an expiry observes ~the deadline), so it
+   only sheds off a non-empty backlog — an idle worker with no genuine
+   measurement always gets the request. *)
+let shed_check t forked index =
+  match (t.cfg.shed, t.cfg.deadline_s) with
+  | false, _ | _, None -> Ok ()
+  | true, Some deadline_s -> (
+    let slot = forked.slots.(index) in
+    let estimate =
+      match slot.s_ewma with
+      | Some e -> Some (e, true)
+      | None ->
+        let s = Metrics.summary t.m_turnaround_s in
+        if s.Metrics.count > 0 then Some (Metrics.mean s, false) else None
+    in
+    match estimate with
+    | None -> Ok ()
+    | Some (per_request, genuine) ->
+      let predicted_s = per_request *. float_of_int (slot.s_busy + 1) in
+      if predicted_s > deadline_s && (genuine || slot.s_busy > 0) then
+        Error (Shed { predicted_s; deadline_s })
+      else Ok ())
+
+(* A request frame was committed to [index]'s outbox: it now counts
+   against that worker's backlog until a Response for its seq arrives
+   or the worker dies. *)
+let track_dispatch forked index seq =
+  let slot = forked.slots.(index) in
+  if slot.s_busy = 0 then slot.s_reply_mark <- now ();
+  slot.s_busy <- slot.s_busy + 1;
+  Hashtbl.replace forked.dispatched seq index
+
+(* A Response for [seq] arrived (on time or late): release the backlog
+   slot and fold the observed service interval into the worker's EWMA. *)
+let untrack_dispatch forked seq =
+  match Hashtbl.find_opt forked.dispatched seq with
+  | None -> ()
+  | Some index ->
+    Hashtbl.remove forked.dispatched seq;
+    let slot = forked.slots.(index) in
+    slot.s_busy <- max 0 (slot.s_busy - 1);
+    let at = now () in
+    let sample = at -. slot.s_reply_mark in
+    slot.s_reply_mark <- at;
+    slot.s_ewma <-
+      Some
+        (match slot.s_ewma with
+        | None -> sample
+        | Some e -> (ewma_alpha *. sample) +. ((1. -. ewma_alpha) *. e))
+
+let publish_worker_gauges t forked =
+  Array.iter
+    (fun slot ->
+      Metrics.set
+        (Metrics.gauge t.registry
+           (Printf.sprintf "gateway.worker%d.inflight" slot.s_index))
+        (float_of_int slot.s_busy))
+    forked.slots
+
 (* ------------------------- result accounting ------------------------ *)
 
 let count_outcome t = function
@@ -258,6 +460,8 @@ let count_outcome t = function
     | Deadline_exceeded -> Metrics.incr t.m_deadline
     | Gateway_overloaded _ -> Metrics.incr t.m_overloaded
     | Worker_lost _ -> Metrics.incr t.m_lost
+    | Quota_exceeded _ -> Metrics.incr t.m_quota
+    | Shed _ -> Metrics.incr t.m_shed
     | Draining | Service_error _ -> ())
 
 let resolve t pending response =
@@ -293,7 +497,7 @@ let enqueue_frame conn frame seq =
 let dispatch_pending_to forked index conn =
   Hashtbl.iter
     (fun _ pending ->
-      if pending.p_slot = index && pending.p_outcome = None then
+      if pending.p_slot = index && pending.p_outcome = None then begin
         enqueue_frame conn
           (Wire.encode
              (Wire.Request
@@ -302,7 +506,9 @@ let dispatch_pending_to forked index conn =
                   request = pending.p_request;
                   fault = pending.p_fault;
                 }))
-          (Some pending.p_seq))
+          (Some pending.p_seq);
+        track_dispatch forked index pending.p_seq
+      end)
     forked.pending
 
 (* A worker's socket went dead: close it, account the death, schedule a
@@ -311,6 +517,16 @@ let dispatch_pending_to forked index conn =
 let worker_dead t forked slot conn reason =
   close_quietly conn.c_fd;
   forked.zombies <- conn.c_pid :: forked.zombies;
+  (* Whatever the worker was holding died with it: wipe its backlog so
+     the replacement starts with clean load accounting (surviving
+     pendings are re-tracked when they are re-dispatched). *)
+  let held =
+    Hashtbl.fold
+      (fun seq index acc -> if index = slot.s_index then seq :: acc else acc)
+      forked.dispatched []
+  in
+  List.iter (Hashtbl.remove forked.dispatched) held;
+  slot.s_busy <- 0;
   let can_restart = (not t.shut) && slot.s_restarts < t.cfg.max_restarts in
   if can_restart then begin
     let backoff =
@@ -350,10 +566,29 @@ let reap forked =
         | exception Unix.Unix_error _ -> false)
       forked.zombies
 
-let handle_message t forked conn = function
-  | Wire.Hello { role; _ } -> conn.c_role <- Some role
-  | Wire.Pong token -> Hashtbl.replace forked.pongs token ()
+let worker_gauge t slot name =
+  Metrics.gauge t.registry
+    (Printf.sprintf "gateway.worker%d.%s" slot.s_index name)
+
+let handle_message t forked slot conn = function
+  | Wire.Hello { role; jobs; queue_capacity; _ } ->
+    conn.c_role <- Some role;
+    Metrics.set (worker_gauge t slot "jobs") (float_of_int jobs);
+    Metrics.set
+      (worker_gauge t slot "pool_queue_capacity")
+      (float_of_int queue_capacity)
+  | Wire.Pong { token; inflight; queue_depth } ->
+    (match conn.c_ping with
+    | Some (expected, _) when expected = token ->
+      (* A heartbeat answer, not a health probe's: just clear it. *)
+      conn.c_ping <- None
+    | _ -> Hashtbl.replace forked.pongs token ());
+    Metrics.set (worker_gauge t slot "pool_inflight") (float_of_int inflight);
+    Metrics.set
+      (worker_gauge t slot "pool_queue_depth")
+      (float_of_int queue_depth)
   | Wire.Response { seq; response } -> (
+    untrack_dispatch forked seq;
     match Hashtbl.find_opt forked.pending seq with
     | Some pending when pending.p_outcome = None ->
       resolve t pending (of_service_response response)
@@ -367,15 +602,15 @@ let handle_message t forked conn = function
 
 (* Drain one conn's inbox through the frame parser. Returns false when
    the stream is broken (typed decode error => treat as dead). *)
-let rec parse_inbox t forked conn =
+let rec parse_inbox t forked slot conn =
   match Wire.decode conn.c_inbox with
   | `Need_more -> true
   | `Error _ -> false
   | `Msg (message, next) ->
     conn.c_inbox <-
       String.sub conn.c_inbox next (String.length conn.c_inbox - next);
-    handle_message t forked conn message;
-    parse_inbox t forked conn
+    handle_message t forked slot conn message;
+    parse_inbox t forked slot conn
 
 let read_step t forked slot conn =
   let chunk = Bytes.create 65536 in
@@ -383,7 +618,7 @@ let read_step t forked slot conn =
   | `Eof -> worker_dead t forked slot conn "socket closed"
   | `Data n ->
     conn.c_inbox <- conn.c_inbox ^ Bytes.sub_string chunk 0 n;
-    if not (parse_inbox t forked conn) then
+    if not (parse_inbox t forked slot conn) then
       worker_dead t forked slot conn "protocol error on socket"
   | `Retry -> ()
   | `Broken -> worker_dead t forked slot conn "connection reset"
@@ -433,6 +668,41 @@ let restart_due t forked =
         | _ -> ())
       forked.slots
 
+(* Wedged-worker detection ([ping_timeout_s]): every live worker owes a
+   Pong within the timeout of a heartbeat Ping. A worker that stops
+   answering — stuck, not crashed: its socket is still open, so the
+   EOF-based supervision never fires — is SIGKILLed and goes through
+   the ordinary restart path (capped backoff, at-most-once
+   re-dispatch). Workers answer pings behind their queued requests, so
+   the timeout must exceed the worst queue drain the caller is willing
+   to tolerate; [None] (the default) keeps today's behavior where only
+   the socket decides life and death. *)
+let heartbeat t forked =
+  match t.cfg.ping_timeout_s with
+  | None -> ()
+  | Some timeout ->
+    Array.iter
+      (fun slot ->
+        match slot.s_state with
+        | Live conn -> (
+          match conn.c_ping with
+          | Some (_, sent) when now () -. sent > timeout ->
+            Metrics.incr t.m_ping_timeouts;
+            (try Unix.kill conn.c_pid Sys.sigkill
+             with Unix.Unix_error _ -> ());
+            worker_dead t forked slot conn "ping timeout (worker wedged)"
+          | Some _ -> ()
+          | None ->
+            if now () -. conn.c_ping_last >= timeout /. 2. then begin
+              let token = forked.next_token in
+              forked.next_token <- token + 1;
+              enqueue_frame conn (Wire.encode (Wire.Ping token)) None;
+              conn.c_ping <- Some (token, now ());
+              conn.c_ping_last <- now ()
+            end)
+        | Restarting _ | Failed -> ())
+      forked.slots
+
 let expire_deadlines t forked =
   Hashtbl.iter
     (fun _ pending ->
@@ -448,14 +718,18 @@ let expire_deadlines t forked =
       | _ -> ())
     forked.pending
 
-(* Earliest instant anything is scheduled to happen: a deadline expiry
-   or a slot restart. Bounds the select timeout. *)
-let next_event_in forked =
+(* Earliest instant anything is scheduled to happen: a deadline expiry,
+   a slot restart, or the next heartbeat turn. Bounds the select
+   timeout. *)
+let next_event_in t forked =
   let soonest = ref 0.25 in
   let note at =
     let dt = at -. now () in
     if dt < !soonest then soonest := max dt 0.
   in
+  (match t.cfg.ping_timeout_s with
+  | Some timeout -> if timeout /. 4. < !soonest then soonest := timeout /. 4.
+  | None -> ());
   Array.iter
     (fun slot ->
       match slot.s_state with Restarting at -> note at | _ -> ())
@@ -472,8 +746,10 @@ let next_event_in forked =
    Never blocks longer than the next scheduled event. *)
 let step t forked =
   restart_due t forked;
+  heartbeat t forked;
   expire_deadlines t forked;
   reap forked;
+  publish_worker_gauges t forked;
   let conns =
     Array.to_list forked.slots
     |> List.filter_map (fun slot ->
@@ -485,7 +761,7 @@ let step t forked =
     |> List.filter (fun (_, c) -> not (Queue.is_empty c.c_outbox))
     |> List.map (fun (_, c) -> c.c_fd)
   in
-  match Unix.select reads writes [] (next_event_in forked) with
+  match Unix.select reads writes [] (next_event_in t forked) with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | readable, writable, _ ->
     List.iter
@@ -512,17 +788,20 @@ let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
       else
         List.map
           (fun (request : Service.request) ->
-            (match fault request with
-            | Wire.Sleep_s s when s > 0. -> Wire.sleep_s s
-            | _ -> ());
-            Metrics.incr t.m_total;
-            let started = now () in
-            let response =
-              of_service_response (Service.segment_one service request)
-            in
-            Metrics.observe t.m_turnaround_s (now () -. started);
-            count_outcome t response.outcome;
-            response)
+            match quota_admit t request with
+            | Error error -> refusal t request error
+            | Ok () ->
+              (match fault request with
+              | Wire.Sleep_s s when s > 0. -> Wire.sleep_s s
+              | _ -> ());
+              Metrics.incr t.m_total;
+              let started = now () in
+              let response =
+                of_service_response (Service.segment_one service request)
+              in
+              Metrics.observe t.m_turnaround_s (now () -. started);
+              count_outcome t response.outcome;
+              response)
           requests
     | Forked forked ->
       if t.g_draining || t.shut then
@@ -531,6 +810,11 @@ let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
         let total = List.length requests in
         let responses = Array.make total None in
         let batch = ref [] in
+        (* Admission runs the degradation ladder in order: the global
+           inflight cap, the per-site quota, spill-aware placement,
+           then the deadline-feasibility check against the chosen
+           worker's backlog. Only a request that clears all four
+           becomes a pending. *)
         List.iteri
           (fun pos (request : Service.request) ->
             if Hashtbl.length forked.pending >= t.capacity then
@@ -540,45 +824,56 @@ let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
                      (Gateway_overloaded
                         { inflight = Hashtbl.length forked.pending;
                           capacity = t.capacity }))
-            else begin
-              Metrics.incr t.m_total;
-              let seq = forked.next_seq in
-              forked.next_seq <- seq + 1;
-              let pending =
-                {
-                  p_seq = seq;
-                  p_pos = pos;
-                  p_request = request;
-                  p_fault = fault request;
-                  p_slot = slot_of_site ~procs:t.cfg.procs request.Service.site;
-                  p_deadline =
-                    Option.map (fun d -> now () +. d) t.cfg.deadline_s;
-                  p_submitted = now ();
-                  p_dispatched = None;
-                  p_redispatched = false;
-                  p_outcome = None;
-                }
-              in
-              Hashtbl.replace forked.pending seq pending;
-              batch := pending :: !batch;
-              match forked.slots.(pending.p_slot).s_state with
-              | Live conn ->
-                enqueue_frame conn
-                  (Wire.encode
-                     (Wire.Request
-                        { seq; request; fault = pending.p_fault }))
-                  (Some seq)
-              | Restarting _ -> () (* dispatched when the fork lands *)
-              | Failed ->
-                resolve t pending
-                  {
-                    id = request.Service.id;
-                    outcome =
-                      Error (Worker_lost "worker slot permanently failed");
-                    cache_hit = false;
-                    latency_s = 0.;
-                  }
-            end)
+            else
+              match quota_admit t request with
+              | Error error -> responses.(pos) <- Some (refusal t request error)
+              | Ok () -> (
+                let slot_index, spilled =
+                  choose_slot t forked request.Service.site
+                in
+                match shed_check t forked slot_index with
+                | Error error ->
+                  responses.(pos) <- Some (refusal t request error)
+                | Ok () -> (
+                  if spilled then Metrics.incr t.m_spilled;
+                  Metrics.incr t.m_total;
+                  let seq = forked.next_seq in
+                  forked.next_seq <- seq + 1;
+                  let pending =
+                    {
+                      p_seq = seq;
+                      p_pos = pos;
+                      p_request = request;
+                      p_fault = fault request;
+                      p_slot = slot_index;
+                      p_deadline =
+                        Option.map (fun d -> now () +. d) t.cfg.deadline_s;
+                      p_submitted = now ();
+                      p_dispatched = None;
+                      p_redispatched = false;
+                      p_outcome = None;
+                    }
+                  in
+                  Hashtbl.replace forked.pending seq pending;
+                  batch := pending :: !batch;
+                  match forked.slots.(pending.p_slot).s_state with
+                  | Live conn ->
+                    enqueue_frame conn
+                      (Wire.encode
+                         (Wire.Request
+                            { seq; request; fault = pending.p_fault }))
+                      (Some seq);
+                    track_dispatch forked pending.p_slot seq
+                  | Restarting _ -> () (* dispatched when the fork lands *)
+                  | Failed ->
+                    resolve t pending
+                      {
+                        id = request.Service.id;
+                        outcome =
+                          Error (Worker_lost "worker slot permanently failed");
+                        cache_hit = false;
+                        latency_s = 0.;
+                      })))
           requests;
         let batch = List.rev !batch in
         let unresolved () =
@@ -587,6 +882,7 @@ let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
         while unresolved () do
           step t forked
         done;
+        publish_worker_gauges t forked;
         List.iter
           (fun pending ->
             responses.(pending.p_pos) <- pending.p_outcome;

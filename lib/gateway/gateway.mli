@@ -44,6 +44,32 @@ type config = {
   max_restarts : int;  (** restart budget per worker slot (default 5) *)
   backoff_s : float;  (** initial restart backoff (default 0.05) *)
   backoff_cap_s : float;  (** backoff ceiling (default 2.0) *)
+  spill_threshold : int option;
+      (** adaptive affinity: when a request's site-affinity worker
+          already holds more than this many frames (master-expired
+          zombies included), route it to the least-loaded live worker
+          instead, counting [gateway.spilled]. Results stay
+          byte-identical — only placement (and so tail latency)
+          changes. [None] (default): strict affinity, never spill. *)
+  site_quota_rps : float option;
+      (** per-site admission quota: a token bucket per site refilled at
+          this rate (burst = one second of quota, at least 1), so one
+          hot site cannot monopolize the fleet. Excess requests are
+          refused with [Quota_exceeded]. [None] (default): unlimited. *)
+  shed : bool;
+      (** deadline-aware shedding (needs [deadline_s]): refuse at
+          admission, with [Shed], any request whose predicted
+          completion — the chosen worker's service-time EWMA times its
+          backlog — already misses the deadline, so worker queues hold
+          only winnable work. Default [false]: queue and let the
+          deadline expire. *)
+  ping_timeout_s : float option;
+      (** wedged-worker detection: heartbeat-Ping every live worker and
+          SIGKILL + restart (through the capped-backoff path, counting
+          [gateway.ping_timeouts]) one that owes a Pong longer than
+          this. Workers answer pings behind their queued requests, so
+          this must exceed the worst tolerable queue drain. [None]
+          (default): only the socket decides life and death. *)
 }
 
 val default_config : config
@@ -55,6 +81,12 @@ type error =
   | Gateway_overloaded of { inflight : int; capacity : int }
       (** refused at submission: dispatching this request would have
           exceeded [max_inflight] *)
+  | Quota_exceeded of { site : string; retry_after_s : float }
+      (** refused at submission: the site's token bucket is empty;
+          [retry_after_s] is when one token will have refilled *)
+  | Shed of { predicted_s : float; deadline_s : float }
+      (** refused at submission: the chosen worker's backlog predicts
+          completion in [predicted_s], past the [deadline_s] *)
   | Deadline_exceeded
   | Draining  (** refused: the gateway is shutting down (SIGTERM) *)
   | Service_error of Tabseg_serve.Service.error

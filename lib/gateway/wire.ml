@@ -1,6 +1,10 @@
 module Service = Tabseg_serve.Service
 
-let protocol_version = 1
+(* v2: Hello reports the worker's static capacity (jobs, pool queue
+   capacity) and Pong carries a live load report (pool inflight and
+   queue depth) — the gauges the master's adaptive affinity and
+   load-shedding decisions read. *)
+let protocol_version = 2
 let magic = "TSGW"
 let header_size = 16 (* magic + version + crc + length *)
 
@@ -14,11 +18,11 @@ type fault =
   | Crash_if_exists of string
 
 type message =
-  | Hello of { pid : int; role : string }
+  | Hello of { pid : int; role : string; jobs : int; queue_capacity : int }
   | Request of { seq : int; request : Service.request; fault : fault }
   | Response of { seq : int; response : Service.response }
   | Ping of int
-  | Pong of int
+  | Pong of { token : int; inflight : int; queue_depth : int }
   | Shutdown
 
 type decode_error =

@@ -35,9 +35,10 @@ type fault =
           worker it reaches: the permanent-failure case. *)
 
 type message =
-  | Hello of { pid : int; role : string }
+  | Hello of { pid : int; role : string; jobs : int; queue_capacity : int }
       (** first message a worker sends; [role] is the store role it got
-          ("writer", "reader" or "none") *)
+          ("writer", "reader" or "none"), [jobs] and [queue_capacity]
+          the static capacity of its in-process pool *)
   | Request of {
       seq : int;
       request : Tabseg_serve.Service.request;
@@ -45,7 +46,9 @@ type message =
     }
   | Response of { seq : int; response : Tabseg_serve.Service.response }
   | Ping of int
-  | Pong of int  (** echoes the ping's token *)
+  | Pong of { token : int; inflight : int; queue_depth : int }
+      (** echoes the ping's [token] and reports the worker pool's live
+          load — the master's view of a worker it cannot inspect *)
   | Shutdown  (** master → worker: finish up and exit cleanly *)
 
 type decode_error =

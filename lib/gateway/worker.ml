@@ -1,4 +1,5 @@
 module Service = Tabseg_serve.Service
+module Pool = Tabseg_serve.Pool
 module Store = Tabseg_store.Store
 
 (* How long the worker sleeps in [select] before running a maintenance
@@ -30,15 +31,32 @@ let store_role service =
 
 let run ~socket ~config =
   let service = Service.create ~config () in
+  let pool_capacity () = (Service.pool_stats service).Pool.queue_capacity in
   Wire.write_message socket
-    (Wire.Hello { pid = Unix.getpid (); role = store_role service });
+    (Wire.Hello
+       {
+         pid = Unix.getpid ();
+         role = store_role service;
+         jobs = config.Service.jobs;
+         queue_capacity = pool_capacity ();
+       });
   let stop = ref false in
   let handle = function
     | Wire.Request { seq; request; fault } ->
       apply_fault fault;
       let response = Service.segment_one service request in
       Wire.write_message socket (Wire.Response { seq; response })
-    | Wire.Ping token -> Wire.write_message socket (Wire.Pong token)
+    | Wire.Ping token ->
+      (* The Pong doubles as a load report: the master cannot inspect a
+         forked worker's pool, so the live depth rides the heartbeat. *)
+      let pstats = Service.pool_stats service in
+      Wire.write_message socket
+        (Wire.Pong
+           {
+             token;
+             inflight = pstats.Pool.inflight;
+             queue_depth = pstats.Pool.queue_depth;
+           })
     | Wire.Shutdown -> stop := true
     | Wire.Hello _ | Wire.Response _ | Wire.Pong _ ->
       (* A master never sends these; a peer that does is broken. *)

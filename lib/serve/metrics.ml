@@ -156,6 +156,8 @@ let summary histogram =
         }
       end)
 
+let mean s = if s.count = 0 then 0. else s.sum /. float_of_int s.count
+
 (* ------------------------------- dumps ------------------------------ *)
 
 let sorted_names table =
@@ -191,7 +193,7 @@ let report t =
   List.iter
     (fun (name, h) ->
       let s = summary h in
-      let mean = if s.count = 0 then 0. else s.sum /. float_of_int s.count in
+      let mean = mean s in
       let ms x = x *. 1000. in
       Buffer.add_string buffer
         (Printf.sprintf "  %-40s %7d %7.2fms %7.2fms %7.2fms %7.2fms %7.2fms\n"

@@ -51,6 +51,10 @@ type summary = {
 
 val summary : histogram -> summary
 
+val mean : summary -> float
+(** [sum / count]; 0 when empty. The seed the gateway's load-shedding
+    EWMA starts from before a worker has answered anything. *)
+
 (** {1 Dumping} *)
 
 val report : t -> string

@@ -23,6 +23,7 @@ type stats = {
   rejected : int;
   expired : int;
   crashed : int;
+  inflight : int;  (* tasks claimed by a worker and still running *)
   queue_depth : int;
   queue_capacity : int;
 }
@@ -41,6 +42,7 @@ type t = {
   mutable rejected : int;
   mutable expired : int;
   mutable crashed : int;
+  mutable running : int;
 }
 
 let fill ticket outcome =
@@ -69,12 +71,17 @@ let rec worker_loop pool =
         while Queue.is_empty pool.queue && not pool.stopping do
           Lockcheck.wait pool.nonempty pool.mutex
         done;
-        if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue))
+        if Queue.is_empty pool.queue then None
+        else begin
+          pool.running <- pool.running + 1;
+          Some (Queue.pop pool.queue)
+        end)
   in
   match task with
   | None -> () (* stopping *)
   | Some task ->
     task.run ();
+    Lockcheck.protect pool.mutex (fun () -> pool.running <- pool.running - 1);
     worker_loop pool
 
 let create ?queue_capacity ~jobs () =
@@ -99,6 +106,7 @@ let create ?queue_capacity ~jobs () =
       rejected = 0;
       expired = 0;
       crashed = 0;
+      running = 0;
     }
   in
   if num_jobs > 1 then
@@ -153,7 +161,13 @@ let submit pool ?deadline_s f =
           else true)
     in
     (* Inline mode: the submitting domain is the worker. *)
-    if accepted then run ()
+    if accepted then begin
+      Lockcheck.protect pool.mutex (fun () ->
+          pool.running <- pool.running + 1);
+      run ();
+      Lockcheck.protect pool.mutex (fun () ->
+          pool.running <- pool.running - 1)
+    end
     else fill ticket (Rejected { depth = 0; capacity = pool.capacity });
     ticket
   end
@@ -188,6 +202,7 @@ let stats pool =
         rejected = pool.rejected;
         expired = pool.expired;
         crashed = pool.crashed;
+        inflight = pool.running;
         queue_depth = Queue.length pool.queue;
         queue_capacity = pool.capacity;
       })

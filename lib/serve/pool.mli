@@ -52,6 +52,7 @@ type stats = {
   rejected : int;
   expired : int;
   crashed : int;
+  inflight : int;  (** tasks claimed by a worker and still running *)
   queue_depth : int;  (** tasks waiting for a worker right now *)
   queue_capacity : int;  (** the configured queue bound *)
 }

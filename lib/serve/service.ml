@@ -64,6 +64,7 @@ type t = {
   request_seconds : Metrics.histogram;
   queue_depth : Metrics.gauge;
   queue_capacity : Metrics.gauge;
+  queue_inflight : Metrics.gauge;
   mutable shut_down : bool;
 }
 
@@ -103,6 +104,7 @@ let create ?(config = default_config) () =
     request_seconds = Metrics.histogram registry "request.seconds";
     queue_depth = Metrics.gauge registry "pool.queue_depth";
     queue_capacity = Metrics.gauge registry "pool.queue_capacity";
+    queue_inflight = Metrics.gauge registry "pool.inflight";
     shut_down = false;
   }
 
@@ -188,6 +190,7 @@ let run_batch t requests =
     let pstats = Pool.stats t.pool in
     Metrics.set t.queue_depth (float_of_int pstats.Pool.queue_depth);
     Metrics.set t.queue_capacity (float_of_int pstats.Pool.queue_capacity);
+    Metrics.set t.queue_inflight (float_of_int pstats.Pool.inflight);
     let responses = Array.make (List.length requests) None in
     List.iter2
       (fun group outcome ->

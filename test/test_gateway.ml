@@ -73,9 +73,9 @@ let roundtrip message = Wire.decode (Wire.encode message)
 let test_wire_roundtrip () =
   let messages =
     [
-      Wire.Hello { pid = 4242; role = "writer" };
+      Wire.Hello { pid = 4242; role = "writer"; jobs = 2; queue_capacity = 64 };
       Wire.Ping 7;
-      Wire.Pong 7;
+      Wire.Pong { token = 7; inflight = 1; queue_depth = 3 };
       Wire.Shutdown;
       Wire.Request
         {
@@ -122,7 +122,10 @@ let test_wire_roundtrip () =
   done
 
 let test_wire_damage_typed () =
-  let frame = Wire.encode (Wire.Hello { pid = 1; role = "reader" }) in
+  let frame =
+    Wire.encode
+      (Wire.Hello { pid = 1; role = "reader"; jobs = 1; queue_capacity = 32 })
+  in
   let flip frame pos =
     let bytes = Bytes.of_string frame in
     Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x40));
@@ -303,11 +306,196 @@ let test_gateway_deadline () =
   check_int "deadline counted" 1
     (counter_value gateway "gateway.deadline_exceeded")
 
+(* ------------------------ degradation ladder ------------------------ *)
+
+(* N copies of one site's first page: the worst case for static
+   affinity — every request has the same home worker. The duplicates
+   hit the worker's result cache after the first, so the injected
+   sleeps dominate and the timing assertions are stable. *)
+let hot_requests ~count =
+  let base = List.hd (requests_of [ "ButlerCounty" ]) in
+  List.init count (fun i ->
+      { base with Service.id = Printf.sprintf "hot#%d" i })
+
+let hot_reference () =
+  match
+    Tabseg.Api.segment_result ~method_:Tabseg.Api.Probabilistic
+      (List.hd (hot_requests ~count:1)).Service.input
+  with
+  | Ok result -> render result.Tabseg.Api.segmentation
+  | Error error -> "ERROR: " ^ Tabseg.Api.input_error_message error
+
+let test_spill_on_vs_off () =
+  let expected = hot_reference () in
+  let timed config =
+    with_gateway config @@ fun gateway ->
+    (* Warm both workers' result caches first (with spill enabled the
+       warmup pair lands on both workers; without it both copies stay
+       home — where the timed batch runs too), so the timed comparison
+       measures queueing, not cold segmentation. *)
+    ignore (Gateway.run_batch gateway (hot_requests ~count:2));
+    let requests = hot_requests ~count:10 in
+    let started = Unix.gettimeofday () in
+    let responses =
+      Gateway.run_batch gateway
+        ~fault:(fun _ -> Wire.Sleep_s 0.05)
+        requests
+    in
+    let wall = Unix.gettimeofday () -. started in
+    check_int "every hot request answered" (List.length requests)
+      (List.length responses);
+    List.iteri
+      (fun i (response : Gateway.response) ->
+        check_string
+          (Printf.sprintf "hot request %d in submission order" i)
+          (List.nth requests i).Service.id response.Gateway.id;
+        check_string
+          (Printf.sprintf "hot request %d byte-identical" i)
+          expected (render_response response))
+      responses;
+    (wall, counter_value gateway "gateway.spilled")
+  in
+  let base = { Gateway.default_config with Gateway.procs = 2 } in
+  let wall_affinity, spilled_affinity = timed base in
+  let wall_spill, spilled_spill =
+    timed { base with Gateway.spill_threshold = Some 0 }
+  in
+  check_int "strict affinity never spills" 0 spilled_affinity;
+  check_bool "overloaded home worker spills" true (spilled_spill >= 4);
+  (* A serial queue's wall clock is its tail latency: 10 sleeps behind
+     one worker vs ~5 behind each of two leaves a wide margin. *)
+  check_bool
+    (Printf.sprintf "spill cuts the hot-site tail (%.3fs vs %.3fs)"
+       wall_spill wall_affinity)
+    true
+    (wall_spill < wall_affinity *. 0.8)
+
+let test_quota_hits_only_the_hot_site () =
+  let hot = hot_requests ~count:8 in
+  let cold =
+    match requests_of [ "AlleghenyCounty" ] with
+    | a :: b :: _ -> [ a; b ]
+    | _ -> Alcotest.fail "AlleghenyCounty should have two pages"
+  in
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 2;
+      site_quota_rps = Some 3.0
+    }
+  @@ fun gateway ->
+  let responses = Gateway.run_batch gateway (hot @ cold) in
+  let hot_responses = List.filteri (fun i _ -> i < 8) responses in
+  let cold_responses = List.filteri (fun i _ -> i >= 8) responses in
+  let admitted =
+    List.length
+      (List.filter
+         (fun (r : Gateway.response) -> Result.is_ok r.Gateway.outcome)
+         hot_responses)
+  in
+  check_int "the hot site's burst allowance is the quota" 3 admitted;
+  List.iter
+    (fun (response : Gateway.response) ->
+      match response.Gateway.outcome with
+      | Ok _ -> ()
+      | Error (Gateway.Quota_exceeded { site; retry_after_s }) ->
+        check_string "rejection names the hot site" "ButlerCounty" site;
+        check_bool "retry hint is positive" true (retry_after_s > 0.)
+      | Error other ->
+        Alcotest.fail
+          ("hot rejection must be Quota_exceeded, got "
+          ^ Gateway.error_message other))
+    hot_responses;
+  List.iter
+    (fun (response : Gateway.response) ->
+      check_bool "cold site unaffected by the hot site's quota" true
+        (Result.is_ok response.Gateway.outcome))
+    cold_responses;
+  check_int "quota rejections counted" 5
+    (counter_value gateway "gateway.quota_rejected")
+
+let test_shed_vs_queue_under_impossible_deadline () =
+  (* Batch 1 overcommits a worker: a few requests finish in time, the
+     rest expire at the master but keep the worker busy (zombie work).
+     Batch 2 arrives on top of that backlog with the same deadline.
+     Without shedding it queues and burns the full deadline before
+     failing; with shedding the EWMA model refuses it instantly and the
+     worker's queue holds only winnable work. *)
+  let run ~shed =
+    with_gateway
+      { Gateway.default_config with
+        Gateway.procs = 2;
+        deadline_s = Some 0.25;
+        shed
+      }
+    @@ fun gateway ->
+    let slow _ = Wire.Sleep_s 0.12 in
+    ignore (Gateway.run_batch gateway ~fault:slow (hot_requests ~count:6));
+    let responses =
+      Gateway.run_batch gateway ~fault:slow (hot_requests ~count:6)
+    in
+    (responses, counter_value gateway "gateway.shed")
+  in
+  let queued, shed_count_off = run ~shed:false in
+  check_int "shedding off never sheds" 0 shed_count_off;
+  List.iter
+    (fun (response : Gateway.response) ->
+      check_bool "without shedding the backlogged batch burns its deadline"
+        true
+        (response.Gateway.outcome = Error Gateway.Deadline_exceeded))
+    queued;
+  let shed, shed_count_on = run ~shed:true in
+  List.iter
+    (fun (response : Gateway.response) ->
+      match response.Gateway.outcome with
+      | Error (Gateway.Shed { predicted_s; deadline_s }) ->
+        check_bool "prediction exceeds the deadline" true
+          (predicted_s > deadline_s)
+      | _ ->
+        Alcotest.fail
+          ("expected a typed Shed, got " ^ render_response response))
+    shed;
+  check_int "every backlogged request was shed at admission" 6 shed_count_on
+
+let test_ping_timeout_restarts_wedged_worker () =
+  (* A worker stuck in a 5 s stall never closes its socket, so the
+     EOF-based supervision alone would wait out the stall. The ping
+     deadline must SIGKILL it, restart through the backoff path, and —
+     when the replacement wedges on the re-dispatched request too —
+     give up with the typed Worker_lost. *)
+  let requests = hot_requests ~count:1 in
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 2;
+      ping_timeout_s = Some 0.15;
+      max_restarts = 2;
+      backoff_s = 0.01
+    }
+  @@ fun gateway ->
+  let responses =
+    Gateway.run_batch gateway ~fault:(fun _ -> Wire.Sleep_s 5.0) requests
+  in
+  (match responses with
+  | [ { Gateway.outcome = Error (Gateway.Worker_lost _); _ } ] -> ()
+  | [ response ] ->
+    Alcotest.fail ("expected Worker_lost, got " ^ render_response response)
+  | _ -> Alcotest.fail "expected exactly one response");
+  check_bool "ping timeouts counted" true
+    (counter_value gateway "gateway.ping_timeouts" >= 1);
+  check_bool "the wedged worker went through the restart path" true
+    (counter_value gateway "gateway.worker_restarts" >= 1)
+
 (* ----------------------------- draining ----------------------------- *)
 
 let test_sigterm_drains () =
-  let requests = requests_of [ "ButlerCounty" ] in
-  with_gateway { Gateway.default_config with Gateway.procs = 2 }
+  (* Hot-site duplicates with a zero spill threshold: the batch that is
+     in flight when SIGTERM lands includes spilled requests, so the
+     drain guarantee is exercised across both placement paths. *)
+  let requests = hot_requests ~count:6 in
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 2;
+      spill_threshold = Some 0
+    }
   @@ fun gateway ->
   Gateway.install_sigterm gateway;
   Fun.protect ~finally:(fun () ->
@@ -332,6 +520,8 @@ let test_sigterm_drains () =
         (Result.is_ok response.Gateway.outcome))
     responses;
   check_bool "gateway is draining" true (Gateway.draining gateway);
+  check_bool "spilled requests were in flight during the drain" true
+    (counter_value gateway "gateway.spilled" >= 1);
   (* New work is refused with the typed drain error. *)
   match Gateway.run_batch gateway requests with
   | [] -> Alcotest.fail "expected responses"
@@ -368,6 +558,19 @@ let () =
           Alcotest.test_case "deadline expiry at the master" `Quick
             test_gateway_deadline;
         ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "spill cuts the hot-site tail, bytes identical"
+            `Slow test_spill_on_vs_off;
+          Alcotest.test_case "quota rejection is typed and site-scoped" `Slow
+            test_quota_hits_only_the_hot_site;
+          Alcotest.test_case "shed-vs-queue under an impossible deadline"
+            `Slow test_shed_vs_queue_under_impossible_deadline;
+          Alcotest.test_case "ping timeout restarts a wedged worker" `Slow
+            test_ping_timeout_restarts_wedged_worker;
+        ] );
+      (* Last on purpose: the killer Domain.spawn below must come after
+         every fork in this process (fork-after-domain hazard). *)
       ( "draining",
         [
           Alcotest.test_case "SIGTERM drains in-flight work" `Quick
