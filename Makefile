@@ -10,14 +10,17 @@
 # the overload smoke (a fixed-seed Zipf-skewed burst at ~1.6x fleet
 # capacity: the spill+shed gateway must keep goodput positive with the
 # degradation ladder demonstrably engaged, no worker crashes, and every
-# completed response byte-identical to the sequential reference).
+# completed response byte-identical to the sequential reference), and
+# the daemon smoke (a real daemon process serving 8 pipelined socket
+# connections: every reply byte-identical to the in-process reference,
+# zero worker restarts, graceful SIGTERM drain exiting 0).
 # `lint` runs tabseg_lint (rules TS001-TS007: fork-after-domain,
 # raw-marshal, bare-mutex, blocking-io-select, print-in-lib,
 # global-mutable-state, allow discipline) over lib/ bin/ bench/ and
 # fails on any unsuppressed finding.
 
 .PHONY: check build lint test smoke bench bench-throughput bench-store \
-	bench-gateway bench-overload clean
+	bench-gateway bench-overload bench-daemon clean
 
 check: build lint test smoke
 
@@ -36,6 +39,7 @@ smoke:
 	dune exec bench/main.exe -- store-smoke
 	dune exec bench/main.exe -- gateway-smoke
 	dune exec bench/main.exe -- overload-smoke
+	dune exec bench/main.exe -- daemon-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -70,6 +74,17 @@ bench-gateway:
 # Forks workers, so like bench-gateway it needs its own process.
 bench-overload:
 	dune exec bench/main.exe -- overload --json
+
+# Daemon serving benchmark: a real daemon process behind a Unix socket
+# (plus one TCP cell), closed-loop connection sweep (1/8/16 pipelined
+# connections) with every reply checked byte-for-byte against the
+# sequential in-process reference, then the quota cell — a burst past
+# the per-site admission quota driven by a naive client and by one that
+# honours the typed retry-after hint, goodput compared over the same
+# fixed horizon → BENCH_daemon.json. Spawns daemons (fork), so like
+# bench-gateway it needs its own process.
+bench-daemon:
+	dune exec bench/main.exe -- daemon --json
 
 # Only build artifacts. User store directories (*.tabstore/) hold warm
 # cache state that survives restarts by design — never remove them here.

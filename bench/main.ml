@@ -1807,6 +1807,357 @@ let overload_smoke () =
     degraded.o_shed degraded.o_spilled
 
 (* ------------------------------------------------------------------ *)
+(* Daemon: the socket front door under sustained concurrent load       *)
+(* ------------------------------------------------------------------ *)
+
+module Dm = Tabseg_daemon.Daemon
+module Dproto = Tabseg_daemon.Protocol
+module Dclient = Tabseg_daemon.Client
+module Dload = Tabseg_daemon.Loadgen
+
+(* Same trick as the overload bench: a handful of site labels over one
+   shared input, so the workers' result memos absorb the segmentation
+   cost and an injected [Sleep_s] models service time — the bench
+   measures the socket edge, the pipelining and the drain choreography,
+   not the segmenter. *)
+let daemon_labels = Array.init 8 (fun i -> Printf.sprintf "daemon-site-%02d" i)
+let daemon_sites input = Array.map (fun label -> (label, input)) daemon_labels
+
+let daemon_expected reference =
+  Array.to_list (Array.map (fun label -> (label, reference)) daemon_labels)
+
+let daemon_config ?auth_token ?site_quota listen =
+  {
+    Dm.default_config with
+    Dm.listen;
+    auth_token;
+    gateway =
+      { Gw.default_config with Gw.procs = 2; site_quota_rps = site_quota };
+  }
+
+(* Counter snapshot over the wire — the daemon is a separate process,
+   so its registry is only reachable through the Stats frame. *)
+let daemon_stat ?auth_token address name =
+  match Dclient.connect ~client:"bench-stats" ?auth_token address with
+  | Error e -> failwith (Dclient.connect_error_message e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Dclient.close c)
+    @@ fun () ->
+    (match Dclient.stats c with
+    | Ok stats -> ( try List.assoc name stats with Not_found -> nan)
+    | Error e -> failwith (Dclient.error_message e))
+
+(* One warm round through a short-lived client: populates each affinity
+   worker's result memo so the measured window holds steady-state
+   service, not two cold segmentations. *)
+let daemon_warm ?auth_token address input =
+  match Dclient.connect ~client:"bench-warm" ?auth_token address with
+  | Error e -> failwith (Dclient.connect_error_message e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Dclient.close c)
+    @@ fun () ->
+    (match
+       Dclient.submit_all c
+         (Array.to_list
+            (Array.map
+               (fun label ->
+                 { Serve.Service.id = "warm-" ^ label; site = label; input })
+               daemon_labels))
+     with
+    | Ok _ -> ()
+    | Error e -> failwith (Dclient.error_message e))
+
+type daemon_point = {
+  d_transport : string;  (* "unix" | "tcp" *)
+  d_conns : int;
+  d_pipeline : int;
+  d_offered : int;
+  d_ok : int;
+  d_failed : int;
+  d_rps : float;
+  d_p50_ms : float;
+  d_p95_ms : float;
+  d_p99_ms : float;
+  d_mismatches : int;
+  d_restarts : int;
+}
+
+(* One (transport, conns) cell: a fresh daemon process (2 gateway
+   workers), warmed, then [conns] concurrent connections in closed loop
+   keeping [pipeline] requests outstanding each, every Ok reply checked
+   byte-for-byte against the sequential in-process reference. *)
+let daemon_cell ~transport ~conns ~pipeline ~service_s ~duration_s ~input
+    ~expected =
+  let dir = temp_store_dir "tabseg_daemon" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let listen =
+    match transport with
+    | "tcp" -> Dproto.Tcp ("127.0.0.1", 0)
+    | _ -> Dproto.Unix_socket (Filename.concat dir "bench.sock")
+  in
+  let handle = Dm.spawn ~config:(daemon_config listen) () in
+  Fun.protect ~finally:(fun () -> ignore (Dm.stop handle)) @@ fun () ->
+  daemon_warm handle.Dm.address input;
+  let config =
+    {
+      Dload.default_config with
+      Dload.address = handle.Dm.address;
+      connections = conns;
+      mode = Dload.Closed_loop { pipeline };
+      duration_s;
+      sites = daemon_sites input;
+      zipf_exponent = 1.1;
+      fault = Tabseg_gateway.Wire.Sleep_s service_s;
+      expected;
+    }
+  in
+  match Dload.run config with
+  | Error why -> failwith ("daemon bench: " ^ why)
+  | Ok stats ->
+    let restarts =
+      int_of_float (daemon_stat handle.Dm.address "gateway.worker_restarts")
+    in
+    {
+      d_transport = transport;
+      d_conns = conns;
+      d_pipeline = pipeline;
+      d_offered = stats.Dload.offered;
+      d_ok = stats.Dload.ok;
+      d_failed = stats.Dload.failed;
+      d_rps = stats.Dload.rps;
+      d_p50_ms = stats.Dload.p50_ms;
+      d_p95_ms = stats.Dload.p95_ms;
+      d_p99_ms = stats.Dload.p99_ms;
+      d_mismatches = stats.Dload.mismatches;
+      d_restarts = restarts;
+    }
+
+type daemon_quota_point = {
+  q_client : string;  (* "naive" | "retry" *)
+  q_offered : int;
+  q_ok : int;
+  q_retried : int;
+  q_recovered : int;
+  q_abandoned : int;
+  q_goodput : float;  (* ok over the shared fixed horizon *)
+  q_mismatches : int;
+}
+
+(* The quota cell: a burst several times over the per-site admission
+   quota, then a drain window long enough for the token buckets to
+   refill. Both clients get the same offered load and the same time
+   budget (arrival window + drain), so goodput-over-horizon isolates
+   the one difference: honouring the retry-after hint recovers the
+   rejected work, abandoning it does not. *)
+let daemon_quota_cell ~retry ~quota_rps ~rate ~burst_s ~drain_s ~input
+    ~expected =
+  let dir = temp_store_dir "tabseg_daemon" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let listen = Dproto.Unix_socket (Filename.concat dir "bench.sock") in
+  let handle =
+    Dm.spawn ~config:(daemon_config ~site_quota:quota_rps listen) ()
+  in
+  Fun.protect ~finally:(fun () -> ignore (Dm.stop handle)) @@ fun () ->
+  let config =
+    {
+      Dload.default_config with
+      Dload.address = handle.Dm.address;
+      connections = 4;
+      mode = Dload.Open_loop { rate };
+      duration_s = burst_s;
+      drain_timeout_s = drain_s;
+      sites = Array.sub (daemon_sites input) 0 4;
+      retry_quota = retry;
+      max_retries = 6;
+      expected;
+    }
+  in
+  match Dload.run config with
+  | Error why -> failwith ("daemon quota bench: " ^ why)
+  | Ok stats ->
+    {
+      q_client = (if retry then "retry" else "naive");
+      q_offered = stats.Dload.offered;
+      q_ok = stats.Dload.ok;
+      q_retried = stats.Dload.retried;
+      q_recovered = stats.Dload.recovered;
+      q_abandoned = stats.Dload.abandoned;
+      q_goodput = float_of_int stats.Dload.ok /. (burst_s +. drain_s);
+      q_mismatches = stats.Dload.mismatches;
+    }
+
+let daemon_json ~procs ~service_s ~duration_s ~quota_rps ~rate ~burst_s
+    ~drain_s points naive retry =
+  let point_json p =
+    Printf.sprintf
+      "    {\"transport\": \"%s\", \"conns\": %d, \"pipeline\": %d, \
+       \"offered\": %d, \"ok\": %d, \"failed\": %d, \"rps\": %.1f, \
+       \"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, \
+       \"mismatches\": %d, \"restarts\": %d}"
+      p.d_transport p.d_conns p.d_pipeline p.d_offered p.d_ok p.d_failed
+      p.d_rps p.d_p50_ms p.d_p95_ms p.d_p99_ms p.d_mismatches p.d_restarts
+  in
+  let quota_json q =
+    Printf.sprintf
+      "{\"offered\": %d, \"ok\": %d, \"retried\": %d, \"recovered\": %d, \
+       \"abandoned\": %d, \"goodput_rps\": %.1f, \"mismatches\": %d}"
+      q.q_offered q.q_ok q.q_retried q.q_recovered q.q_abandoned q.q_goodput
+      q.q_mismatches
+  in
+  Printf.sprintf
+    "{\n  \"bench\": \"daemon.serving\",\n  \"procs\": %d,\n  \
+     \"service_ms\": %.1f,\n  \"duration_s\": %.2f,\n  \"sites\": %d,\n  \
+     \"zipf_exponent\": 1.1,\n  \"sweep\": [\n%s\n  ],\n  \"quota\": {\n    \
+     \"site_quota_rps\": %.1f,\n    \"rate\": %.1f,\n    \"burst_s\": \
+     %.2f,\n    \"drain_s\": %.2f,\n    \"sites\": 4,\n    \"naive\": %s,\n    \
+     \"retry\": %s,\n    \"recovery_ratio\": %.2f\n  }\n}\n"
+    procs (service_s *. 1000.) duration_s
+    (Array.length daemon_labels)
+    (String.concat ",\n" (List.map point_json points))
+    quota_rps rate burst_s drain_s (quota_json naive) (quota_json retry)
+    (retry.q_goodput /. Float.max naive.q_goodput 1e-9)
+
+(* The daemon benchmark: closed-loop connection sweep (1/8/16 conns,
+   pipelined ×4) over a Unix socket plus one TCP cell, then the
+   naive-vs-retry quota comparison. Spawns daemons (fork), so like the
+   gateway benches it needs a process of its own. *)
+let daemon_bench ?(json = false) () =
+  section "Daemon: socket front door under concurrent connections";
+  let service_s = 0.005 and duration_s = 1.5 in
+  let quota_rps = 30. and rate = 600. and burst_s = 0.5 and drain_s = 4.0 in
+  Printf.printf
+    "(procs=2, service %.0f ms, closed loop ×%.1f s per cell, Zipf(1.1) \
+     over %d site labels, replies checked against the sequential \
+     reference)\n"
+    (service_s *. 1000.) duration_s
+    (Array.length daemon_labels);
+  let input = overload_input () in
+  let reference =
+    List.hd
+      (gateway_reference [ { Serve.Service.id = "ref"; site = "ref"; input } ])
+  in
+  let expected = daemon_expected reference in
+  let points =
+    List.map
+      (fun (transport, conns, pipeline) ->
+        daemon_cell ~transport ~conns ~pipeline ~service_s ~duration_s ~input
+          ~expected)
+      [ ("unix", 1, 4); ("unix", 8, 4); ("unix", 16, 4); ("tcp", 8, 4) ]
+  in
+  Printf.printf "%-5s %5s %8s %7s %5s %6s %8s %8s %8s %8s %3s\n" "trans"
+    "conns" "pipeline" "offered" "ok" "fail" "rps" "p50ms" "p95ms" "p99ms"
+    "ok?";
+  List.iter
+    (fun p ->
+      Printf.printf "%-5s %5d %8d %7d %5d %6d %8.1f %8.2f %8.2f %8.2f %3s\n"
+        p.d_transport p.d_conns p.d_pipeline p.d_offered p.d_ok p.d_failed
+        p.d_rps p.d_p50_ms p.d_p95_ms p.d_p99_ms
+        (if p.d_mismatches = 0 && p.d_restarts = 0 then "yes" else "NO"))
+    points;
+  Printf.printf
+    "\nquota %.0f req/s/site × 4 sites, burst %.0f req/s for %.1f s, %.1f s \
+     to drain:\n"
+    quota_rps rate burst_s drain_s;
+  let naive =
+    daemon_quota_cell ~retry:false ~quota_rps ~rate ~burst_s ~drain_s ~input
+      ~expected
+  in
+  let retry =
+    daemon_quota_cell ~retry:true ~quota_rps ~rate ~burst_s ~drain_s ~input
+      ~expected
+  in
+  List.iter
+    (fun q ->
+      Printf.printf
+        "%-6s offered %4d  ok %4d  retried %4d  recovered %4d  abandoned \
+         %4d  goodput %6.1f req/s\n"
+        q.q_client q.q_offered q.q_ok q.q_retried q.q_recovered q.q_abandoned
+        q.q_goodput)
+    [ naive; retry ];
+  Printf.printf "retry/naive goodput ratio: %.2f\n"
+    (retry.q_goodput /. Float.max naive.q_goodput 1e-9);
+  if json then begin
+    let path = "BENCH_daemon.json" in
+    let oc = open_out path in
+    output_string oc
+      (daemon_json ~procs:2 ~service_s ~duration_s ~quota_rps ~rate ~burst_s
+         ~drain_s points naive retry);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  end;
+  (points, naive, retry)
+
+(* The per-PR daemon guard: one real daemon process, 8 concurrent
+   pipelined connections for a second, every reply byte-identical to the
+   in-process reference, no worker restarts, graceful SIGTERM stop. *)
+let daemon_smoke () =
+  section
+    "Daemon smoke: 8 connections, byte-identical replies, clean drain";
+  let input = overload_input () in
+  let reference =
+    List.hd
+      (gateway_reference [ { Serve.Service.id = "ref"; site = "ref"; input } ])
+  in
+  let dir = temp_store_dir "tabseg_daemon" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let listen = Dproto.Unix_socket (Filename.concat dir "smoke.sock") in
+  let handle = Dm.spawn ~config:(daemon_config listen) () in
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  let stats, restarts =
+    Fun.protect
+      ~finally:(fun () ->
+        match Dm.stop handle with
+        | 0 -> ()
+        | code -> fail "daemon exited %d after SIGTERM (want 0)" code)
+    @@ fun () ->
+    daemon_warm handle.Dm.address input;
+    let config =
+      {
+        Dload.default_config with
+        Dload.address = handle.Dm.address;
+        connections = 8;
+        mode = Dload.Closed_loop { pipeline = 4 };
+        duration_s = 1.0;
+        sites = daemon_sites input;
+        zipf_exponent = 1.1;
+        fault = Tabseg_gateway.Wire.Sleep_s 0.002;
+        expected = daemon_expected reference;
+      }
+    in
+    match Dload.run config with
+    | Error why ->
+      fail "loadgen failed: %s" why;
+      (None, 0)
+    | Ok stats ->
+      ( Some stats,
+        int_of_float
+          (daemon_stat handle.Dm.address "gateway.worker_restarts") )
+  in
+  (match stats with
+  | None -> ()
+  | Some stats ->
+    if stats.Dload.ok <= 0 then fail "no request completed";
+    if stats.Dload.failed > 0 then
+      fail "%d request(s) failed under plain load" stats.Dload.failed;
+    if stats.Dload.mismatches > 0 then
+      fail "%d reply(ies) diverged from the sequential reference"
+        stats.Dload.mismatches;
+    if restarts > 0 then fail "%d worker restart(s) under load" restarts;
+    if !ok then
+      Printf.printf
+        "smoke ok: %d/%d replies over 8 pipelined connections, \
+         byte-identical, %d restarts, clean drain\n"
+        stats.Dload.ok stats.Dload.offered restarts);
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Wrapper bootstrap (extension): one segmented page wraps the site     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1960,6 +2311,8 @@ let () =
       | "gateway-smoke" -> gateway_smoke ()
       | "overload" -> ignore (overload_bench ~json ())
       | "overload-smoke" -> overload_smoke ()
+      | "daemon" -> ignore (daemon_bench ~json ())
+      | "daemon-smoke" -> daemon_smoke ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -578,6 +578,366 @@ let auto_cmd =
       $ cache_mb_arg $ metrics_arg $ store_arg $ spill_arg $ quota_arg
       $ shed_arg $ deadline_arg)
 
+(* ------------------------------- serve ----------------------------- *)
+
+let address_conv =
+  let parse s =
+    match Tabseg_daemon.Protocol.address_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Tabseg_daemon.Protocol.address_to_string a)
+  in
+  Arg.conv ~docv:"ADDR" (parse, print)
+
+let gateway_config ~method_ ~jobs ~procs ~cache_mb ~store_dir ~spill_threshold
+    ~site_quota ~shed ~deadline =
+  let open Tabseg_serve in
+  let open Tabseg_gateway in
+  {
+    Gateway.default_config with
+    Gateway.procs = max 1 procs;
+    deadline_s = deadline;
+    spill_threshold;
+    site_quota_rps = site_quota;
+    shed;
+    service =
+      {
+        Service.default_config with
+        Service.jobs;
+        method_;
+        cache =
+          (if cache_mb > 0 then
+             Some { Cache.default_config with Cache.capacity_mb = cache_mb }
+           else None);
+        store_dir;
+      };
+  }
+
+let serve_cmd =
+  let open Tabseg_daemon in
+  let listen_arg =
+    let doc =
+      "Listen address: $(b,unix:PATH) or $(b,tcp:HOST:PORT) (port 0 \
+       binds a kernel-assigned port and prints the real one)."
+    in
+    Arg.(
+      value
+      & opt address_conv Daemon.default_config.Daemon.listen
+      & info [ "listen" ] ~doc ~docv:"ADDR")
+  in
+  let auth_arg =
+    let doc =
+      "Shared secret: clients must present exactly this token in their \
+       handshake or be rejected. Unset: no authentication."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "auth-token" ] ~doc ~docv:"TOKEN")
+  in
+  let idle_arg =
+    let doc =
+      "Close a connection idle (no inbound bytes, nothing outstanding) \
+       for this many seconds. Unset: keep idle connections forever."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let inflight_arg =
+    let doc =
+      "Pipelining window: requests one connection may have outstanding \
+       before the excess is refused in-order with a typed overload error."
+    in
+    Arg.(
+      value
+      & opt int Daemon.default_config.Daemon.max_conn_inflight
+      & info [ "max-conn-inflight" ] ~doc ~docv:"N")
+  in
+  let max_conns_arg =
+    let doc = "Accept cap; above it handshakes are rejected as full." in
+    Arg.(
+      value
+      & opt int Daemon.default_config.Daemon.max_connections
+      & info [ "max-connections" ] ~doc ~docv:"N")
+  in
+  let drain_grace_arg =
+    let doc =
+      "SIGTERM drain budget: seconds to let in-flight work finish \
+       before shutting the gateway down anyway."
+    in
+    Arg.(
+      value
+      & opt float Daemon.default_config.Daemon.drain_grace_s
+      & info [ "drain-grace" ] ~doc ~docv:"SECONDS")
+  in
+  let procs_arg =
+    let doc = "Worker processes behind the gateway (1 = inline, no fork)." in
+    Arg.(value & opt int 2 & info [ "procs" ] ~doc ~docv:"N")
+  in
+  let jobs_arg =
+    let doc = "Worker domains per process." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let cache_mb_arg =
+    let doc = "Cache budget (MB) per worker; 0 disables." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc ~docv:"MB")
+  in
+  let store_arg =
+    let doc = "Persistent store directory shared by the workers." in
+    Arg.(value & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
+  in
+  let spill_arg =
+    let doc = "Adaptive affinity spill threshold (see $(b,tabseg auto))." in
+    Arg.(
+      value & opt (some int) None & info [ "spill-threshold" ] ~doc ~docv:"N")
+  in
+  let quota_arg =
+    let doc =
+      "Per-site admission quota (requests/second). Excess requests are \
+       refused with a typed quota error carrying a retry-after hint — \
+       which $(b,tabseg loadgen --retry) honours."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "site-quota" ] ~doc ~docv:"RPS")
+  in
+  let shed_arg =
+    let doc = "Deadline-aware admission shedding (needs --deadline)." in
+    Arg.(value & flag & info [ "shed" ] ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline at the gateway, in seconds." in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~doc ~docv:"SECONDS")
+  in
+  let run method_ listen auth_token idle_timeout max_conn_inflight
+      max_connections drain_grace procs jobs cache_mb store_dir spill_threshold
+      site_quota shed deadline =
+    let config =
+      {
+        Daemon.listen;
+        auth_token;
+        idle_timeout_s = idle_timeout;
+        handshake_timeout_s = Daemon.default_config.Daemon.handshake_timeout_s;
+        max_conn_inflight;
+        max_connections;
+        drain_grace_s = drain_grace;
+        gateway =
+          gateway_config ~method_ ~jobs ~procs ~cache_mb ~store_dir
+            ~spill_threshold ~site_quota ~shed ~deadline;
+      }
+    in
+    match Daemon.create ~config () with
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "tabseg serve: cannot bind %s: %s (%s %s)\n"
+        (Tabseg_daemon.Protocol.address_to_string listen)
+        (Unix.error_message err) fn arg;
+      exit 1
+    | t ->
+      Printf.printf "tabseg daemon listening on %s (pid %d, %d proc(s))\n"
+        (Tabseg_daemon.Protocol.address_to_string (Daemon.bound_address t))
+        (Unix.getpid ()) (max 1 procs);
+      (match config.Daemon.auth_token with
+      | Some _ -> print_endline "authentication required"
+      | None -> ());
+      print_endline "SIGTERM drains gracefully";
+      flush stdout;
+      Daemon.serve t;
+      print_endline "drained; bye"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the segmentation daemon: a TCP or Unix-domain-socket \
+             front door over the multi-process gateway")
+    Term.(
+      const run $ method_arg $ listen_arg $ auth_arg $ idle_arg $ inflight_arg
+      $ max_conns_arg $ drain_grace_arg $ procs_arg $ jobs_arg $ cache_mb_arg
+      $ store_arg $ spill_arg $ quota_arg $ shed_arg $ deadline_arg)
+
+(* ------------------------------ loadgen ----------------------------- *)
+
+let loadgen_cmd =
+  let open Tabseg_daemon in
+  let connect_arg =
+    let doc = "Daemon address: $(b,unix:PATH) or $(b,tcp:HOST:PORT)." in
+    Arg.(
+      value
+      & opt address_conv Daemon.default_config.Daemon.listen
+      & info [ "connect" ] ~doc ~docv:"ADDR")
+  in
+  let conns_arg =
+    let doc = "Concurrent connections." in
+    Arg.(value & opt int 4 & info [ "c"; "conns" ] ~doc ~docv:"N")
+  in
+  let rate_arg =
+    let doc =
+      "Open-loop mode: schedule arrivals at this rate (requests/second \
+       across all connections), regardless of completions. Latency is \
+       measured from the scheduled arrival. Unset: closed loop."
+    in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~doc ~docv:"RPS")
+  in
+  let pipeline_arg =
+    let doc =
+      "Closed-loop mode: keep this many requests outstanding per \
+       connection (ignored with --rate)."
+    in
+    Arg.(value & opt int 1 & info [ "pipeline" ] ~doc ~docv:"N")
+  in
+  let duration_arg =
+    let doc = "Arrival window in seconds (draining runs after)." in
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~doc ~docv:"SECONDS")
+  in
+  let sites_arg =
+    let doc =
+      "Restrict the site universe (repeatable; default: all twelve \
+       synthetic sites)."
+    in
+    Arg.(value & opt_all string [] & info [ "s"; "site" ] ~doc ~docv:"SITE")
+  in
+  let zipf_arg =
+    let doc =
+      "Zipf exponent for site skew: 0 = uniform, 1 ≈ web-like traffic."
+    in
+    Arg.(value & opt float 0. & info [ "zipf" ] ~doc ~docv:"EXPONENT")
+  in
+  let seed_arg =
+    let doc = "Site-skew RNG seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc ~docv:"SEED")
+  in
+  let auth_arg =
+    let doc = "Token presented in every handshake." in
+    Arg.(
+      value & opt (some string) None & info [ "auth-token" ] ~doc ~docv:"TOKEN")
+  in
+  let service_ms_arg =
+    let doc =
+      "Attach a sleep fault of this many milliseconds to every request \
+       — models service time without burning CPU."
+    in
+    Arg.(value & opt float 0. & info [ "service-ms" ] ~doc ~docv:"MS")
+  in
+  let retry_arg =
+    let doc =
+      "Honour the retry-after hint in quota rejections: re-submit after \
+       the hinted delay, keeping the original arrival time for latency."
+    in
+    Arg.(value & flag & info [ "retry" ] ~doc)
+  in
+  let max_retries_arg =
+    let doc = "Retry budget per request (with --retry)." in
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~doc ~docv:"N")
+  in
+  let verify_arg =
+    let doc =
+      "Render every Ok reply and compare it byte-for-byte against an \
+       in-process segmentation of the same input (assumes the server \
+       runs the same method); mismatches fail the run."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run method_ address connections rate pipeline duration site_names zipf
+      seed auth_token service_ms retry max_retries verify =
+    let chosen =
+      match site_names with
+      | [] -> Sites.all
+      | names ->
+        List.map
+          (fun name ->
+            match Sites.find name with
+            | site -> site
+            | exception Not_found ->
+              Printf.eprintf "unknown site %S; try `tabseg sites`\n" name;
+              exit 1)
+          names
+    in
+    let sites =
+      Array.of_list
+        (List.map
+           (fun site ->
+             let generated = Sites.generate site in
+             let list_pages, detail_pages =
+               Sites.segmentation_input generated ~page_index:0
+             in
+             ( site.Sites.name,
+               { Tabseg.Pipeline.list_pages; detail_pages } ))
+           chosen)
+    in
+    let expected =
+      if not verify then []
+      else
+        Array.to_list
+          (Array.map
+             (fun (name, input) ->
+               let result = Tabseg.Api.segment ~method_ input in
+               ( name,
+                 Format.asprintf "%a" Tabseg.Segmentation.pp
+                   result.Tabseg.Api.segmentation ))
+             sites)
+    in
+    let config =
+      {
+        Loadgen.default_config with
+        Loadgen.address;
+        connections;
+        mode =
+          (match rate with
+          | Some rate -> Loadgen.Open_loop { rate }
+          | None -> Loadgen.Closed_loop { pipeline = max 1 pipeline });
+        duration_s = duration;
+        seed;
+        auth_token;
+        sites;
+        zipf_exponent = zipf;
+        fault =
+          (if service_ms > 0. then
+             Tabseg_gateway.Wire.Sleep_s (service_ms /. 1000.)
+           else Tabseg_gateway.Wire.No_fault);
+        retry_quota = retry;
+        max_retries;
+        expected;
+      }
+    in
+    match Loadgen.run config with
+    | Error why ->
+      Printf.eprintf "loadgen: %s\n" why;
+      exit 1
+    | Ok stats ->
+      Printf.printf "offered %d  completed %d  ok %d  failed %d\n"
+        stats.Loadgen.offered stats.Loadgen.completed stats.Loadgen.ok
+        stats.Loadgen.failed;
+      if stats.Loadgen.errors <> [] then
+        Printf.printf "errors: %s\n"
+          (String.concat "  "
+             (List.map
+                (fun (label, n) -> Printf.sprintf "%s=%d" label n)
+                stats.Loadgen.errors));
+      if retry || stats.Loadgen.retried > 0 then
+        Printf.printf "retried %d  recovered %d  abandoned %d\n"
+          stats.Loadgen.retried stats.Loadgen.recovered
+          stats.Loadgen.abandoned;
+      if verify then Printf.printf "mismatches %d\n" stats.Loadgen.mismatches;
+      Printf.printf "wall %.2f s  rps %.1f  goodput %.1f\n"
+        stats.Loadgen.wall_s stats.Loadgen.rps stats.Loadgen.goodput_rps;
+      Printf.printf
+        "latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"
+        stats.Loadgen.mean_ms stats.Loadgen.p50_ms stats.Loadgen.p95_ms
+        stats.Loadgen.p99_ms stats.Loadgen.max_ms;
+      if stats.Loadgen.mismatches > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running daemon with sustained concurrent load \
+             (open- or closed-loop, Zipf site skew, optional \
+             quota-retry and byte-identity verification)")
+    Term.(
+      const run $ method_arg $ connect_arg $ conns_arg $ rate_arg
+      $ pipeline_arg $ duration_arg $ sites_arg $ zipf_arg $ seed_arg
+      $ auth_arg $ service_ms_arg $ retry_arg $ max_retries_arg $ verify_arg)
+
 let () =
   let doc = "automatic segmentation of records in Web tables" in
   let info = Cmd.info "tabseg" ~version:"1.0.0" ~doc in
@@ -585,4 +945,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sites_cmd; generate_cmd; segment_cmd; eval_cmd; auto_cmd;
-            reconstruct_cmd ]))
+            reconstruct_cmd; serve_cmd; loadgen_cmd ]))

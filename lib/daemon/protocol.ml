@@ -1,0 +1,73 @@
+module Wire = Tabseg_gateway.Wire
+module Gateway = Tabseg_gateway.Gateway
+module Service = Tabseg_serve.Service
+
+type address =
+  | Tcp of string * int
+  | Unix_socket of string
+
+let address_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+  | Unix_socket path -> "unix:" ^ path
+
+let address_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected tcp:HOST:PORT or unix:PATH" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" when rest <> "" -> Ok (Unix_socket rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "address %S: tcp needs HOST:PORT" s)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some port when host <> "" && port >= 0 && port < 65536 ->
+          Ok (Tcp (host, port))
+        | _ -> Error (Printf.sprintf "address %S: bad tcp port" s)))
+    | _ -> Error (Printf.sprintf "address %S: unknown scheme %S" s scheme))
+
+type reply = {
+  id : string;
+  outcome : (Tabseg.Api.result, Gateway.error) result;
+  cache_hit : bool;
+  latency_s : float;
+}
+
+type message =
+  | Hello of { client : string; token : string option }
+  | Welcome of { server_pid : int; procs : int; max_conn_inflight : int }
+  | Rejected of { reason : string }
+  | Submit of { seq : int; request : Service.request; fault : Wire.fault }
+  | Reply of { seq : int; reply : reply }
+  | Stats_request
+  | Stats of (string * float) list
+  | Goodbye
+
+(* The payload codec rides the shared Wire framing: the CRC between
+   the socket and [Marshal] gives this edge the same corruption story
+   as master↔worker RPC, and [message] is pure data (records of
+   strings, floats and variants — never a closure). The [decode]
+   mirror below catches every unmarshalling surprise as a typed
+   error. *)
+let encode message =
+  Wire.frame_payload
+    (Marshal.to_string (message : message) []
+    [@tabseg.allow "raw-marshal"
+        "client-edge payload codec: the bytes travel inside Wire's \
+         CRC-verified frames (same discipline as wire.ml, which is \
+         blessed); message is pure data, no closures"])
+
+let decode_payload payload =
+  match
+    (Marshal.from_string payload 0
+    [@tabseg.allow "raw-marshal"
+        "client-edge payload codec: payload comes out of Wire's \
+         CRC-verified framing; any residual mismatch is caught below \
+         and returned as a typed error"])
+  with
+  | (message : message) -> Ok message
+  | exception e -> Error (Printexc.to_string e)

@@ -1,0 +1,90 @@
+type 'tag t = {
+  fd : Unix.file_descr;
+  mutable in_buf : string;  (* unparsed stream prefix, from [in_off] *)
+  mutable in_off : int;
+  outbox : (string * 'tag option) Queue.t;
+  mutable head_off : int;  (* bytes of the head frame already written *)
+}
+
+let create fd = { fd; in_buf = ""; in_off = 0; outbox = Queue.create (); head_off = 0 }
+let fd t = t.fd
+let send ?tag t frame = Queue.push (frame, tag) t.outbox
+let pending_output t = not (Queue.is_empty t.outbox)
+
+type close_reason =
+  | Eof
+  | Reset
+  | Protocol of Wire.decode_error
+
+let close_reason_message = function
+  | Eof -> "socket closed"
+  | Reset -> "connection reset"
+  | Protocol e -> "protocol error on socket: " ^ Wire.decode_error_message e
+
+type read_result = {
+  frames : string list;
+  closed : close_reason option;
+}
+
+(* Don't let the consumed prefix of a long-lived buffer pin memory:
+   once the parse offset passes this, copy the live tail down. *)
+let compact_threshold = 1 lsl 16
+
+let compact t =
+  if t.in_off = String.length t.in_buf then begin
+    t.in_buf <- "";
+    t.in_off <- 0
+  end
+  else if t.in_off > compact_threshold then begin
+    t.in_buf <-
+      String.sub t.in_buf t.in_off (String.length t.in_buf - t.in_off);
+    t.in_off <- 0
+  end
+
+let rec drain_frames t acc =
+  match Wire.decode_frame ~off:t.in_off t.in_buf with
+  | `Need_more ->
+    compact t;
+    { frames = List.rev acc; closed = None }
+  | `Error e -> { frames = List.rev acc; closed = Some (Protocol e) }
+  | `Frame (payload, next) ->
+    t.in_off <- next;
+    drain_frames t (payload :: acc)
+
+let read_step t =
+  let chunk = Bytes.create 65536 in
+  match Wire.read_nonblock t.fd chunk 0 (Bytes.length chunk) with
+  | `Retry -> { frames = []; closed = None }
+  | `Eof -> { frames = []; closed = Some Eof }
+  | `Broken -> { frames = []; closed = Some Reset }
+  | `Data n ->
+    (* One copy to append; the incremental decoder then consumes by
+       offset so a burst of frames costs one slide, not one per frame. *)
+    (if t.in_off > 0 then compact t);
+    t.in_buf <- t.in_buf ^ Bytes.sub_string chunk 0 n;
+    drain_frames t []
+
+let write_step t =
+  let sent = ref [] in
+  let outcome = ref `More in
+  while !outcome = `More do
+    if Queue.is_empty t.outbox then outcome := `Done
+    else begin
+      let frame, tag = Queue.peek t.outbox in
+      let bytes = Bytes.unsafe_of_string frame in
+      let len = Bytes.length bytes in
+      match Wire.write_nonblock t.fd bytes t.head_off (len - t.head_off) with
+      | `Wrote n ->
+        t.head_off <- t.head_off + n;
+        if t.head_off >= len then begin
+          ignore (Queue.pop t.outbox);
+          t.head_off <- 0;
+          match tag with Some tag -> sent := tag :: !sent | None -> ()
+        end
+      | `Retry -> outcome := `Done
+      | `Broken -> outcome := `Broken
+    end
+  done;
+  match !outcome with
+  | `Broken -> `Closed
+  | _ -> `Sent (List.rev !sent)

@@ -1,0 +1,60 @@
+(** A transport-neutral, nonblocking connection buffer over the
+    {!Wire} framing: one incremental inbound decoder and one outbound
+    frame queue per socket, built exclusively from the select-loop
+    primitives ({!Wire.read_nonblock} / {!Wire.write_nonblock}).
+
+    Both sides of the serving stack ride this one path: the gateway
+    master talks to its forked workers through it, and the daemon's
+    network edge (server connections and the load generator's client
+    connections) reuses it unchanged — there is exactly one place in
+    the tree that turns a byte stream into CRC-verified frame payloads.
+
+    The ['tag] parameter lets a caller label outbound frames (the
+    gateway tags request frames with their sequence number) and learn,
+    from {!write_step}, exactly which labelled frames hit the socket
+    this turn — the hook dispatch-latency accounting hangs off. *)
+
+type 'tag t
+
+val create : Unix.file_descr -> 'tag t
+(** Wrap an already-connected, already-nonblocking descriptor. [Conn]
+    never changes descriptor flags and never closes the descriptor —
+    lifecycle stays with the owner. *)
+
+val fd : _ t -> Unix.file_descr
+
+val send : ?tag:'tag -> 'tag t -> string -> unit
+(** Queue one complete frame (as built by {!Wire.frame_payload} or
+    {!Wire.encode}) for writing. Never blocks; backpressure surfaces
+    as {!pending_output}, not as a stalled caller. *)
+
+val pending_output : _ t -> bool
+(** Frames queued (or partially written) and still owed to the socket
+    — include this connection in the select write set iff true. *)
+
+type close_reason =
+  | Eof  (** orderly close from the peer *)
+  | Reset  (** ECONNRESET / EPIPE *)
+  | Protocol of Wire.decode_error
+      (** the stream stopped being a frame stream; unrecoverable — the
+          wire protocol has no resync *)
+
+val close_reason_message : close_reason -> string
+
+type read_result = {
+  frames : string list;
+      (** CRC-verified frame payloads decoded this step, oldest first;
+          possibly empty (short read, or EAGAIN) *)
+  closed : close_reason option;
+      (** [Some _] once the connection is dead. Frames decoded before
+          the stream broke are still delivered alongside. *)
+}
+
+val read_step : _ t -> read_result
+(** One nonblocking read ([`Retry] comes back as an empty, open
+    result) followed by an incremental decode of everything buffered. *)
+
+val write_step : 'tag t -> [ `Sent of 'tag list | `Closed ]
+(** Write queued frames as far as the socket accepts right now.
+    [`Sent tags] lists the tags of frames {e fully} flushed this step,
+    oldest first; [`Closed] means the peer is gone (EPIPE/ECONNRESET). *)

@@ -65,17 +65,17 @@ type response = {
 
 (* ----------------------- master-side plumbing ----------------------- *)
 
-(* One live connection to a worker process. The outbox is a queue of
-   whole frames: the select loop writes the head frame as far as the
-   socket accepts and never blocks — backpressure surfaces as queue
-   length, not as a master stuck in [write]. *)
+(* One live connection to a worker process. All buffering — the
+   incremental inbound decoder and the outbound frame queue — lives in
+   the shared [Conn] channel (the same one the daemon's network edge
+   uses); request frames are tagged with their seq so [write_step] can
+   stamp dispatch latency the moment a frame fully hits the socket.
+   Backpressure surfaces as queue length, never as a master stuck in
+   [write]. *)
 type conn = {
   c_pid : int;
-  c_fd : Unix.file_descr;
+  c_chan : int Conn.t;
   mutable c_role : string option;  (* from the worker's Hello *)
-  mutable c_inbox : string;  (* unparsed stream prefix *)
-  c_outbox : (string * int option) Queue.t;  (* frame, seq if a request *)
-  mutable c_head_off : int;  (* bytes of the head frame already written *)
   mutable c_ping : (int * float) option;  (* heartbeat token, sent at *)
   mutable c_ping_last : float;  (* when the last heartbeat went out *)
 }
@@ -103,12 +103,12 @@ type slot = {
 
 type pending = {
   p_seq : int;
-  p_pos : int;  (* position in the submitted batch *)
   p_request : Service.request;
   p_fault : Wire.fault;
   p_slot : int;
   p_deadline : float option;  (* absolute *)
   p_submitted : float;
+  p_on_complete : response -> unit;
   mutable p_dispatched : float option;  (* when its frame hit the socket *)
   mutable p_redispatched : bool;
   mutable p_outcome : response option;
@@ -124,6 +124,17 @@ type forked = {
      be blind to exactly the overload it exists for if zombie work
      vanished from the books at expiry. *)
   dispatched : (int, int) Hashtbl.t;
+  (* Outcome decided, completion callback not yet run. [resolve] only
+     marks and enqueues here — it is called from inside Hashtbl.iter
+     over [pending] (worker death, deadline expiry), where removing
+     entries or running arbitrary callbacks would be unsound. The
+     event loop drains this queue at its safe points. *)
+  resolved : pending Queue.t;
+  (* Extra descriptors a freshly forked worker must close immediately
+     (an embedding daemon's listening socket and client connections):
+     a worker holding a duplicate would keep those sockets half-open
+     after the owner closes them. Runs in the child, post-fork. *)
+  mutable fork_hook : unit -> Unix.file_descr list;
   mutable next_seq : int;
   mutable next_token : int;  (* ping tokens *)
   pongs : (int, unit) Hashtbl.t;
@@ -167,7 +178,7 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let live_fds forked =
   Array.to_list forked.slots
   |> List.filter_map (fun slot ->
-         match slot.s_state with Live c -> Some c.c_fd | _ -> None)
+         match slot.s_state with Live c -> Some (Conn.fd c.c_chan) | _ -> None)
 
 (* Fork one worker for [slot]. The child closes every other worker's
    parent-side socket it inherited — otherwise a sibling holding the
@@ -182,6 +193,7 @@ let fork_worker ~service_config forked index =
   | 0 ->
     close_quietly parent_fd;
     List.iter close_quietly (live_fds forked);
+    List.iter close_quietly (forked.fork_hook ());
     Sys.set_signal Sys.sigterm Sys.Signal_default;
     Sys.set_signal Sys.sigpipe Sys.Signal_default;
     (try Worker.run ~socket:child_fd ~config:service_config
@@ -194,11 +206,8 @@ let fork_worker ~service_config forked index =
       Live
         {
           c_pid = pid;
-          c_fd = parent_fd;
+          c_chan = Conn.create parent_fd;
           c_role = None;
-          c_inbox = "";
-          c_outbox = Queue.create ();
-          c_head_off = 0;
           c_ping = None;
           c_ping_last = Unix.gettimeofday ();
         }
@@ -236,6 +245,8 @@ let create ?(config = default_config) () =
                 });
           pending = Hashtbl.create 64;
           dispatched = Hashtbl.create 64;
+          resolved = Queue.create ();
+          fork_hook = (fun () -> []);
           next_seq = 0;
           next_token = 0;
           pongs = Hashtbl.create 8;
@@ -464,12 +475,29 @@ let count_outcome t = function
     | Shed _ -> Metrics.incr t.m_shed
     | Draining | Service_error _ -> ())
 
-let resolve t pending response =
+let resolve t forked pending response =
   if pending.p_outcome = None then begin
     pending.p_outcome <- Some response;
     Metrics.observe t.m_turnaround_s (now () -. pending.p_submitted);
-    count_outcome t response.outcome
+    count_outcome t response.outcome;
+    Queue.push pending forked.resolved
   end
+
+(* Run completion callbacks for everything [resolve] queued. Only
+   called at event-loop safe points (never while iterating [pending]);
+   pop-per-item keeps it reentrancy-safe should a callback submit new
+   work. Returns how many callbacks ran. *)
+let deliver_resolved forked =
+  let delivered = ref 0 in
+  while not (Queue.is_empty forked.resolved) do
+    let pending = Queue.pop forked.resolved in
+    Hashtbl.remove forked.pending pending.p_seq;
+    incr delivered;
+    match pending.p_outcome with
+    | Some response -> pending.p_on_complete response
+    | None -> ()
+  done;
+  !delivered
 
 let refusal t (request : Service.request) error =
   Metrics.incr t.m_total;
@@ -490,7 +518,9 @@ let of_service_response (response : Service.response) =
 (* --------------------------- the event loop ------------------------- *)
 
 let enqueue_frame conn frame seq =
-  Queue.push (frame, seq) conn.c_outbox
+  match seq with
+  | Some seq -> Conn.send ~tag:seq conn.c_chan frame
+  | None -> Conn.send conn.c_chan frame
 
 (* Push the (re)dispatchable frames of every unresolved pending request
    assigned to a now-live slot. Called right after a fork. *)
@@ -515,7 +545,7 @@ let dispatch_pending_to forked index conn =
    restart (or fail the slot), and decide the fate of its in-flight
    requests — re-dispatch each at most once. *)
 let worker_dead t forked slot conn reason =
-  close_quietly conn.c_fd;
+  close_quietly (Conn.fd conn.c_chan);
   forked.zombies <- conn.c_pid :: forked.zombies;
   (* Whatever the worker was holding died with it: wipe its backlog so
      the replacement starts with clean load accounting (surviving
@@ -542,7 +572,7 @@ let worker_dead t forked slot conn reason =
     (fun _ pending ->
       if pending.p_slot = slot.s_index && pending.p_outcome = None then
         if pending.p_redispatched || not can_restart then
-          resolve t pending
+          resolve t forked pending
             {
               id = pending.p_request.Service.id;
               outcome = Error (Worker_lost reason);
@@ -591,7 +621,7 @@ let handle_message t forked slot conn = function
     untrack_dispatch forked seq;
     match Hashtbl.find_opt forked.pending seq with
     | Some pending when pending.p_outcome = None ->
-      resolve t pending (of_service_response response)
+      resolve t forked pending (of_service_response response)
     | Some _ | None ->
       (* Deadline already resolved it, or it belongs to a previous
          batch: late, counted, dropped. *)
@@ -600,58 +630,40 @@ let handle_message t forked slot conn = function
     (* Workers never send these; ignore rather than kill. *)
     ()
 
-(* Drain one conn's inbox through the frame parser. Returns false when
-   the stream is broken (typed decode error => treat as dead). *)
-let rec parse_inbox t forked slot conn =
-  match Wire.decode conn.c_inbox with
-  | `Need_more -> true
-  | `Error _ -> false
-  | `Msg (message, next) ->
-    conn.c_inbox <-
-      String.sub conn.c_inbox next (String.length conn.c_inbox - next);
-    handle_message t forked slot conn message;
-    parse_inbox t forked slot conn
-
+(* Pull whatever the socket has through the shared connection buffer
+   and hand each decoded payload to the dispatcher. A payload the
+   framing accepted but [Marshal] rejects is the same betrayal as a bad
+   CRC — the stream has no resync, so the worker is declared dead. *)
 let read_step t forked slot conn =
-  let chunk = Bytes.create 65536 in
-  match Wire.read_nonblock conn.c_fd chunk 0 (Bytes.length chunk) with
-  | `Eof -> worker_dead t forked slot conn "socket closed"
-  | `Data n ->
-    conn.c_inbox <- conn.c_inbox ^ Bytes.sub_string chunk 0 n;
-    if not (parse_inbox t forked slot conn) then
-      worker_dead t forked slot conn "protocol error on socket"
-  | `Retry -> ()
-  | `Broken -> worker_dead t forked slot conn "connection reset"
+  let { Conn.frames; closed } = Conn.read_step conn.c_chan in
+  let dead = ref None in
+  List.iter
+    (fun payload ->
+      if !dead = None then
+        match Wire.decode_payload payload with
+        | Ok message -> handle_message t forked slot conn message
+        | Error _ -> dead := Some "protocol error on socket")
+    frames;
+  (match (!dead, closed) with
+  | Some _, _ -> ()
+  | None, Some reason -> dead := Some (Conn.close_reason_message reason)
+  | None, None -> ());
+  match !dead with
+  | Some reason -> worker_dead t forked slot conn reason
+  | None -> ()
 
 let write_step t forked slot conn =
-  let broken = ref false in
-  let continue = ref true in
-  while !continue && (not !broken) && not (Queue.is_empty conn.c_outbox) do
-    let frame, seq = Queue.peek conn.c_outbox in
-    let bytes = Bytes.unsafe_of_string frame in
-    let len = Bytes.length bytes in
-    match
-      Wire.write_nonblock conn.c_fd bytes conn.c_head_off
-        (len - conn.c_head_off)
-    with
-    | `Wrote n ->
-      conn.c_head_off <- conn.c_head_off + n;
-      if conn.c_head_off >= len then begin
-        ignore (Queue.pop conn.c_outbox);
-        conn.c_head_off <- 0;
-        match seq with
-        | Some seq -> (
-          match Hashtbl.find_opt forked.pending seq with
-          | Some pending when pending.p_dispatched = None ->
-            pending.p_dispatched <- Some (now ());
-            Metrics.observe t.m_dispatch_s (now () -. pending.p_submitted)
-          | _ -> ())
-        | None -> ()
-      end
-    | `Retry -> continue := false
-    | `Broken -> broken := true
-  done;
-  if !broken then worker_dead t forked slot conn "broken pipe on dispatch"
+  match Conn.write_step conn.c_chan with
+  | `Closed -> worker_dead t forked slot conn "broken pipe on dispatch"
+  | `Sent seqs ->
+    List.iter
+      (fun seq ->
+        match Hashtbl.find_opt forked.pending seq with
+        | Some pending when pending.p_dispatched = None ->
+          pending.p_dispatched <- Some (now ());
+          Metrics.observe t.m_dispatch_s (now () -. pending.p_submitted)
+        | _ -> ())
+      seqs
 
 (* Restart every slot whose backoff has elapsed, and re-dispatch its
    surviving pendings to the replacement. *)
@@ -708,7 +720,7 @@ let expire_deadlines t forked =
     (fun _ pending ->
       match (pending.p_outcome, pending.p_deadline) with
       | None, Some deadline when deadline <= now () ->
-        resolve t pending
+        resolve t forked pending
           {
             id = pending.p_request.Service.id;
             outcome = Error Deadline_exceeded;
@@ -742,155 +754,192 @@ let next_event_in t forked =
     forked.pending;
   !soonest
 
-(* One turn of the master loop: fire timers, move bytes, parse frames.
-   Never blocks longer than the next scheduled event. *)
-let step t forked =
+(* One turn of the master loop: fire timers, move bytes, parse frames,
+   deliver completions. Never blocks longer than the next scheduled
+   event, [max_wait_s] if the caller's own loop owns the real select
+   (the daemon), or at all while completions are waiting. *)
+let step ?(max_wait_s = infinity) t forked =
   restart_due t forked;
   heartbeat t forked;
   expire_deadlines t forked;
   reap forked;
   publish_worker_gauges t forked;
+  let delivered = deliver_resolved forked in
   let conns =
     Array.to_list forked.slots
     |> List.filter_map (fun slot ->
            match slot.s_state with Live c -> Some (slot, c) | _ -> None)
   in
-  let reads = List.map (fun (_, c) -> c.c_fd) conns in
+  let reads = List.map (fun (_, c) -> Conn.fd c.c_chan) conns in
   let writes =
     conns
-    |> List.filter (fun (_, c) -> not (Queue.is_empty c.c_outbox))
-    |> List.map (fun (_, c) -> c.c_fd)
+    |> List.filter (fun (_, c) -> Conn.pending_output c.c_chan)
+    |> List.map (fun (_, c) -> Conn.fd c.c_chan)
   in
-  match Unix.select reads writes [] (next_event_in t forked) with
+  let timeout =
+    if delivered > 0 then 0.
+    else Float.min (next_event_in t forked) max_wait_s
+  in
+  (match Unix.select reads writes [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | readable, writable, _ ->
     List.iter
       (fun (slot, conn) ->
-        if List.mem conn.c_fd writable then write_step t forked slot conn)
+        if List.mem (Conn.fd conn.c_chan) writable then
+          write_step t forked slot conn)
       conns;
     List.iter
       (fun (slot, conn) ->
         match slot.s_state with
         | Live current when current == conn ->
-          if List.mem conn.c_fd readable then read_step t forked slot conn
+          if List.mem (Conn.fd conn.c_chan) readable then
+            read_step t forked slot conn
         | _ -> () (* the write step already declared it dead *))
-      conns
+      conns);
+  ignore (deliver_resolved forked)
 
 (* --------------------------- the public API ------------------------- *)
 
-let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
-  if requests = [] then []
+(* Admit one request through the degradation ladder and hand it to the
+   fleet; [on_complete] fires exactly once with its response. Refusals
+   (draining, the global inflight cap, the per-site quota, shedding)
+   call back synchronously from inside [submit]; admitted work calls
+   back from a later [pump]/[run_batch] event-loop turn. This is the
+   seam the network daemon drives: it never wants a batch barrier, just
+   a stream of completions it can order per client connection. *)
+let submit t ?(fault = Wire.No_fault) ~on_complete
+    (request : Service.request) =
+  if t.g_draining || t.shut then on_complete (refusal t request Draining)
   else
     match t.mode with
-    | Inline service ->
-      if t.g_draining || t.shut then
-        List.map (fun r -> refusal t r Draining) requests
-      else
-        List.map
-          (fun (request : Service.request) ->
-            match quota_admit t request with
-            | Error error -> refusal t request error
-            | Ok () ->
-              (match fault request with
-              | Wire.Sleep_s s when s > 0. -> Wire.sleep_s s
-              | _ -> ());
-              Metrics.incr t.m_total;
-              let started = now () in
-              let response =
-                of_service_response (Service.segment_one service request)
-              in
-              Metrics.observe t.m_turnaround_s (now () -. started);
-              count_outcome t response.outcome;
-              response)
-          requests
-    | Forked forked ->
-      if t.g_draining || t.shut then
-        List.map (fun r -> refusal t r Draining) requests
-      else begin
-        let total = List.length requests in
-        let responses = Array.make total None in
-        let batch = ref [] in
-        (* Admission runs the degradation ladder in order: the global
-           inflight cap, the per-site quota, spill-aware placement,
-           then the deadline-feasibility check against the chosen
-           worker's backlog. Only a request that clears all four
-           becomes a pending. *)
-        List.iteri
-          (fun pos (request : Service.request) ->
-            if Hashtbl.length forked.pending >= t.capacity then
-              responses.(pos) <-
-                Some
-                  (refusal t request
-                     (Gateway_overloaded
-                        { inflight = Hashtbl.length forked.pending;
-                          capacity = t.capacity }))
-            else
-              match quota_admit t request with
-              | Error error -> responses.(pos) <- Some (refusal t request error)
-              | Ok () -> (
-                let slot_index, spilled =
-                  choose_slot t forked request.Service.site
-                in
-                match shed_check t forked slot_index with
-                | Error error ->
-                  responses.(pos) <- Some (refusal t request error)
-                | Ok () -> (
-                  if spilled then Metrics.incr t.m_spilled;
-                  Metrics.incr t.m_total;
-                  let seq = forked.next_seq in
-                  forked.next_seq <- seq + 1;
-                  let pending =
-                    {
-                      p_seq = seq;
-                      p_pos = pos;
-                      p_request = request;
-                      p_fault = fault request;
-                      p_slot = slot_index;
-                      p_deadline =
-                        Option.map (fun d -> now () +. d) t.cfg.deadline_s;
-                      p_submitted = now ();
-                      p_dispatched = None;
-                      p_redispatched = false;
-                      p_outcome = None;
-                    }
-                  in
-                  Hashtbl.replace forked.pending seq pending;
-                  batch := pending :: !batch;
-                  match forked.slots.(pending.p_slot).s_state with
-                  | Live conn ->
-                    enqueue_frame conn
-                      (Wire.encode
-                         (Wire.Request
-                            { seq; request; fault = pending.p_fault }))
-                      (Some seq);
-                    track_dispatch forked pending.p_slot seq
-                  | Restarting _ -> () (* dispatched when the fork lands *)
-                  | Failed ->
-                    resolve t pending
-                      {
-                        id = request.Service.id;
-                        outcome =
-                          Error (Worker_lost "worker slot permanently failed");
-                        cache_hit = false;
-                        latency_s = 0.;
-                      })))
-          requests;
-        let batch = List.rev !batch in
-        let unresolved () =
-          List.exists (fun p -> p.p_outcome = None) batch
+    | Inline service -> (
+      match quota_admit t request with
+      | Error error -> on_complete (refusal t request error)
+      | Ok () ->
+        (match fault with
+        | Wire.Sleep_s s when s > 0. -> Wire.sleep_s s
+        | _ -> ());
+        Metrics.incr t.m_total;
+        let started = now () in
+        let response =
+          of_service_response (Service.segment_one service request)
         in
-        while unresolved () do
-          step t forked
-        done;
-        publish_worker_gauges t forked;
-        List.iter
-          (fun pending ->
-            responses.(pending.p_pos) <- pending.p_outcome;
-            Hashtbl.remove forked.pending pending.p_seq)
-          batch;
-        Array.to_list responses
-        |> List.map (function Some r -> r | None -> assert false)
-      end
+        Metrics.observe t.m_turnaround_s (now () -. started);
+        count_outcome t response.outcome;
+        on_complete response)
+    | Forked forked -> (
+      (* The ladder runs in order: the global inflight cap, the
+         per-site quota, spill-aware placement, then the
+         deadline-feasibility check against the chosen worker's
+         backlog. Only a request that clears all four becomes a
+         pending. *)
+      if Hashtbl.length forked.pending >= t.capacity then
+        on_complete
+          (refusal t request
+             (Gateway_overloaded
+                {
+                  inflight = Hashtbl.length forked.pending;
+                  capacity = t.capacity;
+                }))
+      else
+        match quota_admit t request with
+        | Error error -> on_complete (refusal t request error)
+        | Ok () -> (
+          let slot_index, spilled = choose_slot t forked request.Service.site in
+          match shed_check t forked slot_index with
+          | Error error -> on_complete (refusal t request error)
+          | Ok () -> (
+            if spilled then Metrics.incr t.m_spilled;
+            Metrics.incr t.m_total;
+            let seq = forked.next_seq in
+            forked.next_seq <- seq + 1;
+            let pending =
+              {
+                p_seq = seq;
+                p_request = request;
+                p_fault = fault;
+                p_slot = slot_index;
+                p_deadline = Option.map (fun d -> now () +. d) t.cfg.deadline_s;
+                p_submitted = now ();
+                p_on_complete = on_complete;
+                p_dispatched = None;
+                p_redispatched = false;
+                p_outcome = None;
+              }
+            in
+            Hashtbl.replace forked.pending seq pending;
+            match forked.slots.(pending.p_slot).s_state with
+            | Live conn ->
+              enqueue_frame conn
+                (Wire.encode
+                   (Wire.Request { seq; request; fault = pending.p_fault }))
+                (Some seq);
+              track_dispatch forked pending.p_slot seq
+            | Restarting _ -> () (* dispatched when the fork lands *)
+            | Failed ->
+              resolve t forked pending
+                {
+                  id = request.Service.id;
+                  outcome = Error (Worker_lost "worker slot permanently failed");
+                  cache_hit = false;
+                  latency_s = 0.;
+                })))
+
+let inflight t =
+  match t.mode with
+  | Inline _ -> 0
+  | Forked forked -> Hashtbl.length forked.pending
+
+let set_fork_hook t hook =
+  match t.mode with
+  | Inline _ -> ()
+  | Forked forked -> forked.fork_hook <- hook
+
+let pump ?(max_wait_s = 0.) t =
+  match t.mode with
+  | Inline _ -> ()
+  | Forked forked -> step ~max_wait_s t forked
+
+let watch_fds t =
+  match t.mode with
+  | Inline _ -> ([], [])
+  | Forked forked ->
+    let conns =
+      Array.to_list forked.slots
+      |> List.filter_map (fun slot ->
+             match slot.s_state with Live c -> Some c.c_chan | _ -> None)
+    in
+    ( List.map Conn.fd conns,
+      conns |> List.filter Conn.pending_output |> List.map Conn.fd )
+
+let next_timer_in t =
+  match t.mode with
+  | Inline _ -> infinity
+  | Forked forked ->
+    if Queue.is_empty forked.resolved then next_event_in t forked else 0.
+
+let run_batch t ?(fault = fun _ -> Wire.No_fault) requests =
+  if requests = [] then []
+  else begin
+    let total = List.length requests in
+    let responses = Array.make total None in
+    List.iteri
+      (fun pos (request : Service.request) ->
+        submit t ~fault:(fault request)
+          ~on_complete:(fun response -> responses.(pos) <- Some response)
+          request)
+      requests;
+    (match t.mode with
+    | Inline _ -> ()
+    | Forked forked ->
+      let unresolved () = Array.exists Option.is_none responses in
+      while unresolved () do
+        step t forked
+      done;
+      publish_worker_gauges t forked);
+    Array.to_list responses
+    |> List.map (function Some r -> r | None -> assert false)
+  end
 
 let health t =
   match t.mode with
@@ -972,7 +1021,7 @@ let shutdown t =
                with Unix.Unix_error _ -> ())
             | _ -> ()
             | exception Unix.Unix_error _ -> ());
-            close_quietly conn.c_fd;
+            close_quietly (Conn.fd conn.c_chan);
             slot.s_state <- Failed
           | _ -> ())
         forked.slots;

@@ -126,6 +126,58 @@ val worker_roles : t -> (int * string) list
     "unknown" until the Hello has been read). Exactly one worker over a
     shared store reports "writer". Empty inline. *)
 
+(** {2 Streaming submission — the seam external frontends drive}
+
+    [run_batch] is a barrier: submit everything, block until everything
+    resolved. A network frontend (the daemon) wants neither half of
+    that — requests arrive one at a time on many connections and each
+    completion must flow back the moment it exists. [submit]/[pump]
+    expose the master's event loop for exactly that caller: an outer
+    select loop folds {!watch_fds} into its own fd sets, bounds its
+    timeout by {!next_timer_in}, and gives the gateway one nonblocking
+    turn per wakeup via {!pump}. *)
+
+val submit :
+  t ->
+  ?fault:Wire.fault ->
+  on_complete:(response -> unit) ->
+  Tabseg_serve.Service.request ->
+  unit
+(** Admit one request through the degradation ladder (inflight cap,
+    per-site quota, spill placement, shed check) and dispatch it.
+    [on_complete] fires exactly once: synchronously from inside
+    [submit] for refusals (and for everything in inline mode), from a
+    later {!pump}/{!run_batch} turn for admitted work. Callbacks must
+    not block; they may call [submit] again. *)
+
+val pump : ?max_wait_s:float -> t -> unit
+(** One turn of the master event loop: fire timers, move socket bytes,
+    deliver completions. Blocks at most [max_wait_s] (default [0.] —
+    nonblocking, for callers owning their own select) and never past
+    the gateway's own next scheduled event. No-op inline. *)
+
+val watch_fds : t -> Unix.file_descr list * Unix.file_descr list
+(** The worker sockets an embedding select loop should watch:
+    [(readable set, writable set — only conns with queued output)].
+    Recompute after every {!pump}: workers die and restart. Empty
+    inline. *)
+
+val next_timer_in : t -> float
+(** Seconds until the gateway next needs a {!pump} regardless of fd
+    activity (deadline expiry, restart backoff, heartbeat; [0.] when
+    completions are already waiting). [infinity] inline. *)
+
+val inflight : t -> int
+(** Requests admitted and not yet delivered to their [on_complete].
+    Always [0] inline (inline submission is synchronous). *)
+
+val set_fork_hook : t -> (unit -> Unix.file_descr list) -> unit
+(** Descriptors every {e subsequently} forked worker (restarts) must
+    close right after the fork — an embedding server's listening
+    socket and client connections, which a worker child would
+    otherwise hold open past the owner's close. The hook runs in the
+    child. No-op inline. *)
+
 val run_batch :
   t ->
   ?fault:(Tabseg_serve.Service.request -> Wire.fault) ->
@@ -134,7 +186,8 @@ val run_batch :
 (** Dispatch a batch across the workers and block until every request
     resolved (responded, expired, refused or lost). Responses are in
     request order. [fault] attaches a fault-injection knob per request
-    (tests only; inline mode ignores crash faults and honours sleeps). *)
+    (tests only; inline mode ignores crash faults and honours sleeps).
+    Implemented as [submit] per request + {!pump} to completion. *)
 
 val health : t -> (int * bool) list
 (** Ping every live worker and report [(pid, responded within the

@@ -64,8 +64,13 @@ let u32 s off =
 
 let set_u32 bytes off v = Bytes.set_int32_be bytes off (Int32.of_int v)
 
-let encode message =
-  let payload = Marshal.to_string message [] in
+(* The framing layer proper is payload-agnostic: [frame_payload] and
+   [decode_frame] move opaque byte strings, and every protocol that
+   rides this transport (master↔worker RPC here, the daemon's client
+   edge in [Tabseg_daemon.Protocol]) supplies its own payload codec on
+   top. One header format, one CRC, one incremental decoder. *)
+
+let frame_payload payload =
   let len = String.length payload in
   let frame = Bytes.create (header_size + len) in
   Bytes.blit_string magic 0 frame 0 4;
@@ -75,7 +80,7 @@ let encode message =
   Bytes.blit_string payload 0 frame header_size len;
   Bytes.unsafe_to_string frame
 
-let decode ?(off = 0) buffer =
+let decode_frame ?(off = 0) buffer =
   let available = String.length buffer - off in
   if available < header_size then `Need_more
   else if String.sub buffer off 4 <> magic then `Error Bad_magic
@@ -90,15 +95,26 @@ let decode ?(off = 0) buffer =
       else if crc32_string buffer (off + header_size) len <> crc then
         `Error Bad_crc
       else
-        match
-          Marshal.from_string
-            (String.sub buffer (off + header_size) len)
-            0
-        with
-        | message -> `Msg (message, off + header_size + len)
-        | exception e -> `Error (Bad_payload (Printexc.to_string e))
+        `Frame (String.sub buffer (off + header_size) len,
+                off + header_size + len)
     end
   end
+
+let encode message = frame_payload (Marshal.to_string message [])
+
+let decode_payload payload =
+  match Marshal.from_string payload 0 with
+  | message -> Ok (message : message)
+  | exception e -> Error (Bad_payload (Printexc.to_string e))
+
+let decode ?(off = 0) buffer =
+  match decode_frame ~off buffer with
+  | `Need_more -> `Need_more
+  | `Error e -> `Error e
+  | `Frame (payload, next) ->
+    (match decode_payload payload with
+     | Ok message -> `Msg (message, next)
+     | Error e -> `Error e)
 
 let rec really_read fd bytes pos len =
   if len > 0 then begin

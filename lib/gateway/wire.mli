@@ -59,16 +59,39 @@ type decode_error =
 
 val decode_error_message : decode_error -> string
 
+(** {2 Payload-agnostic framing}
+
+    The header/CRC layer moves opaque byte strings; any protocol riding
+    this transport (the master↔worker {!message}s here, the daemon's
+    client-edge messages) supplies its own payload codec on top, so
+    there is exactly one framing path in the tree. *)
+
+val frame_payload : string -> string
+(** Wrap arbitrary payload bytes in one complete frame, ready to
+    write. *)
+
+val decode_frame :
+  ?off:int ->
+  string ->
+  [ `Frame of string * int | `Need_more | `Error of decode_error ]
+(** Try to parse one frame starting at [off] (default 0).
+    [`Frame (payload, n)] also returns the offset just past the frame,
+    for the next call; [`Need_more] means the buffer holds only a frame
+    prefix. Never inspects the payload bytes beyond the CRC. *)
+
 val encode : message -> string
-(** One complete frame, ready to write. *)
+(** One complete frame carrying a marshalled {!message}, ready to
+    write. [encode m = frame_payload (marshalled m)]. *)
+
+val decode_payload : string -> (message, decode_error) result
+(** Unmarshal one CRC-verified frame payload (as returned by
+    {!decode_frame}) into a {!message}. *)
 
 val decode :
   ?off:int ->
   string ->
   [ `Msg of message * int | `Need_more | `Error of decode_error ]
-(** Try to parse one frame starting at [off] (default 0). [`Msg (m, n)]
-    also returns the offset just past the frame, for the next call;
-    [`Need_more] means the buffer holds only a frame prefix. *)
+(** [decode_frame] composed with [decode_payload]. *)
 
 val read_message :
   Unix.file_descr -> (message, [ `Eof | `Decode of decode_error ]) result

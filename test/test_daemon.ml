@@ -1,0 +1,481 @@
+(* The daemon front door: address parsing, handshake gates (auth token,
+   frame version), idle-timeout close, strict per-connection reply
+   ordering under latency skew (byte-identical to the in-process
+   reference), the per-connection inflight window as typed in-order
+   refusals, quota rejections crossing the wire with their retry-after
+   hint, a client disconnecting mid-request without wedging the
+   gateway, SIGTERM drain semantics, a TCP listener, and the load
+   generator driving all of it. Every daemon here is a real separate
+   process (Daemon.spawn). *)
+
+open Tabseg_serve
+open Tabseg_daemon
+module Gw = Tabseg_gateway.Gateway
+module GWire = Tabseg_gateway.Wire
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let small_input =
+  lazy
+    (let open Tabseg_sitegen in
+     let generated = Sites.generate (Sites.find "VerticalPages") in
+     let list_pages, detail_pages =
+       Sites.segmentation_input generated ~page_index:0
+     in
+     { Tabseg.Pipeline.list_pages; detail_pages })
+
+(* The daemon's service runs the default (probabilistic) method; the
+   reference must match it. *)
+let reference =
+  lazy
+    (match
+       Tabseg.Api.segment_result ~method_:Tabseg.Api.Probabilistic
+         (Lazy.force small_input)
+     with
+    | Ok result ->
+      Format.asprintf "%a" Tabseg.Segmentation.pp
+        result.Tabseg.Api.segmentation
+    | Error error -> "ERROR: " ^ Tabseg.Api.input_error_message error)
+
+let render_reply (reply : Protocol.reply) =
+  match reply.Protocol.outcome with
+  | Ok result ->
+    Format.asprintf "%a" Tabseg.Segmentation.pp result.Tabseg.Api.segmentation
+  | Error error -> "ERROR: " ^ Gw.error_message error
+
+let request id =
+  { Service.id; site = "daemon-test"; input = Lazy.force small_input }
+
+let temp_sock =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tabseg_dm_%d_%d.sock" (Unix.getpid ()) !counter)
+
+let daemon_config ?(procs = 1) ?auth_token ?idle_timeout_s ?(inflight = 32)
+    ?site_quota () =
+  {
+    Daemon.default_config with
+    Daemon.listen = Protocol.Unix_socket (temp_sock ());
+    auth_token;
+    idle_timeout_s;
+    max_conn_inflight = inflight;
+    gateway =
+      { Gw.default_config with Gw.procs; site_quota_rps = site_quota };
+  }
+
+let with_daemon config f =
+  let handle = Daemon.spawn ~config () in
+  Fun.protect ~finally:(fun () -> ignore (Daemon.stop handle)) (fun () ->
+      f handle)
+
+let connect_exn ?client ?auth_token address =
+  match Client.connect ?client ?auth_token address with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Client.connect_error_message e)
+
+let submit_exn client ?fault req =
+  match Client.submit client ?fault req with
+  | Ok reply -> reply
+  | Error e -> Alcotest.fail (Client.error_message e)
+
+(* ---------------------------- protocol ------------------------------ *)
+
+let test_address_parsing () =
+  let roundtrip address =
+    match Protocol.address_of_string (Protocol.address_to_string address) with
+    | Ok back -> check_bool "address roundtrips" true (back = address)
+    | Error e -> Alcotest.fail e
+  in
+  roundtrip (Protocol.Tcp ("127.0.0.1", 8080));
+  roundtrip (Protocol.Tcp ("::1", 9));
+  roundtrip (Protocol.Unix_socket "/tmp/some/tabseg.sock");
+  (match Protocol.address_of_string "tcp:localhost:7070" with
+  | Ok (Protocol.Tcp ("localhost", 7070)) -> ()
+  | _ -> Alcotest.fail "tcp:localhost:7070 should parse");
+  List.iter
+    (fun bad ->
+      check_bool
+        (Printf.sprintf "%S is rejected" bad)
+        true
+        (Result.is_error (Protocol.address_of_string bad)))
+    [ ""; "nope"; "ftp:x:1"; "tcp:"; "tcp:host"; "tcp:host:notaport";
+      "tcp::8080"; "tcp:host:70000"; "unix:" ]
+
+let test_message_roundtrip () =
+  let messages =
+    [
+      Protocol.Hello { client = "t"; token = Some "secret" };
+      Protocol.Welcome { server_pid = 1; procs = 2; max_conn_inflight = 32 };
+      Protocol.Rejected { reason = "bad auth token" };
+      Protocol.Submit
+        { seq = 3; request = request "r3"; fault = GWire.Sleep_s 0.5 };
+      Protocol.Stats_request;
+      Protocol.Stats [ ("daemon.requests", 12.) ];
+      Protocol.Goodbye;
+    ]
+  in
+  List.iter
+    (fun message ->
+      match GWire.decode_frame (Protocol.encode message) with
+      | `Frame (payload, consumed) ->
+        check_int "whole frame consumed"
+          (String.length (Protocol.encode message))
+          consumed;
+        (match Protocol.decode_payload payload with
+        | Ok back ->
+          check_bool "message roundtrips" true (back = message)
+        | Error e -> Alcotest.fail e)
+      | `Need_more | `Error _ -> Alcotest.fail "frame did not decode")
+    messages
+
+(* --------------------------- handshake ------------------------------ *)
+
+let test_auth_token () =
+  with_daemon (daemon_config ~auth_token:"hunter2" ()) @@ fun handle ->
+  (* No token: rejected before any work is admitted. *)
+  (match Client.connect handle.Daemon.address with
+  | Error (Client.Rejected reason) ->
+    check_string "reason names the token" "bad auth token" reason
+  | Ok _ -> Alcotest.fail "tokenless handshake must be rejected"
+  | Error e -> Alcotest.fail (Client.connect_error_message e));
+  (* Wrong token: same rejection. *)
+  (match Client.connect ~auth_token:"hunter3" handle.Daemon.address with
+  | Error (Client.Rejected _) -> ()
+  | Ok _ -> Alcotest.fail "wrong token must be rejected"
+  | _ -> Alcotest.fail "wrong token: expected Rejected");
+  (* Right token: handshake completes and work flows. *)
+  let client = connect_exn ~auth_token:"hunter2" handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  check_bool "advertised window is positive" true (Client.window client > 0);
+  check_string "request served" (Lazy.force reference)
+    (render_reply (submit_exn client (request "auth-ok")))
+
+let test_version_rejection () =
+  with_daemon (daemon_config ()) @@ fun handle ->
+  let path =
+    match handle.Daemon.address with
+    | Protocol.Unix_socket path -> path
+    | Protocol.Tcp _ -> Alcotest.fail "expected a unix socket"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* A syntactically sound frame header claiming protocol version 999:
+     the daemon must classify it at the frame layer and hang up. *)
+  let header = Bytes.make 16 '\000' in
+  Bytes.blit_string "TSGW" 0 header 0 4;
+  Bytes.set header 6 '\003';
+  Bytes.set header 7 '\231' (* 999 big-endian *);
+  let _ = Unix.write fd header 0 16 in
+  let buffer = Bytes.create 64 in
+  check_int "server hangs up (EOF, no reply frame)" 0
+    (try Unix.read fd buffer 0 64 with Unix.Unix_error _ -> 0)
+
+let test_idle_timeout () =
+  with_daemon (daemon_config ~idle_timeout_s:0.3 ()) @@ fun handle ->
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let started = Unix.gettimeofday () in
+  (* Block for a reply that never comes: the server must close us. *)
+  (match Client.read_reply client with
+  | Error Client.Connection_closed -> ()
+  | Ok _ -> Alcotest.fail "no reply was due"
+  | Error e -> Alcotest.fail (Client.error_message e));
+  let waited = Unix.gettimeofday () -. started in
+  check_bool "closed after the idle deadline, not before" true (waited >= 0.29);
+  check_bool "closed promptly (server not hung)" true (waited < 5.)
+
+(* ------------------------ ordering and limits ----------------------- *)
+
+let test_pipelined_inorder_under_skew () =
+  with_daemon (daemon_config ~procs:2 ()) @@ fun handle ->
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let requests = List.init 6 (fun i -> request (Printf.sprintf "skew-%d" i)) in
+  (* The first request sleeps; the rest are instant. Strict ordering
+     means every fast reply parks behind the slow head. *)
+  let fault (r : Service.request) =
+    if r.Service.id = "skew-0" then GWire.Sleep_s 0.3 else GWire.No_fault
+  in
+  let replies =
+    match Client.submit_all client ~fault requests with
+    | Ok replies -> replies
+    | Error e -> Alcotest.fail (Client.error_message e)
+  in
+  check_int "one reply per request" (List.length requests)
+    (List.length replies);
+  List.iteri
+    (fun i reply ->
+      check_string
+        (Printf.sprintf "reply %d is in submission order" i)
+        (Printf.sprintf "skew-%d" i)
+        reply.Protocol.id;
+      check_string
+        (Printf.sprintf "reply %d byte-identical to the reference" i)
+        (Lazy.force reference) (render_reply reply))
+    replies
+
+let test_conn_inflight_limit () =
+  with_daemon (daemon_config ~procs:2 ~inflight:2 ()) @@ fun handle ->
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  check_int "server advertises its window" 2 (Client.window client);
+  let requests = List.init 5 (fun i -> request (Printf.sprintf "win-%d" i)) in
+  (* Push past the advertised window on purpose: the excess must come
+     back as typed, in-order refusals carrying the window size. *)
+  let replies =
+    match
+      Client.submit_all client ~window:5
+        ~fault:(fun _ -> GWire.Sleep_s 0.3)
+        requests
+    with
+    | Ok replies -> replies
+    | Error e -> Alcotest.fail (Client.error_message e)
+  in
+  let outcomes =
+    List.map
+      (fun (reply : Protocol.reply) ->
+        match reply.Protocol.outcome with
+        | Ok _ -> "ok"
+        | Error (Gw.Gateway_overloaded { capacity; _ }) ->
+          check_int "refusal carries the per-connection window" 2 capacity;
+          "refused"
+        | Error e -> "ERROR: " ^ Gw.error_message e)
+      replies
+  in
+  check_bool
+    (Printf.sprintf "first two admitted, rest refused (got %s)"
+       (String.concat "," outcomes))
+    true
+    (outcomes = [ "ok"; "ok"; "refused"; "refused"; "refused" ])
+
+let test_quota_retry_after_crosses_the_wire () =
+  with_daemon (daemon_config ~site_quota:1.0 ()) @@ fun handle ->
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  (* Burst is one second of quota = exactly one token: the first
+     request is admitted, the second must bounce with a usable hint. *)
+  check_string "first request admitted" (Lazy.force reference)
+    (render_reply (submit_exn client (request "quota-0")));
+  match (submit_exn client (request "quota-1")).Protocol.outcome with
+  | Error (Gw.Quota_exceeded { site; retry_after_s }) ->
+    check_string "rejection names the site" "daemon-test" site;
+    check_bool "retry-after hint is positive" true (retry_after_s > 0.);
+    check_bool "retry-after hint is sane" true (retry_after_s <= 1.)
+  | Ok _ -> Alcotest.fail "second request should exceed the quota"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Gw.error_message e)
+
+(* ------------------------- failure modes ---------------------------- *)
+
+let test_disconnect_mid_request () =
+  with_daemon (daemon_config ~procs:2 ()) @@ fun handle ->
+  (* Client A walks away from an in-flight request... *)
+  let a = connect_exn ~client:"deserter" handle.Daemon.address in
+  (match Client.send_submit a ~fault:(GWire.Sleep_s 0.4) (request "orphan") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Client.error_message e));
+  Client.close a;
+  (* ...and the daemon keeps serving everyone else meanwhile. *)
+  let b = connect_exn ~client:"survivor" handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close b) @@ fun () ->
+  check_string "other connections are unaffected" (Lazy.force reference)
+    (render_reply (submit_exn b (request "alive")));
+  (* Once the orphaned request completes, its reply is counted, not
+     delivered, and the daemon is still healthy. *)
+  GWire.sleep_s 0.6;
+  let stats =
+    match Client.stats b with
+    | Ok stats -> stats
+    | Error e -> Alcotest.fail (Client.error_message e)
+  in
+  check_bool "orphaned reply was counted" true
+    (List.assoc "daemon.orphaned_replies" stats >= 1.);
+  check_int "no worker was lost to the disconnect" 0
+    (int_of_float (List.assoc "gateway.worker_restarts" stats));
+  check_string "daemon still serves after the orphan resolved"
+    (Lazy.force reference)
+    (render_reply (submit_exn b (request "still-alive")))
+
+let test_sigterm_drain () =
+  let config = daemon_config ~procs:2 () in
+  let handle = Daemon.spawn ~config () in
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  (* In-flight work before the signal... *)
+  (match
+     Client.send_submit client ~fault:(GWire.Sleep_s 0.4) (request "inflight")
+   with
+  | Ok seq -> check_int "first submit has seq 0" 0 seq
+  | Error e -> Alcotest.fail (Client.error_message e));
+  (* Writing the frame is not the same as the daemon having read it: if
+     SIGTERM wins that race the submit is (correctly) a late frame and
+     gets refused as Draining instead of running. Stats are answered
+     out-of-band, so poll them until the request is counted — only then
+     is it genuinely in flight. *)
+  let rec await_admission tries =
+    let seen =
+      match Client.stats client with
+      | Ok stats -> List.assoc "daemon.requests" stats >= 1.
+      | Error e -> Alcotest.fail (Client.error_message e)
+    in
+    if not seen then
+      if tries <= 0 then Alcotest.fail "daemon never admitted the submit"
+      else begin
+        GWire.sleep_s 0.01;
+        await_admission (tries - 1)
+      end
+  in
+  await_admission 200;
+  Unix.kill handle.Daemon.pid Sys.sigterm;
+  GWire.sleep_s 0.15;
+  (* ...then a late frame into the draining server. *)
+  (match Client.send_submit client (request "late") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Client.error_message e));
+  (* The in-flight request still completes, in order... *)
+  (match Client.read_reply client with
+  | Ok (0, reply) ->
+    check_string "in-flight work finished during the drain"
+      (Lazy.force reference) (render_reply reply)
+  | Ok (seq, _) -> Alcotest.fail (Printf.sprintf "unexpected seq %d" seq)
+  | Error e -> Alcotest.fail (Client.error_message e));
+  (* ...the late one is refused with the typed drain error... *)
+  (match Client.read_reply client with
+  | Ok (_, { Protocol.outcome = Error Gw.Draining; _ }) -> ()
+  | Ok (_, reply) ->
+    Alcotest.fail ("late submit not refused as Draining: " ^ render_reply reply)
+  | Error e -> Alcotest.fail (Client.error_message e));
+  (* ...and then the server closes us and exits cleanly. *)
+  (match Client.read_reply client with
+  | Error Client.Connection_closed -> ()
+  | Ok _ -> Alcotest.fail "no further reply was due"
+  | Error e -> Alcotest.fail (Client.error_message e));
+  check_int "daemon exited 0 after the drain" 0 (Daemon.stop handle)
+
+(* ----------------------------- transports --------------------------- *)
+
+let test_tcp_listener () =
+  let config =
+    {
+      (daemon_config ()) with
+      Daemon.listen = Protocol.Tcp ("127.0.0.1", 0);
+    }
+  in
+  with_daemon config @@ fun handle ->
+  (match handle.Daemon.address with
+  | Protocol.Tcp ("127.0.0.1", port) ->
+    check_bool "kernel-assigned port is real" true (port > 0)
+  | other ->
+    Alcotest.fail
+      ("expected a tcp address, got " ^ Protocol.address_to_string other));
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  check_string "request served over tcp" (Lazy.force reference)
+    (render_reply (submit_exn client (request "tcp")))
+
+(* ------------------------------ loadgen ----------------------------- *)
+
+let test_loadgen_closed_loop () =
+  with_daemon (daemon_config ~procs:2 ()) @@ fun handle ->
+  let config =
+    {
+      Loadgen.default_config with
+      Loadgen.address = handle.Daemon.address;
+      connections = 2;
+      mode = Loadgen.Closed_loop { pipeline = 2 };
+      duration_s = 0.4;
+      sites = [| ("daemon-test", Lazy.force small_input) |];
+      expected = [ ("daemon-test", Lazy.force reference) ];
+    }
+  in
+  match Loadgen.run config with
+  | Error why -> Alcotest.fail why
+  | Ok stats ->
+    check_bool "offered some load" true (stats.Loadgen.offered > 0);
+    check_int "everything offered completed" stats.Loadgen.offered
+      stats.Loadgen.completed;
+    check_int "nothing failed" 0 stats.Loadgen.failed;
+    check_int "replies byte-identical under load" 0 stats.Loadgen.mismatches;
+    check_bool "latency percentiles are ordered" true
+      (stats.Loadgen.p50_ms <= stats.Loadgen.p95_ms
+      && stats.Loadgen.p95_ms <= stats.Loadgen.p99_ms)
+
+let test_loadgen_quota_retry_recovers () =
+  with_daemon (daemon_config ~site_quota:20.0 ()) @@ fun handle ->
+  let run retry =
+    let config =
+      {
+        Loadgen.default_config with
+        Loadgen.address = handle.Daemon.address;
+        connections = 2;
+        mode = Loadgen.Open_loop { rate = 150. };
+        duration_s = 0.4;
+        drain_timeout_s = 3.0;
+        sites = [| ("daemon-test", Lazy.force small_input) |];
+        retry_quota = retry;
+        max_retries = 5;
+      }
+    in
+    match Loadgen.run config with
+    | Error why -> Alcotest.fail why
+    | Ok stats -> stats
+  in
+  let naive = run false in
+  check_bool "naive client was quota-limited" true (naive.Loadgen.abandoned > 0);
+  check_int "naive client never retries" 0 naive.Loadgen.retried;
+  let retry = run true in
+  check_bool "retrying client retried" true (retry.Loadgen.retried > 0);
+  check_bool "retrying client recovered rejected work" true
+    (retry.Loadgen.recovered > 0);
+  check_bool "retrying beats naive on completed work" true
+    (retry.Loadgen.ok > naive.Loadgen.ok)
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "address parsing" `Quick test_address_parsing;
+          Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
+        ] );
+      ( "handshake",
+        [
+          Alcotest.test_case "auth token gates admission" `Slow
+            test_auth_token;
+          Alcotest.test_case "wrong frame version hangs up" `Slow
+            test_version_rejection;
+          Alcotest.test_case "idle connections are closed" `Slow
+            test_idle_timeout;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "pipelined in-order under latency skew" `Slow
+            test_pipelined_inorder_under_skew;
+          Alcotest.test_case "inflight window refuses in-order" `Slow
+            test_conn_inflight_limit;
+          Alcotest.test_case "quota retry-after crosses the wire" `Slow
+            test_quota_retry_after_crosses_the_wire;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "client disconnect mid-request" `Slow
+            test_disconnect_mid_request;
+          Alcotest.test_case "SIGTERM drains and exits 0" `Slow
+            test_sigterm_drain;
+        ] );
+      ( "transport",
+        [ Alcotest.test_case "tcp listener" `Slow test_tcp_listener ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "closed loop, byte-identical" `Slow
+            test_loadgen_closed_loop;
+          Alcotest.test_case "quota retry recovers goodput" `Slow
+            test_loadgen_quota_retry_recovers;
+        ] );
+    ]
