@@ -13,14 +13,18 @@
 # completed response byte-identical to the sequential reference), and
 # the daemon smoke (a real daemon process serving 8 pipelined socket
 # connections: every reply byte-identical to the in-process reference,
-# zero worker restarts, graceful SIGTERM drain exiting 0).
+# zero worker restarts, graceful SIGTERM drain exiting 0), and the
+# corpus smoke (a small fixed-seed sampled corpus evaluated twice
+# through the service: zero service errors, median F1 above the floor,
+# and an identical accuracy digest both times — the corpus sampler's
+# determinism contract).
 # `lint` runs tabseg_lint (rules TS001-TS007: fork-after-domain,
 # raw-marshal, bare-mutex, blocking-io-select, print-in-lib,
 # global-mutable-state, allow discipline) over lib/ bin/ bench/ and
 # fails on any unsuppressed finding.
 
 .PHONY: check build lint test smoke bench bench-throughput bench-store \
-	bench-gateway bench-overload bench-daemon clean
+	bench-gateway bench-overload bench-daemon bench-corpus clean
 
 check: build lint test smoke
 
@@ -40,6 +44,7 @@ smoke:
 	dune exec bench/main.exe -- gateway-smoke
 	dune exec bench/main.exe -- overload-smoke
 	dune exec bench/main.exe -- daemon-smoke
+	dune exec bench/main.exe -- corpus-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -85,6 +90,18 @@ bench-overload:
 # bench-gateway it needs its own process.
 bench-daemon:
 	dune exec bench/main.exe -- daemon --json
+
+# Corpus-scale accuracy distribution: 1000 seeded site families (schemas,
+# layouts, log-uniform row counts to 10^5, nesting, contamination all
+# sampled) segmented through Serve.Service and scored against generated
+# ground truth → BENCH_corpus.json with P/R/F p5/p50/p95 + histograms,
+# per-family breakdown, worst-k triage digests and sites/sec. The same
+# seed reproduces identical accuracy numbers (the JSON carries an MD5
+# digest of every per-site count to prove it). Knobs:
+# TABSEG_CORPUS_SITES/JOBS/MAX_PAGE/SIBLINGS. The 8M minor heap matters
+# for the same multi-domain reason as bench-throughput.
+bench-corpus:
+	OCAMLRUNPARAM=s=8M dune exec bench/main.exe -- corpus --json
 
 # Only build artifacts. User store directories (*.tabstore/) hold warm
 # cache state that survives restarts by design — never remove them here.

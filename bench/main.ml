@@ -1475,21 +1475,13 @@ let gateway_smoke () =
 
 (* Skewed site popularity: rank r drawn with probability proportional
    to 1/r^exponent, from a seeded generator — the heavy-tailed traffic
-   shape of large list-page corpora, reproducible run to run. *)
+   shape of large list-page corpora, reproducible run to run. The CDF
+   construction is shared with the daemon load generator
+   ({!Prng.zipf_cdf}); the uniform draw stays on this bench's own
+   [Random.State]. *)
 let zipf_sampler ~state ~n ~exponent =
-  let weights =
-    Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** exponent))
-  in
-  let total = Array.fold_left ( +. ) 0. weights in
-  fun () ->
-    let x = Random.State.float state total in
-    let rec pick i acc =
-      if i >= n - 1 then i
-      else
-        let acc = acc +. weights.(i) in
-        if x < acc then i else pick (i + 1) acc
-    in
-    pick 0 0.
+  let cdf = Prng.zipf_cdf ~n ~exponent in
+  fun () -> Prng.zipf_index cdf (Random.State.float state 1.0)
 
 (* Every overload request reuses one small page set under 12 synthetic
    site labels: the label drives affinity and quotas, the shared input
@@ -2265,6 +2257,87 @@ let timing () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Corpus: sampled site families at scale through Serve.Service        *)
+(* ------------------------------------------------------------------ *)
+
+module Corpus_family = Tabseg_corpus.Family
+module Corpus_harness = Tabseg_corpus.Harness
+
+(* Row counts stay log-uniform up to 10^5 (the sampler's full range);
+   only the first [siblings + 1] list pages of a huge site are ever
+   materialized, so total row count shapes pagination, not bench cost. *)
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some value -> (
+    match int_of_string_opt value with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+      Printf.eprintf "invalid %s: %s\n" name value;
+      exit 1)
+
+let corpus_bench ?(json = false) ?sites ?(seed = 7001) () =
+  let sites =
+    match sites with
+    | Some n -> n
+    | None -> env_int "TABSEG_CORPUS_SITES" 1000
+  in
+  let jobs = env_int "TABSEG_CORPUS_JOBS" 2 in
+  section
+    (Printf.sprintf "Corpus: %d sampled sites through Serve.Service" sites);
+  let max_rows_per_page = env_int "TABSEG_CORPUS_MAX_PAGE" 12 in
+  let params =
+    { Corpus_family.default_params with sites; seed; max_rows_per_page }
+  in
+  let specs = Corpus_family.sample params in
+  let siblings = env_int "TABSEG_CORPUS_SIBLINGS" 2 in
+  let config = { Corpus_harness.default_config with jobs; siblings } in
+  let report = Corpus_harness.evaluate ~config specs in
+  print_string (Corpus_harness.render_report report);
+  if json then begin
+    let path = "BENCH_corpus.json" in
+    let oc = open_out path in
+    output_string oc (Corpus_harness.report_json ~params ~config report);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end;
+  report
+
+(* The per-PR corpus guard: a small fixed-seed corpus must evaluate
+   without service errors, hold an F1 floor, and produce the same
+   accuracy digest twice in a row (the determinism contract the corpus
+   sampler promises). *)
+let corpus_smoke () =
+  section "Corpus smoke: fixed seed, F1 floor, deterministic digest";
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  let params = { Corpus_family.default_params with sites = 24; seed = 11 } in
+  let specs = Corpus_family.sample params in
+  let config = { Corpus_harness.default_config with jobs = 1 } in
+  let report = Corpus_harness.evaluate ~config specs in
+  let again = Corpus_harness.evaluate ~config specs in
+  if report.Corpus_harness.sites <> params.Corpus_family.sites then
+    fail "expected %d sites, evaluated %d" params.Corpus_family.sites
+      report.Corpus_harness.sites;
+  if report.Corpus_harness.errors <> 0 then
+    fail "%d service errors on a clean corpus" report.Corpus_harness.errors;
+  let f1_p50 = report.Corpus_harness.f1.Corpus_harness.d_p50 in
+  if f1_p50 < 0.6 then fail "median F1 %.3f below the 0.6 floor" f1_p50;
+  if report.Corpus_harness.digest <> again.Corpus_harness.digest then
+    fail "accuracy digest not deterministic: %s vs %s"
+      report.Corpus_harness.digest again.Corpus_harness.digest;
+  if not !ok then exit 1;
+  Printf.printf
+    "smoke ok: %d sites, median F1 %.3f, digest %s reproduced\n"
+    report.Corpus_harness.sites f1_p50 report.Corpus_harness.digest
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2313,6 +2386,8 @@ let () =
       | "overload-smoke" -> overload_smoke ()
       | "daemon" -> ignore (daemon_bench ~json ())
       | "daemon-smoke" -> daemon_smoke ()
+      | "corpus" -> ignore (corpus_bench ~json ())
+      | "corpus-smoke" -> corpus_smoke ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -757,6 +757,163 @@ let serve_cmd =
       $ max_conns_arg $ drain_grace_arg $ procs_arg $ jobs_arg $ cache_mb_arg
       $ store_arg $ spill_arg $ quota_arg $ shed_arg $ deadline_arg)
 
+(* ------------------------------ corpus ------------------------------ *)
+
+module Corpus_family = Tabseg_corpus.Family
+module Corpus_harness = Tabseg_corpus.Harness
+
+let corpus_sites_arg =
+  let doc = "Number of sites to sample." in
+  Arg.(value & opt int 100 & info [ "n"; "sites" ] ~doc ~docv:"N")
+
+let corpus_seed_arg =
+  let doc = "Corpus sampler seed (same seed, same corpus — always)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc ~docv:"SEED")
+
+let corpus_max_page_arg =
+  let doc = "Upper bound on records per list page." in
+  Arg.(
+    value
+    & opt int Corpus_family.default_params.Corpus_family.max_rows_per_page
+    & info [ "max-rows-per-page" ] ~doc ~docv:"N")
+
+let corpus_params ~sites ~seed ~max_rows_per_page =
+  { Corpus_family.default_params with sites; seed; max_rows_per_page }
+
+let corpus_gen_cmd =
+  let out_arg =
+    let doc = "Output directory (created if missing)." in
+    Arg.(value & opt string "corpus" & info [ "o"; "out" ] ~doc)
+  in
+  let max_pages_arg =
+    let doc =
+      "Materialize at most this many list pages per site (sites sampled \
+       at 10^5 rows paginate into thousands; the written prefix is \
+       byte-identical to the full site's first pages)."
+    in
+    Arg.(value & opt int 5 & info [ "max-pages" ] ~doc ~docv:"K")
+  in
+  let run sites seed max_rows_per_page out max_pages =
+    let params = corpus_params ~sites ~seed ~max_rows_per_page in
+    let specs = Corpus_family.sample params in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let manifest = Buffer.create 1024 in
+    Buffer.add_string manifest
+      "name\tfamily\tseed\trows\trows_per_page\tpages\tfields\n";
+    List.iter
+      (fun spec ->
+        let open Corpus_family in
+        Buffer.add_string manifest
+          (Printf.sprintf "%s\t%s\t%d\t%d\t%d\t%d\t%s\n" spec.sp_name
+             spec.sp_family spec.sp_seed spec.sp_rows spec.sp_rows_per_page
+             (page_count spec)
+             (String.concat ","
+                (List.map (fun f -> f.fd_label) spec.sp_fields
+                @
+                match spec.sp_nested with
+                | Some n -> [ n.ns_label ^ "*" ]
+                | None -> [])));
+        let dir = Filename.concat out spec.sp_name in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let generated = generate ~max_pages spec in
+        List.iteri
+          (fun p page ->
+            write_file
+              (Filename.concat dir (Printf.sprintf "list_%d.html" p))
+              page.list_html;
+            List.iteri
+              (fun i detail ->
+                write_file
+                  (Filename.concat dir
+                     (Printf.sprintf "detail_%d_%d.html" p i))
+                  detail)
+              page.detail_htmls;
+            write_file
+              (Filename.concat dir (Printf.sprintf "truth_%d.tsv" p))
+              (String.concat "\n"
+                 (List.map (String.concat "\t") page.truth)))
+          generated.pages)
+      specs;
+    write_file (Filename.concat out "manifest.tsv") (Buffer.contents manifest);
+    Printf.printf "wrote %d sites (and manifest.tsv) to %s\n"
+      (List.length specs) out
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Sample a seeded corpus and write its pages and ground truth \
+             to disk")
+    Term.(
+      const run $ corpus_sites_arg $ corpus_seed_arg $ corpus_max_page_arg
+      $ out_arg $ max_pages_arg)
+
+let corpus_eval_cmd =
+  let jobs_arg =
+    let doc = "Service worker domains (<= 1 runs inline)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let siblings_arg =
+    let doc = "Extra list pages given to template induction." in
+    Arg.(
+      value
+      & opt int Corpus_harness.default_config.Corpus_harness.siblings
+      & info [ "siblings" ] ~doc ~docv:"N")
+  in
+  let worst_arg =
+    let doc = "How many worst sites to digest for triage." in
+    Arg.(
+      value
+      & opt int Corpus_harness.default_config.Corpus_harness.worst_k
+      & info [ "worst" ] ~doc ~docv:"K")
+  in
+  let json_arg =
+    let doc = "Also write the full report as JSON to this path." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"PATH")
+  in
+  (* Defaults to prob, unlike the other verbs: strict CSP scores an
+     unsatisfiable (contaminated) site all-wrong, which makes it the
+     wrong default for a corpus whose sampler contaminates on purpose. *)
+  let corpus_method_arg =
+    let doc = "Segmentation method: $(b,csp) or $(b,prob)." in
+    Arg.(
+      value
+      & opt method_conv Tabseg.Api.Probabilistic
+      & info [ "m"; "method" ] ~doc)
+  in
+  let run sites seed max_rows_per_page method_ jobs siblings worst json_path =
+    let params = corpus_params ~sites ~seed ~max_rows_per_page in
+    let specs = Corpus_family.sample params in
+    let config =
+      {
+        Corpus_harness.default_config with
+        Corpus_harness.method_;
+        jobs;
+        siblings;
+        worst_k = worst;
+      }
+    in
+    let report = Corpus_harness.evaluate ~config specs in
+    print_string (Corpus_harness.render_report report);
+    match json_path with
+    | None -> ()
+    | Some path ->
+      write_file path (Corpus_harness.report_json ~params ~config report);
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Sample a seeded corpus, segment every site through the \
+             service and report P/R/F distributions")
+    Term.(
+      const run $ corpus_sites_arg $ corpus_seed_arg $ corpus_max_page_arg
+      $ corpus_method_arg $ jobs_arg $ siblings_arg $ worst_arg $ json_arg)
+
+let corpus_cmd =
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:"Seeded site-family corpora: generate to disk or evaluate at \
+             scale")
+    [ corpus_gen_cmd; corpus_eval_cmd ]
+
 (* ------------------------------ loadgen ----------------------------- *)
 
 let loadgen_cmd =
@@ -839,32 +996,60 @@ let loadgen_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run method_ address connections rate pipeline duration site_names zipf
-      seed auth_token service_ms retry max_retries verify =
-    let chosen =
-      match site_names with
-      | [] -> Sites.all
-      | names ->
-        List.map
-          (fun name ->
-            match Sites.find name with
-            | site -> site
-            | exception Not_found ->
-              Printf.eprintf "unknown site %S; try `tabseg sites`\n" name;
-              exit 1)
-          names
+  let corpus_arg =
+    let doc =
+      "Draw the site universe from this many sampled corpus sites (see \
+       $(b,tabseg corpus)) instead of the twelve built-in sites — Zipf \
+       skew then ranges over a realistic large universe."
     in
+    Arg.(value & opt int 0 & info [ "corpus" ] ~doc ~docv:"N")
+  in
+  let corpus_seed_arg =
+    let doc = "Corpus sampler seed (with --corpus)." in
+    Arg.(value & opt int 1 & info [ "corpus-seed" ] ~doc ~docv:"SEED")
+  in
+  let run method_ address connections rate pipeline duration site_names zipf
+      seed auth_token service_ms retry max_retries verify corpus corpus_seed =
     let sites =
-      Array.of_list
-        (List.map
-           (fun site ->
-             let generated = Sites.generate site in
-             let list_pages, detail_pages =
-               Sites.segmentation_input generated ~page_index:0
-             in
-             ( site.Sites.name,
-               { Tabseg.Pipeline.list_pages; detail_pages } ))
-           chosen)
+      if corpus > 0 then begin
+        if site_names <> [] then begin
+          Printf.eprintf "--corpus and --site are mutually exclusive\n";
+          exit 1
+        end;
+        (* the bounded bench profile: page size capped so per-request
+           service time stays sane under load *)
+        let params =
+          corpus_params ~sites:corpus ~seed:corpus_seed ~max_rows_per_page:12
+        in
+        Corpus_harness.site_inputs (Corpus_family.sample params)
+        |> List.map (fun (name, input, _truth) -> (name, input))
+        |> Array.of_list
+      end
+      else begin
+        let chosen =
+          match site_names with
+          | [] -> Sites.all
+          | names ->
+            List.map
+              (fun name ->
+                match Sites.find name with
+                | site -> site
+                | exception Not_found ->
+                  Printf.eprintf "unknown site %S; try `tabseg sites`\n" name;
+                  exit 1)
+              names
+        in
+        Array.of_list
+          (List.map
+             (fun site ->
+               let generated = Sites.generate site in
+               let list_pages, detail_pages =
+                 Sites.segmentation_input generated ~page_index:0
+               in
+               ( site.Sites.name,
+                 { Tabseg.Pipeline.list_pages; detail_pages } ))
+             chosen)
+      end
     in
     let expected =
       if not verify then []
@@ -936,7 +1121,8 @@ let loadgen_cmd =
     Term.(
       const run $ method_arg $ connect_arg $ conns_arg $ rate_arg
       $ pipeline_arg $ duration_arg $ sites_arg $ zipf_arg $ seed_arg
-      $ auth_arg $ service_ms_arg $ retry_arg $ max_retries_arg $ verify_arg)
+      $ auth_arg $ service_ms_arg $ retry_arg $ max_retries_arg $ verify_arg
+      $ corpus_arg $ corpus_seed_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in
@@ -945,4 +1131,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sites_cmd; generate_cmd; segment_cmd; eval_cmd; auto_cmd;
-            reconstruct_cmd; serve_cmd; loadgen_cmd ]))
+            reconstruct_cmd; serve_cmd; loadgen_cmd; corpus_cmd ]))

@@ -1,0 +1,391 @@
+open Tabseg_sitegen
+
+type kind =
+  | Person
+  | Address
+  | City_state
+  | Phone
+  | Money of int * int
+  | Parcel
+  | Code
+  | Facility
+  | Status
+  | Date
+  | Title
+  | Publisher
+  | Year
+  | Price
+
+let kind_name = function
+  | Person -> "person"
+  | Address -> "address"
+  | City_state -> "city-state"
+  | Phone -> "phone"
+  | Money _ -> "money"
+  | Parcel -> "parcel"
+  | Code -> "code"
+  | Facility -> "facility"
+  | Status -> "status"
+  | Date -> "date"
+  | Title -> "title"
+  | Publisher -> "publisher"
+  | Year -> "year"
+  | Price -> "price"
+
+type field = { fd_label : string; fd_kind : kind; fd_optional : bool }
+type nested = { ns_label : string; ns_kind : kind; ns_max : int }
+
+type spec = {
+  sp_name : string;
+  sp_family : string;
+  sp_seed : int;
+  sp_layout : Render.layout;
+  sp_fields : field list;
+  sp_nested : nested option;
+  sp_rows : int;
+  sp_rows_per_page : int;
+  sp_contamination : float;
+  sp_missing_p : float;
+  sp_link_text : string;
+}
+
+type params = {
+  sites : int;
+  seed : int;
+  min_rows : int;
+  max_rows : int;
+  max_rows_per_page : int;
+  min_fields : int;
+  max_fields : int;
+  nested_p : float;
+  optional_p : float;
+  missing_p : float;
+  contamination : float;
+}
+
+let default_params =
+  {
+    sites = 1000;
+    seed = 1;
+    min_rows = 10;
+    max_rows = 100_000;
+    max_rows_per_page = 25;
+    min_fields = 3;
+    max_fields = 7;
+    nested_p = 0.35;
+    optional_p = 0.3;
+    missing_p = 0.12;
+    contamination = 0.3;
+  }
+
+(* ------------------------------ sampling ----------------------------- *)
+
+let layouts =
+  [
+    (Render.Grid, "grid");
+    (Render.Numbered_grid, "numbered-grid");
+    (Render.Freeform, "freeform");
+    (Render.Blocks, "blocks");
+    (Render.Numbered_blocks, "numbered-blocks");
+  ]
+
+let family_names =
+  List.concat_map
+    (fun (_, key) -> [ key ^ "/flat"; key ^ "/nested" ])
+    layouts
+
+(* Lead field: the distinctive first column a human scans records by. *)
+let lead_kinds =
+  [
+    (Person, [ "Name"; "Owner"; "Contact"; "Resident" ]);
+    (Title, [ "Title"; "Item"; "Listing" ]);
+    (Parcel, [ "Parcel"; "Parcel ID"; "Account" ]);
+  ]
+
+let body_kinds =
+  [
+    (Address, [ "Address"; "Street"; "Location" ]);
+    (City_state, [ "City"; "Town"; "Locality" ]);
+    (Phone, [ "Phone"; "Telephone"; "Contact Number" ]);
+    (Money (25_000, 900_000), [ "Assessed Value"; "Market Value"; "Amount" ]);
+    (Code, [ "ID"; "Case Number"; "Reference" ]);
+    (Facility, [ "Facility"; "Location Held"; "Branch" ]);
+    (Status, [ "Status"; "Disposition" ]);
+    (Date, [ "Date"; "Filed"; "Updated"; "Admitted" ]);
+    (Publisher, [ "Publisher"; "Imprint" ]);
+    (Year, [ "Year"; "Published" ]);
+    (Price, [ "Price"; "Our Price" ]);
+  ]
+
+let nested_options =
+  [
+    ("Authors", Person, 3);
+    ("Owners", Person, 3);
+    ("Aliases", Person, 2);
+    ("Prior Facilities", Facility, 3);
+    ("Service Areas", City_state, 3);
+  ]
+
+let link_texts =
+  [ "More Info"; "Details"; "View Record"; "See listing"; "Full record" ]
+
+let sample_spec params rand index =
+  let seed = Prng.int rand 0x3FFF_FFFF in
+  let layout, layout_name = Prng.pick rand layouts in
+  let lead_kind, lead_labels = Prng.pick rand lead_kinds in
+  let lead =
+    { fd_label = Prng.pick rand lead_labels;
+      fd_kind = lead_kind;
+      fd_optional = false }
+  in
+  let span = params.max_fields - params.min_fields in
+  let field_count =
+    params.min_fields + (if span > 0 then Prng.int rand (span + 1) else 0)
+  in
+  let body_pool =
+    List.filter (fun (kind, _) -> kind <> lead_kind) body_kinds
+  in
+  let body_count = min (field_count - 1) (List.length body_pool) in
+  let body =
+    Prng.shuffle rand body_pool
+    |> List.filteri (fun i _ -> i < body_count)
+    |> List.mapi (fun i (kind, labels) ->
+           {
+             fd_label = Prng.pick rand labels;
+             fd_kind = kind;
+             (* keep the first body field mandatory so every record has at
+                least two cells even when all optional fields drop *)
+             fd_optional = i > 0 && Prng.chance rand params.optional_p;
+           })
+  in
+  let nested =
+    if Prng.chance rand params.nested_p then begin
+      let label, kind, max_repeats = Prng.pick rand nested_options in
+      Some { ns_label = label; ns_kind = kind; ns_max = max_repeats }
+    end
+    else None
+  in
+  let rows =
+    Prng.log_uniform_int rand ~min:params.min_rows ~max:params.max_rows
+  in
+  (* Cap the page size at rows/2 so every site has at least two list pages
+     (template induction needs a sibling page). *)
+  let hi = max 2 (min params.max_rows_per_page (rows / 2)) in
+  let lo = min 5 hi in
+  let rows_per_page = lo + Prng.int rand (hi - lo + 1) in
+  let contamination =
+    if params.contamination > 0. then Prng.float rand params.contamination
+    else 0.
+  in
+  {
+    sp_name = Printf.sprintf "corpus%05d" index;
+    sp_family =
+      layout_name ^ (match nested with Some _ -> "/nested" | None -> "/flat");
+    sp_seed = seed;
+    sp_layout = layout;
+    sp_fields = lead :: body;
+    sp_nested = nested;
+    sp_rows = rows;
+    sp_rows_per_page = rows_per_page;
+    sp_contamination = contamination;
+    sp_missing_p = params.missing_p;
+    sp_link_text = Prng.pick rand link_texts;
+  }
+
+let sample params =
+  if params.sites < 0 then invalid_arg "Family.sample: negative sites";
+  if params.min_rows < 4 then
+    invalid_arg "Family.sample: min_rows must be >= 4";
+  if params.max_rows < params.min_rows then
+    invalid_arg "Family.sample: max_rows < min_rows";
+  if params.min_fields < 2 || params.max_fields < params.min_fields then
+    invalid_arg "Family.sample: need 2 <= min_fields <= max_fields";
+  let master = Prng.create params.seed in
+  List.init params.sites (fun index -> index)
+  |> List.map (fun index -> sample_spec params (Prng.split master) index)
+
+let page_count spec =
+  (spec.sp_rows + spec.sp_rows_per_page - 1) / spec.sp_rows_per_page
+
+(* ----------------------------- generation ---------------------------- *)
+
+type page = {
+  list_html : string;
+  detail_htmls : string list;
+  truth : string list list;
+}
+
+type generated = { spec : spec; pages : page list }
+
+let value_of rand pools ~index = function
+  | Person -> Data.person_name rand pools
+  | Address -> Data.street_address rand pools
+  | City_state -> Data.city_state rand pools
+  | Phone -> Data.phone rand pools
+  | Money (min, max) -> Data.money rand ~min ~max
+  | Parcel -> Data.parcel_id rand
+  | Code -> Data.inmate_id rand
+  | Facility -> Data.facility rand pools
+  | Status -> Data.status rand
+  | Date -> Data.date rand
+  | Title -> Data.book_title rand index
+  | Publisher -> Data.publisher rand
+  | Year -> Data.year rand
+  | Price -> Data.price rand
+
+let record spec rand pools ~index =
+  let fields =
+    List.filter
+      (fun f -> (not f.fd_optional) || not (Prng.chance rand spec.sp_missing_p))
+      spec.sp_fields
+  in
+  let cells =
+    List.map (fun f -> (f.fd_label, value_of rand pools ~index f.fd_kind)) fields
+  in
+  match spec.sp_nested with
+  | None -> cells
+  | Some { ns_label; ns_kind; ns_max } ->
+    let repeats = 1 + Prng.int rand ns_max in
+    let subs =
+      List.init repeats (fun _ -> ())
+      |> List.map (fun () -> value_of rand pools ~index ns_kind)
+    in
+    cells @ [ (ns_label, String.concat ", " subs) ]
+
+let lead_value record = match record with (_, value) :: _ -> value | [] -> ""
+
+let display_title spec = spec.sp_name ^ " Directory"
+
+let list_chrome spec rand page_index records count =
+  let start = page_index * spec.sp_rows_per_page in
+  let quoted prefix n =
+    match List.nth_opt records n with
+    | Some record when lead_value record <> "" ->
+      [ prefix ^ ": " ^ lead_value record ]
+    | Some _ | None -> []
+  in
+  let contaminated prefix n =
+    if Prng.chance rand spec.sp_contamination then quoted prefix n else []
+  in
+  let promos =
+    [ "Try our premium search today";
+      Printf.sprintf "Results page %d of %d" (page_index + 1)
+        (page_count spec) ]
+    @ contaminated "Featured" (min 4 (count - 1))
+    @ contaminated "Sponsored" (min 1 (count - 1))
+    @ contaminated "Top match" (min 7 (count - 1))
+  in
+  {
+    Render.site_title = display_title spec;
+    summary =
+      Printf.sprintf "Displaying %d-%d of %d records." (start + 1)
+        (start + count) spec.sp_rows;
+    promos;
+    footer = [ "Copyright 2004 " ^ display_title spec; "Terms of Use" ];
+  }
+
+let detail_chrome spec =
+  {
+    Render.site_title = display_title spec;
+    summary = "";
+    promos = [];
+    footer = [ "Copyright 2004 " ^ display_title spec ];
+  }
+
+(* History contamination at the site's density: a detail page echoes the
+   lead values of recently viewed records (the Amazon pathology). *)
+let detail_extras spec rand records ~record_index =
+  let base = [ "Back to results"; "New Search" ] in
+  let echoes =
+    if record_index > 0 && Prng.chance rand spec.sp_contamination then
+      let recent =
+        List.filteri
+          (fun i _ -> i < record_index && i >= record_index - 2)
+          records
+        |> List.map lead_value
+        |> List.filter (fun value -> value <> "")
+      in
+      if recent = [] then [] else "Recently viewed" :: recent
+    else []
+  in
+  base @ echoes
+
+let columns spec =
+  List.map (fun f -> f.fd_label) spec.sp_fields
+  @ (match spec.sp_nested with Some n -> [ n.ns_label ] | None -> [])
+
+let generate_page spec rand pools page_index =
+  let start = page_index * spec.sp_rows_per_page in
+  let count = min spec.sp_rows_per_page (spec.sp_rows - start) in
+  let records = ref [] in
+  for i = 0 to count - 1 do
+    records := record spec rand pools ~index:(start + i) :: !records
+  done;
+  let records = List.rev !records in
+  let rows =
+    List.mapi
+      (fun i fields ->
+        {
+          Render.cells =
+            List.map
+              (fun (_, value) -> { Render.text = value; gray = false })
+              fields;
+          link = Some (Printf.sprintf "detail_%d_%d.html" page_index i);
+          link_text = spec.sp_link_text;
+          enumerator =
+            (match spec.sp_layout with
+            | Render.Numbered_grid | Render.Numbered_blocks ->
+              Some (Printf.sprintf "%d." (i + 1))
+            | Render.Grid | Render.Freeform | Render.Blocks
+            | Render.Vertical_grid ->
+              None);
+        })
+      records
+  in
+  let chrome = list_chrome spec rand page_index records count in
+  let list_html =
+    Render.render_list spec.sp_layout ~columns:(columns spec) chrome rows
+  in
+  let detail_htmls =
+    List.mapi
+      (fun i fields ->
+        Render.render_detail ~chrome:(detail_chrome spec)
+          ~labels:(List.map fst fields)
+          ~values:(List.map snd fields)
+          ~extra:(detail_extras spec rand records ~record_index:i))
+      records
+  in
+  let truth = List.map Render.row_truth rows in
+  { list_html; detail_htmls; truth }
+
+let generate ?max_pages spec =
+  let rand = Prng.create spec.sp_seed in
+  let pools = Data.make_pools rand in
+  let total = page_count spec in
+  let wanted =
+    match max_pages with None -> total | Some k -> max 1 (min k total)
+  in
+  let pages = ref [] in
+  for page_index = 0 to wanted - 1 do
+    (* one independent stream per page, split off in page order, so a
+       truncated generation is a byte-identical prefix of the full one *)
+    let page_rand = Prng.split rand in
+    pages := generate_page spec page_rand pools page_index :: !pages
+  done;
+  { spec; pages = List.rev !pages }
+
+let segmentation_input generated ~page_index ~max_siblings =
+  let pages = Array.of_list generated.pages in
+  let n = Array.length pages in
+  if page_index < 0 || page_index >= n then
+    invalid_arg "Family.segmentation_input: page_index out of range";
+  let target = pages.(page_index) in
+  let siblings = ref [] in
+  let added = ref 0 in
+  let cursor = ref ((page_index + 1) mod n) in
+  while !added < max_siblings && !cursor <> page_index do
+    siblings := pages.(!cursor).list_html :: !siblings;
+    incr added;
+    cursor := (!cursor + 1) mod n
+  done;
+  (target.list_html :: List.rev !siblings, target.detail_htmls)

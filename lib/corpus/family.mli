@@ -1,0 +1,109 @@
+(** A seeded sampler over {e families} of synthetic Web sites.
+
+    The paper's evaluation covers twelve hand-built sites
+    ({!Tabseg_sitegen.Sites}); this module generalizes their generator into
+    a parameterized family sampler so accuracy and throughput claims can
+    rest on thousands of sites. Each sampled {!spec} fixes a random schema
+    (field count, field kinds, optionality), a layout class, a row count
+    drawn log-uniformly from [min_rows, max_rows], pagination, an optional
+    nested/repeated sub-record field (the flat-vs-nested axis of Hiremath &
+    Algur), and an ad/navigation contamination density. Generation is fully
+    deterministic from the spec: the same spec always renders byte-identical
+    pages, and every page carries machine-readable ground truth
+    ({!Tabseg_sitegen.Render.row_truth}) so {!Tabseg_eval.Scorer} can score
+    it without hand labels. *)
+
+type kind =
+  | Person
+  | Address
+  | City_state
+  | Phone
+  | Money of int * int  (** inclusive dollar range *)
+  | Parcel
+  | Code
+  | Facility
+  | Status
+  | Date
+  | Title
+  | Publisher
+  | Year
+  | Price
+
+val kind_name : kind -> string
+
+type field = {
+  fd_label : string;  (** column header / detail-row label *)
+  fd_kind : kind;
+  fd_optional : bool;  (** may be dropped per record ({!spec.sp_missing_p}) *)
+}
+
+type nested = {
+  ns_label : string;  (** e.g. "Authors" *)
+  ns_kind : kind;
+  ns_max : int;  (** 1..ns_max repeated sub-values, comma-joined *)
+}
+
+type spec = {
+  sp_name : string;  (** unique within a sample, e.g. "corpus0042" *)
+  sp_family : string;  (** layout class + flat/nested, e.g. "grid/nested" *)
+  sp_seed : int;  (** generation seed; everything below shapes its use *)
+  sp_layout : Tabseg_sitegen.Render.layout;
+  sp_fields : field list;  (** presentation order; the head is the lead *)
+  sp_nested : nested option;
+  sp_rows : int;  (** total records across all list pages *)
+  sp_rows_per_page : int;
+  sp_contamination : float;
+      (** density of data-quoting promos and history echoes, in [0, 1] *)
+  sp_missing_p : float;  (** per-record drop probability of optional fields *)
+  sp_link_text : string;  (** the detail-link label, e.g. "More Info" *)
+}
+
+type params = {
+  sites : int;
+  seed : int;
+  min_rows : int;  (** log-uniform row-count bounds; 0 < min <= max *)
+  max_rows : int;
+  max_rows_per_page : int;
+  min_fields : int;
+  max_fields : int;
+  nested_p : float;  (** probability a site gets a repeated sub-record *)
+  optional_p : float;  (** probability a non-lead field is optional *)
+  missing_p : float;  (** per-record drop probability of optional fields *)
+  contamination : float;  (** per-site density drawn uniformly from [0, c] *)
+}
+
+val default_params : params
+(** 1000 sites, seed 1, rows 10..100_000 (log-uniform), <= 25 rows per list
+    page, 3..7 fields, nested_p 0.35, optional_p 0.3, missing_p 0.12,
+    contamination 0.3. *)
+
+val sample : params -> spec list
+(** Deterministic: the same params always yield the same spec list. *)
+
+val page_count : spec -> int
+(** Total list pages ([ceil (rows / rows_per_page)], always >= 2). *)
+
+type page = {
+  list_html : string;
+  detail_htmls : string list;  (** in record order *)
+  truth : string list list;  (** per record: its cell texts, in order *)
+}
+
+type generated = { spec : spec; pages : page list }
+
+val generate : ?max_pages:int -> spec -> generated
+(** Render the site's pages. [max_pages] bounds materialization for huge
+    sites (a 10^5-row site has thousands of list pages): the first
+    [max_pages] pages of a truncated generation are byte-identical to the
+    same pages of the full site (page streams are split off the master
+    stream in page order). Deterministic from the spec. *)
+
+val segmentation_input :
+  generated -> page_index:int -> max_siblings:int -> string list * string list
+(** [(list_pages, details)] for segmenting the given page: the target list
+    page first, then up to [max_siblings] other generated list pages (the
+    template needs at least one sibling), and the target page's detail
+    pages. *)
+
+val family_names : string list
+(** Every family key {!sample} can emit, for exhaustive breakdown tables. *)

@@ -92,24 +92,12 @@ let error_label = function
   | Gateway.Draining -> "draining"
   | Gateway.Service_error _ -> "service_error"
 
-(* Same construction as the bench's Zipf sampler: normalized
-   rank^-exponent weights walked by inverse CDF. *)
+(* The Zipf CDF construction is shared with the bench harness
+   ({!Tabseg_sitegen.Prng.zipf_cdf}); the uniform draw stays on this
+   generator's own seeded [Random.State]. *)
 let zipf_sampler ~state ~n ~exponent =
-  let weights =
-    Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) exponent)
-  in
-  let total = Array.fold_left ( +. ) 0. weights in
-  let cdf = Array.make n 0. in
-  let acc = ref 0. in
-  Array.iteri
-    (fun i w ->
-      acc := !acc +. (w /. total);
-      cdf.(i) <- !acc)
-    weights;
-  fun () ->
-    let u = Random.State.float state 1.0 in
-    let rec find i = if i >= n - 1 || cdf.(i) >= u then i else find (i + 1) in
-    find 0
+  let cdf = Tabseg_sitegen.Prng.zipf_cdf ~n ~exponent in
+  fun () -> Tabseg_sitegen.Prng.zipf_index cdf (Random.State.float state 1.0)
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -262,10 +250,12 @@ let run cfg =
           when cfg.retry_quota && job.j_attempts < cfg.max_retries ->
           job.j_attempts <- job.j_attempts + 1;
           incr retried;
-          (* The hint is a floor, not a reservation: every request
-             rejected at the same instant gets the same hint, so naked
-             compliance stampedes onto one refilled token. Exponential
-             backoff plus seeded jitter de-correlates the herd. *)
+          (* The hint is a floor, not a reservation. The gateway now
+             spreads same-tick hints over successive refill instants,
+             but a hint is only advice about one bucket at one moment:
+             client-side exponential backoff plus seeded jitter still
+             de-correlates repeat offenders and co-operating herds the
+             server never saw together. *)
           let base = Float.max retry_after_s 0.001 in
           let backoff =
             base *. Float.pow 2. (float_of_int (job.j_attempts - 1))

@@ -143,8 +143,16 @@ type forked = {
 
 type mode = Inline of Service.t | Forked of forked
 
-(* Per-site admission token bucket ([site_quota_rps]). *)
-type bucket = { mutable b_tokens : float; mutable b_stamp : float }
+(* Per-site admission token bucket ([site_quota_rps]). [b_next_hint] is
+   the next refill instant not yet promised to a rejected client, so
+   simultaneous rejections receive spread-out [retry_after_s] hints
+   instead of all naming the same refilled token (which would turn a
+   naive client herd into a synchronized retry stampede). *)
+type bucket = {
+  mutable b_tokens : float;
+  mutable b_stamp : float;
+  mutable b_next_hint : float;
+}
 
 type t = {
   cfg : config;
@@ -339,7 +347,9 @@ let quota_admit t (request : Service.request) =
       match Hashtbl.find_opt t.quota site with
       | Some bucket -> bucket
       | None ->
-        let bucket = { b_tokens = burst; b_stamp = now () } in
+        let bucket =
+          { b_tokens = burst; b_stamp = now (); b_next_hint = 0. }
+        in
         Hashtbl.replace t.quota site bucket;
         bucket
     in
@@ -351,10 +361,17 @@ let quota_admit t (request : Service.request) =
       bucket.b_tokens <- bucket.b_tokens -. 1.;
       Ok ()
     end
-    else
-      Error
-        (Quota_exceeded
-           { site; retry_after_s = (1. -. bucket.b_tokens) /. rate })
+    else begin
+      (* De-correlated hint: each rejection is promised its own refill
+         instant — the first one the time the next token exists, every
+         further same-tick rejection one refill interval later. Promises
+         in the past (the herd already drained) expire via the max. *)
+      let slot =
+        Float.max (at +. ((1. -. bucket.b_tokens) /. rate)) bucket.b_next_hint
+      in
+      bucket.b_next_hint <- slot +. (1. /. rate);
+      Error (Quota_exceeded { site; retry_after_s = slot -. at })
+    end
 
 (* Adaptive affinity: a request's home is still its site-digest slot —
    that worker holds the site's warm template cache — but when the home

@@ -21,6 +21,22 @@ let int t bound =
 
 let chance t p = float_of_int (int t 1_000_000) /. 1_000_000. < p
 
+let float t bound =
+  if bound <= 0. then invalid_arg "Prng.float: non-positive bound";
+  (* 53 high bits of the stream give a full-precision mantissa. *)
+  let mantissa = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float mantissa /. 9007199254740992. *. bound
+
+let log_uniform_int t ~min ~max =
+  if min <= 0 || max < min then
+    invalid_arg "Prng.log_uniform_int: need 0 < min <= max";
+  if min = max then min
+  else begin
+    let lo = log (float_of_int min) and hi = log (float_of_int max) in
+    let drawn = int_of_float (exp (lo +. float t (hi -. lo))) in
+    Stdlib.min max (Stdlib.max min drawn)
+  end
+
 let pick t = function
   | [] -> invalid_arg "Prng.pick: empty list"
   | items -> List.nth items (int t (List.length items))
@@ -34,3 +50,28 @@ let shuffle t items =
   List.map snd (List.sort compare tagged)
 
 let split t = { state = next t }
+
+let zipf_cdf ~n ~exponent =
+  if n <= 0 then invalid_arg "Prng.zipf_cdf: non-positive n";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for rank = 0 to n - 1 do
+    total := !total +. (1. /. (float_of_int (rank + 1) ** exponent));
+    cdf.(rank) <- !total
+  done;
+  for rank = 0 to n - 1 do
+    cdf.(rank) <- cdf.(rank) /. !total
+  done;
+  cdf.(n - 1) <- 1.;
+  cdf
+
+let zipf_index cdf u =
+  let n = Array.length cdf in
+  if n = 0 then invalid_arg "Prng.zipf_index: empty cdf";
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)

@@ -16,6 +16,15 @@ val int : t -> int -> int
 val chance : t -> float -> bool
 (** True with the given probability. *)
 
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound), with full 53-bit precision.
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val log_uniform_int : t -> min:int -> max:int -> int
+(** An integer drawn log-uniformly from [min, max] — equal probability mass
+    per decade, so 10..100 is as likely as 10_000..100_000. @raise
+    Invalid_argument unless [0 < min <= max]. *)
+
 val pick : t -> 'a list -> 'a
 (** Uniform element. @raise Invalid_argument on the empty list. *)
 
@@ -25,3 +34,19 @@ val shuffle : t -> 'a list -> 'a list
 
 val split : t -> t
 (** An independent stream derived from [t]'s current state. *)
+
+(** {2 Zipf sampling}
+
+    One shared construction for every consumer that needs skewed popularity
+    (bench request mixes, the daemon load generator): a precomputed CDF over
+    ranks [0, n) with mass proportional to [1/(rank+1)^exponent], walked by a
+    uniform draw in [0, 1). Callers supply the uniform draw so they keep
+    control of their own random stream ([Prng.float] or [Random.State]). *)
+
+val zipf_cdf : n:int -> exponent:float -> float array
+(** The cumulative distribution over [n] ranks; the last entry is 1.0.
+    @raise Invalid_argument when [n <= 0]. *)
+
+val zipf_index : float array -> float -> int
+(** [zipf_index cdf u] maps a uniform draw [u] in [0, 1) to a rank by binary
+    search — the first index whose cumulative mass reaches [u]. *)

@@ -413,6 +413,46 @@ let test_quota_hits_only_the_hot_site () =
   check_int "quota rejections counted" 5
     (counter_value gateway "gateway.quota_rejected")
 
+(* Same-tick rejections must not all name the same refill instant —
+   otherwise every naive client sleeps the same hint and the herd
+   re-arrives in lockstep for a single refilled token. Each rejection
+   is promised its own refill slot, one interval (1/rate) apart. *)
+let test_quota_hints_are_decorrelated () =
+  with_gateway
+    { Gateway.default_config with
+      Gateway.procs = 1;
+      site_quota_rps = Some 3.0
+    }
+  @@ fun gateway ->
+  let responses = Gateway.run_batch gateway (hot_requests ~count:8) in
+  let hints =
+    List.filter_map
+      (fun (response : Gateway.response) ->
+        match response.Gateway.outcome with
+        | Error (Gateway.Quota_exceeded { retry_after_s; _ }) ->
+          Some retry_after_s
+        | Ok _ | Error _ -> None)
+      responses
+  in
+  check_int "burst exhaustion rejects five of eight" 5 (List.length hints);
+  List.iter
+    (fun hint -> check_bool "every hint is positive" true (hint > 0.))
+    hints;
+  let rec adjacent = function
+    | earlier :: (later :: _ as rest) -> (earlier, later) :: adjacent rest
+    | _ -> []
+  in
+  (* rate 3.0: consecutive promises sit ~0.333 s apart; anything above
+     0.2 proves they are distinct instants, not one shared hint *)
+  List.iteri
+    (fun i (earlier, later) ->
+      check_bool
+        (Printf.sprintf "rejection %d hinted past rejection %d (%.3f vs %.3f)"
+           (i + 2) (i + 1) later earlier)
+        true
+        (later -. earlier > 0.2))
+    (adjacent hints)
+
 let test_shed_vs_queue_under_impossible_deadline () =
   (* Batch 1 overcommits a worker: a few requests finish in time, the
      rest expire at the master but keep the worker busy (zombie work).
@@ -564,6 +604,8 @@ let () =
             `Slow test_spill_on_vs_off;
           Alcotest.test_case "quota rejection is typed and site-scoped" `Slow
             test_quota_hits_only_the_hot_site;
+          Alcotest.test_case "same-tick quota hints are de-correlated" `Quick
+            test_quota_hints_are_decorrelated;
           Alcotest.test_case "shed-vs-queue under an impossible deadline"
             `Slow test_shed_vs_queue_under_impossible_deadline;
           Alcotest.test_case "ping timeout restarts a wedged worker" `Slow

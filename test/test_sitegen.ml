@@ -34,6 +34,52 @@ let test_prng_pick_and_shuffle () =
   Alcotest.(check (list int)) "permutation" [ 1; 2; 3; 4; 5 ]
     (List.sort compare shuffled)
 
+let test_prng_float_bounds () =
+  let rand = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rand 3.5 in
+    check_bool "in [0, 3.5)" true (v >= 0. && v < 3.5)
+  done
+
+let test_prng_log_uniform () =
+  let rand = Prng.create 12 in
+  let small = ref 0 in
+  for _ = 1 to 2000 do
+    let v = Prng.log_uniform_int rand ~min:10 ~max:100_000 in
+    check_bool "in [10, 100000]" true (v >= 10 && v <= 100_000);
+    if v < 1000 then incr small
+  done;
+  (* log-uniform: [10, 1000) covers half the four decades, so roughly
+     half the draws land there — a uniform draw would put ~1% there *)
+  check_bool "equal mass per decade" true (!small > 700 && !small < 1300)
+
+let test_prng_zipf_cdf_shape () =
+  let cdf = Prng.zipf_cdf ~n:50 ~exponent:1.1 in
+  check_int "one entry per rank" 50 (Array.length cdf);
+  Array.iteri
+    (fun i c ->
+      if i > 0 then
+        check_bool "monotone non-decreasing" true (c >= cdf.(i - 1)))
+    cdf;
+  check_bool "last entry is exactly 1" true (cdf.(49) = 1.);
+  check_bool "rank 0 carries the most mass" true
+    (cdf.(0) > cdf.(1) -. cdf.(0))
+
+let test_prng_zipf_index () =
+  let cdf = Prng.zipf_cdf ~n:10 ~exponent:1.5 in
+  check_int "u=0 maps to rank 0" 0 (Prng.zipf_index cdf 0.);
+  check_int "u just under 1 maps to the last rank" 9
+    (Prng.zipf_index cdf 0.999999);
+  let rand = Prng.create 13 in
+  let hits = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let rank = Prng.zipf_index cdf (Prng.float rand 1.) in
+    hits.(rank) <- hits.(rank) + 1
+  done;
+  check_bool "rank 0 is the most popular" true
+    (Array.for_all (fun n -> n <= hits.(0)) hits);
+  check_bool "the tail is still reachable" true (hits.(9) > 0)
+
 let test_prng_split_independent () =
   let rand = Prng.create 5 in
   let child = Prng.split rand in
@@ -179,6 +225,38 @@ let test_generation_deterministic () =
     ((List.hd a.Sites.pages).Sites.list_html
     = (List.hd b.Sites.pages).Sites.list_html)
 
+(* A hardcoded digest of every rendered byte of the twelve sites: the
+   cross-process half of the determinism contract. In-process equality
+   (above) would still pass if generation silently keyed off global
+   state; this fails the moment any seed, pool, or rendering decision
+   stops being a pure function of the site spec. *)
+let test_generation_golden_digest () =
+  let buffer = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun site ->
+      let generated = Sites.generate site in
+      List.iter
+        (fun page ->
+          Buffer.add_string buffer page.Sites.list_html;
+          List.iter (Buffer.add_string buffer) page.Sites.detail_htmls;
+          List.iter
+            (fun row -> Buffer.add_string buffer (String.concat "\t" row))
+            page.Sites.truth)
+        generated.Sites.pages)
+    Sites.all;
+  Alcotest.(check string)
+    "all twelve sites render byte-identically across process runs"
+    "6497f9df9231ac56cb8af1272c85c39f"
+    (Digest.to_hex (Digest.string (Buffer.contents buffer)))
+
+let test_generation_seed_sensitivity () =
+  let site = Sites.find "ButlerCounty" in
+  let reseeded = { site with Sites.seed = site.Sites.seed + 1 } in
+  let a = Sites.generate site and b = Sites.generate reseeded in
+  check_bool "different seeds render different pages" true
+    ((List.hd a.Sites.pages).Sites.list_html
+    <> (List.hd b.Sites.pages).Sites.list_html)
+
 let test_record_counts_match_paper () =
   List.iter
     (fun (name, counts) ->
@@ -293,6 +371,10 @@ let () =
             test_prng_pick_and_shuffle;
           Alcotest.test_case "split independent" `Quick
             test_prng_split_independent;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "log-uniform" `Quick test_prng_log_uniform;
+          Alcotest.test_case "zipf cdf shape" `Quick test_prng_zipf_cdf_shape;
+          Alcotest.test_case "zipf index" `Quick test_prng_zipf_index;
           QCheck_alcotest.to_alcotest prop_prng_chance_extremes;
         ] );
       ( "data",
@@ -318,6 +400,10 @@ let () =
           Alcotest.test_case "find" `Quick test_find;
           Alcotest.test_case "deterministic" `Quick
             test_generation_deterministic;
+          Alcotest.test_case "golden digest (cross-process)" `Quick
+            test_generation_golden_digest;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_generation_seed_sensitivity;
           Alcotest.test_case "record counts match paper" `Quick
             test_record_counts_match_paper;
           Alcotest.test_case "truth visible on list pages" `Slow
