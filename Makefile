@@ -16,15 +16,19 @@
 # zero worker restarts, graceful SIGTERM drain exiting 0), and the
 # corpus smoke (a small fixed-seed sampled corpus evaluated twice
 # through the service: zero service errors, median F1 above the floor,
+# per-family micro-F above wide floors derived from BENCH_corpus.json,
 # and an identical accuracy digest both times — the corpus sampler's
-# determinism contract).
+# determinism contract), and the stream smoke (every built-in site and
+# a 200-site corpus sample must stream byte-identically to the batch
+# segmentation under both methods).
 # `lint` runs tabseg_lint (rules TS001-TS007: fork-after-domain,
 # raw-marshal, bare-mutex, blocking-io-select, print-in-lib,
 # global-mutable-state, allow discipline) over lib/ bin/ bench/ and
 # fails on any unsuppressed finding.
 
 .PHONY: check build lint test smoke bench bench-throughput bench-store \
-	bench-gateway bench-overload bench-daemon bench-corpus clean
+	bench-gateway bench-overload bench-daemon bench-corpus bench-stream \
+	clean
 
 check: build lint test smoke
 
@@ -45,6 +49,7 @@ smoke:
 	dune exec bench/main.exe -- overload-smoke
 	dune exec bench/main.exe -- daemon-smoke
 	dune exec bench/main.exe -- corpus-smoke
+	dune exec bench/main.exe -- stream-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -102,6 +107,16 @@ bench-daemon:
 # for the same multi-domain reason as bench-throughput.
 bench-corpus:
 	OCAMLRUNPARAM=s=8M dune exec bench/main.exe -- corpus --json
+
+# Streaming benchmark: a cold 10^5-row seeded corpus site crawled
+# lazily through the stream engine vs the batch path (which must crawl
+# end to end before segmenting anything) → BENCH_stream.json with
+# time-to-first-record and batch-total percentiles, the live-token and
+# live-word high watermarks, and the byte-identity flag. Fails the
+# process if streaming ever diverges from batch or TTFR p50 reaches
+# 25% of the batch total. Knobs: TABSEG_STREAM_ROWS/UNITS/REPS.
+bench-stream:
+	dune exec bench/main.exe -- stream --json
 
 # Only build artifacts. User store directories (*.tabstore/) hold warm
 # cache state that survives restarts by design — never remove them here.

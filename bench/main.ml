@@ -2276,6 +2276,42 @@ let env_int name default =
       Printf.eprintf "invalid %s: %s\n" name value;
       exit 1)
 
+(* Per-family micro-F reference from the committed BENCH_corpus.json
+   (1000 sites, seed 7001). [corpus_bench] re-checks these at full
+   corpus scale with a tight margin; [corpus_smoke]'s 24-site sample
+   gets a wider one (tiny per-family populations are noisier).
+   Regenerate with `make bench-corpus` and update from the JSON when
+   the pipeline's accuracy profile legitimately moves. *)
+let family_micro_f_reference =
+  [
+    ("blocks/flat", 0.9718);
+    ("blocks/nested", 0.9656);
+    ("freeform/flat", 0.9678);
+    ("freeform/nested", 0.9647);
+    ("grid/flat", 0.9747);
+    ("grid/nested", 0.9838);
+    ("numbered-blocks/flat", 0.9722);
+    ("numbered-blocks/nested", 0.9755);
+    ("numbered-grid/flat", 0.9662);
+    ("numbered-grid/nested", 0.9609);
+  ]
+
+(* Calls [fail family micro floor] for every sampled family whose
+   micro-F sits below its reference minus [epsilon]; families absent
+   from the sample are skipped. *)
+let check_family_floors ~epsilon ~fail (report : Corpus_harness.report) =
+  List.iter
+    (fun (fs : Corpus_harness.family_summary) ->
+      match
+        List.assoc_opt fs.Corpus_harness.fs_family family_micro_f_reference
+      with
+      | None -> ()
+      | Some benched ->
+        let floor = benched -. epsilon in
+        let micro = Metrics.f_measure fs.Corpus_harness.fs_counts in
+        if micro < floor then fail fs.Corpus_harness.fs_family micro floor)
+    report.Corpus_harness.families
+
 let corpus_bench ?(json = false) ?sites ?(seed = 7001) () =
   let sites =
     match sites with
@@ -2294,6 +2330,26 @@ let corpus_bench ?(json = false) ?sites ?(seed = 7001) () =
   let config = { Corpus_harness.default_config with jobs; siblings } in
   let report = Corpus_harness.evaluate ~config specs in
   print_string (Corpus_harness.render_report report);
+  (* The per-family floors only mean something at the scale and seed
+     they were benched at; a down-scaled TABSEG_CORPUS_SITES run skips
+     them rather than failing on sampling noise. *)
+  if sites >= 1000 && seed = 7001 then begin
+    let failures = ref 0 in
+    check_family_floors ~epsilon:0.01
+      ~fail:(fun family micro floor ->
+        incr failures;
+        Printf.printf
+          "FLOOR FAILURE: family %-22s micro-F %.4f below floor %.4f\n"
+          family micro floor)
+      report;
+    if !failures > 0 then exit 1;
+    Printf.printf "per-family micro-F floors hold (reference - 0.01)\n"
+  end
+  else
+    Printf.printf
+      "per-family floors skipped (%d sites, seed %d; floors assume 1000 \
+       sites, seed 7001)\n"
+      sites seed;
   if json then begin
     let path = "BENCH_corpus.json" in
     let oc = open_out path in
@@ -2329,6 +2385,14 @@ let corpus_smoke () =
     fail "%d service errors on a clean corpus" report.Corpus_harness.errors;
   let f1_p50 = report.Corpus_harness.f1.Corpus_harness.d_p50 in
   if f1_p50 < 0.6 then fail "median F1 %.3f below the 0.6 floor" f1_p50;
+  (* A 24-site sample puts only 2-3 sites in each family, so the smoke
+     margin is wide — one mis-segmented row swings a tiny family by
+     several points. It still catches a family falling off a cliff; the
+     tight (-0.01) enforcement runs at 1000 sites in [corpus_bench]. *)
+  check_family_floors ~epsilon:0.10
+    ~fail:(fun family micro floor ->
+      fail "family %s micro-F %.4f below smoke floor %.4f" family micro floor)
+    report;
   if report.Corpus_harness.digest <> again.Corpus_harness.digest then
     fail "accuracy digest not deterministic: %s vs %s"
       report.Corpus_harness.digest again.Corpus_harness.digest;
@@ -2336,6 +2400,286 @@ let corpus_smoke () =
   Printf.printf
     "smoke ok: %d sites, median F1 %.3f, digest %s reproduced\n"
     report.Corpus_harness.sites f1_p50 report.Corpus_harness.digest
+
+(* ------------------------------------------------------------------ *)
+(* Streaming: time-to-first-record vs batch on a cold 10^5-row site    *)
+(* ------------------------------------------------------------------ *)
+
+module Stream_engine = Tabseg_stream.Engine
+module Stream_source = Tabseg_stream.Source
+module Stream_runner = Tabseg_stream.Runner
+module Stream_frame = Tabseg_stream.Frame
+
+(* One seeded corpus family pinned to 10^5 rows (TABSEG_STREAM_ROWS to
+   shrink locally): the site batch segmentation must crawl end to end
+   before emitting anything, which is exactly the latency streaming is
+   built to beat. *)
+let stream_bench_spec () =
+  let params =
+    {
+      Corpus_family.default_params with
+      Corpus_family.sites = 1;
+      seed = 47;
+      max_rows = 4_000;
+      max_rows_per_page = 10;
+    }
+  in
+  {
+    (List.hd (Corpus_family.sample params)) with
+    Corpus_family.sp_name = "stream-bench";
+    sp_rows = env_int "TABSEG_STREAM_ROWS" 100_000;
+    sp_rows_per_page = 25;
+  }
+
+(* Lazy crawl: pages are generated only as the engine pulls them, so
+   time-to-first-record includes exactly the crawl prefix streaming
+   actually needs. *)
+let stream_lazy_source spec ~units =
+  let next = Corpus_family.page_source ~max_pages:units spec in
+  let queue = Queue.create () in
+  fun () ->
+    if not (Queue.is_empty queue) then Some (Queue.pop queue)
+    else
+      match next () with
+      | None -> None
+      | Some page ->
+        Queue.add
+          (Stream_source.List_page
+             { html = page.Corpus_family.list_html; segment = true })
+          queue;
+        List.iter
+          (fun html -> Queue.add (Stream_source.Detail_page html) queue)
+          page.Corpus_family.detail_htmls;
+        Some (Queue.pop queue)
+
+let stream_drain source =
+  let rec go acc =
+    match source () with None -> List.rev acc | Some p -> go (p :: acc)
+  in
+  go []
+
+let stream_percentile sorted q =
+  if Array.length sorted = 0 then 0.
+  else
+    let rank =
+      int_of_float (ceil (q *. float_of_int (Array.length sorted))) - 1
+    in
+    sorted.(max 0 (min rank (Array.length sorted - 1)))
+
+(* One cold repetition: batch = crawl everything, then segment; stream
+   = same site through the engine off the lazy crawl, clocking the
+   first record and sampling live words at each unit close. *)
+let stream_rep ~config ~units spec =
+  let batch_started = Unix.gettimeofday () in
+  let pages = stream_drain (stream_lazy_source spec ~units) in
+  let reference = Stream_runner.batch_reference ~config pages in
+  let batch_s = Unix.gettimeofday () -. batch_started in
+  Gc.compact ();
+  let baseline = (Gc.stat ()).Gc.live_words in
+  let live_hwm = ref 0 in
+  let ttfr = ref None in
+  let stream_started = Unix.gettimeofday () in
+  let folded =
+    Stream_runner.fold ~config
+      ~on_event:(function
+        | Stream_frame.Record _ when !ttfr = None ->
+          ttfr := Some (Unix.gettimeofday () -. stream_started)
+        | Stream_frame.Unit_done _ ->
+          live_hwm :=
+            max !live_hwm ((Gc.stat ()).Gc.live_words - baseline)
+        | _ -> ())
+      (stream_lazy_source spec ~units)
+  in
+  let stream_s = Unix.gettimeofday () -. stream_started in
+  let identical =
+    List.length folded.Stream_runner.outcomes = List.length reference
+    && List.for_all2
+         (fun streamed batch ->
+           Stream_runner.outcome_digest streamed
+           = Stream_runner.outcome_digest batch)
+         folded.Stream_runner.outcomes reference
+  in
+  ( batch_s,
+    stream_s,
+    Option.value ~default:batch_s !ttfr,
+    folded.Stream_runner.summary.Stream_frame.live_tokens_hwm,
+    !live_hwm,
+    identical )
+
+let stream_bench ?(json = false) () =
+  let spec = stream_bench_spec () in
+  let units = env_int "TABSEG_STREAM_UNITS" 10 in
+  let reps = env_int "TABSEG_STREAM_REPS" 5 in
+  section
+    (Printf.sprintf
+       "Stream: TTFR vs batch, cold %d-row site (%d units, %d reps)"
+       spec.Corpus_family.sp_rows units reps);
+  let config =
+    { Stream_engine.default_config with Stream_engine.head_window = 3 }
+  in
+  let cells = List.init reps (fun _ -> stream_rep ~config ~units spec) in
+  let column f = Array.of_list (List.map f cells) in
+  let sorted f =
+    let c = column f in
+    Array.sort compare c;
+    c
+  in
+  let batch = sorted (fun (b, _, _, _, _, _) -> b) in
+  let stream = sorted (fun (_, s, _, _, _, _) -> s) in
+  let ttfr = sorted (fun (_, _, t, _, _, _) -> t) in
+  let tokens_hwm =
+    List.fold_left max 0 (List.map (fun (_, _, _, k, _, _) -> k) cells)
+  in
+  let words_hwm =
+    List.fold_left max 0 (List.map (fun (_, _, _, _, w, _) -> w) cells)
+  in
+  let identical = List.for_all (fun (_, _, _, _, _, i) -> i) cells in
+  let ms x = x *. 1e3 in
+  let batch_p50 = stream_percentile batch 0.5 in
+  let ttfr_p50 = stream_percentile ttfr 0.5 in
+  let ratio = if batch_p50 > 0. then ttfr_p50 /. batch_p50 else 1. in
+  Printf.printf "%-28s %10s %10s %10s\n" "" "p50 ms" "p95 ms" "max ms";
+  List.iter
+    (fun (label, s) ->
+      Printf.printf "%-28s %10.1f %10.1f %10.1f\n" label
+        (ms (stream_percentile s 0.5))
+        (ms (stream_percentile s 0.95))
+        (ms s.(Array.length s - 1)))
+    [
+      ("batch total (crawl+segment)", batch);
+      ("stream total", stream);
+      ("time to first record", ttfr);
+    ];
+  Printf.printf "ttfr p50 / batch p50:    %.3f\n" ratio;
+  Printf.printf "live tokens hwm:         %d\n" tokens_hwm;
+  Printf.printf "live words hwm:          %d\n" words_hwm;
+  Printf.printf "byte-identical to batch: %b\n" identical;
+  if not identical then begin
+    Printf.printf "STREAM FAILURE: stream outcomes differ from batch\n";
+    exit 1
+  end;
+  if ratio >= 0.25 then begin
+    Printf.printf
+      "STREAM FAILURE: ttfr p50 is %.1f%% of batch total (need < 25%%)\n"
+      (100. *. ratio);
+    exit 1
+  end;
+  if json then begin
+    let path = "BENCH_stream.json" in
+    let buffer = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+    let dist label s =
+      add
+        "  \"%s_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"max\": %.3f},\n"
+        label
+        (ms (stream_percentile s 0.5))
+        (ms (stream_percentile s 0.95))
+        (ms s.(Array.length s - 1))
+    in
+    add "{\n";
+    add "  \"bench\": \"stream\",\n";
+    add "  \"rows\": %d,\n" spec.Corpus_family.sp_rows;
+    add "  \"units\": %d,\n" units;
+    add "  \"reps\": %d,\n" reps;
+    dist "batch_total" batch;
+    dist "stream_total" stream;
+    dist "ttfr" ttfr;
+    add "  \"ttfr_over_batch_p50\": %.4f,\n" ratio;
+    add "  \"ttfr_under_quarter_batch\": %b,\n" (ratio < 0.25);
+    add "  \"live_tokens_hwm\": %d,\n" tokens_hwm;
+    add "  \"live_words_hwm\": %d,\n" words_hwm;
+    add "  \"live_words_bounded\": %b,\n" (words_hwm < 16_000_000);
+    add "  \"byte_identical\": %b\n" identical;
+    add "}\n";
+    let oc = open_out path in
+    Buffer.output_buffer oc buffer;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+(* The per-PR streaming guard: every built-in site and a 200-site
+   seeded corpus sample must stream byte-identically to the batch
+   segmentation under both methods — streaming is a delivery schedule,
+   never a different computation. *)
+let stream_smoke () =
+  section "Stream smoke: byte-identity, 12 built-in sites + 200 corpus sites";
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  let methods = [ Tabseg.Api.Csp; Tabseg.Api.Probabilistic ] in
+  let check label method_ input =
+    let config =
+      { Stream_engine.default_config with Stream_engine.method_ }
+    in
+    let records = ref 0 in
+    let outcome, _summary =
+      Stream_runner.stream_input ~config
+        ~on_record:(fun _ -> incr records)
+        input
+    in
+    let stream_digest = Stream_runner.outcome_digest outcome in
+    let batch_digest =
+      Stream_runner.outcome_digest
+        (Tabseg.Api.segment_result ~method_ input)
+    in
+    if stream_digest <> batch_digest then
+      fail "%s (%s): stream digest %s, batch digest %s" label
+        (Tabseg.Api.method_name method_)
+        stream_digest batch_digest;
+    (match outcome with
+    | Ok result ->
+      let expected =
+        List.length result.Tabseg.Api.segmentation.Tabseg.Segmentation.records
+      in
+      if !records <> expected then
+        fail "%s (%s): streamed %d records, batch has %d" label
+          (Tabseg.Api.method_name method_)
+          !records expected
+    | Error _ -> ())
+  in
+  let builtin = ref 0 in
+  List.iter
+    (fun site ->
+      incr builtin;
+      let generated = Sites.generate site in
+      let list_pages, detail_pages =
+        Sites.segmentation_input generated ~page_index:0
+      in
+      let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+      List.iter (fun m -> check site.Sites.name m input) methods)
+    Sites.all;
+  let specs =
+    Corpus_family.sample
+      {
+        Corpus_family.default_params with
+        Corpus_family.sites = 200;
+        seed = 401;
+        max_rows = 600;
+        max_rows_per_page = 10;
+      }
+  in
+  List.iter
+    (fun spec ->
+      let generated = Corpus_family.generate ~max_pages:3 spec in
+      let list_pages, detail_pages =
+        Corpus_family.segmentation_input generated ~page_index:0
+          ~max_siblings:2
+      in
+      let input = { Tabseg.Pipeline.list_pages; detail_pages } in
+      List.iter
+        (fun m -> check spec.Corpus_family.sp_name m input)
+        methods)
+    specs;
+  if not !ok then exit 1;
+  Printf.printf
+    "smoke ok: %d built-in + %d corpus sites byte-identical under both \
+     methods\n"
+    !builtin (List.length specs)
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -2388,6 +2732,8 @@ let () =
       | "daemon-smoke" -> daemon_smoke ()
       | "corpus" -> ignore (corpus_bench ~json ())
       | "corpus-smoke" -> corpus_smoke ()
+      | "stream" -> stream_bench ~json ()
+      | "stream-smoke" -> stream_smoke ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

@@ -262,6 +262,16 @@ let cache_stats_dump service =
            (s.Tabseg_store.Store.file_bytes / 1024)));
     Buffer.contents buffer
 
+(* One streamed record, printed the moment its detail evidence
+   completed — the visible half of `auto --stream`. *)
+let record_line url (record : Tabseg.Segmentation.record) =
+  Printf.sprintf "record %s r%d: %s" url
+    (record.Tabseg.Segmentation.number + 1)
+    (String.concat " | "
+       (List.map
+          (fun (e : Tabseg_extract.Extract.t) -> e.Tabseg_extract.Extract.text)
+          record.Tabseg.Segmentation.extracts))
+
 let auto_cmd =
   let site_arg =
     let doc = "Site to simulate and navigate (see $(b,tabseg sites))." in
@@ -336,6 +346,27 @@ let auto_cmd =
     in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
+  let metrics_json_arg =
+    let doc =
+      "Write the metrics registry as JSON to $(docv) ($(b,-) for \
+       stdout): counters, gauges and every latency histogram — \
+       including the per-stage $(b,stage.*) timings (tokenize, \
+       template, extract, csp, hmm) the instrumentation bus collects."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~doc ~docv:"PATH")
+  in
+  let stream_arg =
+    let doc =
+      "Segment through the streaming engine: print each record the \
+       moment its detail evidence completes, before the site's full \
+       result is ready. Final segmentations are byte-identical to the \
+       batch path."
+    in
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
   let store_arg =
     let doc =
       "Back the caches with a persistent store in this directory \
@@ -392,8 +423,8 @@ let auto_cmd =
       & info [ "deadline" ] ~doc ~docv:"SECONDS")
   in
   let run method_ site_name fault_rate fault_seed permanent retries
-      show_report jobs procs cache_mb show_metrics store_dir spill_threshold
-      site_quota shed deadline =
+      show_report jobs procs cache_mb show_metrics metrics_json stream
+      store_dir spill_threshold site_quota shed deadline =
     match Tabseg_sitegen.Sites.find site_name with
     | exception Not_found ->
       Printf.eprintf "unknown site %S; try `tabseg sites`\n" site_name;
@@ -421,11 +452,13 @@ let auto_cmd =
         }
       in
       let use_service =
-        jobs > 1 || procs > 1 || show_metrics || store_dir <> None
+        jobs > 1 || procs > 1 || show_metrics || metrics_json <> None
+        || stream || store_dir <> None
       in
-      let report, metrics_dump =
+      let report, metrics_dump, metrics_json_payload =
         if not use_service then
-          (Tabseg_navigator.Auto.run_resilient ~retry ~method_ source, None)
+          (Tabseg_navigator.Auto.run_resilient ~retry ~method_ source, None,
+           None)
         else if procs > 1 then begin
           (* Multi-process: the gateway forks the workers and shards
              the request stream across them by site affinity. *)
@@ -458,6 +491,29 @@ let auto_cmd =
           Gateway.install_sigterm gateway;
           Fun.protect ~finally:(fun () -> Gateway.shutdown gateway)
           @@ fun () ->
+          let run_requests requests =
+            if not stream then Gateway.run_batch gateway requests
+            else
+              (* One stream at a time: records print in order, and the
+                 final responses land in request order like run_batch. *)
+              List.map
+                (fun (request : Service.request) ->
+                  let result = ref None in
+                  Gateway.submit_stream gateway
+                    ~on_record:(fun _index record ->
+                      print_endline (record_line request.Service.id record))
+                    ~on_complete:(fun response -> result := Some response)
+                    request;
+                  let rec wait () =
+                    match !result with
+                    | Some response -> response
+                    | None ->
+                      Gateway.pump ~max_wait_s:0.05 gateway;
+                      wait ()
+                  in
+                  wait ())
+                requests
+          in
           let segment_batch batch =
             let requests =
               List.map
@@ -474,7 +530,7 @@ let auto_cmd =
                 | Error error ->
                   Error
                     (Tabseg.Api.Pipeline_failure (Gateway.error_message error)))
-              (Gateway.run_batch gateway requests)
+              (run_requests requests)
           in
           let report =
             Tabseg_navigator.Auto.run_resilient ~retry ~method_
@@ -485,7 +541,12 @@ let auto_cmd =
               Some (Metrics.report (Gateway.metrics gateway))
             else None
           in
-          (report, dump)
+          let json =
+            if metrics_json <> None then
+              Some (Metrics.to_json (Gateway.metrics gateway))
+            else None
+          in
+          (report, dump, json)
         end
         else begin
           let open Tabseg_serve in
@@ -504,6 +565,17 @@ let auto_cmd =
           let service = Service.create ~config () in
           Fun.protect ~finally:(fun () -> Service.shutdown service)
           @@ fun () ->
+          let run_requests requests =
+            if not stream then Service.run_batch service requests
+            else
+              List.map
+                (fun (request : Service.request) ->
+                  Service.segment_stream service
+                    ~on_record:(fun record ->
+                      print_endline (record_line request.Service.id record))
+                    request)
+                requests
+          in
           let segment_batch batch =
             let requests =
               List.map
@@ -518,7 +590,7 @@ let auto_cmd =
                 | Error error ->
                   Error
                     (Tabseg.Api.Pipeline_failure (Service.error_message error)))
-              (Service.run_batch service requests)
+              (run_requests requests)
           in
           let report =
             Tabseg_navigator.Auto.run_resilient ~retry ~method_
@@ -531,7 +603,12 @@ let auto_cmd =
                 ^ cache_stats_dump service)
             else None
           in
-          (report, dump)
+          let json =
+            if metrics_json <> None then
+              Some (Metrics.to_json (Service.metrics service))
+            else None
+          in
+          (report, dump, json)
         end
       in
       Format.printf
@@ -563,9 +640,15 @@ let auto_cmd =
         Format.printf "@.crawl report:@.%a@."
           Tabseg_navigator.Crawler.pp_report
           report.Tabseg_navigator.Auto.crawl;
-      match metrics_dump with
+      (match metrics_dump with
       | Some dump -> Format.printf "@.metrics:@.%s@?" dump
-      | None -> ()
+      | None -> ());
+      match (metrics_json, metrics_json_payload) with
+      | Some "-", Some json -> print_endline json
+      | Some path, Some json ->
+        write_file path json;
+        Printf.printf "wrote metrics to %s\n" path
+      | _, _ -> ()
   in
   Cmd.v
     (Cmd.info "auto"
@@ -575,8 +658,8 @@ let auto_cmd =
     Term.(
       const run $ method_arg $ site_arg $ faults_arg $ fault_seed_arg
       $ permanent_arg $ retries_arg $ report_arg $ jobs_arg $ procs_arg
-      $ cache_mb_arg $ metrics_arg $ store_arg $ spill_arg $ quota_arg
-      $ shed_arg $ deadline_arg)
+      $ cache_mb_arg $ metrics_arg $ metrics_json_arg $ stream_arg
+      $ store_arg $ spill_arg $ quota_arg $ shed_arg $ deadline_arg)
 
 (* ------------------------------- serve ----------------------------- *)
 
@@ -1008,8 +1091,18 @@ let loadgen_cmd =
     let doc = "Corpus sampler seed (with --corpus)." in
     Arg.(value & opt int 1 & info [ "corpus-seed" ] ~doc ~docv:"SEED")
   in
+  let stream_arg =
+    let doc =
+      "Submit streaming requests and report time-to-first-record \
+       percentiles alongside full-reply latency. TTFR is measured from \
+       each request's scheduled arrival, so it is coordinated-omission \
+       free like the full latencies."
+    in
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
   let run method_ address connections rate pipeline duration site_names zipf
-      seed auth_token service_ms retry max_retries verify corpus corpus_seed =
+      seed auth_token service_ms retry max_retries verify corpus corpus_seed
+      stream =
     let sites =
       if corpus > 0 then begin
         if site_names <> [] then begin
@@ -1084,6 +1177,7 @@ let loadgen_cmd =
         retry_quota = retry;
         max_retries;
         expected;
+        stream;
       }
     in
     match Loadgen.run config with
@@ -1111,18 +1205,25 @@ let loadgen_cmd =
         "latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"
         stats.Loadgen.mean_ms stats.Loadgen.p50_ms stats.Loadgen.p95_ms
         stats.Loadgen.p99_ms stats.Loadgen.max_ms;
+      if stream then
+        Printf.printf
+          "records %d  ttfr ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f\n"
+          stats.Loadgen.records stats.Loadgen.ttfr_mean_ms
+          stats.Loadgen.ttfr_p50_ms stats.Loadgen.ttfr_p95_ms
+          stats.Loadgen.ttfr_p99_ms;
       if stats.Loadgen.mismatches > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a running daemon with sustained concurrent load \
              (open- or closed-loop, Zipf site skew, optional \
-             quota-retry and byte-identity verification)")
+             quota-retry, streaming TTFR and byte-identity \
+             verification)")
     Term.(
       const run $ method_arg $ connect_arg $ conns_arg $ rate_arg
       $ pipeline_arg $ duration_arg $ sites_arg $ zipf_arg $ seed_arg
       $ auth_arg $ service_ms_arg $ retry_arg $ max_retries_arg $ verify_arg
-      $ corpus_arg $ corpus_seed_arg)
+      $ corpus_arg $ corpus_seed_arg $ stream_arg)
 
 let () =
   let doc = "automatic segmentation of records in Web tables" in

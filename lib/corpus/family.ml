@@ -374,6 +374,27 @@ let generate ?max_pages spec =
   done;
   { spec; pages = List.rev !pages }
 
+(* Pull-based page generation for streaming consumers: pages are born one
+   at a time, in order, and never retained here — the memory profile is
+   the caller's. Same per-page [Prng.split] discipline as [generate], so
+   the pages pulled are byte-identical to the materialized ones. *)
+let page_source ?max_pages spec =
+  let rand = Prng.create spec.sp_seed in
+  let pools = Data.make_pools rand in
+  let total = page_count spec in
+  let wanted =
+    match max_pages with None -> total | Some k -> max 1 (min k total)
+  in
+  let next = ref 0 in
+  fun () ->
+    if !next >= wanted then None
+    else begin
+      let page_index = !next in
+      incr next;
+      let page_rand = Prng.split rand in
+      Some (generate_page spec page_rand pools page_index)
+    end
+
 let segmentation_input generated ~page_index ~max_siblings =
   let pages = Array.of_list generated.pages in
   let n = Array.length pages in

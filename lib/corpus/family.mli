@@ -98,6 +98,12 @@ val generate : ?max_pages:int -> spec -> generated
     same pages of the full site (page streams are split off the master
     stream in page order). Deterministic from the spec. *)
 
+val page_source : ?max_pages:int -> spec -> unit -> page option
+(** Pull-based [generate]: each call renders and returns the next page, in
+    page order, retaining nothing — the streaming engine's way to consume
+    a 10^5-row site without materializing it. Pages are byte-identical to
+    {!generate}'s. Single pass. *)
+
 val segmentation_input :
   generated -> page_index:int -> max_siblings:int -> string list * string list
 (** [(list_pages, details)] for segmenting the given page: the target list

@@ -172,6 +172,36 @@ let submit t ?fault request =
       if got = seq then Ok reply
       else Error (Protocol_failure "reply out of order"))
 
+let submit_stream t ?(fault = Wire.No_fault) ~on_record request =
+  if t.closed then Error Connection_closed
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    match
+      write_frame t
+        (Protocol.encode (Protocol.Submit_stream { seq; request; fault }))
+    with
+    | Error e -> Error e
+    | Ok () ->
+      (* Record frames arrive strictly before the terminal Reply and in
+         emission order; the callback runs from inside this blocking
+         read loop, so by the time [Ok reply] returns every record has
+         been delivered. *)
+      let rec loop () =
+        match read_message t with
+        | Error e -> Error e
+        | Ok (Protocol.Reply_record { seq = got; index; record })
+          when got = seq ->
+          on_record index record;
+          loop ()
+        | Ok (Protocol.Reply { seq = got; reply }) when got = seq -> Ok reply
+        | Ok (Protocol.Reply_record _ | Protocol.Reply _) ->
+          Error (Protocol_failure "reply out of order")
+        | Ok _ -> Error (Protocol_failure "expected a stream frame")
+      in
+      loop ()
+  end
+
 let submit_all t ?window:win ?(fault = fun _ -> Wire.No_fault) requests =
   let win = max 1 (Option.value win ~default:t.srv_window) in
   let replies = ref [] in

@@ -33,6 +33,16 @@ let default_config =
    fast request overtaking a slow one on another worker), and
    [flush_ready] only ever releases the head — so a pipelined client
    can match replies to requests positionally. *)
+(* Per-stream state on a connection: record frames arriving from the
+   gateway while the stream is pipelined behind an older unanswered
+   submission park in [s_buffer]; they are released — still in emission
+   order — the moment the stream becomes the head of [k_order]. *)
+type stream_state = {
+  s_submitted : float;
+  mutable s_first_sent : bool;  (* TTFR observed once per stream *)
+  s_buffer : (int * Tabseg.Segmentation.record) Queue.t;
+}
+
 type conn = {
   k_chan : unit Conn.t;
   k_opened : float;
@@ -42,6 +52,7 @@ type conn = {
   k_order : int Queue.t;  (* seqs awaiting their in-order reply *)
   k_outstanding : (int, unit) Hashtbl.t;  (* guards against seq reuse *)
   k_ready : (int, Protocol.reply) Hashtbl.t;  (* resolved, not yet head *)
+  k_streams : (int, stream_state) Hashtbl.t;  (* streaming submissions *)
   mutable k_inflight : int;  (* submitted to the gateway, unanswered *)
   mutable k_closing : bool;  (* flush the outbox, then close *)
   mutable k_closed : bool;
@@ -67,6 +78,9 @@ type t = {
   m_drain_refused : Metrics.counter;
   m_proto_errors : Metrics.counter;
   m_orphaned : Metrics.counter;
+  m_stream_requests : Metrics.counter;
+  m_stream_records : Metrics.counter;
+  m_ttfr_s : Metrics.histogram;
   g_open : Metrics.gauge;
 }
 
@@ -142,6 +156,11 @@ let create ?(config = default_config) () =
       m_drain_refused = Metrics.counter registry "daemon.draining_refused";
       m_proto_errors = Metrics.counter registry "daemon.protocol_errors";
       m_orphaned = Metrics.counter registry "daemon.orphaned_replies";
+      m_stream_requests = Metrics.counter registry "daemon.stream.requests";
+      m_stream_records = Metrics.counter registry "daemon.stream.records";
+      m_ttfr_s =
+        Metrics.histogram registry
+          "daemon.stream.time_to_first_record_seconds";
       g_open = Metrics.gauge registry "daemon.connections_open";
     }
   in
@@ -166,6 +185,8 @@ let stats t =
     ("daemon.draining_refused", c "daemon.draining_refused");
     ("daemon.protocol_errors", c "daemon.protocol_errors");
     ("daemon.orphaned_replies", c "daemon.orphaned_replies");
+    ("daemon.stream.requests", c "daemon.stream.requests");
+    ("daemon.stream.records", c "daemon.stream.records");
     ("gateway.requests_total", c "gateway.requests_total");
     ("gateway.requests_ok", c "gateway.requests_ok");
     ("gateway.requests_failed", c "gateway.requests_failed");
@@ -188,7 +209,30 @@ let close_conn t conn =
 
 let send_message conn message = Conn.send conn.k_chan (Protocol.encode message)
 
-(* Release every reply that is now at the head of the order queue. *)
+(* Drain [seq]'s parked record frames to the client — called only when
+   [seq] is the head of the order queue, so the in-order contract
+   holds: a stream's records never overtake an older submission's
+   reply. The daemon-tier TTFR clock stops at the first frame actually
+   released to the socket, not at gateway arrival — head-of-line wait
+   behind a slow pipelined request is part of what the client sees. *)
+let flush_stream_records t conn seq =
+  match Hashtbl.find_opt conn.k_streams seq with
+  | None -> ()
+  | Some stream ->
+    while not (Queue.is_empty stream.s_buffer) do
+      let index, record = Queue.pop stream.s_buffer in
+      send_message conn (Protocol.Reply_record { seq; index; record });
+      Metrics.incr t.m_stream_records;
+      if not stream.s_first_sent then begin
+        stream.s_first_sent <- true;
+        Metrics.observe t.m_ttfr_s (now () -. stream.s_submitted)
+      end
+    done
+
+(* Release every reply that is now at the head of the order queue —
+   each preceded by any record frames its stream still holds — then
+   open the tap for the new head's stream, whose parked records may
+   now flow even though its terminal reply has not resolved yet. *)
 let flush_ready t conn =
   let continue = ref true in
   while !continue do
@@ -198,10 +242,15 @@ let flush_ready t conn =
       Hashtbl.remove conn.k_ready seq;
       Hashtbl.remove conn.k_outstanding seq;
       ignore (Queue.pop conn.k_order);
+      flush_stream_records t conn seq;
+      Hashtbl.remove conn.k_streams seq;
       send_message conn (Protocol.Reply { seq; reply });
       Metrics.incr t.m_replies
     | _ -> continue := false
-  done
+  done;
+  match Queue.peek_opt conn.k_order with
+  | Some seq -> flush_stream_records t conn seq
+  | None -> ()
 
 (* A reply for [seq] exists (gateway completion or instant refusal):
    park it, release whatever became in-order. A closed connection's
@@ -290,13 +339,59 @@ let handle_message t conn message =
             request
         end
       end
+    | `Active, Protocol.Submit_stream { seq; request; fault } ->
+      if Hashtbl.mem conn.k_outstanding seq then protocol_error t conn
+      else begin
+        Metrics.incr t.m_requests;
+        Metrics.incr t.m_stream_requests;
+        Queue.push seq conn.k_order;
+        Hashtbl.replace conn.k_outstanding seq ();
+        if t.draining then begin
+          Metrics.incr t.m_drain_refused;
+          complete t conn seq (refusal_reply request Gateway.Draining)
+        end
+        else if conn.k_inflight >= t.cfg.max_conn_inflight then
+          complete t conn seq
+            (refusal_reply request
+               (Gateway.Gateway_overloaded
+                  {
+                    inflight = conn.k_inflight;
+                    capacity = t.cfg.max_conn_inflight;
+                  }))
+        else begin
+          conn.k_inflight <- conn.k_inflight + 1;
+          let stream =
+            {
+              s_submitted = now ();
+              s_first_sent = false;
+              s_buffer = Queue.create ();
+            }
+          in
+          Hashtbl.replace conn.k_streams seq stream;
+          Gateway.submit_stream t.gateway ~fault
+            ~on_record:(fun index record ->
+              (* Park, then release if this stream is already the
+                 connection's oldest unanswered submission. A closed
+                 connection's frames die with its stream table. *)
+              if not conn.k_closed then begin
+                Queue.push (index, record) stream.s_buffer;
+                if Queue.peek_opt conn.k_order = Some seq then
+                  flush_stream_records t conn seq
+              end)
+            ~on_complete:(fun response ->
+              conn.k_inflight <- conn.k_inflight - 1;
+              complete t conn seq (reply_of_response response))
+            request
+        end
+      end
     | `Active, Protocol.Stats_request ->
       (* Out-of-band: answered immediately, never queued behind
          request replies. *)
       send_message conn (Protocol.Stats (stats t))
     | `Active, Protocol.Goodbye -> conn.k_closing <- true
     | `Active, (Protocol.Hello _ | Protocol.Welcome _ | Protocol.Rejected _
-               | Protocol.Reply _ | Protocol.Stats _) ->
+               | Protocol.Reply _ | Protocol.Reply_record _
+               | Protocol.Stats _) ->
       protocol_error t conn
 
 let read_conn t conn =
@@ -346,6 +441,7 @@ let rec accept_step t =
           k_order = Queue.create ();
           k_outstanding = Hashtbl.create 8;
           k_ready = Hashtbl.create 8;
+          k_streams = Hashtbl.create 4;
           k_inflight = 0;
           k_closing = false;
           k_closed = false;

@@ -109,8 +109,16 @@ type pending = {
   p_deadline : float option;  (* absolute *)
   p_submitted : float;
   p_on_complete : response -> unit;
+  (* Streaming requests carry a per-record callback; [None] marks a
+     plain Request. The wire frame type is chosen off this field. *)
+  p_on_record : (int -> Tabseg.Segmentation.record -> unit) option;
   mutable p_dispatched : float option;  (* when its frame hit the socket *)
   mutable p_redispatched : bool;
+  (* Record frames already relayed to the caller. A stream that has
+     delivered any frame can never be re-dispatched: a replay on a
+     replacement worker would duplicate records the caller already
+     consumed, so at-most-once delivery demands it fail instead. *)
+  mutable p_frames : int;
   mutable p_outcome : response option;
 }
 
@@ -175,8 +183,10 @@ type t = {
   m_shed : Metrics.counter;
   m_quota : Metrics.counter;
   m_ping_timeouts : Metrics.counter;
+  m_stream_total : Metrics.counter;
   m_dispatch_s : Metrics.histogram;
   m_turnaround_s : Metrics.histogram;
+  m_ttfr_s : Metrics.histogram;
 }
 
 let now () = Unix.gettimeofday ()
@@ -289,8 +299,12 @@ let create ?(config = default_config) () =
       m_shed = Metrics.counter registry "gateway.shed";
       m_quota = Metrics.counter registry "gateway.quota_rejected";
       m_ping_timeouts = Metrics.counter registry "gateway.ping_timeouts";
+      m_stream_total = Metrics.counter registry "gateway.stream.requests";
       m_dispatch_s = Metrics.histogram registry "gateway.dispatch_seconds";
       m_turnaround_s = Metrics.histogram registry "gateway.turnaround_seconds";
+      m_ttfr_s =
+        Metrics.histogram registry
+          "gateway.stream.time_to_first_record_seconds";
     }
   in
   Metrics.set (Metrics.gauge registry "gateway.procs")
@@ -545,15 +559,24 @@ let dispatch_pending_to forked index conn =
   Hashtbl.iter
     (fun _ pending ->
       if pending.p_slot = index && pending.p_outcome = None then begin
-        enqueue_frame conn
-          (Wire.encode
-             (Wire.Request
-                {
-                  seq = pending.p_seq;
-                  request = pending.p_request;
-                  fault = pending.p_fault;
-                }))
-          (Some pending.p_seq);
+        let frame =
+          match pending.p_on_record with
+          | None ->
+            Wire.Request
+              {
+                seq = pending.p_seq;
+                request = pending.p_request;
+                fault = pending.p_fault;
+              }
+          | Some _ ->
+            Wire.Stream_request
+              {
+                seq = pending.p_seq;
+                request = pending.p_request;
+                fault = pending.p_fault;
+              }
+        in
+        enqueue_frame conn (Wire.encode frame) (Some pending.p_seq);
         track_dispatch forked index pending.p_seq
       end)
     forked.pending
@@ -588,7 +611,8 @@ let worker_dead t forked slot conn reason =
   Hashtbl.iter
     (fun _ pending ->
       if pending.p_slot = slot.s_index && pending.p_outcome = None then
-        if pending.p_redispatched || not can_restart then
+        if pending.p_redispatched || pending.p_frames > 0 || not can_restart
+        then
           resolve t forked pending
             {
               id = pending.p_request.Service.id;
@@ -634,7 +658,7 @@ let handle_message t forked slot conn = function
     Metrics.set
       (worker_gauge t slot "pool_queue_depth")
       (float_of_int queue_depth)
-  | Wire.Response { seq; response } -> (
+  | Wire.Response { seq; response } | Wire.Stream_done { seq; response } -> (
     untrack_dispatch forked seq;
     match Hashtbl.find_opt forked.pending seq with
     | Some pending when pending.p_outcome = None ->
@@ -643,7 +667,21 @@ let handle_message t forked slot conn = function
       (* Deadline already resolved it, or it belongs to a previous
          batch: late, counted, dropped. *)
       Metrics.incr t.m_late)
-  | Wire.Request _ | Wire.Ping _ | Wire.Shutdown ->
+  | Wire.Record_frame { seq; index; record } -> (
+    (* Relayed to the caller immediately — this is the point of the
+       stream. Safe to call directly: message handling never runs
+       inside an iteration over [pending]. Frames for an already
+       resolved stream (deadline expiry) are late, counted, dropped. *)
+    match Hashtbl.find_opt forked.pending seq with
+    | Some pending when pending.p_outcome = None ->
+      pending.p_frames <- pending.p_frames + 1;
+      if pending.p_frames = 1 then
+        Metrics.observe t.m_ttfr_s (now () -. pending.p_submitted);
+      (match pending.p_on_record with
+      | Some on_record -> on_record index record
+      | None -> ())
+    | Some _ | None -> Metrics.incr t.m_late)
+  | Wire.Request _ | Wire.Stream_request _ | Wire.Ping _ | Wire.Shutdown ->
     (* Workers never send these; ignore rather than kill. *)
     ()
 
@@ -824,7 +862,7 @@ let step ?(max_wait_s = infinity) t forked =
    back from a later [pump]/[run_batch] event-loop turn. This is the
    seam the network daemon drives: it never wants a batch barrier, just
    a stream of completions it can order per client connection. *)
-let submit t ?(fault = Wire.No_fault) ~on_complete
+let submit_common t ?(fault = Wire.No_fault) ?on_record ~on_complete
     (request : Service.request) =
   if t.g_draining || t.shut then on_complete (refusal t request Draining)
   else
@@ -839,7 +877,18 @@ let submit t ?(fault = Wire.No_fault) ~on_complete
         Metrics.incr t.m_total;
         let started = now () in
         let response =
-          of_service_response (Service.segment_one service request)
+          match on_record with
+          | None -> of_service_response (Service.segment_one service request)
+          | Some on_record ->
+            let frames = ref 0 in
+            of_service_response
+              (Service.segment_stream service
+                 ~on_record:(fun record ->
+                   if !frames = 0 then
+                     Metrics.observe t.m_ttfr_s (now () -. started);
+                   on_record !frames record;
+                   incr frames)
+                 request)
         in
         Metrics.observe t.m_turnaround_s (now () -. started);
         count_outcome t response.outcome;
@@ -879,6 +928,8 @@ let submit t ?(fault = Wire.No_fault) ~on_complete
                 p_deadline = Option.map (fun d -> now () +. d) t.cfg.deadline_s;
                 p_submitted = now ();
                 p_on_complete = on_complete;
+                p_on_record = on_record;
+                p_frames = 0;
                 p_dispatched = None;
                 p_redispatched = false;
                 p_outcome = None;
@@ -887,10 +938,14 @@ let submit t ?(fault = Wire.No_fault) ~on_complete
             Hashtbl.replace forked.pending seq pending;
             match forked.slots.(pending.p_slot).s_state with
             | Live conn ->
-              enqueue_frame conn
-                (Wire.encode
-                   (Wire.Request { seq; request; fault = pending.p_fault }))
-                (Some seq);
+              let frame =
+                match on_record with
+                | None ->
+                  Wire.Request { seq; request; fault = pending.p_fault }
+                | Some _ ->
+                  Wire.Stream_request { seq; request; fault = pending.p_fault }
+              in
+              enqueue_frame conn (Wire.encode frame) (Some seq);
               track_dispatch forked pending.p_slot seq
             | Restarting _ -> () (* dispatched when the fork lands *)
             | Failed ->
@@ -901,6 +956,18 @@ let submit t ?(fault = Wire.No_fault) ~on_complete
                   cache_hit = false;
                   latency_s = 0.;
                 })))
+
+let submit t ?fault ~on_complete request =
+  submit_common t ?fault ~on_complete request
+
+(* Streams run the same admission ladder as [submit]; the only
+   differences live downstream: records reach [on_record] as frames
+   arrive (before [on_complete]), and a worker that dies after its
+   first frame fails the stream instead of re-dispatching — replaying
+   would duplicate records the caller has already consumed. *)
+let submit_stream t ?fault ~on_record ~on_complete request =
+  Metrics.incr t.m_stream_total;
+  submit_common t ?fault ~on_record ~on_complete request
 
 let inflight t =
   match t.mode with

@@ -150,6 +150,27 @@ val submit :
     later {!pump}/{!run_batch} turn for admitted work. Callbacks must
     not block; they may call [submit] again. *)
 
+val submit_stream :
+  t ->
+  ?fault:Wire.fault ->
+  on_record:(int -> Tabseg.Segmentation.record -> unit) ->
+  on_complete:(response -> unit) ->
+  Tabseg_serve.Service.request ->
+  unit
+(** Like {!submit}, but the worker streams: [on_record] fires once per
+    emitted record — [(frame index, record)], in emission order, each
+    strictly before [on_complete] — as {!Wire.Record_frame}s arrive,
+    typically while the site's later pages are still being segmented.
+    The final response is byte-identical to what {!submit} would have
+    delivered. Delivery is at-most-once: a worker that dies {e after}
+    its first frame fails the stream with [Worker_lost] instead of
+    re-dispatching (replaying would duplicate records the caller
+    already consumed); a stream with no frames yet re-dispatches like
+    any request. A deadline expiry mid-stream resolves the request
+    [Deadline_exceeded] and drops late frames (counted as
+    [gateway.late_responses]). Time to first record is observed in the
+    [gateway.stream.time_to_first_record_seconds] histogram. *)
+
 val pump : ?max_wait_s:float -> t -> unit
 (** One turn of the master event loop: fire timers, move socket bytes,
     deliver completions. Blocks at most [max_wait_s] (default [0.] —

@@ -3,8 +3,13 @@ module Service = Tabseg_serve.Service
 (* v2: Hello reports the worker's static capacity (jobs, pool queue
    capacity) and Pong carries a live load report (pool inflight and
    queue depth) — the gauges the master's adaptive affinity and
-   load-shedding decisions read. *)
-let protocol_version = 2
+   load-shedding decisions read.
+   v3: streaming — Stream_request asks for typed partial-result frames:
+   one Record_frame per record as its detail evidence completes, then a
+   Stream_done carrying the same response a Request would have produced.
+   Frames of one request are strictly ordered; frames of different
+   requests may interleave (seq disambiguates). *)
+let protocol_version = 3
 let magic = "TSGW"
 let header_size = 16 (* magic + version + crc + length *)
 
@@ -21,6 +26,13 @@ type message =
   | Hello of { pid : int; role : string; jobs : int; queue_capacity : int }
   | Request of { seq : int; request : Service.request; fault : fault }
   | Response of { seq : int; response : Service.response }
+  | Stream_request of { seq : int; request : Service.request; fault : fault }
+  | Record_frame of {
+      seq : int;
+      index : int;  (** 0-based frame index within the stream *)
+      record : Tabseg.Segmentation.record;
+    }
+  | Stream_done of { seq : int; response : Service.response }
   | Ping of int
   | Pong of { token : int; inflight : int; queue_depth : int }
   | Shutdown

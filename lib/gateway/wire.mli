@@ -45,6 +45,24 @@ type message =
       fault : fault;
     }
   | Response of { seq : int; response : Tabseg_serve.Service.response }
+  | Stream_request of {
+      seq : int;
+      request : Tabseg_serve.Service.request;
+      fault : fault;
+    }
+      (** like [Request], but the worker answers with zero or more
+          [Record_frame]s — one per record, as its detail evidence
+          completes — followed by exactly one [Stream_done]. Frames of
+          one stream arrive in emission order; frames of different
+          requests may interleave ([seq] disambiguates). *)
+  | Record_frame of {
+      seq : int;
+      index : int;  (** 0-based frame index within the stream *)
+      record : Tabseg.Segmentation.record;
+    }
+  | Stream_done of { seq : int; response : Tabseg_serve.Service.response }
+      (** terminal frame of a stream: the full response, byte-identical
+          to what [Request] would have returned *)
   | Ping of int
   | Pong of { token : int; inflight : int; queue_depth : int }
       (** echoes the ping's [token] and reports the worker pool's live

@@ -46,6 +46,20 @@ let run ~socket ~config =
       apply_fault fault;
       let response = Service.segment_one service request in
       Wire.write_message socket (Wire.Response { seq; response })
+    | Wire.Stream_request { seq; request; fault } ->
+      apply_fault fault;
+      (* Frames go out as the engine emits them — the master relays them
+         to its caller before this worker has finished the request. *)
+      let index = ref 0 in
+      let response =
+        Service.segment_stream service
+          ~on_record:(fun record ->
+            Wire.write_message socket
+              (Wire.Record_frame { seq; index = !index; record });
+            incr index)
+          request
+      in
+      Wire.write_message socket (Wire.Stream_done { seq; response })
     | Wire.Ping token ->
       (* The Pong doubles as a load report: the master cannot inspect a
          forked worker's pool, so the live depth rides the heartbeat. *)
@@ -58,7 +72,8 @@ let run ~socket ~config =
              queue_depth = pstats.Pool.queue_depth;
            })
     | Wire.Shutdown -> stop := true
-    | Wire.Hello _ | Wire.Response _ | Wire.Pong _ ->
+    | Wire.Hello _ | Wire.Response _ | Wire.Record_frame _
+    | Wire.Stream_done _ | Wire.Pong _ ->
       (* A master never sends these; a peer that does is broken. *)
       Unix._exit 96
   in

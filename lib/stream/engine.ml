@@ -1,0 +1,418 @@
+(** The incremental segmentation engine.
+
+    Pages are fed in crawl order: list pages (segment-flagged ones open a
+    {e unit}) and the detail pages that follow them. The first
+    [head_window] list pages form the {e head} — the template basis every
+    unit shares. A unit's batch-equivalent input is
+
+    {v { list_pages = unit page :: (head minus the unit page);
+  detail_pages = the detail pages that followed it } v}
+
+    and the engine reproduces {!Tabseg.Api.segment_result} on that input
+    {e exactly}: the template is re-induced per unit over the sealed head
+    (induction is order-sensitive, so nothing cheaper is faithful), while
+    the expensive per-detail work — tokenize, index, match against the
+    unit's extracts — happens incrementally as each detail page arrives,
+    after which its tokens are dropped. A unit closes (its segmentation
+    runs and its records are emitted) as soon as its detail run ends: at
+    the next list page, or at [finish]. Units whose pages precede the head
+    seal buffer their raw detail pages until the seal — the only buffering
+    in the engine, bounded by the head window.
+
+    Memory: live tokens are charged to a {!Budget}; the steady state holds
+    the head pages, one unit's page and observation accumulator, and one
+    transient detail page — never the whole site. *)
+
+open Tabseg_token
+open Tabseg_template
+open Tabseg_extract
+module Api = Tabseg.Api
+module Pipeline = Tabseg.Pipeline
+module Segmentation = Tabseg.Segmentation
+module Instrument = Tabseg.Instrument
+
+type config = {
+  head_window : int;  (** list pages used for template induction (k) *)
+  pipeline : Pipeline.config;
+  method_ : Api.method_;
+  csp_config : Tabseg.Csp_segmenter.config option;
+  prob_config : Tabseg.Prob_segmenter.config option;
+  max_live_tokens : int option;  (** hard bound; {!Budget.Exceeded} beyond *)
+}
+
+let default_config =
+  {
+    head_window = 4;
+    pipeline = Pipeline.default_config;
+    method_ = Api.Probabilistic;
+    csp_config = None;
+    prob_config = None;
+    max_live_tokens = None;
+  }
+
+(* Post-seal per-unit state: the front half up to (and excluding) the
+   observation table, plus the incrementally accumulated observations. *)
+type work = {
+  w_page : Token.t array;
+  w_page_charge : int;  (** tokens charged for w_page (0 if owned by head) *)
+  w_table_slot : Slot.t;
+  w_template_size : int;
+  w_notes : Segmentation.note list;
+  w_other_indices : Matching.detail_index list;
+  w_extracts : Extract.t array;
+  w_acc : (int * int) list array;  (** per-extract observations, reversed *)
+}
+
+type unit_state = {
+  u_index : int;
+  u_html : string;
+  u_head_pos : int;  (** position among list pages; in head if < seal size *)
+  mutable u_buffered : string list;  (** pre-seal raw details, reversed *)
+  mutable u_buffered_charge : int;
+  mutable u_count : int;  (** detail pages fed through matching *)
+  mutable u_nonblank : bool;  (** some detail page had visible content *)
+  mutable u_work : work option;
+  mutable u_failed : string option;  (** Invalid_argument carried to close *)
+}
+
+type t = {
+  cfg : config;
+  on_event : Frame.event -> unit;
+  budget : Budget.t;
+  refine : Refine.t;
+  mutable head_rev : Token.t array list;  (** pre-seal, reversed *)
+  mutable head_charge : int;
+  mutable sealed : bool;
+  mutable head_pages : Token.t array list;  (** in order, set at seal *)
+  mutable head_indices : Matching.detail_index list;
+  mutable list_seen : int;
+  mutable pending : unit_state list;  (** pre-seal closed-run units, rev *)
+  mutable current : unit_state option;
+  mutable next_unit : int;
+  mutable records : int;
+  mutable finished : bool;
+}
+
+let create ?(config = default_config) ~on_event () =
+  if config.head_window < 1 then
+    invalid_arg "Stream.Engine.create: head_window must be at least 1";
+  {
+    cfg = config;
+    on_event;
+    budget = Budget.create ?cap:config.max_live_tokens ();
+    refine = Refine.create ();
+    head_rev = [];
+    head_charge = 0;
+    sealed = false;
+    head_pages = [];
+    head_indices = [];
+    list_seen = 0;
+    pending = [];
+    current = None;
+    next_unit = 0;
+    records = 0;
+    finished = false;
+  }
+
+let live_tokens t = Budget.live t.budget
+let live_tokens_hwm t = Budget.high_watermark t.budget
+
+(* The front half of one unit, mirroring Pipeline.prepare/locate_table
+   decision for decision — without the observation table, which is built
+   incrementally as detail pages arrive. *)
+let start_work t (u : unit_state) =
+  try
+    let head_size = List.length t.head_pages in
+    let page, page_charge =
+      if u.u_head_pos < head_size then (List.nth t.head_pages u.u_head_pos, 0)
+      else begin
+        let tokens =
+          Instrument.time ~stage:"pipeline.tokenize" (fun () ->
+              Tokenizer.tokenize u.u_html)
+        in
+        Budget.charge t.budget (Array.length tokens);
+        (tokens, Array.length tokens)
+      end
+    in
+    let others =
+      List.filteri (fun i _ -> i <> u.u_head_pos) t.head_pages
+    in
+    let other_indices =
+      List.filteri (fun i _ -> i <> u.u_head_pos) t.head_indices
+    in
+    let pages = page :: others in
+    let config = t.cfg.pipeline in
+    let located, template_size =
+      if List.length pages < 2 then (None, 0)
+      else begin
+        let template =
+          Instrument.time ~stage:"pipeline.template" (fun () ->
+              Template.induce pages)
+        in
+        let template_size = Template.size template in
+        if template_size < config.Pipeline.min_template_tokens then
+          (None, template_size)
+        else begin
+          let slots = Template.slots template page in
+          let total_words =
+            List.fold_left (fun acc slot -> acc + Slot.word_count slot) 0 slots
+          in
+          match Slot.table_slot slots with
+          | None -> (None, template_size)
+          | Some slot ->
+            let cover =
+              if total_words = 0 then 0.
+              else
+                float_of_int (Slot.word_count slot)
+                /. float_of_int total_words
+            in
+            if cover < config.Pipeline.min_slot_cover then
+              (None, template_size)
+            else (Some slot, template_size)
+        end
+      end
+    in
+    let table_slot, notes =
+      match located with
+      | Some slot -> (slot, [])
+      | None ->
+        ( Slot.whole_page page,
+          [ Segmentation.Template_problem; Segmentation.Entire_page_used ] )
+    in
+    let extracts = Array.of_list (Extract.of_slot table_slot) in
+    u.u_work <-
+      Some
+        {
+          w_page = page;
+          w_page_charge = page_charge;
+          w_table_slot = table_slot;
+          w_template_size = template_size;
+          w_notes = notes;
+          w_other_indices = other_indices;
+          w_extracts = extracts;
+          w_acc = Array.make (Array.length extracts) [];
+        }
+  with Invalid_argument message -> u.u_failed <- Some message
+
+(* One detail page through the unit's matcher; its tokens live only for
+   the duration of this call. *)
+let process_detail t (u : unit_state) html =
+  let page_index = u.u_count in
+  u.u_count <- u.u_count + 1;
+  if String.trim html <> "" then u.u_nonblank <- true;
+  match (u.u_work, u.u_failed) with
+  | Some w, None -> begin
+    try
+      let tokens =
+        Instrument.time ~stage:"pipeline.tokenize" (fun () ->
+            Tokenizer.tokenize html)
+      in
+      Budget.charge t.budget (Array.length tokens);
+      let index = Matching.index_detail tokens in
+      Array.iteri
+        (fun i (extract : Extract.t) ->
+          let occurrences =
+            Matching.occurrences index extract.Extract.words
+          in
+          w.w_acc.(i) <-
+            List.rev_append
+              (List.map (fun pos -> (page_index, pos)) occurrences)
+              w.w_acc.(i))
+        w.w_extracts;
+      Budget.release t.budget (Array.length tokens)
+    with Invalid_argument message -> u.u_failed <- Some message
+  end
+  | _ -> ()
+
+(* Reproduces Observation.build from the accumulated per-detail matches:
+   same entry order, same position order, same uninformative filter. *)
+let finalize_observation (u : unit_state) (w : work) =
+  let num_details = u.u_count in
+  let entries = ref [] and extras = ref [] in
+  Array.iteri
+    (fun i (extract : Extract.t) ->
+      let positions = List.rev w.w_acc.(i) in
+      let pages = List.sort_uniq compare (List.map fst positions) in
+      let on_all_other_lists =
+        w.w_other_indices <> []
+        && List.for_all
+             (fun index -> Matching.contains index extract.Extract.words)
+             w.w_other_indices
+      in
+      let uninformative =
+        pages = []
+        || List.length pages = num_details
+        || on_all_other_lists
+      in
+      if uninformative then extras := extract :: !extras
+      else entries := { Observation.extract; pages; positions } :: !entries)
+    w.w_extracts;
+  {
+    Observation.entries = Array.of_list (List.rev !entries);
+    extras = List.rev !extras;
+    num_details;
+  }
+
+(* Close a unit: validate exactly as Api.segment_result does, run the
+   method's segmenter on the assembled prepared value, emit the records
+   then the outcome. *)
+let close_unit t (u : unit_state) =
+  let blank html = String.trim html = "" in
+  let outcome =
+    if blank u.u_html then Error Api.Blank_list_page
+    else if u.u_count = 0 || not u.u_nonblank then Error Api.All_details_lost
+    else begin
+      match (u.u_failed, u.u_work) with
+      | Some message, _ -> Error (Api.Pipeline_failure message)
+      | None, None -> Error (Api.Pipeline_failure "stream unit never started")
+      | None, Some w -> begin
+        try
+          let observation =
+            Instrument.time ~stage:"pipeline.extract" (fun () ->
+                finalize_observation u w)
+          in
+          let prepared =
+            {
+              Pipeline.page = w.w_page;
+              table_slot = w.w_table_slot;
+              observation;
+              notes = w.w_notes;
+              template_size = w.w_template_size;
+            }
+          in
+          match t.cfg.method_ with
+          | Api.Csp ->
+            let segmentation =
+              Tabseg.Csp_segmenter.segment ?config:t.cfg.csp_config prepared
+            in
+            Ok { Api.segmentation; prepared; diagnostics = None }
+          | Api.Probabilistic ->
+            let segmentation, diagnostics =
+              Tabseg.Prob_segmenter.segment ?config:t.cfg.prob_config
+                prepared
+            in
+            Ok { Api.segmentation; prepared; diagnostics = Some diagnostics }
+        with Invalid_argument message -> Error (Api.Pipeline_failure message)
+      end
+    end
+  in
+  (match u.u_work with
+  | Some w when w.w_page_charge > 0 -> Budget.release t.budget w.w_page_charge
+  | _ -> ());
+  (match outcome with
+  | Ok result ->
+    List.iter
+      (fun record ->
+        t.records <- t.records + 1;
+        t.on_event (Frame.Record { unit_index = u.u_index; record }))
+      result.Api.segmentation.Segmentation.records
+  | Error _ -> ());
+  t.on_event (Frame.Unit_done { unit_index = u.u_index; outcome })
+
+(* Feed the details buffered while the unit waited for the head seal. *)
+let replay_buffered t (u : unit_state) =
+  let buffered = List.rev u.u_buffered in
+  u.u_buffered <- [];
+  Budget.release t.budget u.u_buffered_charge;
+  u.u_buffered_charge <- 0;
+  List.iter (fun html -> process_detail t u html) buffered
+
+(* Seal the head: all pre-seal units can now induce their templates; those
+   whose detail runs already ended close immediately, in unit order. *)
+let seal t =
+  t.sealed <- true;
+  t.head_pages <- List.rev t.head_rev;
+  t.head_rev <- [];
+  t.head_indices <- List.map Matching.index_detail t.head_pages;
+  List.iter
+    (fun u ->
+      start_work t u;
+      replay_buffered t u;
+      close_unit t u)
+    (List.rev t.pending);
+  t.pending <- [];
+  match t.current with
+  | Some u ->
+    start_work t u;
+    replay_buffered t u
+  | None -> ()
+
+(* The arrival of a list page (or finish) ends the open unit's detail
+   run. Sealed: close now, in order. Pre-seal: park until the seal. *)
+let end_detail_run t =
+  match t.current with
+  | None -> ()
+  | Some u ->
+    t.current <- None;
+    if t.sealed then close_unit t u
+    else t.pending <- u :: t.pending
+
+let new_unit t ~pos ~html =
+  let u =
+    {
+      u_index = t.next_unit;
+      u_html = html;
+      u_head_pos = pos;
+      u_buffered = [];
+      u_buffered_charge = 0;
+      u_count = 0;
+      u_nonblank = false;
+      u_work = None;
+      u_failed = None;
+    }
+  in
+  t.next_unit <- t.next_unit + 1;
+  u
+
+let feed_list_page t ?(segment = false) html =
+  if t.finished then invalid_arg "Stream.Engine: stream already finished";
+  end_detail_run t;
+  let pos = t.list_seen in
+  t.list_seen <- pos + 1;
+  if not t.sealed then begin
+    let tokens =
+      Instrument.time ~stage:"pipeline.tokenize" (fun () ->
+          Tokenizer.tokenize html)
+    in
+    Budget.charge t.budget (Array.length tokens);
+    t.head_charge <- t.head_charge + Array.length tokens;
+    t.head_rev <- tokens :: t.head_rev;
+    (match Refine.observe t.refine tokens with
+    | Some progress -> t.on_event (Frame.Template_refined progress)
+    | None -> ());
+    if segment then t.current <- Some (new_unit t ~pos ~html);
+    if t.list_seen = t.cfg.head_window then seal t
+  end
+  else if segment then begin
+    let u = new_unit t ~pos ~html in
+    start_work t u;
+    t.current <- Some u
+  end
+
+let feed_detail_page t html =
+  if t.finished then invalid_arg "Stream.Engine: stream already finished";
+  match t.current with
+  | None -> ()  (* details under a template-only page carry no unit *)
+  | Some u ->
+    if not t.sealed then begin
+      u.u_buffered <- html :: u.u_buffered;
+      let charge = Budget.estimate_tokens html in
+      u.u_buffered_charge <- u.u_buffered_charge + charge;
+      Budget.charge t.budget charge
+    end
+    else process_detail t u html
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    end_detail_run t;
+    if not t.sealed then seal t;
+    Budget.release t.budget t.head_charge;
+    t.head_charge <- 0
+  end;
+  {
+    Frame.units = t.next_unit;
+    records = t.records;
+    head_pages = List.length t.head_pages;
+    live_tokens_hwm = Budget.high_watermark t.budget;
+  }

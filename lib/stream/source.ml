@@ -1,0 +1,59 @@
+(** Lazy page sources for the stream engine.
+
+    A source is a pull-based generator of pages in crawl order, so a
+    caller can stream a site without ever materializing it — the
+    bounded-memory story depends on pages being born one at a time. *)
+
+type page =
+  | List_page of { html : string; segment : bool }
+      (** a list page; [segment] opens a unit whose records are emitted *)
+  | Detail_page of string
+      (** a detail page of the most recent list page *)
+
+type t = unit -> page option
+
+let of_pages pages =
+  let remaining = ref pages in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | page :: rest ->
+      remaining := rest;
+      Some page
+
+(* A batch input as a stream: the page to segment first (the one unit),
+   its detail pages, then the sibling list pages as template support.
+   With head_window = the number of list pages, the unit's derived input
+   is exactly the original batch input. *)
+let of_input (input : Tabseg.Pipeline.input) =
+  match input.Tabseg.Pipeline.list_pages with
+  | [] -> of_pages []
+  | first :: siblings ->
+    of_pages
+      (List_page { html = first; segment = true }
+      :: (List.map (fun html -> Detail_page html)
+            input.Tabseg.Pipeline.detail_pages
+         @ List.map
+             (fun html -> List_page { html; segment = false })
+             siblings))
+
+let of_seq seq =
+  let remaining = ref seq in
+  fun () ->
+    match !remaining () with
+    | Seq.Nil -> None
+    | Seq.Cons (page, rest) ->
+      remaining := rest;
+      Some page
+
+let append a b =
+  let first = ref true in
+  fun () ->
+    if !first then begin
+      match a () with
+      | Some _ as page -> page
+      | None ->
+        first := false;
+        b ()
+    end
+    else b ()

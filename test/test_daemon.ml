@@ -48,6 +48,16 @@ let render_reply (reply : Protocol.reply) =
 let request id =
   { Service.id; site = "daemon-test"; input = Lazy.force small_input }
 
+let sample_record =
+  lazy
+    (match
+       Tabseg.Api.segment_result ~method_:Tabseg.Api.Probabilistic
+         (Lazy.force small_input)
+     with
+    | Ok result ->
+      List.hd result.Tabseg.Api.segmentation.Tabseg.Segmentation.records
+    | Error _ -> failwith "sample segmentation failed")
+
 let temp_sock =
   let counter = ref 0 in
   fun () ->
@@ -114,6 +124,10 @@ let test_message_roundtrip () =
       Protocol.Rejected { reason = "bad auth token" };
       Protocol.Submit
         { seq = 3; request = request "r3"; fault = GWire.Sleep_s 0.5 };
+      Protocol.Submit_stream
+        { seq = 4; request = request "r4"; fault = GWire.No_fault };
+      Protocol.Reply_record
+        { seq = 4; index = 0; record = Lazy.force sample_record };
       Protocol.Stats_request;
       Protocol.Stats [ ("daemon.requests", 12.) ];
       Protocol.Goodbye;
@@ -271,6 +285,44 @@ let test_quota_retry_after_crosses_the_wire () =
   | Ok _ -> Alcotest.fail "second request should exceed the quota"
   | Error e -> Alcotest.fail ("wrong error: " ^ Gw.error_message e)
 
+let test_stream_roundtrip () =
+  (* A Submit_stream delivers every record as a Reply_record before the
+     terminal Reply, indexed 0..n-1 in emission order, and the terminal
+     reply is byte-identical to what a plain Submit returns. The
+     connection stays usable for plain submits afterwards. *)
+  with_daemon (daemon_config ~procs:2 ()) @@ fun handle ->
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let streamed = ref [] in
+  (match
+     Client.submit_stream client
+       ~on_record:(fun index record ->
+         streamed := (index, record) :: !streamed)
+       (request "stream-0")
+   with
+  | Error e -> Alcotest.fail (Client.error_message e)
+  | Ok reply -> (
+    check_string "terminal stream reply byte-identical to a plain submit"
+      (Lazy.force reference) (render_reply reply);
+    match reply.Protocol.outcome with
+    | Error error -> Alcotest.fail ("stream errored: " ^ Gw.error_message error)
+    | Ok result ->
+      let records =
+        result.Tabseg.Api.segmentation.Tabseg.Segmentation.records
+      in
+      let streamed = List.rev !streamed in
+      check_int "every record streamed before the terminal reply"
+        (List.length records) (List.length streamed);
+      List.iteri
+        (fun i (index, record) ->
+          check_int "record frames are indexed in order" i index;
+          check_bool "streamed record equals its batch twin" true
+            (record = List.nth records i))
+        streamed));
+  let reply = submit_exn client (request "after-stream") in
+  check_string "plain submit still works after a stream"
+    (Lazy.force reference) (render_reply reply)
+
 (* ------------------------- failure modes ---------------------------- *)
 
 let test_disconnect_mid_request () =
@@ -406,6 +458,37 @@ let test_loadgen_closed_loop () =
       (stats.Loadgen.p50_ms <= stats.Loadgen.p95_ms
       && stats.Loadgen.p95_ms <= stats.Loadgen.p99_ms)
 
+let test_loadgen_stream_ttfr () =
+  (* Stream mode under pipelined load: records arrive, byte-identity
+     still holds, and the coordinated-omission-free TTFR percentiles
+     are ordered and never later than the full-reply percentiles. *)
+  with_daemon (daemon_config ~procs:2 ()) @@ fun handle ->
+  let config =
+    {
+      Loadgen.default_config with
+      Loadgen.address = handle.Daemon.address;
+      connections = 2;
+      mode = Loadgen.Closed_loop { pipeline = 2 };
+      duration_s = 0.4;
+      sites = [| ("daemon-test", Lazy.force small_input) |];
+      expected = [ ("daemon-test", Lazy.force reference) ];
+      stream = true;
+    }
+  in
+  match Loadgen.run config with
+  | Error why -> Alcotest.fail why
+  | Ok stats ->
+    check_bool "streams carried record frames" true
+      (stats.Loadgen.records > 0);
+    check_int "nothing failed while streaming" 0 stats.Loadgen.failed;
+    check_int "byte-identity holds while streaming" 0
+      stats.Loadgen.mismatches;
+    check_bool "ttfr percentiles are ordered" true
+      (stats.Loadgen.ttfr_p50_ms <= stats.Loadgen.ttfr_p95_ms
+      && stats.Loadgen.ttfr_p95_ms <= stats.Loadgen.ttfr_p99_ms);
+    check_bool "first record is never later than the full reply" true
+      (stats.Loadgen.ttfr_p50_ms <= stats.Loadgen.p50_ms)
+
 let test_loadgen_quota_retry_recovers () =
   with_daemon (daemon_config ~site_quota:20.0 ()) @@ fun handle ->
   let run retry =
@@ -461,6 +544,8 @@ let () =
             test_conn_inflight_limit;
           Alcotest.test_case "quota retry-after crosses the wire" `Slow
             test_quota_retry_after_crosses_the_wire;
+          Alcotest.test_case "stream roundtrip: records before the reply"
+            `Slow test_stream_roundtrip;
         ] );
       ( "failure",
         [
@@ -475,6 +560,8 @@ let () =
         [
           Alcotest.test_case "closed loop, byte-identical" `Slow
             test_loadgen_closed_loop;
+          Alcotest.test_case "stream mode: records and TTFR percentiles"
+            `Slow test_loadgen_stream_ttfr;
           Alcotest.test_case "quota retry recovers goodput" `Slow
             test_loadgen_quota_retry_recovers;
         ] );

@@ -524,6 +524,71 @@ let test_ping_timeout_restarts_wedged_worker () =
   check_bool "the wedged worker went through the restart path" true
     (counter_value gateway "gateway.worker_restarts" >= 1)
 
+(* ----------------------------- streaming ---------------------------- *)
+
+let stream_one gateway (request : Service.request) =
+  (* One streaming submission pumped to completion; returns the final
+     response plus the streamed records in arrival order. *)
+  let records = ref [] in
+  let result = ref None in
+  Gateway.submit_stream gateway
+    ~on_record:(fun index record -> records := (index, record) :: !records)
+    ~on_complete:(fun response -> result := Some response)
+    request;
+  let rec wait () =
+    match !result with
+    | Some response -> response
+    | None ->
+      Gateway.pump ~max_wait_s:0.05 gateway;
+      wait ()
+  in
+  let response = wait () in
+  (response, List.rev !records)
+
+let check_stream_against expected (response, streamed) =
+  check_string "final stream response byte-identical" expected
+    (render_response response);
+  match response.Gateway.outcome with
+  | Error error -> Alcotest.fail ("stream errored: " ^ Gateway.error_message error)
+  | Ok result ->
+    let batch_records = result.Tabseg.Api.segmentation.Tabseg.Segmentation.records in
+    check_int "streamed every record exactly once"
+      (List.length batch_records) (List.length streamed);
+    List.iteri
+      (fun i (index, record) ->
+        check_int "frame indexes are 0..n-1 in order" i index;
+        check_bool "streamed record equals its batch twin" true
+          (record = List.nth batch_records i))
+      streamed
+
+let test_stream_matches_batch_forked () =
+  (* Every record a procs=2 stream emits must be the batch record, in
+     emission order, with the terminal response byte-identical to the
+     sequential reference — streaming is a delivery schedule, not a
+     different computation. *)
+  let requests = requests_of [ "AmazonBooks"; "AlleghenyCounty" ] in
+  let expected = sequential_reference requests in
+  with_gateway { Gateway.default_config with Gateway.procs = 2 }
+  @@ fun gateway ->
+  List.iteri
+    (fun i request ->
+      check_stream_against (List.nth expected i) (stream_one gateway request))
+    requests;
+  check_bool "stream submissions counted" true
+    (counter_value gateway "gateway.stream.requests" >= List.length requests)
+
+let test_stream_matches_batch_inline () =
+  (* procs=1 takes the inline Service.segment_stream path — same
+     contract, no fork. *)
+  let requests = requests_of [ "BNBooks" ] in
+  let expected = sequential_reference requests in
+  with_gateway { Gateway.default_config with Gateway.procs = 1 }
+  @@ fun gateway ->
+  List.iteri
+    (fun i request ->
+      check_stream_against (List.nth expected i) (stream_one gateway request))
+    requests
+
 (* ----------------------------- draining ----------------------------- *)
 
 let test_sigterm_drains () =
@@ -610,6 +675,13 @@ let () =
             `Slow test_shed_vs_queue_under_impossible_deadline;
           Alcotest.test_case "ping timeout restarts a wedged worker" `Slow
             test_ping_timeout_restarts_wedged_worker;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "forked stream: records = batch, in order"
+            `Slow test_stream_matches_batch_forked;
+          Alcotest.test_case "inline stream: records = batch, in order"
+            `Quick test_stream_matches_batch_inline;
         ] );
       (* Last on purpose: the killer Domain.spawn below must come after
          every fork in this process (fork-after-domain hazard). *)
