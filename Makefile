@@ -21,14 +21,22 @@
 # determinism contract), and the stream smoke (every built-in site and
 # a 200-site corpus sample must stream byte-identically to the batch
 # segmentation under both methods).
-# `lint` runs tabseg_lint (rules TS001-TS007: fork-after-domain,
-# raw-marshal, bare-mutex, blocking-io-select, print-in-lib,
-# global-mutable-state, allow discipline) over lib/ bin/ bench/ and
-# fails on any unsuppressed finding.
+# `lint` runs tabseg_lint over lib/ bin/ bench/ and fails on any
+# unsuppressed finding. Two passes share one rule catalog and one
+# [@tabseg.allow] suppression syntax: the syntactic rules (TS001-TS007:
+# fork-after-domain, raw-marshal, bare-mutex, blocking-io-select,
+# print-in-lib, global-mutable-state, allow discipline) and the
+# interprocedural taint/resource-flow rules (TS008-TS012: network
+# bytes reaching Marshal outside the blessed codecs, untrusted lengths
+# reaching allocation without a max_* bound check, untrusted strings
+# in format/path sinks, fd leak on an exception edge, double close).
+# `tabseg_lint --json` emits the same findings as a stable JSON schema
+# for CI annotation; the lint-smoke bench target enforces the <10s
+# full-repo runtime budget on the dataflow walk. See docs/ANALYZE.md.
 
 .PHONY: check build lint test smoke bench bench-throughput bench-store \
 	bench-gateway bench-overload bench-daemon bench-corpus bench-stream \
-	clean
+	bench-lint clean
 
 check: build lint test smoke
 
@@ -50,6 +58,7 @@ smoke:
 	dune exec bench/main.exe -- daemon-smoke
 	dune exec bench/main.exe -- corpus-smoke
 	dune exec bench/main.exe -- stream-smoke
+	dune exec bench/main.exe -- lint-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -107,6 +116,13 @@ bench-daemon:
 # for the same multi-domain reason as bench-throughput.
 bench-corpus:
 	OCAMLRUNPARAM=s=8M dune exec bench/main.exe -- corpus --json
+
+# Lint runtime guard: both analyzer passes (syntactic TS001-TS007 and
+# interprocedural dataflow TS008-TS012) over the full repo, failing on
+# any unsuppressed finding or if the walk exceeds the 10s budget →
+# BENCH_lint.json with per-pass timings.
+bench-lint:
+	dune exec bench/main.exe -- lint-smoke --json
 
 # Streaming benchmark: a cold 10^5-row seeded corpus site crawled
 # lazily through the stream engine vs the batch path (which must crawl

@@ -2682,6 +2682,82 @@ let stream_smoke () =
     !builtin (List.length specs)
 
 (* ------------------------------------------------------------------ *)
+(* Lint runtime guard                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The interprocedural dataflow pass (TS008-TS012) runs a summary
+   fixpoint over every compilation unit; an accidental widening there
+   could turn `make check` from sub-second to minutes without any test
+   noticing. This guard runs both analyzer passes over the full repo
+   (lib/ bin/ bench/, same roots as `make lint`), fails on any
+   unsuppressed finding, and enforces a hard wall-clock budget. *)
+let lint_budget_s = 10.0
+
+let lint_smoke ~json () =
+  section "Lint smoke: TS001-TS012 over the full repo, runtime budget";
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        ok := false;
+        Printf.printf "SMOKE FAILURE: %s\n" message)
+      fmt
+  in
+  let module Lint = Tabseg_analyze.Lint in
+  let module Flow = Tabseg_analyze.Flow in
+  let module Taint = Tabseg_analyze.Taint in
+  let rec ml_files_under path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort compare
+      |> List.concat_map (fun entry ->
+             if
+               String.length entry > 0 && (entry.[0] = '.' || entry.[0] = '_')
+             then []
+             else ml_files_under (Filename.concat path entry))
+    else if Filename.check_suffix path ".ml" then [ path ]
+    else []
+  in
+  let roots = List.filter Sys.file_exists [ "lib"; "bin"; "bench" ] in
+  if roots = [] then fail "no source roots found (run from the repo root)";
+  let files = List.concat_map ml_files_under roots in
+  let started = Unix.gettimeofday () in
+  let syntactic = Lint.lint_files files in
+  let syntactic_s = Unix.gettimeofday () -. started in
+  let dataflow_started = Unix.gettimeofday () in
+  let dataflow = Taint.analyze (List.map Flow.scan_file files) in
+  let dataflow_s = Unix.gettimeofday () -. dataflow_started in
+  let elapsed = Unix.gettimeofday () -. started in
+  let findings = syntactic @ dataflow in
+  List.iter (fun f -> Printf.printf "%s\n" (Lint.render f)) findings;
+  if findings <> [] then
+    fail "%d unsuppressed finding(s) over %d files" (List.length findings)
+      (List.length files);
+  if elapsed > lint_budget_s then
+    fail "full-repo lint took %.2fs, budget is %.0fs" elapsed lint_budget_s;
+  if json then begin
+    let path = "BENCH_lint.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"files\": %d,\n\
+      \  \"findings\": %d,\n\
+      \  \"syntactic_s\": %.4f,\n\
+      \  \"dataflow_s\": %.4f,\n\
+      \  \"total_s\": %.4f,\n\
+      \  \"budget_s\": %.1f\n\
+       }\n"
+      (List.length files) (List.length findings) syntactic_s dataflow_s
+      elapsed lint_budget_s;
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  end;
+  if not !ok then exit 1;
+  Printf.printf
+    "smoke ok: %d files clean (TS001-TS012) in %.2fs (syntactic %.2fs, \
+     dataflow %.2fs; budget %.0fs)\n"
+    (List.length files) elapsed syntactic_s dataflow_s lint_budget_s
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2734,6 +2810,7 @@ let () =
       | "corpus-smoke" -> corpus_smoke ()
       | "stream" -> stream_bench ~json ()
       | "stream-smoke" -> stream_smoke ()
+      | "lint-smoke" -> lint_smoke ~json ()
       | "wrapper" -> wrapper_bootstrap ()
       | "baseline" -> baseline ()
       | "timing" -> timing ()

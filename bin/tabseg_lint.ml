@@ -3,11 +3,20 @@
    Walks every .ml under the given roots (default: lib bin bench),
    parses each with compiler-libs, and reports violations of the
    project invariants as file:line findings with stable rule ids.
-   Exits 1 when any unsuppressed finding remains, so `make lint` (and
-   CI) fail closed. See `tabseg_lint --list-rules` or the README
-   section "Keeping the invariants honest". *)
+   Two passes share one catalog and one suppression syntax: the
+   syntactic rules (TS001-TS007, Lint) and the interprocedural
+   taint/resource-flow rules (TS008-TS012, Taint). Exits 1 when any
+   unsuppressed finding remains, so `make lint` (and CI) fail closed.
+   See `tabseg_lint --list-rules` or the README section "Keeping the
+   invariants honest".
+
+   --json emits the findings as a JSON array with a stable schema
+   (id/slug/file/line/col/message/chain) for CI artifacts and
+   downstream tooling; the exit code contract is unchanged. *)
 
 module Lint = Tabseg_analyze.Lint
+module Flow = Tabseg_analyze.Flow
+module Taint = Tabseg_analyze.Taint
 
 let default_roots = [ "lib"; "bin"; "bench" ]
 
@@ -33,10 +42,46 @@ let list_rules () =
      (or [@@tabseg.allow ...] on a binding, [@@@tabseg.allow ...] for a \
      whole file)."
 
+(* Minimal JSON string escaping: the only metacharacters our messages
+   can contain are quotes, backslashes and control chars. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_finding (f : Lint.finding) =
+  Printf.sprintf
+    "  {\"id\": \"%s\", \"slug\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+     \"col\": %d, \"message\": \"%s\", \"chain\": [%s]}"
+    (Lint.rule_id f.rule)
+    (json_escape (Lint.rule_slug f.rule))
+    (json_escape f.file) f.line f.col (json_escape f.message)
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) f.chain))
+
+let print_json files findings =
+  print_endline "{";
+  Printf.printf "\"files\": %d,\n" (List.length files);
+  Printf.printf "\"findings\": [\n%s\n]\n"
+    (String.concat ",\n" (List.map json_of_finding findings));
+  print_endline "}"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--list-rules" args then list_rules ()
   else begin
+    let json = List.mem "--json" args in
+    let args = List.filter (fun a -> a <> "--json") args in
     let roots = match args with [] -> default_roots | roots -> roots in
     let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
     if missing <> [] then begin
@@ -45,16 +90,21 @@ let () =
       exit 2
     end;
     let files = List.concat_map ml_files_under roots in
-    let findings = Lint.lint_files files in
-    List.iter (fun f -> print_endline (Lint.render f)) findings;
-    match findings with
-    | [] ->
-      Printf.printf "tabseg_lint: %d files clean (rules TS001-TS007)\n"
-        (List.length files)
-    | _ ->
-      Printf.printf
-        "tabseg_lint: %d finding(s) in %d files; suppress only with a \
-         justified [@tabseg.allow], see --list-rules\n"
-        (List.length findings) (List.length files);
-      exit 1
+    let syntactic = Lint.lint_files files in
+    let dataflow = Taint.analyze (List.map Flow.scan_file files) in
+    let findings = syntactic @ dataflow in
+    if json then print_json files findings
+    else begin
+      List.iter (fun f -> print_endline (Lint.render f)) findings;
+      match findings with
+      | [] ->
+        Printf.printf "tabseg_lint: %d files clean (rules TS001-TS012)\n"
+          (List.length files)
+      | _ ->
+        Printf.printf
+          "tabseg_lint: %d finding(s) in %d files; suppress only with a \
+           justified [@tabseg.allow], see --list-rules\n"
+          (List.length findings) (List.length files)
+    end;
+    if findings <> [] then exit 1
   end

@@ -1,0 +1,296 @@
+(* Per-module call/def-use graph over compiler-libs parsetrees.
+
+   The interprocedural pass in {!Taint} needs three things the local
+   linter in {!Lint} never built: (1) every top-level function of every
+   compilation unit, with its parameter list, so call sites can be
+   mapped to parameter slots; (2) module-alias and [open] tracking so
+   [P.decode_payload] resolves to the unit that defines it; (3) the
+   same [@tabseg.allow] span collection as {!Lint}, so the dataflow
+   rules honour the one suppression contract. This module builds that
+   graph; {!Taint} runs the lattices over it. *)
+
+type allow = {
+  al_rule : Lint.rule;
+  al_from : int;
+  al_to : int;  (* inclusive line span the allow covers *)
+}
+
+type func = {
+  fn_name : string;  (* possibly "Sub.name" for nested-module bindings *)
+  fn_expr : Parsetree.expression;  (* whole rhs, Pexp_fun chain included *)
+  fn_loc : Location.t;
+}
+
+type unit_t = {
+  f_path : string;
+  f_dir : string;
+  f_module : string;  (* capitalized basename, e.g. "Wire" *)
+  f_funcs : (string, func) Hashtbl.t;
+  f_aliases : (string, string list) Hashtbl.t;
+      (* module P = Tabseg_daemon.Protocol *)
+  f_opens : string list list;  (* structure-level [open M] prefixes *)
+  f_allows : allow list;
+  f_structure : Parsetree.structure;  (* [] when the file fails to parse *)
+}
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* Positional/labelled parameter slots of a function expression, in
+   order. The traversal that binds arguments must walk the same chain;
+   this is only the shape used for call-site argument mapping. *)
+let rec param_labels (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (label, _, _, body) -> label :: param_labels body
+  | Pexp_newtype (_, body) -> param_labels body
+  | Pexp_function _ -> [ Asttypes.Nolabel ]  (* one scrutinized argument *)
+  | Pexp_constraint (e, _) -> param_labels e
+  | _ -> []
+
+(* Map application arguments onto parameter slots: labelled arguments
+   match by name, positional arguments fill [Nolabel] slots in order.
+   Returns for each parameter index the matching argument expression,
+   if supplied. *)
+let match_args (params : Asttypes.arg_label list)
+    (args : (Asttypes.arg_label * Parsetree.expression) list) :
+    Parsetree.expression option array =
+  let n = List.length params in
+  let slot = Array.make n None in
+  let label_name = function
+    | Asttypes.Nolabel -> None
+    | Asttypes.Labelled l | Asttypes.Optional l -> Some l
+  in
+  let params = Array.of_list params in
+  let next_pos = ref 0 in
+  List.iter
+    (fun (alab, aexp) ->
+      match label_name alab with
+      | Some l ->
+        let found = ref false in
+        Array.iteri
+          (fun i p ->
+            if (not !found) && label_name p = Some l && slot.(i) = None
+            then begin
+              slot.(i) <- Some aexp;
+              found := true
+            end)
+          params
+      | None ->
+        (* advance to the next unfilled positional slot *)
+        let rec place i =
+          if i >= n then ()
+          else if params.(i) = Asttypes.Nolabel && slot.(i) = None then begin
+            slot.(i) <- Some aexp;
+            next_pos := i + 1
+          end
+          else place (i + 1)
+        in
+        place !next_pos)
+    args;
+  slot
+
+(* ------------------------- allow collection ------------------------- *)
+
+let collect_allows (structure : Parsetree.structure) : allow list =
+  let allows = ref [] in
+  let span_of_host (loc : Location.t) = loc.loc_end.pos_lnum in
+  let host_allows loc (attrs : Parsetree.attributes) ~to_line =
+    List.iter
+      (fun (attr : Parsetree.attribute) ->
+        if attr.attr_name.txt = "tabseg.allow" then
+          match Lint.parse_allow attr with
+          | `Allow (slug, Some why) when String.trim why <> "" -> (
+            match Lint.rule_of_slug slug with
+            | Some rule ->
+              allows :=
+                { al_rule = rule; al_from = line_of loc; al_to = to_line loc }
+                :: !allows
+            | None -> ())
+          | `Allow _ | `Malformed -> ())
+      attrs
+  in
+  let open Ast_iterator in
+  let iterator =
+    {
+      default_iterator with
+      expr =
+        (fun iter e ->
+          host_allows e.pexp_loc e.pexp_attributes ~to_line:span_of_host;
+          default_iterator.expr iter e);
+      value_binding =
+        (fun iter vb ->
+          host_allows vb.pvb_loc vb.pvb_attributes ~to_line:span_of_host;
+          default_iterator.value_binding iter vb);
+      module_binding =
+        (fun iter mb ->
+          host_allows mb.pmb_loc mb.pmb_attributes ~to_line:span_of_host;
+          default_iterator.module_binding iter mb);
+      structure_item =
+        (fun iter item ->
+          (match item.pstr_desc with
+          | Pstr_attribute attr ->
+            host_allows item.pstr_loc [ attr ] ~to_line:(fun _ -> max_int)
+          | Pstr_eval (_, attrs) ->
+            host_allows item.pstr_loc attrs ~to_line:span_of_host
+          | _ -> ());
+          default_iterator.structure_item iter item);
+    }
+  in
+  iterator.structure iterator structure;
+  !allows
+
+let suppressed unit rule line =
+  List.exists
+    (fun a -> a.al_rule = rule && a.al_from <= line && line <= a.al_to)
+    unit.f_allows
+
+(* ----------------------------- scanning ----------------------------- *)
+
+let rec collect_funcs ~prefix funcs aliases opens
+    (items : Parsetree.structure) =
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } ->
+              let name = prefix ^ txt in
+              Hashtbl.replace funcs name
+                { fn_name = name; fn_expr = vb.pvb_expr; fn_loc = vb.pvb_loc }
+            | _ -> ())
+          bindings
+      | Pstr_module { pmb_name = { txt = Some m; _ }; pmb_expr; _ } -> (
+        let rec unwrap (me : Parsetree.module_expr) =
+          match me.pmod_desc with
+          | Pmod_constraint (me, _) -> unwrap me
+          | d -> d
+        in
+        match unwrap pmb_expr with
+        | Pmod_structure inner ->
+          collect_funcs ~prefix:(prefix ^ m ^ ".") funcs aliases opens inner
+        | Pmod_ident { txt; _ } when prefix = "" ->
+          Hashtbl.replace aliases m (Longident.flatten txt)
+        | _ -> ())
+      | Pstr_open
+          { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+        when prefix = "" ->
+        opens := Longident.flatten txt :: !opens
+      | _ -> ())
+    items
+
+let scan ~path source =
+  let path = normalize path in
+  let structure =
+    let lexbuf = Lexing.from_string source in
+    Location.init lexbuf path;
+    match Parse.implementation lexbuf with
+    | s -> s
+    | exception _ -> []  (* Lint already reports TS000 for this unit *)
+  in
+  let funcs = Hashtbl.create 64 in
+  let aliases = Hashtbl.create 8 in
+  let opens = ref [] in
+  collect_funcs ~prefix:"" funcs aliases opens structure;
+  {
+    f_path = path;
+    f_dir = Filename.dirname path;
+    f_module =
+      String.capitalize_ascii
+        (Filename.remove_extension (Filename.basename path));
+    f_funcs = funcs;
+    f_aliases = aliases;
+    f_opens = List.rev !opens;
+    f_allows = collect_allows structure;
+    f_structure = structure;
+  }
+
+let scan_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let source = really_input_string ic (in_channel_length ic) in
+      scan ~path source)
+
+(* ---------------------------- resolution ---------------------------- *)
+
+(* lib/<x> <-> Tabseg_<x> (lib/core is plain Tabseg), mirroring the dune
+   library naming convention the repo uses. *)
+let libdir_of_prefix prefix =
+  if prefix = "Tabseg" then Some "core"
+  else if String.starts_with ~prefix:"Tabseg_" prefix then
+    Some
+      (String.lowercase_ascii (String.sub prefix 7 (String.length prefix - 7)))
+  else None
+
+let find_unit units ~(from : unit_t) mods =
+  match mods with
+  | [] -> Some (from, [])
+  | first :: rest -> (
+    match (libdir_of_prefix first, rest) with
+    | Some libdir, m :: inner ->
+      Option.map
+        (fun u -> (u, inner))
+        (List.find_opt
+           (fun u -> u.f_module = m && Filename.basename u.f_dir = libdir)
+           units)
+    | Some _, [] -> None
+    | None, inner -> (
+      match
+        List.find_opt
+          (fun u -> u.f_module = first && u.f_dir = from.f_dir)
+          units
+      with
+      | Some u -> Some (u, inner)
+      | None -> (
+        match List.filter (fun u -> u.f_module = first) units with
+        | [ unique ] -> Some (unique, inner)
+        | _ -> None)))
+
+(* Resolve a dotted value path from [from] to the defining unit and
+   function: expands local module aliases, then tries (a) a local
+   binding (including nested-module "Sub.name" keys), (b) the module
+   path as a sibling / Tabseg_<lib> unit, (c) structure-level opens. *)
+let resolve_value units ~(from : unit_t) parts =
+  match List.rev parts with
+  | [] -> None
+  | name :: rev_mods -> (
+    let mods = List.rev rev_mods in
+    let mods =
+      match mods with
+      | first :: rest -> (
+        match Hashtbl.find_opt from.f_aliases first with
+        | Some target -> target @ rest
+        | None -> mods)
+      | [] -> []
+    in
+    let lookup (u : unit_t) inner =
+      let key = String.concat "." (inner @ [ name ]) in
+      Option.map (fun f -> (u, f)) (Hashtbl.find_opt u.f_funcs key)
+    in
+    match mods with
+    | [] -> (
+      match lookup from [] with
+      | Some _ as hit -> hit
+      | None ->
+        List.find_map
+          (fun open_mods ->
+            match find_unit units ~from open_mods with
+            | Some (u, inner) -> lookup u inner
+            | None -> None)
+          from.f_opens)
+    | _ -> (
+      (* a local nested module shadows a sibling unit of the same name *)
+      match lookup from mods with
+      | Some _ as hit -> hit
+      | None -> (
+        match find_unit units ~from mods with
+        | Some (u, inner) -> lookup u inner
+        | None -> None)))

@@ -1,0 +1,62 @@
+(** Per-module call/def-use graph over compiler-libs parsetrees.
+
+    Builds the interprocedural substrate for {!Taint}: top-level (and
+    nested-module) functions per compilation unit, module aliases and
+    structure-level opens for cross-unit resolution under the
+    lib/<x> <-> [Tabseg_<x>] naming convention, and the
+    [[@tabseg.allow]] spans shared with {!Lint}. *)
+
+type allow = {
+  al_rule : Lint.rule;
+  al_from : int;
+  al_to : int;  (** inclusive line span the allow covers *)
+}
+
+type func = {
+  fn_name : string;  (** possibly ["Sub.name"] for nested-module bindings *)
+  fn_expr : Parsetree.expression;
+      (** whole binding rhs, [Pexp_fun] chain included *)
+  fn_loc : Location.t;
+}
+
+type unit_t = {
+  f_path : string;
+  f_dir : string;
+  f_module : string;
+  f_funcs : (string, func) Hashtbl.t;
+  f_aliases : (string, string list) Hashtbl.t;
+  f_opens : string list list;
+  f_allows : allow list;
+  f_structure : Parsetree.structure;  (** [[]] when the file fails to parse *)
+}
+
+val line_of : Location.t -> int
+val col_of : Location.t -> int
+val normalize : string -> string
+
+val param_labels : Parsetree.expression -> Asttypes.arg_label list
+(** Parameter slots of a function expression, in order; a trailing
+    [function] counts as one positional slot. *)
+
+val match_args :
+  Asttypes.arg_label list ->
+  (Asttypes.arg_label * Parsetree.expression) list ->
+  Parsetree.expression option array
+(** Map application arguments onto parameter slots: labelled arguments
+    by name, positional arguments in order. *)
+
+val suppressed : unit_t -> Lint.rule -> int -> bool
+(** Is [rule] allowed (suppressed) at [line] in this unit? *)
+
+val scan : path:string -> string -> unit_t
+(** Parse one unit from source text; parse failures yield an empty
+    structure (the {!Lint} pass owns TS000 reporting). *)
+
+val scan_file : string -> unit_t
+(** {!scan} on a file's contents. *)
+
+val resolve_value :
+  unit_t list -> from:unit_t -> string list -> (unit_t * func) option
+(** Resolve a dotted value path (["Conn"; "read_step"]) from a unit to
+    the defining unit and function, expanding local module aliases,
+    sibling units, [Tabseg_<lib>] prefixes and structure-level opens. *)

@@ -24,6 +24,11 @@ type rule =
   | Print_in_lib
   | Global_mutable_state
   | Allow_needs_justification
+  | Tainted_marshal
+  | Unbounded_alloc
+  | Tainted_sink
+  | Fd_leak
+  | Double_close
 
 let rule_id = function
   | Parse_error -> "TS000"
@@ -34,6 +39,11 @@ let rule_id = function
   | Print_in_lib -> "TS005"
   | Global_mutable_state -> "TS006"
   | Allow_needs_justification -> "TS007"
+  | Tainted_marshal -> "TS008"
+  | Unbounded_alloc -> "TS009"
+  | Tainted_sink -> "TS010"
+  | Fd_leak -> "TS011"
+  | Double_close -> "TS012"
 
 let rule_slug = function
   | Parse_error -> "parse-error"
@@ -44,9 +54,16 @@ let rule_slug = function
   | Print_in_lib -> "print-in-lib"
   | Global_mutable_state -> "global-mutable-state"
   | Allow_needs_justification -> "allow-needs-justification"
+  | Tainted_marshal -> "taint-marshal"
+  | Unbounded_alloc -> "unbounded-alloc"
+  | Tainted_sink -> "tainted-string-sink"
+  | Fd_leak -> "fd-leak"
+  | Double_close -> "double-close"
 
 (* The rules an [@tabseg.allow] may name. Parse errors and malformed
-   allows are not suppressible. *)
+   allows are not suppressible. TS008-TS012 are checked by the
+   interprocedural pass in {!Taint}, but their slugs resolve here so
+   the allow-discipline rule (TS007) accepts them. *)
 let suppressible =
   [
     Fork_after_domain;
@@ -55,6 +72,11 @@ let suppressible =
     Blocking_io_select;
     Print_in_lib;
     Global_mutable_state;
+    Tainted_marshal;
+    Unbounded_alloc;
+    Tainted_sink;
+    Fd_leak;
+    Double_close;
   ]
 
 let rule_of_slug slug =
@@ -85,6 +107,25 @@ let describe_rule = function
   | Allow_needs_justification ->
     "every [@tabseg.allow] names a known rule and carries a non-empty \
      one-line justification"
+  | Tainted_marshal ->
+    "no Marshal.from_bytes/from_string on a value that (transitively) \
+     originates at a network source, outside the blessed codec modules \
+     — hostile bytes reaching Marshal can crash or own the runtime"
+  | Unbounded_alloc ->
+    "no Bytes.create/String.make/Buffer.add_sub* sized by an untrusted \
+     integer without a dominating bound check against a declared max_* \
+     constant — one hostile length header must not demand gigabytes"
+  | Tainted_sink ->
+    "no untrusted string in a Printf/Format format position or a \
+     Sys/Unix path argument — network bytes must not name files or \
+     drive formatting"
+  | Fd_leak ->
+    "every Unix.socket/openfile/accept/pipe/socketpair fd reaches \
+     Unix.close on all paths, including exception edges (Fun.protect \
+     or an exception handler that closes)"
+  | Double_close ->
+    "no fd released twice on one path — a double Unix.close can close \
+     an unrelated fd opened in between"
 
 type finding = {
   rule : rule;
@@ -92,11 +133,19 @@ type finding = {
   line : int;
   col : int;
   message : string;
+  chain : string list;
+      (* source -> sink provenance steps for the dataflow rules
+         (TS008-TS012); empty for the syntactic rules. *)
 }
 
 let render f =
-  Printf.sprintf "%s:%d:%d: %s %s: %s" f.file f.line f.col (rule_id f.rule)
-    (rule_slug f.rule) f.message
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | steps -> Printf.sprintf " [flow: %s]" (String.concat " -> " steps)
+  in
+  Printf.sprintf "%s:%d:%d: %s %s: %s%s" f.file f.line f.col (rule_id f.rule)
+    (rule_slug f.rule) f.message chain
 
 (* --------------------------- path scoping --------------------------- *)
 
@@ -184,7 +233,14 @@ let scan ~path source =
   let io_sites = ref [] in
   let report rule loc message =
     findings :=
-      { rule; file = path; line = line_of loc; col = col_of loc; message }
+      {
+        rule;
+        file = path;
+        line = line_of loc;
+        col = col_of loc;
+        message;
+        chain = [];
+      }
       :: !findings
   in
   let note_modules parts =
@@ -386,6 +442,7 @@ let scan ~path source =
           line;
           col = 0;
           message = Printexc.to_string e;
+          chain = [];
         };
       ]);
   (* Select-loop IO findings need the whole-unit [has_select] flag, so
@@ -516,6 +573,7 @@ let analyze units =
                            OCaml 5 runtime; fork all processes before \
                            spawning, then suppress with a justification"
                           chain_s;
+                      chain = [];
                     })
               forks))
       units
@@ -552,4 +610,9 @@ let rules_table () =
       Print_in_lib;
       Global_mutable_state;
       Allow_needs_justification;
+      Tainted_marshal;
+      Unbounded_alloc;
+      Tainted_sink;
+      Fd_leak;
+      Double_close;
     ]

@@ -19,6 +19,22 @@
       [Hashtbl.create] in domain-shared [lib/serve]/[lib/store] modules
       without a guard annotation.
 
+    The interprocedural dataflow rules (checked by {!Taint}, but part
+    of this catalog so ids, slugs and allow discipline stay uniform):
+
+    - TS008 [taint-marshal]: no [Marshal.from_bytes]/[from_string] on a
+      value originating at a network source, outside the blessed codec
+      modules ([Gateway.Wire], [Store.Codec], [Daemon.Protocol]).
+    - TS009 [unbounded-alloc]: no [Bytes.create]/[String.make]/
+      [Buffer.add_sub*] sized by an untrusted integer without a
+      dominating bound check against a declared [max_*] constant.
+    - TS010 [tainted-string-sink]: no untrusted string in a
+      [Printf]/[Format] format position or a [Sys]/[Unix] path
+      argument.
+    - TS011 [fd-leak]: every acquired fd reaches a release on all
+      paths, including exception edges.
+    - TS012 [double-close]: no fd released twice on one path.
+
     A finding is suppressed at its site by
     [[@tabseg.allow "<slug>" "<one-line justification>"]] on the
     enclosing expression/binding ([[@@...]] for a whole binding,
@@ -34,14 +50,19 @@ type rule =
   | Print_in_lib
   | Global_mutable_state
   | Allow_needs_justification
+  | Tainted_marshal
+  | Unbounded_alloc
+  | Tainted_sink
+  | Fd_leak
+  | Double_close
 
 val rule_id : rule -> string  (** "TS001" ... *)
 
 val rule_slug : rule -> string  (** "fork-after-domain" ... *)
 
 val rule_of_slug : string -> rule option
-(** Only the six suppressible rules resolve; TS000/TS007 cannot be
-    named in an [@tabseg.allow]. *)
+(** Only the suppressible rules resolve; TS000/TS007 cannot be named
+    in an [@tabseg.allow]. *)
 
 type finding = {
   rule : rule;
@@ -49,10 +70,18 @@ type finding = {
   line : int;
   col : int;
   message : string;
+  chain : string list;
+      (** Source->sink provenance steps for the dataflow rules
+          (TS008-TS012); empty for the syntactic rules. *)
 }
 
 val render : finding -> string
-(** ["file:line:col: TSnnn slug: message"]. *)
+(** ["file:line:col: TSnnn slug: message [flow: a -> b]"]. *)
+
+val parse_allow :
+  Parsetree.attribute -> [ `Allow of string * string option | `Malformed ]
+(** Parse a [[@tabseg.allow]] payload into (slug, justification). Shared
+    with {!Flow} so both passes read one suppression syntax. *)
 
 type unit_info
 (** Per-compilation-unit scan result: local findings plus the facts the

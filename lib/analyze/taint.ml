@@ -1,0 +1,1680 @@
+(* Interprocedural taint & resource-flow analysis (TS008-TS012).
+
+   Two lattices over the {!Flow} call/def-use graph:
+
+   {b Taint.} Values originating at network sources — [Unix.accept],
+   [Conn.read_step], [Wire.decode_frame]/[Wire.decode], the daemon
+   [Protocol.decode_payload], and buffers filled by [Unix.read]/
+   [Unix.recv]/[Wire.read_nonblock] — are tracked through a whitelist
+   of propagating operations (string/bytes slicing, list/option
+   plumbing, integer arithmetic, [sprintf]) into three sink families:
+   [Marshal.from_*] outside the blessed codecs (TS008), allocation
+   sized by an untrusted integer with no dominating bound check
+   against a [max_*] constant (TS009), and format/path positions of
+   [Printf]/[Sys]/[Unix] (TS010). Functions get summaries — which
+   parameters reach which sinks, whether the return value is tainted,
+   which buffer parameters the function fills — iterated to a
+   fixpoint across compilation units, so a flow through three helpers
+   in two modules still surfaces with its full source->sink chain.
+
+   {b Resources.} Fds acquired by [Unix.socket/openfile/accept/pipe/
+   socketpair] (and [Store.open_store] handles, and — leak-only —
+   stdlib channels) must reach a release, an ownership transfer, or a
+   [Fun.protect ~finally] on every path. A [Unix]/[Sys]/channel-IO
+   call that can raise while an fd is live and unprotected makes the
+   exception edge a leak (TS011); releasing twice on one path is
+   TS012.
+
+   Both lattices honour the [@tabseg.allow "<slug>" "<why>"] contract
+   from {!Lint}. The analysis is deliberately unsound-but-useful: it
+   whitelists propagation (so [String.length s] of in-hand data is
+   clean), treats non-[Unix]/[Sys]/IO calls as non-raising, and
+   considers a value passed to an unknown function as ownership
+   transfer. docs/ANALYZE.md spells out the approximations. *)
+
+let src = Logs.Src.create "tabseg.analyze.taint" ~doc:"dataflow pass"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------ domain ------------------------------ *)
+
+type origin =
+  | Source of string  (* concrete network source, description *)
+  | Param of int  (* conditional on the enclosing function's parameter *)
+
+type taint = Clean | Tainted of origin * string list  (* provenance steps *)
+
+let join a b =
+  match (a, b) with
+  | Clean, t | t, Clean -> t
+  | Tainted (Source _, _), _ -> a  (* a concrete source beats conditional *)
+  | _, Tainted (Source _, _) -> b
+  | _ -> a
+
+let cap_steps steps =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> [ "..." ]
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take 6 steps
+
+(* ----------------------------- summaries ----------------------------- *)
+
+type psink = {
+  ps_param : int;
+  ps_rule : Lint.rule;
+  ps_file : string;
+  ps_line : int;
+  ps_col : int;
+  ps_desc : string;  (* "Marshal.from_bytes" *)
+  ps_steps : string list;  (* steps from the parameter to the sink *)
+}
+
+type summary = {
+  mutable sm_ret_source : (string * string list) option;
+  mutable sm_ret_params : (int * string list) list;
+  mutable sm_sinks : psink list;
+  mutable sm_fills : (int * string * string list) list;
+      (* parameter buffers the function taints by mutation *)
+  mutable sm_releases : int list;  (* parameters the function releases *)
+}
+
+let fresh_summary () =
+  {
+    sm_ret_source = None;
+    sm_ret_params = [];
+    sm_sinks = [];
+    sm_fills = [];
+    sm_releases = [];
+  }
+
+(* Stable shape of a summary, ignoring provenance-step strings, so the
+   fixpoint terminates even if chains keep rephrasing themselves. *)
+let summary_key s =
+  let b = Buffer.create 64 in
+  (match s.sm_ret_source with
+  | Some _ -> Buffer.add_string b "S"
+  | None -> ());
+  List.iter (fun (i, _) -> Buffer.add_string b (Printf.sprintf "r%d" i))
+    (List.sort compare s.sm_ret_params);
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "k%d:%s:%d" p.ps_param (Lint.rule_id p.ps_rule)
+           p.ps_line))
+    (List.sort compare s.sm_sinks);
+  List.iter (fun (i, _, _) -> Buffer.add_string b (Printf.sprintf "f%d" i))
+    (List.sort compare s.sm_fills);
+  List.iter (fun i -> Buffer.add_string b (Printf.sprintf "c%d" i))
+    (List.sort compare s.sm_releases);
+  Buffer.contents b
+
+(* ------------------------- paths and builtins ------------------------ *)
+
+let last2 parts =
+  match List.rev parts with b :: a :: _ -> Some (a, b) | _ -> None
+
+let last1 parts = match List.rev parts with x :: _ -> Some x | _ -> None
+
+(* Blessed decoders for TS008: the modules that own the CRC envelope and
+   are allowed to Marshal untrusted bytes (after verification). *)
+let ts008_blessed path =
+  let ends s = String.ends_with ~suffix:s (Flow.normalize path) in
+  ends "lib/gateway/wire.ml" || ends "lib/store/codec.ml"
+  || ends "lib/daemon/protocol.ml"
+
+(* Network sources: calls whose *result* is attacker-influenced. The
+   master<->worker socketpair protocol ([Wire.read_message]/
+   [Wire.decode_payload]) is deliberately absent: both ends are our
+   own processes. *)
+let source_of parts =
+  match (parts, last2 parts) with
+  | [ "Unix"; "accept" ], _ -> Some "Unix.accept"
+  | _, Some ("Conn", "read_step") -> Some "Conn.read_step"
+  | _, Some ("Wire", "decode_frame") -> Some "Wire.decode_frame"
+  | _, Some ("Wire", "decode") -> Some "Wire.decode"
+  | _, Some ("Protocol", "decode_payload") -> Some "Protocol.decode_payload"
+  | _ -> None
+
+(* Calls that fill a caller buffer with untrusted bytes: positional
+   argument index of the buffer. *)
+let fill_of parts =
+  match (parts, last2 parts) with
+  | [ "Unix"; "read" ], _ -> Some (1, "Unix.read")
+  | [ "Unix"; "recv" ], _ -> Some (1, "Unix.recv")
+  | _, Some ("Wire", "read_nonblock") -> Some (1, "Wire.read_nonblock")
+  | _ -> None
+
+(* Whitelisted propagation: result is tainted iff an argument is.
+   [String.length]/[Bytes.length] are deliberately clean — the length
+   of data already in hand is bounded by that data. *)
+let propagates parts =
+  match parts with
+  | [ "String";
+      ( "sub" | "concat" | "trim" | "cat" | "get" | "map"
+      | "lowercase_ascii" | "uppercase_ascii" | "capitalize_ascii"
+      | "split_on_char" | "escaped" ) ]
+  | [ "Bytes";
+      ( "sub" | "sub_string" | "to_string" | "of_string" | "get" | "copy"
+      | "unsafe_to_string" | "unsafe_of_string" ) ]
+  | [ "List";
+      ( "hd" | "tl" | "nth" | "rev" | "append" | "concat" | "flatten"
+      | "sort" ) ]
+  | [ "Option"; ("get" | "value") ]
+  | [ "Result"; "get_ok" ]
+  | [ "Array"; ("get" | "of_list" | "to_list" | "sub" | "copy") ]
+  | [ "Buffer"; ("contents" | "to_bytes") ]
+  | [ "Filename"; ("concat" | "basename" | "dirname") ]
+  | [ "Char"; ("code" | "chr" | "lowercase_ascii" | "uppercase_ascii") ]
+  | [ ( "int_of_string" | "int_of_string_opt" | "float_of_string"
+      | "float_of_string_opt" | "string_of_int" | "string_of_float"
+      | "int_of_float" | "float_of_int" | "fst" | "snd" | "abs" | "succ"
+      | "pred" | "ref" | "!" ) ]
+  | [ ( "+" | "-" | "*" | "/" | "mod" | "land" | "lor" | "lxor" | "lsl"
+      | "lsr" | "asr" | "~-" | "^" ) ] ->
+    true
+  | _ -> false
+
+(* TS009 allocation sinks: positional index of the size argument. *)
+let alloc_sink_of parts =
+  match parts with
+  | [ "Bytes"; "create" ] -> Some (0, "Bytes.create")
+  | [ "Bytes"; "make" ] -> Some (0, "Bytes.make")
+  | [ "String"; "make" ] -> Some (0, "String.make")
+  | [ "Buffer"; "add_substring" ] -> Some (3, "Buffer.add_substring")
+  | [ "Buffer"; "add_subbytes" ] -> Some (3, "Buffer.add_subbytes")
+  | _ -> None
+
+(* TS010 format-position sinks: positional index of the format. *)
+let format_sink_of parts =
+  match parts with
+  | [ "Printf"; (("printf" | "sprintf" | "eprintf" | "ksprintf") as f) ] ->
+    Some ((if f = "ksprintf" then 1 else 0), "Printf." ^ f)
+  | [ "Printf"; "fprintf" ] -> Some (1, "Printf.fprintf")
+  | [ "Format"; (("printf" | "sprintf" | "asprintf" | "eprintf") as f) ] ->
+    Some (0, "Format." ^ f)
+  | [ "Format"; "fprintf" ] -> Some (1, "Format.fprintf")
+  | _ -> None
+
+(* TS010 path-position sinks: positional indices of path arguments. *)
+let path_sink_of parts =
+  match parts with
+  | [ "Sys";
+      (( "remove" | "file_exists" | "is_directory" | "readdir" | "chdir"
+       | "command" | "getenv" | "getenv_opt" ) as f) ] ->
+    Some ([ 0 ], "Sys." ^ f)
+  | [ "Sys"; "rename" ] -> Some ([ 0; 1 ], "Sys.rename")
+  | [ "Unix";
+      (( "openfile" | "unlink" | "mkdir" | "rmdir" | "chdir" | "access"
+       | "stat" | "lstat" | "opendir" | "chmod" | "truncate" | "system"
+       | "execv" | "execvp" ) as f) ] ->
+    Some ([ 0 ], "Unix." ^ f)
+  | [ "Unix"; (("rename" | "link" | "symlink") as f) ] ->
+    Some ([ 0; 1 ], "Unix." ^ f)
+  | [ ("open_in" | "open_in_bin" | "open_out" | "open_out_bin") as f ] ->
+    Some ([ 0 ], f)
+  | _ -> None
+
+(* Marshal decode sinks (TS008): the argument holding the bytes. *)
+let marshal_sink_of parts =
+  match parts with
+  | [ "Marshal"; (("from_string" | "from_bytes") as f) ] ->
+    Some (0, "Marshal." ^ f)
+  | _ -> None
+
+(* ------------------------- resource builtins ------------------------- *)
+
+type acq_kind = Afd | Apair | Atuple_fst | Achan | Ahandle
+
+let acquire_of parts =
+  match (parts, last2 parts) with
+  | [ "Unix"; "socket" ], _ -> Some (Afd, "Unix.socket")
+  | [ "Unix"; "openfile" ], _ -> Some (Afd, "Unix.openfile")
+  | [ "Unix"; "dup" ], _ -> Some (Afd, "Unix.dup")
+  | [ "Unix"; "accept" ], _ -> Some (Atuple_fst, "Unix.accept")
+  | [ "Unix"; "pipe" ], _ -> Some (Apair, "Unix.pipe")
+  | [ "Unix"; "socketpair" ], _ -> Some (Apair, "Unix.socketpair")
+  | [ ("open_in" | "open_in_bin" | "open_out" | "open_out_bin") as f ], _ ->
+    Some (Achan, f)
+  | _, Some ("Store", "open_store") -> Some (Ahandle, "Store.open_store")
+  | _ -> None
+
+let release_of parts =
+  match (parts, last2 parts) with
+  | [ "Unix"; "close" ], _ -> Some "Unix.close"
+  | [ ( ("close_in" | "close_out" | "close_in_noerr" | "close_out_noerr")
+      as f ) ], _ ->
+    Some f
+  | _, Some ("Store", "close") -> Some "Store.close"
+  | _ -> None
+
+(* Unix/Sys operations that use an fd without taking ownership of it. *)
+let fd_neutral parts =
+  match parts with
+  | "Unix" :: _ | "Sys" :: _ -> true
+  | [ ( "input" | "output" | "input_line" | "output_string" | "output_bytes"
+      | "really_input" | "really_input_string" | "output_char" | "flush"
+      | "input_char" | "in_channel_length" | "seek_in" | "seek_out"
+      | "set_binary_mode_in" | "set_binary_mode_out" ) ] ->
+    true
+  | _ -> false
+
+(* Raise-capability for the exception-edge rule. Only OS and channel IO
+   calls count: treating every call as raising would flag nearly every
+   acquire in the tree. Releases and nonblock toggles are the safe
+   subset. *)
+let may_raise parts =
+  match parts with
+  | [ "Unix";
+      ( "close" | "set_nonblock" | "clear_nonblock" | "getpid" | "getppid"
+      | "gettimeofday" | "string_of_inet_addr" | "_exit" | "WEXITED"
+      | "error_message" ) ] ->
+    false
+  | [ "Sys"; ("set_signal" | "signal" | "getenv_opt" | "word_size") ] ->
+    false  (* raise only on static misuse, not runtime conditions *)
+  | "Unix" :: _ | "Sys" :: _ -> true
+  | [ ( "open_in" | "open_in_bin" | "open_out" | "open_out_bin" | "input"
+      | "output" | "input_line" | "output_string" | "output_bytes"
+      | "really_input" | "really_input_string" | "flush"
+      | "in_channel_length" ) ] ->
+    true
+  | _ -> false
+
+let terminator parts =
+  match parts with
+  | [ ("raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit") ]
+  | [ "Unix"; "_exit" ] ->
+    true
+  | _ -> false
+
+(* ------------------------------ helpers ------------------------------ *)
+
+let rec pat_vars (p : Parsetree.pattern) acc =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pat_vars p (txt :: acc)
+  | Ppat_tuple ps | Ppat_array ps ->
+    List.fold_left (fun acc p -> pat_vars p acc) acc ps
+  | Ppat_construct (_, Some (_, p))
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_exception p | Ppat_lazy p | Ppat_open (_, p) ->
+    pat_vars p acc
+  | Ppat_record (fields, _) ->
+    List.fold_left (fun acc (_, p) -> pat_vars p acc) acc fields
+  | Ppat_or (a, b) -> pat_vars a (pat_vars b acc)
+  | _ -> acc
+
+let rec has_exception_pat (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_exception _ -> true
+  | Ppat_or (a, b) -> has_exception_pat a || has_exception_pat b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> has_exception_pat p
+  | _ -> false
+
+(* All value idents mentioned in an expression (dotted paths joined). *)
+let expr_idents (e : Parsetree.expression) =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let iterator =
+    {
+      default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> acc := Longident.flatten txt :: !acc
+          | _ -> ());
+          default_iterator.expr iter e);
+    }
+  in
+  iterator.expr iterator e;
+  !acc
+
+let is_max_ident parts =
+  match last1 parts with
+  | Some n -> String.starts_with ~prefix:"max_" n
+  | None -> false
+
+let short_loc file (loc : Location.t) =
+  Printf.sprintf "%s:%d" file (Flow.line_of loc)
+
+(* ------------------------------ context ------------------------------ *)
+
+type ctx = {
+  units : Flow.unit_t list;
+  sums : (string, summary) Hashtbl.t;
+  cu : Flow.unit_t;
+  env : (string, origin * string list) Hashtbl.t;
+  bounded : (string, unit) Hashtbl.t;
+  params : (string, int) Hashtbl.t;
+  locals : (string, Parsetree.expression) Hashtbl.t;
+  inlining : (string, unit) Hashtbl.t;
+      (* local functions currently being inlined: a recursive local is
+         walked once per call site, never re-entered (else 2+ self-calls
+         explode exponentially) *)
+  cur : summary;
+  emit : (Lint.finding -> unit) option;  (* None during fixpoint rounds *)
+  mutable depth : int;
+}
+
+let sum_key (u : Flow.unit_t) name = u.f_path ^ "#" ^ name
+
+let get_summary ctx u name =
+  match Hashtbl.find_opt ctx.sums (sum_key u name) with
+  | Some s -> s
+  | None ->
+    let s = fresh_summary () in
+    Hashtbl.replace ctx.sums (sum_key u name) s;
+    s
+
+let expand_alias ctx parts =
+  match parts with
+  | first :: rest -> (
+    match Hashtbl.find_opt ctx.cu.Flow.f_aliases first with
+    | Some target -> target @ rest
+    | None -> parts)
+  | [] -> parts
+
+let unit_of_path ctx file =
+  List.find_opt (fun (u : Flow.unit_t) -> u.f_path = file) ctx.units
+
+let suppressed_at ctx rule file line =
+  match unit_of_path ctx file with
+  | Some u -> Flow.suppressed u rule line
+  | None -> false
+
+let emit_finding ctx (f : Lint.finding) =
+  match ctx.emit with Some push -> push f | None -> ()
+
+(* All tainted idents in [e] are under a recorded bound, or the size is
+   an explicit [min _ max_*]: the TS009 sanitizer. *)
+let alloc_bounded ctx (e : Parsetree.expression) =
+  let min_capped =
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match Longident.flatten txt with
+      | [ "min" ] | [ "Int"; "min" ] | [ "Stdlib"; "min" ] ->
+        List.exists
+          (fun (_, (a : Parsetree.expression)) ->
+            List.exists is_max_ident (expr_idents a))
+          args
+      | _ -> false)
+    | _ -> false
+  in
+  min_capped
+  || List.for_all
+       (fun parts ->
+         match parts with
+         | [ x ] when Hashtbl.mem ctx.env x -> Hashtbl.mem ctx.bounded x
+         | _ -> true)
+       (expr_idents e)
+
+(* Record a bound for every variable compared against a max_* constant
+   anywhere in an if/guard condition. Both branches count: the check
+   dominates the success path, and the failure path rejects. *)
+let rec note_bounds ctx (cond : Parsetree.expression) =
+  match cond.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+    let parts = Longident.flatten txt in
+    match (parts, args) with
+    | [ ("&&" | "||" | "not") ], _ ->
+      List.iter (fun (_, a) -> note_bounds ctx a) args
+    | [ (">" | "<" | ">=" | "<=" | "=" | "<>") ], [ (_, a); (_, b) ] ->
+      let side x other =
+        match x.Parsetree.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+          match Longident.flatten txt with
+          | [ v ] when List.exists is_max_ident (expr_idents other) ->
+            Hashtbl.replace ctx.bounded v ()
+          | _ -> ())
+        | _ -> ()
+      in
+      side a b;
+      side b a
+    | _ -> ())
+  | _ -> ()
+
+(* ------------------------------- eval ------------------------------- *)
+
+let sink_message rule site =
+  match rule with
+  | Lint.Tainted_marshal ->
+    Printf.sprintf
+      "%s on bytes that originate at a network source; untrusted bytes \
+       must go through the blessed codec modules (Gateway.Wire, \
+       Store.Codec, Daemon.Protocol)"
+      site
+  | Lint.Unbounded_alloc ->
+    Printf.sprintf
+      "%s sized by an untrusted integer with no dominating bound check \
+       against a declared max_* constant; one hostile length header can \
+       demand gigabytes"
+      site
+  | Lint.Tainted_sink ->
+    Printf.sprintf
+      "untrusted string reaches %s; network bytes must not drive \
+       formatting or name files"
+      site
+  | _ -> site
+
+let rec eval ctx (e : Parsetree.expression) : taint =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match Longident.flatten txt with
+    | [ x ] -> (
+      match Hashtbl.find_opt ctx.env x with
+      | Some (o, steps) -> Tainted (o, steps)
+      | None -> Clean)
+    | _ -> Clean)
+  | Pexp_constant _ -> Clean
+  | Pexp_let (_, vbs, body) ->
+    List.iter
+      (fun (vb : Parsetree.value_binding) ->
+        (match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+        | Ppat_var { txt; _ }, (Pexp_fun _ | Pexp_function _) ->
+          Hashtbl.replace ctx.locals txt vb.pvb_expr
+        | _ -> ());
+        let t = eval ctx vb.pvb_expr in
+        bind_pat ctx vb.pvb_pat t)
+      vbs;
+    eval ctx body
+  | Pexp_fun (_, dflt, pat, body) ->
+    Option.iter (fun d -> ignore (eval ctx d)) dflt;
+    bind_pat ctx pat Clean;
+    ignore (eval ctx body);
+    Clean
+  | Pexp_function cases ->
+    List.iter
+      (fun (c : Parsetree.case) ->
+        bind_pat ctx c.pc_lhs Clean;
+        Option.iter (fun g -> ignore (eval ctx g)) c.pc_guard;
+        ignore (eval ctx c.pc_rhs))
+      cases;
+    Clean
+  | Pexp_apply (f, args) -> eval_apply ctx e.pexp_loc f args
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+    let t = eval ctx scrut in
+    List.fold_left
+      (fun acc (c : Parsetree.case) ->
+        let bind_t = if has_exception_pat c.pc_lhs then Clean else t in
+        bind_pat ctx c.pc_lhs bind_t;
+        Option.iter
+          (fun g ->
+            note_bounds ctx g;
+            ignore (eval ctx g))
+          c.pc_guard;
+        join acc (eval ctx c.pc_rhs))
+      Clean cases
+  | Pexp_ifthenelse (c, th, el) ->
+    ignore (eval ctx c);
+    note_bounds ctx c;
+    let a = eval ctx th in
+    let b = match el with Some e -> eval ctx e | None -> Clean in
+    join a b
+  | Pexp_sequence (a, b) ->
+    ignore (eval ctx a);
+    eval ctx b
+  | Pexp_tuple es | Pexp_array es ->
+    List.fold_left (fun acc e -> join acc (eval ctx e)) Clean es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+    match arg with Some e -> eval ctx e | None -> Clean)
+  | Pexp_record (fields, base) ->
+    let t =
+      List.fold_left (fun acc (_, e) -> join acc (eval ctx e)) Clean fields
+    in
+    let bt = match base with Some b -> eval ctx b | None -> Clean in
+    join t bt
+  | Pexp_field (e, _) -> eval ctx e
+  | Pexp_setfield (a, _, b) ->
+    ignore (eval ctx a);
+    ignore (eval ctx b);
+    Clean
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> eval ctx e
+  | Pexp_while (c, body) ->
+    ignore (eval ctx c);
+    (* two passes reach the loop-carried taints a single forward walk
+       would miss *)
+    ignore (eval ctx body);
+    ignore (eval ctx body);
+    Clean
+  | Pexp_for (pat, a, b, _, body) ->
+    ignore (eval ctx a);
+    ignore (eval ctx b);
+    bind_pat ctx pat Clean;
+    ignore (eval ctx body);
+    ignore (eval ctx body);
+    Clean
+  | Pexp_assert e | Pexp_lazy e | Pexp_open (_, e) | Pexp_newtype (_, e) ->
+    eval ctx e
+  | Pexp_letmodule (_, _, e) -> eval ctx e
+  | _ -> Clean
+
+and bind_pat ctx (p : Parsetree.pattern) t =
+  let vars = pat_vars p [] in
+  List.iter
+    (fun v ->
+      match t with
+      | Tainted (o, steps) -> Hashtbl.replace ctx.env v (o, steps)
+      | Clean ->
+        Hashtbl.remove ctx.env v;
+        Hashtbl.remove ctx.bounded v)
+    vars
+
+and eval_apply ctx loc (f : Parsetree.expression) args : taint =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+    eval_apply_parts ctx loc (expand_alias ctx (Longident.flatten txt)) args
+  | Pexp_fun _ | Pexp_function _ ->
+    (* immediate lambda application *)
+    inline_lambda ctx f args
+  | _ ->
+    List.iter (fun (_, a) -> ignore (eval ctx a)) args;
+    ignore (eval ctx f);
+    Clean
+
+and eval_apply_parts ctx loc parts args : taint =
+  match (parts, args) with
+  | [ "@@" ], [ (_, f); (_, x) ] ->
+    eval_apply ctx loc f [ (Asttypes.Nolabel, x) ]
+  | [ "|>" ], [ (_, x); (_, f) ] ->
+    eval_apply ctx loc f [ (Asttypes.Nolabel, x) ]
+  | [ ":=" ], [ (_, lhs); (_, rhs) ] ->
+    let t = eval ctx rhs in
+    (match lhs.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | [ x ] -> (
+        match t with
+        | Tainted (o, steps) -> Hashtbl.replace ctx.env x (o, steps)
+        | Clean -> Hashtbl.remove ctx.env x)
+      | _ -> ())
+    | _ -> ignore (eval ctx lhs));
+    Clean
+  | [ "Fun"; "protect" ], _ ->
+    (* result is the work thunk's result; evaluate both bodies *)
+    let work = ref Clean in
+    List.iter
+      (fun ((label : Asttypes.arg_label), (a : Parsetree.expression)) ->
+        match (label, a.pexp_desc) with
+        | Asttypes.Nolabel, Pexp_fun (_, _, _, body) -> work := eval ctx body
+        | _ -> ignore (eval ctx a))
+      args;
+    !work
+  | _ ->
+    let targs = List.map (fun (l, a) -> (l, a, eval ctx a)) args in
+    let pos = List.filter (fun (l, _, _) -> l = Asttypes.Nolabel) targs in
+    let pos_arg i = List.nth_opt pos i in
+    let any_tainted =
+      List.fold_left (fun acc (_, _, t) -> join acc t) Clean targs
+    in
+    let higher_order =
+      match parts with
+      | [ "List";
+          ( "iter" | "map" | "iteri" | "mapi" | "filter" | "filter_map"
+          | "concat_map" | "fold_left" | "for_all" | "exists" | "find"
+          | "find_opt" | "find_map" | "partition" | "sort" ) ]
+      | [ "Array"; ("iter" | "map" | "iteri") ]
+      | [ "Queue"; "iter" ]
+      | [ "Option"; ("iter" | "map" | "bind" | "fold") ]
+      | [ "Hashtbl"; ("iter" | "fold") ]
+      | [ "Seq"; ("iter" | "map") ] ->
+        true
+      | _ -> false
+    in
+    if higher_order then begin
+      (* Re-walk immediate lambdas with their element parameter bound to
+         the collection's taint, so `List.iter (fun payload -> ...)
+         frames` sees tainted payloads. *)
+      let coll_taint =
+        List.fold_left
+          (fun acc (_, (a : Parsetree.expression), t) ->
+            match a.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ -> acc
+            | _ -> join acc t)
+          Clean targs
+      in
+      (match coll_taint with
+      | Tainted (o, steps) ->
+        Hashtbl.replace ctx.env "*elem*" (o, steps);
+        List.iter
+          (fun (_, (a : Parsetree.expression), _) ->
+            match a.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ ->
+              ignore
+                (inline_lambda ctx a [ (Asttypes.Nolabel, synth_tainted ()) ])
+            | _ -> ())
+          targs;
+        Hashtbl.remove ctx.env "*elem*"
+      | Clean -> ()
+      (* lambda bodies were already walked (params Clean) while
+         computing [targs] *));
+      coll_taint
+    end
+    else begin
+      (* buffer fills *)
+      (match fill_of parts with
+      | Some (i, desc) -> (
+        match pos_arg i with
+        | Some (_, { pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+          match Longident.flatten txt with
+          | [ x ] ->
+            let sdesc =
+              Printf.sprintf "bytes filled by %s (%s)" desc
+                (short_loc ctx.cu.f_path loc)
+            in
+            Hashtbl.replace ctx.env x (Source sdesc, []);
+            (* a filled parameter buffer is part of this function's
+               summary: callers' buffers become tainted too *)
+            (match Hashtbl.find_opt ctx.params x with
+            | Some pi ->
+              if not (List.exists (fun (j, _, _) -> j = pi) ctx.cur.sm_fills)
+              then ctx.cur.sm_fills <- (pi, sdesc, []) :: ctx.cur.sm_fills
+            | None -> ())
+          | _ -> ())
+        | _ -> ())
+      | None -> ());
+      (* Bytes.blit/blit_string: src taint flows to dst *)
+      (match parts with
+      | [ "Bytes"; ("blit" | "blit_string") ] -> (
+        match (pos_arg 0, pos_arg 2) with
+        | ( Some (_, _, Tainted (o, steps)),
+            Some (_, { pexp_desc = Pexp_ident { txt; _ }; _ }, _) ) -> (
+          match Longident.flatten txt with
+          | [ x ] -> Hashtbl.replace ctx.env x (o, steps)
+          | _ -> ())
+        | _ -> ())
+      | [ "Buffer";
+          ( "add_string" | "add_bytes" | "add_substring" | "add_subbytes"
+          | "add_char" | "add_buffer" ) ] -> (
+        (* mutation: a tainted chunk taints the buffer *)
+        match (any_tainted, pos_arg 0) with
+        | ( Tainted (o, steps),
+            Some (_, { pexp_desc = Pexp_ident { txt; _ }; _ }, _) ) -> (
+          match Longident.flatten txt with
+          | [ x ] -> Hashtbl.replace ctx.env x (o, steps)
+          | _ -> ())
+        | _ -> ())
+      | _ -> ());
+      (* sinks *)
+      (match marshal_sink_of parts with
+      | Some (i, desc) when not (ts008_blessed ctx.cu.f_path) -> (
+        match pos_arg i with
+        | Some (_, _, Tainted (o, steps)) ->
+          report_sink ctx loc Lint.Tainted_marshal desc o steps
+        | _ -> ())
+      | _ -> ());
+      (match alloc_sink_of parts with
+      | Some (i, desc) -> (
+        match pos_arg i with
+        | Some (_, aexp, Tainted (o, steps))
+          when not (alloc_bounded ctx aexp) ->
+          report_sink ctx loc Lint.Unbounded_alloc desc o steps
+        | _ -> ())
+      | None -> ());
+      (match format_sink_of parts with
+      | Some (i, desc) -> (
+        match pos_arg i with
+        | Some (_, _, Tainted (o, steps)) ->
+          report_sink ctx loc Lint.Tainted_sink
+            (desc ^ " format position") o steps
+        | _ -> ())
+      | None -> ());
+      (match path_sink_of parts with
+      | Some (idxs, desc) ->
+        List.iter
+          (fun i ->
+            match pos_arg i with
+            | Some (_, _, Tainted (o, steps)) ->
+              report_sink ctx loc Lint.Tainted_sink
+                (desc ^ " path argument") o steps
+            | _ -> ())
+          idxs
+      | None -> ());
+      (* release of a parameter: feed the resource summaries *)
+      (match release_of parts with
+      | Some _ -> (
+        match pos_arg 0 with
+        | Some (_, { pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+          match Longident.flatten txt with
+          | [ x ] -> (
+            match Hashtbl.find_opt ctx.params x with
+            | Some i ->
+              if not (List.mem i ctx.cur.sm_releases) then
+                ctx.cur.sm_releases <- i :: ctx.cur.sm_releases
+            | None -> ())
+          | _ -> ())
+        | _ -> ())
+      | None -> ());
+      (* result *)
+      match source_of parts with
+      | Some desc ->
+        Tainted
+          ( Source
+              (Printf.sprintf "network source %s (%s)" desc
+                 (short_loc ctx.cu.f_path loc)),
+            [] )
+      | None -> (
+        match parts with
+        | [ ("min" | "max") ] | [ "Int"; ("min" | "max") ]
+          when List.exists
+                 (fun (_, a, _) ->
+                   List.exists is_max_ident (expr_idents a))
+                 targs ->
+          (* min len max_foo: explicitly capped *)
+          Clean
+        | _ ->
+          if propagates parts then any_tainted
+          else if Hashtbl.mem ctx.locals (String.concat "." parts) then
+            inline_local ctx (String.concat "." parts) args targs
+          else (
+            match Flow.resolve_value ctx.units ~from:ctx.cu parts with
+            | Some (gu, g) -> apply_summary ctx loc gu g args targs
+            | None -> Clean))
+    end
+
+and synth_tainted () =
+  (* placeholder argument for lambda inlining; "*elem*" is bound
+     transiently in the env with the collection's taint *)
+  Ast_helper.Exp.ident
+    { txt = Longident.Lident "*elem*"; loc = Location.none }
+
+and inline_lambda ctx (f : Parsetree.expression) args : taint =
+  if ctx.depth > 8 then Clean
+  else begin
+    ctx.depth <- ctx.depth + 1;
+    let labels = Flow.param_labels f in
+    let slots = Flow.match_args labels (List.map (fun (l, a) -> (l, a)) args) in
+    let rec walk (e : Parsetree.expression) idx =
+      match e.pexp_desc with
+      | Pexp_fun (_, _, pat, body) ->
+        (match if idx < Array.length slots then slots.(idx) else None with
+        | Some a -> bind_pat ctx pat (eval ctx a)
+        | None -> bind_pat ctx pat Clean);
+        walk body (idx + 1)
+      | Pexp_newtype (_, body) -> walk body idx
+      | Pexp_constraint (e, _) -> walk e idx
+      | Pexp_function cases ->
+        let t =
+          match if idx < Array.length slots then slots.(idx) else None with
+          | Some a -> eval ctx a
+          | None -> Clean
+        in
+        List.fold_left
+          (fun acc (c : Parsetree.case) ->
+            bind_pat ctx c.pc_lhs
+              (if has_exception_pat c.pc_lhs then Clean else t);
+            join acc (eval ctx c.pc_rhs))
+          Clean cases
+      | _ -> eval ctx e
+    in
+    let t = walk f 0 in
+    ctx.depth <- ctx.depth - 1;
+    t
+  end
+
+and inline_local ctx name args targs : taint =
+  ignore targs;
+  match Hashtbl.find_opt ctx.locals name with
+  | Some lam when ctx.depth <= 8 && not (Hashtbl.mem ctx.inlining name) ->
+    Hashtbl.replace ctx.inlining name ();
+    let t = inline_lambda ctx lam args in
+    Hashtbl.remove ctx.inlining name;
+    t
+  | _ -> Clean
+
+and report_sink ctx loc rule site o steps =
+  let line = Flow.line_of loc and col = Flow.col_of loc in
+  match o with
+  | Param i ->
+    let p =
+      {
+        ps_param = i;
+        ps_rule = rule;
+        ps_file = ctx.cu.f_path;
+        ps_line = line;
+        ps_col = col;
+        ps_desc = site;
+        ps_steps = steps;
+      }
+    in
+    if
+      not
+        (List.exists
+           (fun q ->
+             q.ps_param = i && q.ps_rule = rule && q.ps_line = line
+             && q.ps_col = col)
+           ctx.cur.sm_sinks)
+    then ctx.cur.sm_sinks <- p :: ctx.cur.sm_sinks
+  | Source sdesc ->
+    if not (Flow.suppressed ctx.cu rule line) then
+      emit_finding ctx
+        {
+          rule;
+          file = ctx.cu.f_path;
+          line;
+          col;
+          message = sink_message rule site;
+          chain =
+            cap_steps (sdesc :: steps)
+            @ [ Printf.sprintf "%s (%s:%d)" site ctx.cu.f_path line ];
+        }
+
+and apply_summary ctx loc (gu : Flow.unit_t) (g : Flow.func) args targs :
+    taint =
+  let s = get_summary ctx gu g.fn_name in
+  let labels = Flow.param_labels g.fn_expr in
+  let slots = Flow.match_args labels (List.map (fun (l, a) -> (l, a)) args) in
+  let taint_of_expr (a : Parsetree.expression) =
+    match
+      List.find_opt (fun (_, e, _) -> e == a) targs
+    with
+    | Some (_, _, t) -> t
+    | None -> Clean
+  in
+  let call_step =
+    Printf.sprintf "%s (%s)" g.fn_name (short_loc ctx.cu.f_path loc)
+  in
+  (* parameter-conditional sinks fire when the caller passes taint *)
+  List.iter
+    (fun p ->
+      match
+        if p.ps_param < Array.length slots then slots.(p.ps_param) else None
+      with
+      | Some aexp -> (
+        match taint_of_expr aexp with
+        | Tainted (o, asteps)
+          when not
+                 (p.ps_rule = Lint.Unbounded_alloc && alloc_bounded ctx aexp)
+          -> (
+          let steps = asteps @ (call_step :: p.ps_steps) in
+          match o with
+          | Param j ->
+            report_sink ctx
+              {
+                Location.loc_start =
+                  {
+                    Lexing.pos_fname = p.ps_file;
+                    pos_lnum = p.ps_line;
+                    pos_bol = 0;
+                    pos_cnum = p.ps_col;
+                  };
+                loc_end =
+                  {
+                    Lexing.pos_fname = p.ps_file;
+                    pos_lnum = p.ps_line;
+                    pos_bol = 0;
+                    pos_cnum = p.ps_col;
+                  };
+                loc_ghost = false;
+              }
+              p.ps_rule p.ps_desc (Param j) steps
+          | Source sdesc ->
+            if
+              (not (suppressed_at ctx p.ps_rule p.ps_file p.ps_line))
+              && not
+                   (Flow.suppressed ctx.cu p.ps_rule (Flow.line_of loc))
+              && not
+                   (p.ps_rule = Lint.Tainted_marshal
+                   && ts008_blessed p.ps_file)
+            then
+              emit_finding ctx
+                {
+                  rule = p.ps_rule;
+                  file = p.ps_file;
+                  line = p.ps_line;
+                  col = p.ps_col;
+                  message = sink_message p.ps_rule p.ps_desc;
+                  chain =
+                    cap_steps (sdesc :: steps)
+                    @ [
+                        Printf.sprintf "%s (%s:%d)" p.ps_desc p.ps_file
+                          p.ps_line;
+                      ];
+                })
+        | _ -> ())
+      | None -> ())
+    s.sm_sinks;
+  (* buffer parameters the callee fills become tainted caller vars *)
+  List.iter
+    (fun (i, desc, fsteps) ->
+      match if i < Array.length slots then slots.(i) else None with
+      | Some { pexp_desc = Pexp_ident { txt; _ }; _ } -> (
+        match Longident.flatten txt with
+        | [ x ] ->
+          let steps = fsteps @ [ call_step ] in
+          Hashtbl.replace ctx.env x (Source desc, steps);
+          (match Hashtbl.find_opt ctx.params x with
+          | Some pi ->
+            if not (List.exists (fun (j, _, _) -> j = pi) ctx.cur.sm_fills)
+            then ctx.cur.sm_fills <- (pi, desc, steps) :: ctx.cur.sm_fills
+          | None -> ())
+        | _ -> ())
+      | _ -> ())
+    s.sm_fills;
+  (* releases of caller parameters propagate the release summary *)
+  List.iter
+    (fun i ->
+      match if i < Array.length slots then slots.(i) else None with
+      | Some { pexp_desc = Pexp_ident { txt; _ }; _ } -> (
+        match Longident.flatten txt with
+        | [ x ] -> (
+          match Hashtbl.find_opt ctx.params x with
+          | Some j ->
+            if not (List.mem j ctx.cur.sm_releases) then
+              ctx.cur.sm_releases <- j :: ctx.cur.sm_releases
+          | None -> ())
+        | _ -> ())
+      | _ -> ())
+    s.sm_releases;
+  (* return taint *)
+  match s.sm_ret_source with
+  | Some (desc, steps) -> Tainted (Source desc, steps @ [ call_step ])
+  | None ->
+    List.fold_left
+      (fun acc (i, steps) ->
+        match if i < Array.length slots then slots.(i) else None with
+        | Some aexp -> (
+          match taint_of_expr aexp with
+          | Tainted (o, asteps) ->
+            join acc (Tainted (o, asteps @ (call_step :: steps)))
+          | Clean -> acc)
+        | None -> acc)
+      Clean s.sm_ret_params
+
+(* ------------------------- function summaries ------------------------ *)
+
+let eval_func ~units ~sums ~emit (u : Flow.unit_t) (fn : Flow.func) =
+  let ctx =
+    {
+      units;
+      sums;
+      cu = u;
+      env = Hashtbl.create 32;
+      bounded = Hashtbl.create 8;
+      params = Hashtbl.create 8;
+      locals = Hashtbl.create 8;
+      inlining = Hashtbl.create 4;
+      cur = fresh_summary ();
+      emit;
+      depth = 0;
+    }
+  in
+  let bind_param pat idx =
+    List.iter
+      (fun v ->
+        Hashtbl.replace ctx.env v (Param idx, []);
+        Hashtbl.replace ctx.params v idx)
+      (pat_vars pat [])
+  in
+  let rec spine (e : Parsetree.expression) idx =
+    match e.pexp_desc with
+    | Pexp_fun (_, dflt, pat, body) ->
+      Option.iter (fun d -> ignore (eval ctx d)) dflt;
+      bind_param pat idx;
+      spine body (idx + 1)
+    | Pexp_newtype (_, body) -> spine body idx
+    | Pexp_constraint (e, _) -> spine e idx
+    | Pexp_function cases ->
+      List.fold_left
+        (fun acc (c : Parsetree.case) ->
+          bind_pat ctx c.pc_lhs
+            (if has_exception_pat c.pc_lhs then Clean
+             else Tainted (Param idx, []));
+          Option.iter (fun g -> ignore (eval ctx g)) c.pc_guard;
+          join acc (eval ctx c.pc_rhs))
+        Clean cases
+    | _ -> eval ctx e
+  in
+  let ret = spine fn.fn_expr 0 in
+  (match ret with
+  | Tainted (Source d, steps) -> ctx.cur.sm_ret_source <- Some (d, steps)
+  | Tainted (Param i, steps) -> ctx.cur.sm_ret_params <- [ (i, steps) ]
+  | Clean -> ());
+  ctx.cur
+
+(* ------------------------------ fixpoint ----------------------------- *)
+
+let taint_pass units ~push =
+  let sums : (string, summary) Hashtbl.t = Hashtbl.create 512 in
+  List.iter
+    (fun (u : Flow.unit_t) ->
+      Hashtbl.iter
+        (fun name _ -> Hashtbl.replace sums (sum_key u name)
+            (fresh_summary ()))
+        u.f_funcs)
+    units;
+  let round = ref 0 in
+  let changed = ref true in
+  while !changed && !round < 8 do
+    changed := false;
+    incr round;
+    List.iter
+      (fun (u : Flow.unit_t) ->
+        Hashtbl.iter
+          (fun name fn ->
+            let s = eval_func ~units ~sums ~emit:None u fn in
+            let key = sum_key u name in
+            let old =
+              match Hashtbl.find_opt sums key with
+              | Some o -> summary_key o
+              | None -> ""
+            in
+            if summary_key s <> old then changed := true;
+            Hashtbl.replace sums key s)
+          u.f_funcs)
+      units
+  done;
+  Log.debug (fun m -> m "taint fixpoint converged in %d rounds" !round);
+  (* final reporting round *)
+  List.iter
+    (fun (u : Flow.unit_t) ->
+      Hashtbl.iter
+        (fun _name fn -> ignore (eval_func ~units ~sums ~emit:(Some push) u fn))
+        u.f_funcs;
+      (* toplevel expressions outside named bindings *)
+      let ctx =
+        {
+          units;
+          sums;
+          cu = u;
+          env = Hashtbl.create 8;
+          bounded = Hashtbl.create 4;
+          params = Hashtbl.create 4;
+          locals = Hashtbl.create 4;
+          inlining = Hashtbl.create 4;
+          cur = fresh_summary ();
+          emit = Some push;
+          depth = 0;
+        }
+      in
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_eval (e, _) -> ignore (eval ctx e)
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var _ -> ()  (* covered by the summary walk *)
+                | _ -> ignore (eval ctx vb.pvb_expr))
+              vbs
+          | _ -> ())
+        u.f_structure)
+    units;
+  sums
+
+(* =========================== resource pass =========================== *)
+
+type rstate = {
+  rs_desc : string;
+  rs_loc : Location.t;
+  rs_chan : bool;  (* channels: leak-only, no exception-edge rule *)
+  rs_released : bool;
+  rs_rel_loc : Location.t option;
+  rs_escaped : bool;
+  rs_protected : bool;
+  rs_pending : (string * Location.t) option;
+}
+
+type rctx = {
+  r_units : Flow.unit_t list;
+  r_sums : (string, summary) Hashtbl.t;
+  r_cu : Flow.unit_t;
+  r_push : Lint.finding -> unit;
+}
+
+let r_emit rctx rule (loc : Location.t) message chain =
+  let line = Flow.line_of loc and col = Flow.col_of loc in
+  if not (Flow.suppressed rctx.r_cu rule line) then
+    rctx.r_push
+      { rule; file = rctx.r_cu.f_path; line; col; message; chain }
+
+let leak_if_pending rctx st x ~why =
+  match Hashtbl.find_opt st x with
+  | Some r -> (
+    match r.rs_pending with
+    | Some (desc, rloc) ->
+      r_emit rctx Lint.Fd_leak r.rs_loc
+        (Printf.sprintf
+           "%s leaks if %s raises before the fd is %s; release it in an \
+            exception handler or Fun.protect ~finally"
+           r.rs_desc desc why)
+        [
+          Printf.sprintf "%s (%s)" r.rs_desc
+            (short_loc rctx.r_cu.f_path r.rs_loc);
+          Printf.sprintf "%s may raise (%s)" desc
+            (short_loc rctx.r_cu.f_path rloc);
+        ];
+      Hashtbl.replace st x { r with rs_pending = None }
+    | None -> ())
+  | None -> ()
+
+let r_release rctx st x (loc : Location.t) desc =
+  match Hashtbl.find_opt st x with
+  | None -> ()
+  | Some r ->
+    if r.rs_released then
+      r_emit rctx Lint.Double_close loc
+        (Printf.sprintf
+           "%s released twice on one path: a second %s can close an \
+            unrelated fd opened in between"
+           r.rs_desc desc)
+        ([
+           Printf.sprintf "%s (%s)" r.rs_desc
+             (short_loc rctx.r_cu.f_path r.rs_loc);
+         ]
+        @ (match r.rs_rel_loc with
+          | Some l ->
+            [
+              Printf.sprintf "first release (%s)"
+                (short_loc rctx.r_cu.f_path l);
+            ]
+          | None -> [])
+        @ [
+            Printf.sprintf "second release (%s)"
+              (short_loc rctx.r_cu.f_path loc);
+          ])
+    else begin
+      leak_if_pending rctx st x ~why:"released";
+      match Hashtbl.find_opt st x with
+      | Some r ->
+        Hashtbl.replace st x
+          { r with rs_released = true; rs_rel_loc = Some loc }
+      | None -> ()
+    end
+
+let r_escape rctx st x =
+  match Hashtbl.find_opt st x with
+  | None -> ()
+  | Some r ->
+    if not (r.rs_released || r.rs_escaped) then begin
+      leak_if_pending rctx st x ~why:"handed off";
+      match Hashtbl.find_opt st x with
+      | Some r -> Hashtbl.replace st x { r with rs_escaped = true }
+      | None -> ()
+    end
+
+let r_mark_pending st desc (loc : Location.t) =
+  Hashtbl.iter
+    (fun x r ->
+      if
+        (not r.rs_released) && (not r.rs_escaped) && (not r.rs_protected)
+        && (not r.rs_chan) && r.rs_pending = None
+      then Hashtbl.replace st x { r with rs_pending = Some (desc, loc) })
+    (Hashtbl.copy st)
+
+let r_mark_all_escaped st =
+  Hashtbl.iter
+    (fun x r ->
+      if not (r.rs_released || r.rs_escaped || r.rs_protected) then
+        Hashtbl.replace st x { r with rs_escaped = true }
+      else ())
+    (Hashtbl.copy st)
+
+(* Merge branch states back into [st]: released only if released on
+   every branch; otherwise handled-everywhere collapses to escaped. *)
+let r_merge st branches =
+  match branches with
+  | [] -> ()
+  | first :: _ ->
+    Hashtbl.iter
+      (fun x _ ->
+        let states =
+          List.filter_map (fun b -> Hashtbl.find_opt b x) branches
+        in
+        if List.length states = List.length branches then begin
+          let all p = List.for_all p states in
+          let handled r = r.rs_released || r.rs_escaped || r.rs_protected in
+          let merged =
+            let base = List.hd states in
+            if all (fun r -> r.rs_released) then
+              { base with rs_released = true }
+            else if all handled then
+              { base with rs_released = false; rs_escaped = true }
+            else
+              {
+                base with
+                rs_released = false;
+                rs_escaped = false;
+                rs_protected = false;
+                rs_pending =
+                  (match
+                     List.find_opt (fun r -> r.rs_pending <> None) states
+                   with
+                  | Some r -> r.rs_pending
+                  | None -> None);
+              }
+          in
+          Hashtbl.replace st x merged
+        end)
+      first
+
+let release_calls_in (rctx : rctx) (e : Parsetree.expression) acc =
+  (* idents released anywhere inside [e] (used for Fun.protect ~finally
+     bodies and summary-release wrappers) *)
+  let acc = ref acc in
+  let open Ast_iterator in
+  let iterator =
+    {
+      default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+            let parts = Longident.flatten txt in
+            let parts =
+              match parts with
+              | first :: rest -> (
+                match Hashtbl.find_opt rctx.r_cu.Flow.f_aliases first with
+                | Some target -> target @ rest
+                | None -> parts)
+              | [] -> parts
+            in
+            let note (a : Parsetree.expression) =
+              match a.pexp_desc with
+              | Pexp_ident { txt; _ } -> (
+                match Longident.flatten txt with
+                | [ x ] -> acc := x :: !acc
+                | _ -> ())
+              | _ -> ()
+            in
+            match release_of parts with
+            | Some _ -> (
+              match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
+              | Some (_, a) -> note a
+              | None -> ())
+            | None -> (
+              match Flow.resolve_value rctx.r_units ~from:rctx.r_cu parts with
+              | Some (gu, g) -> (
+                match Hashtbl.find_opt rctx.r_sums (gu.f_path ^ "#" ^ g.fn_name)
+                with
+                | Some s when s.sm_releases <> [] ->
+                  let posargs =
+                    List.filter (fun (l, _) -> l = Asttypes.Nolabel) args
+                  in
+                  List.iter
+                    (fun i ->
+                      match List.nth_opt posargs i with
+                      | Some (_, a) -> note a
+                      | None -> ())
+                    s.sm_releases
+                | _ -> ())
+              | None -> ()))
+          | _ -> ());
+          default_iterator.expr iter e);
+    }
+  in
+  iterator.expr iterator e;
+  !acc
+
+let rec acquire_expr (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> acquire_expr e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    Option.map
+      (fun (k, d) -> (k, d, e.pexp_loc))
+      (acquire_of (Longident.flatten txt))
+  | _ -> None
+
+let rec rwalk rctx st ~handled (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match Longident.flatten txt with
+    | [ x ] -> r_escape rctx st x
+    | _ -> ())
+  | Pexp_let (_, vbs, body) ->
+    List.iter
+      (fun (vb : Parsetree.value_binding) ->
+        match acquire_expr vb.pvb_expr with
+        | Some (kind, desc, aloc) ->
+          (* walk the acquire's arguments (they may contain idents) *)
+          (match vb.pvb_expr.pexp_desc with
+          | Pexp_apply (_, args) ->
+            List.iter (fun (_, a) -> rwalk rctx st ~handled a) args
+          | _ -> ());
+          r_bind rctx st kind desc aloc vb.pvb_pat
+        | None -> (
+          rwalk rctx st ~handled vb.pvb_expr;
+          (* match <acquire> with | pat -> ... already bound in the
+             match handler below; plain bindings just walk *)
+          ()))
+      vbs;
+    rwalk rctx st ~handled body
+  | Pexp_sequence (a, b) ->
+    rwalk rctx st ~handled a;
+    rwalk rctx st ~handled b
+  | Pexp_apply (f, args) -> rapply rctx st ~handled e.pexp_loc f args
+  | Pexp_match (scrut, cases) ->
+    let exc =
+      List.exists (fun (c : Parsetree.case) -> has_exception_pat c.pc_lhs)
+        cases
+    in
+    let acq = acquire_expr scrut in
+    (match acq with
+    | Some _ -> (
+      match scrut.pexp_desc with
+      | Pexp_apply (_, args) ->
+        List.iter (fun (_, a) -> rwalk rctx st ~handled:(handled || exc) a)
+          args
+      | _ -> ())
+    | None -> rwalk rctx st ~handled:(handled || exc) scrut);
+    let branches =
+      List.map
+        (fun (c : Parsetree.case) ->
+          let b = Hashtbl.copy st in
+          (match acq with
+          | Some (kind, desc, aloc) when not (has_exception_pat c.pc_lhs) ->
+            r_bind rctx b kind desc aloc c.pc_lhs
+          | _ -> ());
+          rwalk rctx b ~handled c.pc_rhs;
+          b)
+        cases
+    in
+    r_merge st branches
+  | Pexp_try (body, cases) ->
+    rwalk rctx st ~handled:true body;
+    let post = Hashtbl.copy st in
+    let branches =
+      post
+      :: List.map
+           (fun (c : Parsetree.case) ->
+             let b = Hashtbl.copy st in
+             rwalk rctx b ~handled c.pc_rhs;
+             b)
+           cases
+    in
+    r_merge st branches
+  | Pexp_ifthenelse (c, th, el) ->
+    rwalk rctx st ~handled c;
+    let b1 = Hashtbl.copy st in
+    rwalk rctx b1 ~handled th;
+    let b2 = Hashtbl.copy st in
+    (match el with Some e -> rwalk rctx b2 ~handled e | None -> ());
+    r_merge st [ b1; b2 ]
+  | Pexp_fun _ | Pexp_function _ ->
+    (* a closure: capturing a live fd is an ownership transfer; the
+       closure body is analyzed as its own scope *)
+    List.iter
+      (fun parts ->
+        match parts with
+        | [ x ] when Hashtbl.mem st x -> r_escape rctx st x
+        | _ -> ())
+      (expr_idents e);
+    rbody rctx e
+  | Pexp_tuple es | Pexp_array es ->
+    List.iter (rwalk rctx st ~handled) es
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) ->
+    rwalk rctx st ~handled e
+  | Pexp_record (fields, base) ->
+    List.iter (fun (_, e) -> rwalk rctx st ~handled e) fields;
+    Option.iter (rwalk rctx st ~handled) base
+  | Pexp_field (e, _) -> rwalk rctx st ~handled e
+  | Pexp_setfield (a, _, b) ->
+    rwalk rctx st ~handled a;
+    rwalk rctx st ~handled b
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _)
+  | Pexp_assert e | Pexp_lazy e | Pexp_open (_, e)
+  | Pexp_newtype (_, e) | Pexp_letmodule (_, _, e) ->
+    rwalk rctx st ~handled e
+  | Pexp_while (c, body) ->
+    rwalk rctx st ~handled c;
+    rwalk rctx st ~handled body
+  | Pexp_for (_, a, b, _, body) ->
+    rwalk rctx st ~handled a;
+    rwalk rctx st ~handled b;
+    rwalk rctx st ~handled body
+  | _ -> ()
+
+and body_of_lambda (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> body_of_lambda body
+  | Pexp_newtype (_, body) -> body_of_lambda body
+  | _ -> e
+
+and r_bind rctx st kind desc aloc (pat : Parsetree.pattern) =
+  let track x =
+    (match Hashtbl.find_opt st x with
+    | Some old
+      when not (old.rs_released || old.rs_escaped || old.rs_protected) ->
+      r_emit rctx Lint.Fd_leak old.rs_loc
+        (Printf.sprintf
+           "%s is rebound before the previous fd reaches a release"
+           old.rs_desc)
+        [
+          Printf.sprintf "%s (%s)" old.rs_desc
+            (short_loc rctx.r_cu.f_path old.rs_loc);
+        ]
+    | _ -> ());
+    Hashtbl.replace st x
+      {
+        rs_desc = desc;
+        rs_loc = aloc;
+        rs_chan = kind = Achan;
+        rs_released = false;
+        rs_rel_loc = None;
+        rs_escaped = false;
+        rs_protected = false;
+        rs_pending = None;
+      }
+  in
+  let rec strip (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_constraint (p, _) | Ppat_alias (p, _) -> strip p
+    | _ -> p
+  in
+  let p = strip pat in
+  match (kind, p.ppat_desc) with
+  | (Afd | Achan | Ahandle), Ppat_var { txt; _ } -> track txt
+  | Apair, Ppat_tuple [ a; b ] ->
+    List.iter
+      (fun (q : Parsetree.pattern) ->
+        match (strip q).ppat_desc with
+        | Ppat_var { txt; _ } -> track txt
+        | _ -> ())
+      [ a; b ]
+  | Atuple_fst, Ppat_tuple (fd :: _) -> (
+    match (strip fd).ppat_desc with
+    | Ppat_var { txt; _ } -> track txt
+    | _ -> ())
+  | _ -> ()
+
+and rapply rctx st ~handled loc (f : Parsetree.expression) args =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    let parts =
+      let parts = Longident.flatten txt in
+      match parts with
+      | first :: rest -> (
+        match Hashtbl.find_opt rctx.r_cu.Flow.f_aliases first with
+        | Some target -> target @ rest
+        | None -> parts)
+      | [] -> parts
+    in
+    match (parts, args) with
+    | [ "@@" ], [ (_, f); (_, x) ] ->
+      rapply rctx st ~handled loc f [ (Asttypes.Nolabel, x) ]
+    | [ "|>" ], [ (_, x); (_, f) ] ->
+      rapply rctx st ~handled loc f [ (Asttypes.Nolabel, x) ]
+    | [ "Fun"; "protect" ], _ ->
+      let finally =
+        List.find_map
+          (fun ((l : Asttypes.arg_label), a) ->
+            match l with
+            | Asttypes.Labelled "finally" -> Some a
+            | _ -> None)
+          args
+      in
+      (match finally with
+      | Some lam ->
+        let released = release_calls_in rctx (body_of_lambda lam) [] in
+        List.iter
+          (fun x ->
+            match Hashtbl.find_opt st x with
+            | Some r when not r.rs_released ->
+              Hashtbl.replace st x
+                {
+                  r with
+                  rs_released = true;
+                  rs_protected = true;
+                  rs_rel_loc = Some lam.pexp_loc;
+                  rs_pending = None;
+                }
+            | _ -> ())
+          released
+      | None -> ());
+      (* the work thunk runs inline *)
+      List.iter
+        (fun ((l : Asttypes.arg_label), (a : Parsetree.expression)) ->
+          match (l, a.pexp_desc) with
+          | Asttypes.Nolabel, (Pexp_fun _ | Pexp_function _) ->
+            rwalk rctx st ~handled (body_of_lambda a)
+          | Asttypes.Nolabel, _ -> rwalk rctx st ~handled a
+          | _ -> ())
+        args
+    | _ ->
+      let posargs = List.filter (fun (l, _) -> l = Asttypes.Nolabel) args in
+      let ident_of (a : Parsetree.expression) =
+        match a.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+          match Longident.flatten txt with [ x ] -> Some x | _ -> None)
+        | _ -> None
+      in
+      let consumed = Hashtbl.create 4 in
+      (* releases: builtin on the first positional arg, or a repo
+         function whose summary releases specific parameters *)
+      (match release_of parts with
+      | Some desc -> (
+        match posargs with
+        | (_, a) :: _ -> (
+          match ident_of a with
+          | Some x when Hashtbl.mem st x ->
+            Hashtbl.replace consumed x ();
+            r_release rctx st x loc desc
+          | _ -> ())
+        | [] -> ())
+      | None -> (
+        match Flow.resolve_value rctx.r_units ~from:rctx.r_cu parts with
+        | Some (gu, g) -> (
+          match
+            Hashtbl.find_opt rctx.r_sums (gu.f_path ^ "#" ^ g.fn_name)
+          with
+          | Some s ->
+            List.iter
+              (fun i ->
+                match List.nth_opt posargs i with
+                | Some (_, a) -> (
+                  match ident_of a with
+                  | Some x when Hashtbl.mem st x ->
+                    Hashtbl.replace consumed x ();
+                    r_release rctx st x loc g.fn_name
+                  | _ -> ())
+                | None -> ())
+              s.sm_releases
+          | None -> ())
+        | None -> ()));
+      (* remaining arguments: tracked idents passed to a non-Unix/Sys
+         callee transfer ownership; lambdas capture *)
+      let neutral = fd_neutral parts in
+      List.iter
+        (fun (_, (a : Parsetree.expression)) ->
+          match ident_of a with
+          | Some x when Hashtbl.mem st x ->
+            if (not (Hashtbl.mem consumed x)) && not neutral then
+              r_escape rctx st x
+          | Some _ -> ()
+          | None -> rwalk rctx st ~handled a)
+        args;
+      if (not handled) && may_raise parts then
+        r_mark_pending st (String.concat "." parts) loc;
+      if terminator parts then r_mark_all_escaped st)
+  | Pexp_fun _ | Pexp_function _ ->
+    rwalk rctx st ~handled f;
+    List.iter (fun (_, a) -> rwalk rctx st ~handled a) args
+  | _ ->
+    rwalk rctx st ~handled f;
+    List.iter (fun (_, a) -> rwalk rctx st ~handled a) args
+
+and rbody rctx (e : Parsetree.expression) =
+  let st : (string, rstate) Hashtbl.t = Hashtbl.create 8 in
+  (* strip the parameter spine here so a [function]-bodied binding does
+     not re-enter rwalk's closure case with the same expression *)
+  let rec spine (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> spine body
+    | Pexp_constraint (body, _) -> spine body
+    | Pexp_function cases ->
+      List.iter
+        (fun (c : Parsetree.case) -> rwalk rctx st ~handled:false c.pc_rhs)
+        cases
+    | _ -> rwalk rctx st ~handled:false e
+  in
+  spine e;
+  Hashtbl.iter
+    (fun _x r ->
+      if not (r.rs_released || r.rs_escaped || r.rs_protected) then
+        r_emit rctx Lint.Fd_leak r.rs_loc
+          (Printf.sprintf
+             "%s acquired here does not reach a release or an ownership \
+              transfer on every path; close it, return it, or wrap the \
+              scope in Fun.protect ~finally"
+             r.rs_desc)
+          [
+            Printf.sprintf "%s (%s)" r.rs_desc
+              (short_loc rctx.r_cu.f_path r.rs_loc);
+          ])
+    st
+
+let resource_pass units sums ~push =
+  List.iter
+    (fun (u : Flow.unit_t) ->
+      let rctx = { r_units = units; r_sums = sums; r_cu = u; r_push = push } in
+      Hashtbl.iter
+        (fun _name (fn : Flow.func) -> rbody rctx fn.fn_expr)
+        u.f_funcs;
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_eval (e, _) -> rbody rctx e
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var _ -> ()
+                | _ -> rbody rctx vb.pvb_expr)
+              vbs
+          | _ -> ())
+        u.f_structure)
+    units
+
+(* ------------------------------ driving ------------------------------ *)
+
+let dedupe findings =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (f : Lint.finding) ->
+      let key = (Lint.rule_id f.rule, f.file, f.line, f.col) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    findings
+
+let analyze (units : Flow.unit_t list) : Lint.finding list =
+  let findings = ref [] in
+  let push f = findings := f :: !findings in
+  let sums = taint_pass units ~push in
+  resource_pass units sums ~push;
+  let all = dedupe (List.rev !findings) in
+  List.sort
+    (fun (a : Lint.finding) (b : Lint.finding) ->
+      match compare a.file b.file with
+      | 0 -> (
+        match compare a.line b.line with
+        | 0 -> compare a.col b.col
+        | c -> c)
+      | c -> c)
+    all
+
+let analyze_files paths = analyze (List.map Flow.scan_file paths)

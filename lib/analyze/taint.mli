@@ -1,0 +1,26 @@
+(** Interprocedural taint & resource-flow analysis (rules TS008-TS012).
+
+    Runs two lattices over the {!Flow} graph:
+
+    - {b taint}: values originating at network sources ([Unix.accept],
+      [Conn.read_step], [Wire.decode_frame], [Protocol.decode_payload],
+      buffers filled by [Unix.read]/[Unix.recv]/[Wire.read_nonblock])
+      tracked through a propagation whitelist into [Marshal.from_*]
+      outside the blessed codecs (TS008), allocation sized by an
+      untrusted integer with no dominating [max_*] bound check (TS009),
+      and [Printf]/[Sys]/[Unix] format/path positions (TS010);
+    - {b resources}: acquired fds/handles must reach a release or an
+      ownership transfer on every path including exception edges
+      (TS011), and never be released twice on one path (TS012).
+
+    Function summaries are iterated to a cross-unit fixpoint, so flows
+    through helpers in other modules surface with a full source->sink
+    provenance chain in {!Lint.finding.chain}. Suppression uses the
+    same [[@tabseg.allow "<slug>" "<why>"]] contract as {!Lint}. *)
+
+val analyze : Flow.unit_t list -> Lint.finding list
+(** Run both passes over a scanned unit set. Findings are deduplicated
+    by (rule, file, line, col) and sorted by file, line, column. *)
+
+val analyze_files : string list -> Lint.finding list
+(** [analyze (List.map Flow.scan_file paths)]. *)

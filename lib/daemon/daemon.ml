@@ -72,6 +72,7 @@ type t = {
   m_accepted : Metrics.counter;
   m_conn_closed : Metrics.counter;
   m_rejected : Metrics.counter;
+  m_hello_oversized : Metrics.counter;
   m_idle_closed : Metrics.counter;
   m_requests : Metrics.counter;
   m_replies : Metrics.counter;
@@ -103,19 +104,27 @@ let bind_listener = function
        only helps when nothing is listening). *)
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 128;
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 128
+     with e ->
+       close_quietly fd;
+       raise e);
     (fd, Protocol.Unix_socket path)
   | Protocol.Tcp (host, port) ->
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt fd Unix.SO_REUSEADDR true;
-    Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
-    Unix.listen fd 128;
     let bound =
-      match Unix.getsockname fd with
-      | Unix.ADDR_INET (addr, port) ->
-        Protocol.Tcp (Unix.string_of_inet_addr addr, port)
-      | _ -> Protocol.Tcp (host, port)
+      try
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+        Unix.listen fd 128;
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (addr, port) ->
+          Protocol.Tcp (Unix.string_of_inet_addr addr, port)
+        | _ -> Protocol.Tcp (host, port)
+      with e ->
+        close_quietly fd;
+        raise e
     in
     (fd, bound)
 
@@ -150,6 +159,7 @@ let create ?(config = default_config) () =
       m_accepted = Metrics.counter registry "daemon.connections_accepted";
       m_conn_closed = Metrics.counter registry "daemon.connections_closed";
       m_rejected = Metrics.counter registry "daemon.handshake_rejected";
+      m_hello_oversized = Metrics.counter registry "daemon.hello_oversized";
       m_idle_closed = Metrics.counter registry "daemon.idle_closed";
       m_requests = Metrics.counter registry "daemon.requests";
       m_replies = Metrics.counter registry "daemon.replies";
@@ -179,6 +189,7 @@ let stats t =
     ("daemon.connections_closed", c "daemon.connections_closed");
     ("daemon.connections_open", Metrics.gauge_value t.g_open);
     ("daemon.handshake_rejected", c "daemon.handshake_rejected");
+    ("daemon.hello_oversized", c "daemon.hello_oversized");
     ("daemon.idle_closed", c "daemon.idle_closed");
     ("daemon.requests", c "daemon.requests");
     ("daemon.replies", c "daemon.replies");
@@ -287,6 +298,25 @@ let handle_message t conn message =
   if not conn.k_closing then
     match (conn.k_state, message) with
     | `Handshaking, Protocol.Hello { client; token } ->
+      (* Size gate first: the client name becomes a log/metrics label
+         and the token is compared against ours, so neither may be
+         attacker-sized. Rejected before the auth check — an oversized
+         Hello is refused identically with or without a token match. *)
+      let oversized =
+        String.length client > Protocol.max_hello_client_len
+        ||
+        match token with
+        | Some tok -> String.length tok > Protocol.max_hello_token_len
+        | None -> false
+      in
+      if oversized then begin
+        Metrics.incr t.m_hello_oversized;
+        Metrics.incr t.m_rejected;
+        send_message conn
+          (Protocol.Rejected { reason = "hello client/token too long" });
+        conn.k_closing <- true
+      end
+      else
       let authorized =
         match t.cfg.auth_token with
         | None -> true
@@ -591,7 +621,13 @@ let spawn ?(config = default_config) () =
   flush stdout;
   flush stderr;
   let r, w = Unix.pipe ~cloexec:false () in
-  match Unix.fork () with
+  match
+    try Unix.fork ()
+    with e ->
+      close_quietly r;
+      close_quietly w;
+      raise e
+  with
   | 0 ->
     close_quietly r;
     Sys.set_signal Sys.sigterm Sys.Signal_default;

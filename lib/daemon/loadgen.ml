@@ -125,8 +125,12 @@ let connect_nonblocking address =
   match address with
   | Protocol.Unix_socket path ->
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    Unix.set_nonblock fd;
+    (try
+       Unix.connect fd (Unix.ADDR_UNIX path);
+       Unix.set_nonblock fd
+     with e ->
+       close_quietly fd;
+       raise e);
     fd
   | Protocol.Tcp (host, port) ->
     let addr =
@@ -135,9 +139,14 @@ let connect_nonblocking address =
       | exception _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
     in
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    Unix.connect fd (Unix.ADDR_INET (addr, port));
-    Unix.set_nonblock fd;
+    (try
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ());
+       Unix.connect fd (Unix.ADDR_INET (addr, port));
+       Unix.set_nonblock fd
+     with e ->
+       close_quietly fd;
+       raise e);
     fd
 
 let run cfg =

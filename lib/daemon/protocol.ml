@@ -30,6 +30,12 @@ let address_of_string s =
         | _ -> Error (Printf.sprintf "address %S: bad tcp port" s)))
     | _ -> Error (Printf.sprintf "address %S: unknown scheme %S" s scheme))
 
+(* Handshake field caps, enforced server-side before the Hello strings
+   reach logs or metrics labels: a hostile client must not get to pick
+   a megabyte-long metrics key. Generous for any real client name. *)
+let max_hello_client_len = 256
+let max_hello_token_len = 1024
+
 type reply = {
   id : string;
   outcome : (Tabseg.Api.result, Gateway.error) result;

@@ -34,6 +34,14 @@ val address_to_string : address -> string
 
 val address_of_string : string -> (address, string) result
 
+val max_hello_client_len : int
+(** Cap on {!Hello}'s [client] name, enforced server-side before the
+    string reaches logs or metrics labels; longer handshakes are
+    {!Rejected} and counted in [daemon.hello_oversized]. *)
+
+val max_hello_token_len : int
+(** Cap on {!Hello}'s [token], same enforcement. *)
+
 (** A completed request as seen at the network edge: the gateway's
     response minus nothing — degradation errors ({!type:Tabseg_gateway.Gateway.error})
     cross the wire typed, so a client can distinguish

@@ -207,7 +207,13 @@ let fork_worker ~service_config forked index =
   let parent_fd, child_fd =
     Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
   in
-  match Unix.fork () with
+  match
+    try Unix.fork ()
+    with e ->
+      close_quietly parent_fd;
+      close_quietly child_fd;
+      raise e
+  with
   | 0 ->
     close_quietly parent_fd;
     List.iter close_quietly (live_fds forked);

@@ -8,14 +8,21 @@ module Service = Tabseg_serve.Service
    one Record_frame per record as its detail evidence completes, then a
    Stream_done carrying the same response a Request would have produced.
    Frames of one request are strictly ordered; frames of different
-   requests may interleave (seq disambiguates). *)
-let protocol_version = 3
+   requests may interleave (seq disambiguates).
+   v4: the frame-length cap is part of the protocol contract — an
+   oversized length header is the typed Frame_too_large error (not a
+   CRC mismatch), and the cap dropped to 128 MiB. Both ends must agree
+   on the cap or one side's legal frame is the other side's attack, so
+   the change is a version bump. *)
+let protocol_version = 4
 let magic = "TSGW"
 let header_size = 16 (* magic + version + crc + length *)
 
-(* A frame bigger than this is never real — a wedged peer cannot make
-   the master allocate unboundedly. *)
-let max_payload = 1 lsl 28
+(* A frame bigger than this is never real — a wedged or hostile peer
+   cannot make the receiver allocate unboundedly. Enforced before any
+   payload allocation in decode_frame and read_message, and by the
+   daemon edge on its listener. *)
+let max_payload = 1 lsl 27
 
 type fault =
   | No_fault
@@ -41,6 +48,7 @@ type decode_error =
   | Bad_magic
   | Bad_version of int
   | Bad_crc
+  | Frame_too_large of int
   | Bad_payload of string
 
 let decode_error_message = function
@@ -48,6 +56,8 @@ let decode_error_message = function
   | Bad_version v -> Printf.sprintf "protocol version %d (expected %d)" v
                        protocol_version
   | Bad_crc -> "frame checksum mismatch"
+  | Frame_too_large len ->
+    Printf.sprintf "frame length %d exceeds max_payload %d" len max_payload
   | Bad_payload e -> "frame payload failed to unmarshal: " ^ e
 
 (* Same polynomial and table construction as the store's segment log. *)
@@ -102,7 +112,7 @@ let decode_frame ?(off = 0) buffer =
     else begin
       let crc = u32 buffer (off + 8) in
       let len = u32 buffer (off + 12) in
-      if len > max_payload then `Error Bad_crc
+      if len > max_payload then `Error (Frame_too_large len)
       else if available < header_size + len then `Need_more
       else if crc32_string buffer (off + header_size) len <> crc then
         `Error Bad_crc
@@ -150,7 +160,7 @@ let read_message fd =
       else begin
         let crc = u32 header 8 in
         let len = u32 header 12 in
-        if len > max_payload then Error (`Decode Bad_crc)
+        if len > max_payload then Error (`Decode (Frame_too_large len))
         else begin
           let payload = Bytes.create len in
           really_read fd payload 0 len;

@@ -21,6 +21,14 @@
 
 val protocol_version : int
 
+val max_payload : int
+(** Hard cap on a frame's payload length, enforced {e before} any
+    payload allocation on both the incremental and blocking decode
+    paths. Part of the protocol contract (changing it is a version
+    bump): a length header above the cap is the typed
+    [Frame_too_large] error, and the connection is abandoned like any
+    other framing failure. *)
+
 (** Fault-injection knobs carried inside a request — the supervision
     test surface. Workers obey them {e before} touching the service, so
     a fault exercises exactly the gateway's recovery path. *)
@@ -73,6 +81,8 @@ type decode_error =
   | Bad_magic
   | Bad_version of int  (** the version the frame claimed *)
   | Bad_crc
+  | Frame_too_large of int
+      (** the length the header claimed; nothing was allocated *)
   | Bad_payload of string  (** framing intact, marshalling failed *)
 
 val decode_error_message : decode_error -> string

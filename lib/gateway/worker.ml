@@ -11,13 +11,25 @@ let apply_fault = function
   | Wire.No_fault -> ()
   | Wire.Sleep_s s -> if s > 0. then Wire.sleep_s s
   | Wire.Crash_if_exists path ->
-    if Sys.file_exists path then begin
+    if
+      Sys.file_exists path
+      [@tabseg.allow "tainted-string-sink"
+          "fault-injection test surface: the fault arrives over the \
+           trusted master<->worker socketpair (forks of this binary), \
+           and the daemon edge only honours faults behind its \
+           authenticated handshake"]
+    then begin
       (* Remove the marker first: the crash is one-shot, so the same
          request re-dispatched to our replacement succeeds — unless the
          marker is a directory, which [Sys.remove] cannot take, making
          the crash permanent. Both cases are exactly what the
          supervision tests need. *)
-      (try Sys.remove path with Sys_error _ -> ());
+      (try
+         Sys.remove path
+         [@tabseg.allow "tainted-string-sink"
+             "fault-injection test surface, same trust boundary as the \
+              Sys.file_exists check above"]
+       with Sys_error _ -> ());
       Unix._exit 97
     end
 

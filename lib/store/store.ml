@@ -445,8 +445,13 @@ let offload_append_locked t ~key value =
         [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND; Unix.O_CLOEXEC ]
         0o644
     in
-    if (Unix.fstat fd).Unix.st_size = 0 then append_all fd (encode_header ());
-    t.offload_fd <- Some (fd, (Unix.fstat fd).Unix.st_ino);
+    (try
+       if (Unix.fstat fd).Unix.st_size = 0 then
+         append_all fd (encode_header ());
+       t.offload_fd <- Some (fd, (Unix.fstat fd).Unix.st_ino)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
     fd
   in
   let fd =

@@ -6,6 +6,8 @@
    A->B / B->A acquisition cycle across two domains. *)
 
 module Lint = Tabseg_analyze.Lint
+module Flow = Tabseg_analyze.Flow
+module Taint = Tabseg_analyze.Taint
 module Lockcheck = Tabseg_lockcheck.Lockcheck
 
 let check_int = Alcotest.(check int)
@@ -270,6 +272,249 @@ let test_render_carries_rule_id () =
   check_bool "has TS003" true (contains rendered "TS003");
   check_bool "has slug" true (contains rendered "bare-mutex")
 
+(* ----------------- TS008-TS012 interprocedural dataflow -------------- *)
+
+(* Scan fixtures with the Flow substrate and run the Taint pass. *)
+let taint fixtures =
+  Taint.analyze
+    (List.map (fun (path, source) -> Flow.scan ~path source) fixtures)
+
+(* A network-read helper: fills [buf] from the fd, the canonical
+   untrusted source for these fixtures. *)
+let read_src =
+  "let read_all fd =\n\
+  \  let buf = Bytes.create 512 in\n\
+  \  let n = Unix.read fd buf 0 512 in\n\
+  \  Bytes.sub_string buf 0 n\n"
+
+let test_taint_marshal_fires () =
+  let src =
+    read_src ^ "let f fd =\n  let s = read_all fd in\n  (Marshal.from_string s 0 : int)\n"
+  in
+  let fs = taint [ ("lib/daemon/x.ml", src) ] in
+  let f = the_finding Lint.Tainted_marshal fs in
+  check_string "file" "lib/daemon/x.ml" f.Lint.file;
+  check_int "line" 7 f.Lint.line;
+  check_bool "chain starts at the source" true
+    (contains (String.concat " -> " f.Lint.chain) "Unix.read")
+
+let test_taint_marshal_blessed_codecs_clean () =
+  let src =
+    read_src ^ "let f fd =\n  let s = read_all fd in\n  (Marshal.from_string s 0 : int)\n"
+  in
+  check_int "wire is blessed" 0
+    (List.length
+       (findings_of Lint.Tainted_marshal
+          (taint [ ("lib/gateway/wire.ml", src) ])));
+  check_int "daemon protocol is blessed" 0
+    (List.length
+       (findings_of Lint.Tainted_marshal
+          (taint [ ("lib/daemon/protocol.ml", src) ])))
+
+let test_taint_marshal_cross_unit () =
+  (* Source in one unit, sink in another, resolved through the
+     Tabseg_<lib> naming convention: the finding lands on the sink's
+     file:line with the call step in the chain. *)
+  let fs =
+    taint
+      [
+        ("lib/daemon/net.ml", read_src);
+        ( "lib/gateway/h.ml",
+          "let g fd =\n\
+          \  let s = Tabseg_daemon.Net.read_all fd in\n\
+          \  (Marshal.from_string s 0 : int)\n" );
+      ]
+  in
+  let f = the_finding Lint.Tainted_marshal fs in
+  check_string "file" "lib/gateway/h.ml" f.Lint.file;
+  check_int "line" 3 f.Lint.line;
+  check_bool "chain crosses the call" true
+    (contains (String.concat " -> " f.Lint.chain) "read_all")
+
+let test_taint_marshal_suppressed () =
+  let src =
+    read_src
+    ^ "let f fd =\n\
+      \  let s = read_all fd in\n\
+      \  ((Marshal.from_string s 0 : int)\n\
+      \  [@tabseg.allow \"taint-marshal\" \"fixture: verified upstream\"])\n"
+  in
+  check_int "suppressed" 0
+    (List.length
+       (findings_of Lint.Tainted_marshal (taint [ ("lib/daemon/x.ml", src) ])))
+
+let test_unbounded_alloc_fires () =
+  let src =
+    read_src
+    ^ "let f fd =\n\
+      \  let s = read_all fd in\n\
+      \  let len = int_of_string s in\n\
+      \  Bytes.create len\n"
+  in
+  let f =
+    the_finding Lint.Unbounded_alloc (taint [ ("lib/daemon/x.ml", src) ])
+  in
+  check_int "line" 8 f.Lint.line;
+  check_bool "chain present" true (f.Lint.chain <> [])
+
+let test_unbounded_alloc_bound_check_sanitizes () =
+  let src =
+    read_src
+    ^ "let max_frame = 4096\n\
+       let f fd =\n\
+      \  let s = read_all fd in\n\
+      \  let len = int_of_string s in\n\
+      \  if len > max_frame then invalid_arg \"too big\";\n\
+      \  Bytes.create len\n"
+  in
+  check_int "dominating bound check: clean" 0
+    (List.length
+       (findings_of Lint.Unbounded_alloc (taint [ ("lib/daemon/x.ml", src) ])));
+  let min_src =
+    read_src
+    ^ "let max_frame = 4096\n\
+       let f fd =\n\
+      \  let s = read_all fd in\n\
+      \  Bytes.create (min (int_of_string s) max_frame)\n"
+  in
+  check_int "min with max_*: clean" 0
+    (List.length
+       (findings_of Lint.Unbounded_alloc
+          (taint [ ("lib/daemon/x.ml", min_src) ])))
+
+let test_tainted_sink_format_and_path () =
+  let fmt_src =
+    read_src ^ "let f fd =\n  ignore (Printf.sprintf (read_all fd))\n"
+  in
+  let f =
+    the_finding Lint.Tainted_sink (taint [ ("lib/daemon/x.ml", fmt_src) ])
+  in
+  check_int "format sink line" 6 f.Lint.line;
+  let path_src = read_src ^ "let f fd =\n  Sys.remove (read_all fd)\n" in
+  let p =
+    the_finding Lint.Tainted_sink (taint [ ("lib/daemon/x.ml", path_src) ])
+  in
+  check_int "path sink line" 6 p.Lint.line;
+  check_bool "names the sink" true (contains p.Lint.message "Sys.remove")
+
+let test_tainted_sink_suppressed () =
+  let src =
+    read_src
+    ^ "let f fd =\n\
+      \  (Sys.remove (read_all fd)\n\
+      \  [@tabseg.allow \"tainted-string-sink\" \"fixture: trusted peer\"])\n"
+  in
+  check_int "suppressed" 0
+    (List.length
+       (findings_of Lint.Tainted_sink (taint [ ("lib/daemon/x.ml", src) ])))
+
+let test_fd_leak_no_release () =
+  let src =
+    "let f path =\n\
+    \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+    \  ()\n"
+  in
+  let f = the_finding Lint.Fd_leak (taint [ ("lib/daemon/x.ml", src) ]) in
+  check_int "reported at the acquire" 2 f.Lint.line
+
+let test_fd_leak_exception_edge () =
+  (* fstat can raise with the fd live and unprotected: the exception
+     edge leaks even though the happy path closes. *)
+  let src =
+    "let f path =\n\
+    \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+    \  let st = Unix.fstat fd in\n\
+    \  Unix.close fd;\n\
+    \  st\n"
+  in
+  let f = the_finding Lint.Fd_leak (taint [ ("lib/daemon/x.ml", src) ]) in
+  check_int "reported at the acquire" 2 f.Lint.line;
+  check_bool "chain names the raiser" true
+    (contains (String.concat " -> " f.Lint.chain) "Unix.fstat")
+
+let test_fd_leak_fun_protect_clean () =
+  let src =
+    "let f path =\n\
+    \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+    \  Fun.protect\n\
+    \    ~finally:(fun () -> Unix.close fd)\n\
+    \    (fun () -> Unix.fstat fd)\n"
+  in
+  check_int "Fun.protect covers the exception edge" 0
+    (List.length (findings_of Lint.Fd_leak (taint [ ("lib/daemon/x.ml", src) ])))
+
+let test_fd_leak_handler_reraise_clean () =
+  let src =
+    "let f path =\n\
+    \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+    \  let st =\n\
+    \    try Unix.fstat fd\n\
+    \    with e ->\n\
+    \      Unix.close fd;\n\
+    \      raise e\n\
+    \  in\n\
+    \  Unix.close fd;\n\
+    \  st\n"
+  in
+  let fs = taint [ ("lib/daemon/x.ml", src) ] in
+  check_int "close-and-reraise handler: clean" 0
+    (List.length (findings_of Lint.Fd_leak fs));
+  check_int "no double-close either" 0
+    (List.length (findings_of Lint.Double_close fs))
+
+let test_fd_leak_ownership_transfer_clean () =
+  (* Returning the fd, or handing it to a non-Unix callee, transfers
+     ownership: the caller is now responsible. *)
+  let ret_src =
+    "let f path = Unix.openfile path [ Unix.O_RDONLY ] 0\n"
+  in
+  check_int "returned fd: clean" 0
+    (List.length
+       (findings_of Lint.Fd_leak (taint [ ("lib/daemon/x.ml", ret_src) ])))
+
+let test_fd_leak_suppressed () =
+  let src =
+    "let f path =\n\
+    \  let fd =\n\
+    \    (Unix.openfile path [ Unix.O_RDONLY ] 0\n\
+    \    [@tabseg.allow \"fd-leak\" \"fixture: closed by the registry\"])\n\
+    \  in\n\
+    \  ignore (Unix.getpid ());\n\
+    \  ()\n"
+  in
+  check_int "suppressed" 0
+    (List.length (findings_of Lint.Fd_leak (taint [ ("lib/daemon/x.ml", src) ])))
+
+let test_double_close_fires () =
+  let src =
+    "let f fd =\n\
+    \  Unix.close fd;\n\
+    \  Unix.close fd\n"
+  in
+  (* close of a *parameter* is tracked through the release summary; a
+     locally acquired fd closed twice must fire on its own too *)
+  let local =
+    "let f path =\n\
+    \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+    \  Unix.close fd;\n\
+    \  Unix.close fd\n"
+  in
+  ignore src;
+  let f = the_finding Lint.Double_close (taint [ ("lib/daemon/x.ml", local) ]) in
+  check_int "second close is the finding" 4 f.Lint.line;
+  check_bool "chain shows both closes" true
+    (contains (String.concat " -> " f.Lint.chain) "first release")
+
+let test_double_close_branches_clean () =
+  let src =
+    "let f path cond =\n\
+    \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+    \  if cond then Unix.close fd else Unix.close fd\n"
+  in
+  check_int "one close per path: clean" 0
+    (List.length
+       (findings_of Lint.Double_close (taint [ ("lib/daemon/x.ml", src) ])))
+
 (* ------------------------------ Lockcheck ---------------------------- *)
 
 let ab_dance a b =
@@ -396,6 +641,53 @@ let () =
             test_parse_error_is_a_finding;
           Alcotest.test_case "render carries the rule id" `Quick
             test_render_carries_rule_id;
+        ] );
+      ( "taint-marshal",
+        [
+          Alcotest.test_case "network read into Marshal fires" `Quick
+            test_taint_marshal_fires;
+          Alcotest.test_case "blessed codec modules are clean" `Quick
+            test_taint_marshal_blessed_codecs_clean;
+          Alcotest.test_case "chains across compilation units" `Quick
+            test_taint_marshal_cross_unit;
+          Alcotest.test_case "suppressed with justification" `Quick
+            test_taint_marshal_suppressed;
+        ] );
+      ( "unbounded-alloc",
+        [
+          Alcotest.test_case "untrusted length reaches Bytes.create" `Quick
+            test_unbounded_alloc_fires;
+          Alcotest.test_case "bound check or min-cap sanitizes" `Quick
+            test_unbounded_alloc_bound_check_sanitizes;
+        ] );
+      ( "tainted-string-sink",
+        [
+          Alcotest.test_case "format and path sinks fire" `Quick
+            test_tainted_sink_format_and_path;
+          Alcotest.test_case "suppressed with justification" `Quick
+            test_tainted_sink_suppressed;
+        ] );
+      ( "fd-leak",
+        [
+          Alcotest.test_case "acquired fd never released" `Quick
+            test_fd_leak_no_release;
+          Alcotest.test_case "exception edge before the close leaks" `Quick
+            test_fd_leak_exception_edge;
+          Alcotest.test_case "Fun.protect finally is clean" `Quick
+            test_fd_leak_fun_protect_clean;
+          Alcotest.test_case "close-and-reraise handler is clean" `Quick
+            test_fd_leak_handler_reraise_clean;
+          Alcotest.test_case "returning the fd transfers ownership" `Quick
+            test_fd_leak_ownership_transfer_clean;
+          Alcotest.test_case "suppressed with justification" `Quick
+            test_fd_leak_suppressed;
+        ] );
+      ( "double-close",
+        [
+          Alcotest.test_case "sequential double close fires" `Quick
+            test_double_close_fires;
+          Alcotest.test_case "exclusive branches are clean" `Quick
+            test_double_close_branches_clean;
         ] );
       ( "lockcheck",
         [

@@ -354,6 +354,87 @@ let test_disconnect_mid_request () =
     (Lazy.force reference)
     (render_reply (submit_exn b (request "still-alive")))
 
+(* A forged header claiming a ~2 GB payload: the daemon must classify
+   it at the frame layer (typed Frame_too_large inside Conn's close
+   reason), hang up without allocating, and keep serving everyone
+   else. *)
+let test_oversize_frame_refused () =
+  with_daemon (daemon_config ()) @@ fun handle ->
+  let path =
+    match handle.Daemon.address with
+    | Protocol.Unix_socket path -> path
+    | Protocol.Tcp _ -> Alcotest.fail "expected a unix socket"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let u32_be v =
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b 3 (Char.chr (v land 0xff));
+    Bytes.to_string b
+  in
+  let header =
+    "TSGW" ^ u32_be GWire.protocol_version ^ u32_be 0 ^ u32_be 2_000_000_000
+  in
+  let _ = Unix.write_substring fd header 0 (String.length header) in
+  let buffer = Bytes.create 64 in
+  check_int "server hangs up (EOF, no reply frame)" 0
+    (try Unix.read fd buffer 0 64 with Unix.Unix_error _ -> 0);
+  (* The fleet is untouched: a well-behaved client still gets served. *)
+  let client = connect_exn handle.Daemon.address in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  check_string "daemon still serves after the forged frame"
+    (Lazy.force reference)
+    (render_reply (submit_exn client (request "post-forgery")));
+  let stats =
+    match Client.stats client with
+    | Ok stats -> stats
+    | Error e -> Alcotest.fail (Client.error_message e)
+  in
+  check_int "no worker was lost to the forged frame" 0
+    (int_of_float (List.assoc "gateway.worker_restarts" stats))
+
+(* An oversized Hello (client name or token) is refused before the auth
+   check and counted in daemon.hello_oversized. *)
+let test_oversized_hello_rejected () =
+  with_daemon (daemon_config ()) @@ fun handle ->
+  (match
+     Client.connect ~client:(String.make 300 'x') handle.Daemon.address
+   with
+  | Error (Client.Rejected reason) ->
+    check_string "reason names the limit" "hello client/token too long" reason
+  | Ok _ -> Alcotest.fail "oversized client name must be rejected"
+  | Error e -> Alcotest.fail (Client.connect_error_message e));
+  (match
+     Client.connect
+       ~auth_token:(String.make 2_000 't')
+       handle.Daemon.address
+   with
+  | Error (Client.Rejected _) -> ()
+  | Ok _ -> Alcotest.fail "oversized token must be rejected"
+  | _ -> Alcotest.fail "oversized token: expected Rejected");
+  (* A name at exactly the cap is legal, and the rejections above were
+     counted. *)
+  let client =
+    connect_exn
+      ~client:(String.make Protocol.max_hello_client_len 'y')
+      handle.Daemon.address
+  in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  check_string "cap-length client name is served" (Lazy.force reference)
+    (render_reply (submit_exn client (request "cap-name")));
+  let stats =
+    match Client.stats client with
+    | Ok stats -> stats
+    | Error e -> Alcotest.fail (Client.error_message e)
+  in
+  check_int "both oversized hellos were counted" 2
+    (int_of_float (List.assoc "daemon.hello_oversized" stats))
+
 let test_sigterm_drain () =
   let config = daemon_config ~procs:2 () in
   let handle = Daemon.spawn ~config () in
@@ -535,6 +616,10 @@ let () =
             test_version_rejection;
           Alcotest.test_case "idle connections are closed" `Slow
             test_idle_timeout;
+          Alcotest.test_case "forged 2 GB frame is refused, fleet healthy"
+            `Slow test_oversize_frame_refused;
+          Alcotest.test_case "oversized Hello is rejected and counted" `Slow
+            test_oversized_hello_rejected;
         ] );
       ( "ordering",
         [

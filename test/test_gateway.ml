@@ -150,6 +150,53 @@ let test_wire_damage_typed () =
   | `Error _ | `Need_more -> ()
   | `Msg _ -> Alcotest.fail "length damage decoded as a message"
 
+(* A forged header claiming a ~2 GB payload must come back as the typed
+   Frame_too_large error on both decode paths — incremental
+   [decode_frame] and blocking [read_message] — before any payload
+   allocation happens. *)
+let forged_header claimed =
+  let u32_be v =
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b 3 (Char.chr (v land 0xff));
+    Bytes.to_string b
+  in
+  "TSGW" ^ u32_be Wire.protocol_version ^ u32_be 0 ^ u32_be claimed
+
+let test_wire_forged_length () =
+  let claimed = 2_000_000_000 in
+  (* Incremental decoder: typed error carrying the claimed length. *)
+  (match Wire.decode_frame (forged_header claimed) with
+  | `Error (Wire.Frame_too_large len) ->
+    check_int "claimed length reported" claimed len
+  | `Error _ -> Alcotest.fail "wrong error for a forged length"
+  | `Need_more -> Alcotest.fail "forged length must not ask for 2 GB more"
+  | `Frame _ -> Alcotest.fail "forged length decoded as a frame");
+  (* One past the cap refuses; the cap itself is still just Need_more. *)
+  (match Wire.decode_frame (forged_header (Wire.max_payload + 1)) with
+  | `Error (Wire.Frame_too_large _) -> ()
+  | _ -> Alcotest.fail "max_payload + 1 must refuse");
+  (match Wire.decode_frame (forged_header Wire.max_payload) with
+  | `Need_more -> ()
+  | _ -> Alcotest.fail "a frame at exactly max_payload is legal");
+  (* Blocking reader: same typed error, again before allocating. *)
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let header = forged_header claimed in
+      let n = Unix.write_substring w header 0 (String.length header) in
+      check_int "header fully written" (String.length header) n;
+      match Wire.read_message r with
+      | Error (`Decode (Wire.Frame_too_large len)) ->
+        check_int "claimed length reported" claimed len
+      | Ok _ -> Alcotest.fail "forged length read as a message"
+      | Error _ -> Alcotest.fail "wrong error for a forged length")
+
 (* ------------------------ byte-identity merge ----------------------- *)
 
 let test_procs2_matches_sequential () =
@@ -644,6 +691,8 @@ let () =
         [
           Alcotest.test_case "frame roundtrip + stream + truncation" `Quick
             test_wire_roundtrip;
+          Alcotest.test_case "forged 2 GB length header is refused" `Quick
+            test_wire_forged_length;
           Alcotest.test_case "damage decodes as typed errors" `Quick
             test_wire_damage_typed;
         ] );
